@@ -1,0 +1,188 @@
+(* Benchmark harness.
+
+   Default (no arguments): regenerate every table and figure of the
+   paper — the reproduction run recorded in EXPERIMENTS.md.
+
+     dune exec bench/main.exe                 # all artifacts, full config
+     dune exec bench/main.exe -- --quick      # trimmed suite
+     dune exec bench/main.exe -- table3       # a single artifact
+     dune exec bench/main.exe -- speed        # Bechamel micro-benchmarks,
+                                              # one kernel per table/figure *)
+
+module Process = Standby_device.Process
+module Netlist = Standby_netlist.Netlist
+module Gate_kind = Standby_netlist.Gate_kind
+module Topology = Standby_cells.Topology
+module Stack_solver = Standby_cells.Stack_solver
+module Characterize = Standby_cells.Characterize
+module Version = Standby_cells.Version
+module Library = Standby_cells.Library
+module Simulator = Standby_sim.Simulator
+module Sta = Standby_timing.Sta
+module Evaluate = Standby_power.Evaluate
+module Optimizer = Standby_opt.Optimizer
+module Baselines = Standby_opt.Baselines
+module Bound = Standby_opt.Bound
+module Benchmarks = Standby_circuits.Benchmarks
+module Experiments = Standby_report.Experiments
+
+(* ------------------------------------------------------------------ *)
+(* Experiment reproduction                                              *)
+
+let artifact_names =
+  [
+    "table1"; "table2"; "table3"; "table4"; "table5";
+    "figure1"; "figure2"; "figure3"; "figure4"; "figure5"; "ablation";
+  ]
+
+let run_experiments ~quick artifacts =
+  let config = if quick then Experiments.quick_config else Experiments.default_config in
+  let t = Experiments.create ~config () in
+  let wanted name = List.mem "all" artifacts || List.mem name artifacts in
+  let render = function
+    | "table1" -> Experiments.table1 t
+    | "table2" -> Experiments.table2 t
+    | "table3" -> Experiments.table3 t
+    | "table4" -> Experiments.table4 t
+    | "table5" -> Experiments.table5 t
+    | "figure1" -> Experiments.figure1 t
+    | "figure2" -> Experiments.figure2 t
+    | "figure3" -> Experiments.figure3 t
+    | "figure4" -> Experiments.figure4 t
+    | "figure5" -> Experiments.figure5 ~csv_path:"figure5.csv" t
+    | "ablation" -> Experiments.ablation t
+    | other -> Printf.sprintf "unknown artifact %S" other
+  in
+  List.iter
+    (fun name ->
+      if wanted name then begin
+        let out, seconds = Standby_util.Timer.time (fun () -> render name) in
+        print_endline out;
+        Printf.printf "[%s: %.1f s]\n\n%!" name seconds
+      end)
+    artifact_names
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one kernel per table/figure              *)
+
+let speed_tests () =
+  let open Bechamel in
+  let process = Process.default in
+  let lib = Library.build process in
+  let lib2 = Library.build ~mode:Version.two_option_mode process in
+  let lib_vt = Library.build ~mode:Version.vt_and_state_mode process in
+  let c432 = Benchmarks.circuit "c432" in
+  let c880 = Benchmarks.circuit "c880" in
+  let tiny = Standby_circuits.Random_logic.generate ~seed:9 ~inputs:6 ~gates:10 () in
+  let nand2 = Topology.of_kind Gate_kind.Nand2 in
+  let inv = Topology.of_kind Gate_kind.Inv in
+  let fast_inv = Topology.fast_assignment inv in
+  let rng = Standby_util.Prng.create ~seed:1 in
+  let vec880 = Array.init (Netlist.input_count c880) (fun _ -> Standby_util.Prng.bool rng) in
+  let sta880 = Sta.create lib c880 in
+  let bound880 = Bound.create lib c880 in
+  let trits880 =
+    Array.init (Netlist.input_count c880) (fun i ->
+        if i mod 2 = 0 then Standby_sim.Logic.Unknown else Standby_sim.Logic.True)
+  in
+  [
+    (* Table 1: characterizing one cell's versions. *)
+    Test.make ~name:"table1/nand2-version-generation"
+      (Staged.stage (fun () -> ignore (Version.generate process Version.default_mode nand2)));
+    (* Table 2: building the full library. *)
+    Test.make ~name:"table2/library-build"
+      (Staged.stage (fun () -> ignore (Library.build process)));
+    (* Table 3: one Heuristic-1 run. *)
+    Test.make ~name:"table3/heu1-c432"
+      (Staged.stage (fun () ->
+           ignore (Optimizer.run lib c432 ~penalty:0.05 Optimizer.Heuristic_1)));
+    (* Table 4: the prior-work baseline. *)
+    Test.make ~name:"table4/vt-state-c432"
+      (Staged.stage (fun () -> ignore (Baselines.vt_and_state lib_vt c432 ~penalty:0.05)));
+    (* Table 5: the 2-option library variant. *)
+    Test.make ~name:"table5/heu1-2option-c432"
+      (Staged.stage (fun () ->
+           ignore (Optimizer.run lib2 c432 ~penalty:0.05 Optimizer.Heuristic_1)));
+    (* Figure 1: the DC stack solve behind the leakage tables. *)
+    Test.make ~name:"figure1/inverter-stack-solve"
+      (Staged.stage (fun () -> ignore (Stack_solver.solve process inv fast_inv [| false |])));
+    (* Figure 2: pin-reorder characterization. *)
+    Test.make ~name:"figure2/nand2-best-perm"
+      (Staged.stage (fun () ->
+           ignore
+             (Characterize.best_perm process nand2 (Topology.fast_assignment nand2) ~state:1)));
+    (* Figure 3: per-state option lookup (the optimizer's hot read). *)
+    Test.make ~name:"figure3/library-option-lookup"
+      (Staged.stage (fun () ->
+           for s = 0 to 3 do
+             ignore (Library.options lib Gate_kind.Nand2 ~state:s)
+           done));
+    (* Figure 4: exact branch-and-bound on a small circuit. *)
+    Test.make ~name:"figure4/exact-small"
+      (Staged.stage (fun () -> ignore (Optimizer.run lib tiny ~penalty:0.10 Optimizer.Exact)));
+    (* Figure 5: one sweep point at a loose budget. *)
+    Test.make ~name:"figure5/heu1-c432-25pc"
+      (Staged.stage (fun () ->
+           ignore (Optimizer.run lib c432 ~penalty:0.25 Optimizer.Heuristic_1)));
+    (* Supporting kernels. *)
+    Test.make ~name:"kernel/simulate-c880"
+      (Staged.stage (fun () -> ignore (Simulator.eval c880 vec880)));
+    Test.make ~name:"kernel/sta-full-update-c880"
+      (Staged.stage (fun () -> Sta.update sta880));
+    Test.make ~name:"kernel/bound-partial-c880"
+      (Staged.stage (fun () ->
+           ignore (Bound.evaluate bound880 (Simulator.eval_partial c880 trits880))));
+    Test.make ~name:"kernel/random-leakage-100vec-c880"
+      (Staged.stage (fun () ->
+           ignore (Evaluate.random_vector_average ~vectors:100 ~seed:7 lib c880)));
+  ]
+
+let run_speed () =
+  let open Bechamel in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  Printf.printf "%-40s %15s %10s\n" "benchmark" "time/run" "r^2";
+  Printf.printf "%s\n" (String.make 67 '-');
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analysis = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let estimate =
+            match Analyze.OLS.estimates ols_result with
+            | Some (x :: _) -> x
+            | Some [] | None -> nan
+          in
+          let r2 = match Analyze.OLS.r_square ols_result with Some r -> r | None -> nan in
+          let human =
+            if estimate > 1e9 then Printf.sprintf "%.2f s" (estimate /. 1e9)
+            else if estimate > 1e6 then Printf.sprintf "%.2f ms" (estimate /. 1e6)
+            else if estimate > 1e3 then Printf.sprintf "%.2f us" (estimate /. 1e3)
+            else Printf.sprintf "%.0f ns" estimate
+          in
+          Printf.printf "%-40s %15s %10.4f\n%!" name human r2)
+        analysis)
+    (speed_tests ())
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "--quick" args in
+  let args = List.filter (fun a -> a <> "--quick") args in
+  match args with
+  | [ "speed" ] -> run_speed ()
+  | [] -> run_experiments ~quick [ "all" ]
+  | artifacts ->
+    let unknown =
+      List.filter (fun a -> not (List.mem a ("all" :: artifact_names))) artifacts
+    in
+    if unknown <> [] then begin
+      Printf.eprintf "unknown artifacts: %s\nknown: all speed %s\n"
+        (String.concat " " unknown)
+        (String.concat " " artifact_names);
+      exit 1
+    end
+    else run_experiments ~quick artifacts

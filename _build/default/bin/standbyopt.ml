@@ -1,0 +1,405 @@
+(* standbyopt — command-line driver for simultaneous state / Vt / Tox
+   standby-leakage optimization.
+
+   Subcommands:
+     optimize   run a method on a benchmark or .bench netlist
+     report     regenerate the paper's tables and figures
+     library    inspect the characterized cell library
+     circuits   list the built-in benchmark suite
+     export     write a benchmark netlist as .bench *)
+
+open Cmdliner
+module Process = Standby_device.Process
+module Netlist = Standby_netlist.Netlist
+module Bench_io = Standby_netlist.Bench_io
+module Gate_kind = Standby_netlist.Gate_kind
+module Version = Standby_cells.Version
+module Library = Standby_cells.Library
+module Evaluate = Standby_power.Evaluate
+module Assignment = Standby_power.Assignment
+module Optimizer = Standby_opt.Optimizer
+module Baselines = Standby_opt.Baselines
+module Search_stats = Standby_opt.Search_stats
+module Benchmarks = Standby_circuits.Benchmarks
+module Experiments = Standby_report.Experiments
+module Analyze = Standby_report.Analyze
+module Verilog_io = Standby_netlist.Verilog_io
+module Liberty = Standby_cells.Liberty
+module Timing_report = Standby_timing.Timing_report
+module Sta = Standby_timing.Sta
+module Process_config = Standby_device.Process_config
+module Dot_export = Standby_report.Dot_export
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                     *)
+
+let mode_of_string = function
+  | "4opt" -> Ok Version.default_mode
+  | "2opt" -> Ok Version.two_option_mode
+  | "4opt-uniform" -> Ok Version.uniform_stack_mode
+  | "2opt-uniform" -> Ok Version.two_option_uniform_stack_mode
+  | "vt-state" -> Ok Version.vt_and_state_mode
+  | "state-only" -> Ok Version.state_only_mode
+  | s -> Error (`Msg (Printf.sprintf "unknown library mode %S" s))
+
+let mode_conv =
+  Arg.conv
+    ( (fun s -> mode_of_string s),
+      fun fmt m -> Format.pp_print_string fmt (Version.mode_name m) )
+
+let mode_arg =
+  let doc =
+    "Cell library mode: 4opt, 2opt, 4opt-uniform, 2opt-uniform, vt-state or state-only."
+  in
+  Arg.(value & opt mode_conv Version.default_mode & info [ "library" ] ~docv:"MODE" ~doc)
+
+let circuit_arg =
+  let doc = "Built-in benchmark name (see the circuits subcommand)." in
+  Arg.(value & opt (some string) None & info [ "c"; "circuit" ] ~docv:"NAME" ~doc)
+
+let bench_file_arg =
+  let doc = "Read the netlist from a file instead (.bench or gate-level .v)." in
+  Arg.(value & opt (some file) None & info [ "f"; "file" ] ~docv:"FILE" ~doc)
+
+let read_netlist_file path =
+  if Filename.check_suffix path ".v" then Verilog_io.read_file path
+  else Bench_io.read_file path
+
+let simplify_arg =
+  let doc = "Run the peephole cleanup pass (CSE, buffer removal, dead logic) first." in
+  Arg.(value & flag & info [ "simplify" ] ~doc)
+
+let maybe_simplify flag net =
+  if not flag then net
+  else begin
+    let simplified, removed = Standby_netlist.Peephole.simplify_fixpoint net in
+    Printf.printf "simplify       removed %d gates (%d -> %d)\n" removed
+      (Netlist.gate_count net) (Netlist.gate_count simplified);
+    simplified
+  end
+
+let load_netlist circuit file =
+  match (circuit, file) with
+  | Some _, Some _ -> Error "pass either --circuit or --file, not both"
+  | None, None -> Error "pass --circuit NAME or --file FILE"
+  | Some name, None ->
+    (try Ok (Benchmarks.circuit name)
+     with Not_found ->
+       Error
+         (Printf.sprintf "unknown benchmark %S (known: %s)" name
+            (String.concat ", " Benchmarks.names)))
+  | None, Some path -> read_netlist_file path
+
+let penalty_arg =
+  let doc = "Delay penalty as a fraction of the all-fast/all-slow spread." in
+  Arg.(value & opt float 0.05 & info [ "p"; "penalty" ] ~docv:"FRACTION" ~doc)
+
+let process_file_arg =
+  let doc = "Process-override file (key = value lines; see export-process)." in
+  Arg.(value & opt (some file) None & info [ "process" ] ~docv:"FILE" ~doc)
+
+let resolve_process = function
+  | None -> Ok Process.default
+  | Some path -> Process_config.load_file Process.default path
+
+(* ------------------------------------------------------------------ *)
+(* optimize                                                             *)
+
+let method_conv =
+  let parse = function
+    | "heu1" -> Ok `Heu1
+    | "heu2" -> Ok `Heu2
+    | "hc" -> Ok `Hill_climb
+    | "exact" -> Ok `Exact
+    | s -> Error (`Msg (Printf.sprintf "unknown method %S (heu1|heu2|hc|exact)" s))
+  in
+  let print fmt m =
+    Format.pp_print_string fmt
+      (match m with
+       | `Heu1 -> "heu1"
+       | `Heu2 -> "heu2"
+       | `Hill_climb -> "hc"
+       | `Exact -> "exact")
+  in
+  Arg.conv (parse, print)
+
+let method_arg =
+  let doc = "Optimization method: heu1, heu2, hc (heu1 + hill climbing) or exact." in
+  Arg.(value & opt method_conv `Heu1 & info [ "m"; "method" ] ~docv:"METHOD" ~doc)
+
+let heu2_limit_arg =
+  let doc = "Time budget in seconds for heu2." in
+  Arg.(value & opt float 2.0 & info [ "heu2-limit" ] ~docv:"SECONDS" ~doc)
+
+let vectors_arg =
+  let doc = "Random vectors for the average-leakage reference." in
+  Arg.(value & opt int 10_000 & info [ "vectors" ] ~docv:"N" ~doc)
+
+let verbose_arg =
+  let doc = "Also print the sleep vector and per-gate assignment summary." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let timing_arg =
+  let doc = "Also print the critical-path timing report of the solution." in
+  Arg.(value & flag & info [ "timing" ] ~doc)
+
+let run_optimize circuit file mode method_ penalty heu2_limit vectors verbose timing
+    process_file simplify =
+  match
+    Result.bind (resolve_process process_file) (fun process ->
+        Result.map (fun net -> (process, net)) (load_netlist circuit file))
+  with
+  | Error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    1
+  | Ok (process, net) ->
+    let net = maybe_simplify simplify net in
+    let lib = Library.build ~mode process in
+    let m =
+      match method_ with
+      | `Heu1 -> Optimizer.Heuristic_1
+      | `Heu2 -> Optimizer.Heuristic_2 { time_limit_s = heu2_limit }
+      | `Hill_climb -> Optimizer.Hill_climb { time_limit_s = heu2_limit; max_rounds = 8 }
+      | `Exact -> Optimizer.Exact
+    in
+    let avg = Baselines.random_average ~vectors lib net in
+    let r = Optimizer.run lib net ~penalty m in
+    let b = r.Optimizer.breakdown in
+    Printf.printf "circuit        %s (%d inputs, %d gates, depth %d)\n"
+      (Netlist.design_name net) (Netlist.input_count net) (Netlist.gate_count net)
+      (Netlist.depth net);
+    Printf.printf "library        %s (%d cell versions)\n"
+      (Version.mode_name (Library.mode lib))
+      (Library.total_version_count lib);
+    Printf.printf "method         %s\n" r.Optimizer.method_name;
+    Printf.printf "delay budget   %.2f (fast %.2f, all-slow %.2f, penalty %.0f%%)\n"
+      r.Optimizer.budget r.Optimizer.delay_fast r.Optimizer.delay_slow (penalty *. 100.);
+    Printf.printf "achieved delay %.2f\n" r.Optimizer.delay;
+    Printf.printf "avg leakage    %.2f uA (over %d random vectors)\n" (avg.Evaluate.total *. 1e6)
+      vectors;
+    Printf.printf "opt leakage    %.2f uA  (isub %.2f + igate %.2f)\n" (b.Evaluate.total *. 1e6)
+      (b.Evaluate.isub *. 1e6) (b.Evaluate.igate *. 1e6);
+    Printf.printf "reduction      %.1fX\n" (avg.Evaluate.total /. b.Evaluate.total);
+    Printf.printf "runtime        %.2f s   [%s]\n" r.Optimizer.runtime_s
+      (Search_stats.to_string r.Optimizer.stats);
+    if verbose then begin
+      let a = r.Optimizer.assignment in
+      let vector =
+        String.concat ""
+          (Array.to_list (Array.map (fun b -> if b then "1" else "0") a.Assignment.input_vector))
+      in
+      Printf.printf "sleep vector   %s\n" vector;
+      Printf.printf "slow gates     %d of %d\n"
+        (Assignment.slow_gate_count lib net a)
+        (Netlist.gate_count net)
+    end;
+    if timing then begin
+      (* Rebuild the workspace around the winning assignment for the
+         path report. *)
+      let sta = Sta.create lib net in
+      Sta.set_budget sta r.Optimizer.budget;
+      let a = r.Optimizer.assignment in
+      Netlist.iter_gates net (fun id kind _ ->
+          let state = a.Assignment.gate_state.(id) in
+          let entry =
+            (Library.options lib kind ~state).(a.Assignment.option_choice.(id))
+          in
+          Sta.assign sta id ~version:entry.Standby_cells.Version.version
+            ~perm:entry.Standby_cells.Version.perm);
+      Sta.update sta;
+      print_newline ();
+      print_string (Timing_report.render sta)
+    end;
+    0
+
+let optimize_cmd =
+  let info = Cmd.info "optimize" ~doc:"Run a standby-leakage optimization" in
+  Cmd.v info
+    Term.(
+      const run_optimize $ circuit_arg $ bench_file_arg $ mode_arg $ method_arg $ penalty_arg
+      $ heu2_limit_arg $ vectors_arg $ verbose_arg $ timing_arg $ process_file_arg
+      $ simplify_arg)
+
+(* ------------------------------------------------------------------ *)
+(* report                                                               *)
+
+let artifacts_arg =
+  let doc = "Artifacts to regenerate (table1..table5, figure1..figure5, ablation, all)." in
+  Arg.(value & pos_all string [ "all" ] & info [] ~docv:"ARTIFACT" ~doc)
+
+let quick_arg =
+  let doc = "Use the trimmed configuration (small suite, few vectors)." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let run_report quick artifacts =
+  let config = if quick then Experiments.quick_config else Experiments.default_config in
+  let t = Experiments.create ~config () in
+  let wanted name = List.mem "all" artifacts || List.mem name artifacts in
+  let known = ref false in
+  List.iter
+    (fun (name, render) ->
+      if wanted name then begin
+        known := true;
+        print_endline (render ());
+        print_newline ()
+      end)
+    [
+      ("table1", fun () -> Experiments.table1 t);
+      ("table2", fun () -> Experiments.table2 t);
+      ("table3", fun () -> Experiments.table3 t);
+      ("table4", fun () -> Experiments.table4 t);
+      ("table5", fun () -> Experiments.table5 t);
+      ("figure1", fun () -> Experiments.figure1 t);
+      ("figure2", fun () -> Experiments.figure2 t);
+      ("figure3", fun () -> Experiments.figure3 t);
+      ("figure4", fun () -> Experiments.figure4 t);
+      ("figure5", fun () -> Experiments.figure5 t);
+      ("ablation", fun () -> Experiments.ablation t);
+    ];
+  if !known then 0
+  else begin
+    Printf.eprintf "error: no known artifact among: %s\n" (String.concat " " artifacts);
+    1
+  end
+
+let report_cmd =
+  let info = Cmd.info "report" ~doc:"Regenerate the paper's tables and figures" in
+  Cmd.v info Term.(const run_report $ quick_arg $ artifacts_arg)
+
+(* ------------------------------------------------------------------ *)
+(* library                                                              *)
+
+let run_library mode =
+  let lib = Library.build ~mode Process.default in
+  Printf.printf "library mode: %s\n\n" (Version.mode_name (Library.mode lib));
+  List.iter
+    (fun kind ->
+      let info = Library.info lib kind in
+      Printf.printf "%s: %d versions\n" (Gate_kind.name kind)
+        (Array.length info.Library.versions);
+      Array.iteri
+        (fun v name -> Printf.printf "  v%d  %s\n" v name)
+        info.Library.version_names;
+      Array.iteri
+        (fun state opts ->
+          let cells =
+            Array.to_list opts
+            |> List.map (fun (o : Version.option_entry) ->
+                   Printf.sprintf "v%d:%.1fnA(%s)" o.Version.version
+                     (o.Version.leakage *. 1e9)
+                     (Version.role_name o.Version.role))
+          in
+          Printf.printf "  state %d: %s\n" state (String.concat "  " cells))
+        info.Library.options;
+      print_newline ())
+    Gate_kind.all;
+  0
+
+let library_cmd =
+  let info = Cmd.info "library" ~doc:"Inspect the characterized cell library" in
+  Cmd.v info Term.(const run_library $ mode_arg)
+
+(* ------------------------------------------------------------------ *)
+(* circuits / export                                                    *)
+
+let run_circuits () =
+  Printf.printf "%-8s %8s %8s %10s %8s\n" "name" "inputs" "gates" "published" "depth";
+  List.iter
+    (fun (p : Benchmarks.profile) ->
+      let net = Benchmarks.circuit p.Benchmarks.bench_name in
+      Printf.printf "%-8s %8d %8d %10d %8d\n" p.Benchmarks.bench_name
+        (Netlist.input_count net) (Netlist.gate_count net) p.Benchmarks.published_gates
+        (Netlist.depth net))
+    Benchmarks.profiles;
+  0
+
+let circuits_cmd =
+  let info = Cmd.info "circuits" ~doc:"List the built-in benchmark suite" in
+  Cmd.v info Term.(const run_circuits $ const ())
+
+let output_arg =
+  let doc = "Output path." in
+  Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let run_export circuit file output simplify =
+  match load_netlist circuit file with
+  | Error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    1
+  | Ok net ->
+    let net = maybe_simplify simplify net in
+    if Filename.check_suffix output ".v" then Verilog_io.write_file output net
+    else if Filename.check_suffix output ".dot" then
+      Dot_export.write_file output (Dot_export.of_netlist net)
+    else Bench_io.write_file output net;
+    Printf.printf "wrote %s (%d inputs, %d gates)\n" output (Netlist.input_count net)
+      (Netlist.gate_count net);
+    0
+
+let export_cmd =
+  let info =
+    Cmd.info "export"
+      ~doc:"Write a netlist as ISCAS .bench, gate-level Verilog (.v) or Graphviz (.dot)"
+  in
+  Cmd.v info
+    Term.(const run_export $ circuit_arg $ bench_file_arg $ output_arg $ simplify_arg)
+
+(* ------------------------------------------------------------------ *)
+(* analyze / export-lib                                                 *)
+
+let run_analyze circuit file mode penalty =
+  match load_netlist circuit file with
+  | Error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    1
+  | Ok net ->
+    let lib = Library.build ~mode Process.default in
+    print_string (Analyze.circuit_summary net);
+    let r = Optimizer.run lib net ~penalty Optimizer.Heuristic_1 in
+    print_newline ();
+    print_string (Analyze.leakage_profile lib net r.Optimizer.assignment);
+    0
+
+let analyze_cmd =
+  let info =
+    Cmd.info "analyze" ~doc:"Structural and residual-leakage analysis of a circuit"
+  in
+  Cmd.v info Term.(const run_analyze $ circuit_arg $ bench_file_arg $ mode_arg $ penalty_arg)
+
+let run_export_lib mode output =
+  let lib = Library.build ~mode Process.default in
+  Liberty.write_file output lib;
+  Printf.printf "wrote %s (%d cells, library %s)\n" output
+    (Library.total_version_count lib) (Liberty.library_name lib);
+  0
+
+let export_lib_cmd =
+  let info = Cmd.info "export-lib" ~doc:"Write the characterized cell library as Liberty" in
+  Cmd.v info Term.(const run_export_lib $ mode_arg $ output_arg)
+
+let run_export_process output =
+  let oc = open_out output in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (Process_config.to_string Process.default));
+  Printf.printf "wrote %s (edit and pass back via --process)\n" output;
+  0
+
+let export_process_cmd =
+  let info =
+    Cmd.info "export-process" ~doc:"Dump the default process constants as an override file"
+  in
+  Cmd.v info Term.(const run_export_process $ output_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let main_cmd =
+  let doc = "simultaneous state, Vt and Tox assignment for standby power minimization" in
+  let info = Cmd.info "standbyopt" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [
+      optimize_cmd; report_cmd; library_cmd; circuits_cmd; export_cmd; analyze_cmd;
+      export_lib_cmd; export_process_cmd;
+    ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+examples/delay_sweep.ml: Array List Printf Standby_cells Standby_circuits Standby_device Standby_opt Standby_power String Sys

@@ -1,0 +1,1 @@
+examples/library_explorer.ml: Array List Printf Standby_cells Standby_device Standby_netlist String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array List Printf Standby_cells Standby_circuits Standby_device Standby_netlist Standby_opt Standby_power String

@@ -1,0 +1,76 @@
+(* Library explorer: how the dual-Vt / dual-Tox cell versions are
+   constructed (Section 4 of the paper) and what each one trades.
+
+   Shows, for every gate kind: the generated versions, the per-state
+   trade-off points, and the device-level physics driving them (stack
+   effect, collapsed oxide bias above an OFF device, negligible PMOS
+   tunneling).
+
+   Run with: dune exec examples/library_explorer.exe *)
+
+module Process = Standby_device.Process
+module Gate_kind = Standby_netlist.Gate_kind
+module Topology = Standby_cells.Topology
+module Stack_solver = Standby_cells.Stack_solver
+module Characterize = Standby_cells.Characterize
+module Version = Standby_cells.Version
+module Library = Standby_cells.Library
+
+let () =
+  let p = Process.default in
+  Printf.printf "process anchors: Isub hi/lo = 1/%.1f (N) 1/%.1f (P); Igate thick/thin = 1/%.1f\n"
+    (Process.isub_vt_ratio p Process.Nmos)
+    (Process.isub_vt_ratio p Process.Pmos)
+    (Process.igate_tox_ratio p);
+  Printf.printf "delay derating: high-Vt %.2fx, thick-Tox %.2fx per device\n\n"
+    (Process.drive_resistance_factor p Process.Nmos Process.High_vt Process.Thin_ox)
+    (Process.drive_resistance_factor p Process.Nmos Process.Low_vt Process.Thick_ox);
+
+  (* The stack effect, straight from the DC solver. *)
+  let nand2 = Topology.of_kind Gate_kind.Nand2 in
+  let fast = Topology.fast_assignment nand2 in
+  let solve state = Characterize.solve_state p nand2 fast ~state in
+  let s00 = solve 0 and s10 = solve 2 in
+  Printf.printf "NAND2 stack physics (fast cell):\n";
+  Printf.printf "  state 10: one OFF NMOS  -> Isub %5.1f nA\n" (s10.Stack_solver.isub *. 1e9);
+  Printf.printf "  state 00: two OFF NMOS  -> Isub %5.1f nA  (stack effect: %.1fX lower)\n"
+    (s00.Stack_solver.isub *. 1e9)
+    (s10.Stack_solver.isub /. s00.Stack_solver.isub);
+  let top = s10.Stack_solver.points.(0) in
+  Printf.printf
+    "  state 10: ON NMOS above the OFF one sees Vgs = %.2f V -> Igate %.2f nA (vs %.1f nA at full bias)\n\n"
+    top.Stack_solver.vgs
+    (s10.Stack_solver.device_igate.(0) *. 1e9)
+    ((solve 3).Stack_solver.device_igate.(0) *. 1e9);
+
+  (* The generated library, kind by kind. *)
+  List.iter
+    (fun mode ->
+      let lib = Library.build ~mode p in
+      Printf.printf "---- %s library: %d versions total ----\n"
+        (Version.mode_name mode)
+        (Library.total_version_count lib);
+      List.iter
+        (fun kind ->
+          let info = Library.info lib kind in
+          Printf.printf "%s (%d versions)\n" (Gate_kind.name kind)
+            (Array.length info.Library.versions);
+          Array.iteri
+            (fun state opts ->
+              let bits = Gate_kind.bits_of_state kind state in
+              let label =
+                String.concat ""
+                  (Array.to_list (Array.map (fun b -> if b then "1" else "0") bits))
+              in
+              Printf.printf "  state %s:" label;
+              Array.iter
+                (fun (o : Version.option_entry) ->
+                  Printf.printf "  [%s %.1fnA]"
+                    info.Library.version_names.(o.Version.version)
+                    (o.Version.leakage *. 1e9))
+                opts;
+              print_newline ())
+            info.Library.options)
+        Gate_kind.all;
+      print_newline ())
+    [ Version.default_mode; Version.two_option_mode ]

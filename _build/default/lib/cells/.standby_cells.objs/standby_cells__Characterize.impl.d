@@ -1,0 +1,1 @@
+lib/cells/characterize.ml: Array List Stack_solver Standby_netlist Topology

@@ -1,0 +1,1 @@
+lib/cells/delay_char.ml: Array List Process Standby_device Standby_netlist Topology

@@ -1,0 +1,1 @@
+lib/cells/delay_char.mli: Process Standby_device Topology

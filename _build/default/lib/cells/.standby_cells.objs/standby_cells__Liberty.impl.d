@@ -1,0 +1,1 @@
+lib/cells/liberty.ml: Array Buffer Characterize Fun Library List Printf Process Stack_solver Standby_device Standby_netlist String Topology Version

@@ -1,0 +1,1 @@
+lib/cells/library.ml: Array Characterize Delay_char List Process Stack_solver Standby_device Standby_netlist Topology Version

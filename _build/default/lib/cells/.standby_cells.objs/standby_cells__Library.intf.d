@@ -1,0 +1,1 @@
+lib/cells/library.mli: Process Standby_device Standby_netlist Topology Version

@@ -1,0 +1,1 @@
+lib/cells/stack_solver.ml: Array Hashtbl Iv_model Leakage_model List Process Standby_device Standby_netlist Topology

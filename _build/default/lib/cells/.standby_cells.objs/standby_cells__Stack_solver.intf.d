@@ -1,0 +1,1 @@
+lib/cells/stack_solver.mli: Process Standby_device Topology

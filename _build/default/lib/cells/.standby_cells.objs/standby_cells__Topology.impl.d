@@ -1,0 +1,1 @@
+lib/cells/topology.ml: Array List Printf Process Standby_device Standby_netlist String

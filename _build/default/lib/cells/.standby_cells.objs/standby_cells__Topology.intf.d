@@ -1,0 +1,1 @@
+lib/cells/topology.mli: Process Standby_device Standby_netlist

@@ -1,0 +1,1 @@
+lib/cells/version.ml: Array Characterize Delay_char Hashtbl List Process Stack_solver Standby_device Standby_netlist Topology

@@ -1,0 +1,1 @@
+lib/cells/version.mli: Process Stack_solver Standby_device Topology

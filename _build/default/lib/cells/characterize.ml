@@ -1,0 +1,40 @@
+module Gate_kind = Standby_netlist.Gate_kind
+
+let solve_state ?cache ?perm process (cell : Topology.cell) assignment ~state =
+  let logical = Gate_kind.bits_of_state cell.kind state in
+  let physical =
+    match perm with None -> logical | Some p -> Topology.apply_permutation p logical
+  in
+  Stack_solver.solve ?cache process cell assignment physical
+
+let leakage ?cache ?perm process cell assignment ~state =
+  (solve_state ?cache ?perm process cell assignment ~state).Stack_solver.total
+
+let leakage_table ?cache process (cell : Topology.cell) assignment =
+  Array.init (Gate_kind.state_count cell.kind) (fun state ->
+      leakage ?cache process cell assignment ~state)
+
+let best_perm ?cache process (cell : Topology.cell) assignment ~state =
+  let perms = Topology.permutations (Gate_kind.arity cell.kind) in
+  let evaluate p = leakage ?cache ~perm:p process cell assignment ~state in
+  match perms with
+  | [] -> assert false
+  | identity :: rest ->
+    let best = ref identity and best_leak = ref (evaluate identity) in
+    List.iter
+      (fun p ->
+        let l = evaluate p in
+        if l < !best_leak -. 1e-18 then begin
+          best := p;
+          best_leak := l
+        end)
+      rest;
+    (!best, !best_leak)
+
+let average_leakage ?cache process (cell : Topology.cell) assignment =
+  let n = Gate_kind.state_count cell.kind in
+  let sum = ref 0.0 in
+  for state = 0 to n - 1 do
+    sum := !sum +. leakage ?cache process cell assignment ~state
+  done;
+  !sum /. float_of_int n

@@ -1,0 +1,52 @@
+(** Convenience layer over the stack solver: leakage of a cell version
+    indexed by logical input state, with optional pin reordering.
+
+    States use the {!Standby_netlist.Gate_kind} packing (pin 0 is the
+    most significant bit, so NAND2 state [10] means i1=1, i2=0 as in the
+    paper's figures). *)
+
+open Standby_device
+
+val solve_state :
+  ?cache:Stack_solver.cache ->
+  ?perm:int array ->
+  Process.t ->
+  Topology.cell ->
+  Topology.assignment ->
+  state:int ->
+  Stack_solver.solution
+(** Full solution for a logical state; [perm] places logical input [l]
+    on physical pin [perm.(l)] (default identity). *)
+
+val leakage :
+  ?cache:Stack_solver.cache ->
+  ?perm:int array ->
+  Process.t ->
+  Topology.cell ->
+  Topology.assignment ->
+  state:int ->
+  float
+(** Total leakage in amperes. *)
+
+val leakage_table :
+  ?cache:Stack_solver.cache ->
+  Process.t ->
+  Topology.cell ->
+  Topology.assignment ->
+  float array
+(** Per-state leakage (identity pin order), indexed by state. *)
+
+val best_perm :
+  ?cache:Stack_solver.cache ->
+  Process.t ->
+  Topology.cell ->
+  Topology.assignment ->
+  state:int ->
+  int array * float
+(** Pin permutation minimizing leakage for this version in this state,
+    and the resulting leakage.  Ties prefer the identity. *)
+
+val average_leakage :
+  ?cache:Stack_solver.cache -> Process.t -> Topology.cell -> Topology.assignment -> float
+(** Mean leakage over all input states — the "unknown standby state"
+    figure of merit. *)

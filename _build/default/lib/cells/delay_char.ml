@@ -1,0 +1,134 @@
+open Standby_device
+
+type factors = { rise : float array; fall : float array }
+
+(* Relative capacitance weights: the output load dominates internal
+   diffusion nodes.  Only ratios matter — absolute delay lives in the
+   timing library's base tables. *)
+let c_output = 3.0
+let c_internal = 0.5
+
+let resistance process (d : Topology.device) vt tox =
+  Process.drive_resistance_factor process d.polarity vt tox /. d.width
+
+(* Networks annotated with flattened device indices, so resistances can
+   be looked up per assignment. *)
+type indexed =
+  | I_device of int * Topology.device
+  | I_series of indexed list
+  | I_parallel of indexed list
+
+let rec index_network counter net =
+  match net with
+  | Topology.Device_leaf d ->
+    let i = !counter in
+    incr counter;
+    I_device (i, d)
+  | Topology.Series children -> I_series (List.map (index_network counter) children)
+  | Topology.Parallel children -> I_parallel (List.map (index_network counter) children)
+
+(* Worst-case conducting path (output side first) through a network:
+   series sections concatenate; at a parallel fork the slowest branch is
+   assumed to be the only one conducting. *)
+let rec worst_path resist net =
+  match net with
+  | I_device (i, d) -> [ resist i d ]
+  | I_series children -> List.concat_map (worst_path resist) children
+  | I_parallel children ->
+    let paths = List.map (worst_path resist) children in
+    let total p = List.fold_left ( +. ) 0.0 p in
+    List.fold_left (fun best p -> if total p > total best then p else best)
+      (List.hd paths) (List.tl paths)
+
+(* Path from output to rail through the device at flattened index
+   [target]: the target's own branch at forks containing it, the worst
+   branch elsewhere along the series spine.  Returns the resistances
+   output-side first and the target's position on that path. *)
+let rec path_through resist target net =
+  match net with
+  | I_device (i, d) -> if i = target then Some ([ resist i d ], 0) else None
+  | I_parallel children ->
+    List.find_map (path_through resist target) children
+  | I_series children ->
+    let rec build = function
+      | [] -> None
+      | child :: rest ->
+        (match path_through resist target child with
+         | Some (segment, pos) ->
+           (* Sections below the target complete the path to the rail. *)
+           let suffix = List.concat_map (worst_path resist) rest in
+           Some (segment @ suffix, pos)
+         | None ->
+           (match build rest with
+            | None -> None
+            | Some (path, pos) ->
+              (* This section sits above the target on the path. *)
+              let segment = worst_path resist child in
+              Some (segment @ path, List.length segment + pos)))
+    in
+    build children
+
+(* Elmore delay seen from the output when the device at path position
+   [k] (0 = output side) switches last: nodes below position [k] are
+   already at the rail, so only the output cap plus the internal nodes
+   above (and including) position [k] move.  The resistance shared with
+   node j (between path elements j-1 and j) is the chain below it. *)
+let chain_delay resistances k =
+  let arr = Array.of_list resistances in
+  let n = Array.length arr in
+  let tail_sum j =
+    let s = ref 0.0 in
+    for i = j to n - 1 do
+      s := !s +. arr.(i)
+    done;
+    !s
+  in
+  let delay = ref (c_output *. tail_sum 0) in
+  for j = 1 to k do
+    delay := !delay +. (c_internal *. tail_sum j)
+  done;
+  !delay
+
+let network_factors process net offset (assignment : Topology.assignment) arity =
+  let counter = ref offset in
+  let indexed = index_network counter net in
+  let fast_resist _ d = resistance process d Process.Low_vt Process.Thin_ox in
+  let actual_resist i d = resistance process d assignment.vt.(i) assignment.tox.(i) in
+  let out = Array.make arity 1.0 in
+  let rec each_device inet =
+    match inet with
+    | I_device (i, d) ->
+      let actual =
+        match path_through actual_resist i indexed with
+        | Some (path, pos) -> chain_delay path pos
+        | None -> assert false
+      in
+      let fast =
+        match path_through fast_resist i indexed with
+        | Some (path, pos) -> chain_delay path pos
+        | None -> assert false
+      in
+      (* Several devices can share a pin only across networks, not
+         within one, so a plain store suffices. *)
+      out.(d.Topology.pin) <- actual /. fast
+    | I_series children | I_parallel children -> List.iter each_device children
+  in
+  each_device indexed;
+  out
+
+let factors process (cell : Topology.cell) assignment =
+  let arity = Standby_netlist.Gate_kind.arity cell.kind in
+  let down_offset, _ = Topology.pull_down_range cell in
+  let up_offset, _ = Topology.pull_up_range cell in
+  {
+    fall = network_factors process cell.pull_down down_offset assignment arity;
+    rise = network_factors process cell.pull_up up_offset assignment arity;
+  }
+
+let array_max a = Array.fold_left max 0.0 a
+
+let worst_rise f = array_max f.rise
+
+let worst_fall f = array_max f.fall
+
+let worst f = max (worst_rise f) (worst_fall f)

@@ -1,0 +1,29 @@
+(** Normalized delay factors of a cell version.
+
+    The paper stores pre-characterized delay tables per cell version and
+    reports them normalized to the all-fast version (Table 1).  We
+    compute the normalization factors from the transistor topology: an
+    Elmore delay over the switching network where each device contributes
+    resistance [drive_resistance_factor / width], so a high-Vt or
+    thick-oxide device slows exactly the transitions it participates in
+    and the factor depends on the switching pin's stack position.
+
+    Factors are per *physical* pin; pin reordering is applied by the
+    library lookup.  The all-fast version has factor 1.0 on every pin by
+    construction. *)
+
+open Standby_device
+
+type factors = {
+  rise : float array;  (** Output-rise factor per physical pin. *)
+  fall : float array;  (** Output-fall factor per physical pin. *)
+}
+
+val factors : Process.t -> Topology.cell -> Topology.assignment -> factors
+
+val worst : factors -> float
+(** Largest factor over pins and transitions. *)
+
+val worst_rise : factors -> float
+
+val worst_fall : factors -> float

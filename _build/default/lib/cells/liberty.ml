@@ -1,0 +1,162 @@
+module Gate_kind = Standby_netlist.Gate_kind
+open Standby_device
+
+let pin_names = [| "A"; "B"; "C"; "D" |]
+
+let output_pin = "ZN"
+
+(* Load indices for the one-dimensional delay tables. *)
+let load_indices = [ 1.0; 2.0; 4.0; 8.0 ]
+
+(* The base delay model lives in the timing library, which sits above
+   this one; the Liberty view re-derives the same linear form from the
+   per-kind constants so the cells library stays self-contained. *)
+let base_intrinsic = function
+  | Gate_kind.Inv -> 1.0
+  | Gate_kind.Nand2 -> 1.4
+  | Gate_kind.Nand3 -> 1.8
+  | Gate_kind.Nand4 -> 2.2
+  | Gate_kind.Nor2 -> 1.6
+  | Gate_kind.Nor3 -> 2.2
+  | Gate_kind.Nor4 -> 2.8
+  | Gate_kind.Aoi21 -> 1.9
+  | Gate_kind.Oai21 -> 1.9
+
+let base_delay kind load = base_intrinsic kind +. (0.3 *. load)
+
+let base_slew kind load = (0.6 *. base_intrinsic kind) +. (0.2 *. load)
+
+let function_of kind =
+  let p i = pin_names.(i) in
+  match kind with
+  | Gate_kind.Inv -> Printf.sprintf "!%s" (p 0)
+  | Gate_kind.Nand2 -> Printf.sprintf "!(%s & %s)" (p 0) (p 1)
+  | Gate_kind.Nand3 -> Printf.sprintf "!(%s & %s & %s)" (p 0) (p 1) (p 2)
+  | Gate_kind.Nand4 -> Printf.sprintf "!(%s & %s & %s & %s)" (p 0) (p 1) (p 2) (p 3)
+  | Gate_kind.Nor2 -> Printf.sprintf "!(%s | %s)" (p 0) (p 1)
+  | Gate_kind.Nor3 -> Printf.sprintf "!(%s | %s | %s)" (p 0) (p 1) (p 2)
+  | Gate_kind.Nor4 -> Printf.sprintf "!(%s | %s | %s | %s)" (p 0) (p 1) (p 2) (p 3)
+  | Gate_kind.Aoi21 -> Printf.sprintf "!((%s & %s) | %s)" (p 0) (p 1) (p 2)
+  | Gate_kind.Oai21 -> Printf.sprintf "!((%s | %s) & %s)" (p 0) (p 1) (p 2)
+
+let when_condition kind state =
+  let bits = Gate_kind.bits_of_state kind state in
+  let parts =
+    Array.to_list
+      (Array.mapi (fun i b -> if b then pin_names.(i) else "!" ^ pin_names.(i)) bits)
+  in
+  String.concat " & " parts
+
+let cell_name kind version = Printf.sprintf "%s_V%d" (Gate_kind.name kind) version
+
+let library_name lib =
+  let mode = Version.mode_name (Library.mode lib) in
+  let sanitized =
+    String.map (fun c -> if c = '-' || c = ' ' || c = '+' then '_' else c) mode
+  in
+  "standby65_" ^ sanitized
+
+(* State-dependent leakage of one version: solved on demand (the library
+   pre-characterizes only the selected trade-off points per state, while
+   Liberty wants every (version, state) pair). *)
+let version_leakage_nw process cache cell assignment ~vdd state =
+  let total = (Characterize.solve_state ~cache process cell assignment ~state).Stack_solver.total in
+  total *. vdd *. 1e9
+
+let render_table buf indent name values =
+  Buffer.add_string buf (Printf.sprintf "%s%s (load_template) {\n" indent name);
+  Buffer.add_string buf
+    (Printf.sprintf "%s  index_1 (\"%s\");\n" indent
+       (String.concat ", " (List.map (Printf.sprintf "%.1f") load_indices)));
+  Buffer.add_string buf
+    (Printf.sprintf "%s  values (\"%s\");\n" indent
+       (String.concat ", " (List.map (Printf.sprintf "%.4f") values)));
+  Buffer.add_string buf (Printf.sprintf "%s}\n" indent)
+
+let render_cell buf process cache lib kind version =
+  let info = Library.info lib kind in
+  let cell = info.Library.cell in
+  let assignment = info.Library.versions.(version) in
+  let arity = Gate_kind.arity kind in
+  let vdd = process.Process.vdd in
+  Buffer.add_string buf (Printf.sprintf "  cell (%s) {\n" (cell_name kind version));
+  (* Footprint equivalence is the point of the method: every version of
+     a kind swaps in place. *)
+  Buffer.add_string buf (Printf.sprintf "    cell_footprint : \"%s\";\n" (Gate_kind.name kind));
+  Buffer.add_string buf
+    (Printf.sprintf "    area : %.2f;\n" (float_of_int (Topology.device_count cell)));
+  let states = Gate_kind.state_count kind in
+  let leakages =
+    Array.init states (fun state ->
+        version_leakage_nw process cache cell assignment ~vdd state)
+  in
+  let average = Array.fold_left ( +. ) 0.0 leakages /. float_of_int states in
+  Buffer.add_string buf (Printf.sprintf "    cell_leakage_power : %.3f;\n" average);
+  Array.iteri
+    (fun state value ->
+      Buffer.add_string buf "    leakage_power () {\n";
+      Buffer.add_string buf
+        (Printf.sprintf "      when : \"%s\";\n" (when_condition kind state));
+      Buffer.add_string buf (Printf.sprintf "      value : %.3f;\n" value);
+      Buffer.add_string buf "    }\n")
+    leakages;
+  for pin = 0 to arity - 1 do
+    Buffer.add_string buf (Printf.sprintf "    pin (%s) {\n" pin_names.(pin));
+    Buffer.add_string buf "      direction : input;\n";
+    Buffer.add_string buf "      capacitance : 1.0;\n";
+    Buffer.add_string buf "    }\n"
+  done;
+  Buffer.add_string buf (Printf.sprintf "    pin (%s) {\n" output_pin);
+  Buffer.add_string buf "      direction : output;\n";
+  Buffer.add_string buf (Printf.sprintf "      function : \"%s\";\n" (function_of kind));
+  for pin = 0 to arity - 1 do
+    let rise_factor = info.Library.rise_factors.(version).(pin) in
+    let fall_factor = info.Library.fall_factors.(version).(pin) in
+    Buffer.add_string buf "      timing () {\n";
+    Buffer.add_string buf (Printf.sprintf "        related_pin : \"%s\";\n" pin_names.(pin));
+    Buffer.add_string buf "        timing_sense : negative_unate;\n";
+    let table name factor base =
+      render_table buf "        " name (List.map (fun load -> factor *. base load) load_indices)
+    in
+    table "cell_rise" rise_factor (base_delay kind);
+    table "cell_fall" fall_factor (base_delay kind);
+    table "rise_transition" rise_factor (base_slew kind);
+    table "fall_transition" fall_factor (base_slew kind);
+    Buffer.add_string buf "      }\n"
+  done;
+  Buffer.add_string buf "    }\n";
+  Buffer.add_string buf "  }\n"
+
+let to_string lib =
+  let process = Library.process lib in
+  let cache = Stack_solver.create_cache () in
+  let buf = Buffer.create (1 lsl 16) in
+  Buffer.add_string buf (Printf.sprintf "library (%s) {\n" (library_name lib));
+  Buffer.add_string buf "  delay_model : table_lookup;\n";
+  Buffer.add_string buf "  time_unit : \"1ns\";\n";
+  Buffer.add_string buf "  voltage_unit : \"1V\";\n";
+  Buffer.add_string buf "  current_unit : \"1uA\";\n";
+  Buffer.add_string buf "  leakage_power_unit : \"1nW\";\n";
+  Buffer.add_string buf "  capacitive_load_unit (1, ff);\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  nom_voltage : %.2f;\n" (Library.process lib).Process.vdd);
+  Buffer.add_string buf "  lu_table_template (load_template) {\n";
+  Buffer.add_string buf "    variable_1 : total_output_net_capacitance;\n";
+  Buffer.add_string buf
+    (Printf.sprintf "    index_1 (\"%s\");\n"
+       (String.concat ", " (List.map (Printf.sprintf "%.1f") load_indices)));
+  Buffer.add_string buf "  }\n";
+  List.iter
+    (fun kind ->
+      let info = Library.info lib kind in
+      Array.iteri (fun version _ -> render_cell buf process cache lib kind version)
+        info.Library.versions)
+    Gate_kind.all;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file path lib =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string lib))

@@ -1,0 +1,23 @@
+(** Liberty ([.lib]) export of the characterized library.
+
+    Emits one Liberty cell per generated Vt/Tox version of every kind,
+    the way a foundry view of the paper's library would ship:
+
+    - state-dependent leakage via [leakage_power () { when : ...; }]
+      groups (one per input state, from the stack-solver tables, in nW
+      with the supply folded in);
+    - per-pin [timing ()] groups with one-dimensional [cell_rise] /
+      [cell_fall] and [rise_transition] / [fall_transition] lookup
+      tables over output load, derated by the version's per-pin factors;
+    - the cell's Boolean [function] on the output pin.
+
+    The output targets the common Liberty subset (scalar attributes,
+    [lu_table_template]); it is meant for interoperability smoke tests
+    and downstream tooling, not sign-off. *)
+
+val library_name : Library.t -> string
+
+val to_string : Library.t -> string
+(** Render the whole library. *)
+
+val write_file : string -> Library.t -> unit

@@ -1,0 +1,85 @@
+open Standby_device
+module Gate_kind = Standby_netlist.Gate_kind
+
+type cell_info = {
+  cell : Topology.cell;
+  versions : Topology.assignment array;
+  version_names : string array;
+  rise_factors : float array array;
+  fall_factors : float array array;
+  options : Version.option_entry array array;
+  fast_option : int array;
+  min_leakage : float array;
+  fast_leakage : float array;
+  fast_isub : float array;
+  fast_igate : float array;
+  slowest_leakage : float array;
+  slowest_rise : float array;
+  slowest_fall : float array;
+}
+
+type t = { process : Process.t; mode : Version.mode; by_kind : cell_info array }
+
+let build_info cache process mode kind =
+  let cell = Topology.of_kind kind in
+  let generated = Version.generate ~cache process mode cell in
+  let factors = Array.map (Delay_char.factors process cell) generated.versions in
+  let n_states = Gate_kind.state_count kind in
+  let fast = Topology.fast_assignment cell in
+  let fast_solutions =
+    Array.init n_states (fun state -> Characterize.solve_state ~cache process cell fast ~state)
+  in
+  let slowest = Topology.slowest_assignment cell in
+  let slowest_factors = Delay_char.factors process cell slowest in
+  {
+    cell;
+    versions = generated.versions;
+    version_names = Array.map (Topology.describe_assignment cell) generated.versions;
+    rise_factors = Array.map (fun f -> f.Delay_char.rise) factors;
+    fall_factors = Array.map (fun f -> f.Delay_char.fall) factors;
+    options = generated.options;
+    fast_option =
+      Array.map
+        (fun opts ->
+          let idx = ref 0 in
+          Array.iteri (fun i (o : Version.option_entry) -> if o.Version.version = 0 then idx := i) opts;
+          !idx)
+        generated.options;
+    min_leakage = Array.map (fun opts -> opts.(0).Version.leakage) generated.options;
+    fast_leakage = Array.map (fun s -> s.Stack_solver.total) fast_solutions;
+    fast_isub = Array.map (fun s -> s.Stack_solver.isub) fast_solutions;
+    fast_igate = Array.map (fun s -> s.Stack_solver.igate) fast_solutions;
+    slowest_leakage =
+      Array.init n_states (fun state ->
+          Characterize.leakage ~cache process cell slowest ~state);
+    slowest_rise = slowest_factors.Delay_char.rise;
+    slowest_fall = slowest_factors.Delay_char.fall;
+  }
+
+let build ?(mode = Version.default_mode) process =
+  let cache = Stack_solver.create_cache () in
+  let by_kind =
+    Array.of_list (List.map (build_info cache process mode) Gate_kind.all)
+  in
+  { process; mode; by_kind }
+
+let process t = t.process
+
+let mode t = t.mode
+
+let info t kind = t.by_kind.(Gate_kind.index kind)
+
+let version_count t kind = Array.length (info t kind).versions
+
+let total_version_count t =
+  List.fold_left (fun acc kind -> acc + version_count t kind) 0 Gate_kind.all
+
+let options t kind ~state = (info t kind).options.(state)
+
+let fast_leakage t kind ~state = (info t kind).fast_leakage.(state)
+
+let fast_option_index t kind ~state = (info t kind).fast_option.(state)
+
+let rise_factor t kind ~version ~pin = (info t kind).rise_factors.(version).(pin)
+
+let fall_factor t kind ~version ~pin = (info t kind).fall_factors.(version).(pin)

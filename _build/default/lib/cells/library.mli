@@ -1,0 +1,63 @@
+(** The characterized cell library a given optimization run works with.
+
+    Built once per {!Version.mode}, it holds — for every gate kind — the
+    generated version set, per-state selectable trade-off points (sorted
+    by leakage, the order the gate-tree search consumes), normalized
+    delay factors per version and pin, and the fast/slowest reference
+    leakage tables used by the baselines and by Figure 5. *)
+
+open Standby_device
+
+type cell_info = {
+  cell : Topology.cell;
+  versions : Topology.assignment array;
+  version_names : string array;  (** Human-readable per version. *)
+  rise_factors : float array array;  (** [version].(physical pin). *)
+  fall_factors : float array array;
+  options : Version.option_entry array array;
+      (** [state] -> trade-off points, ascending leakage. *)
+  fast_option : int array;
+      (** [state] -> index into [options.(state)] of the fast version. *)
+  min_leakage : float array;
+      (** [state] -> leakage of the best option, i.e.
+          [options.(state).(0).leakage]; the unconstrained per-gate lower
+          bound used by the state-tree search. *)
+  fast_leakage : float array;  (** [state] leakage of version 0, identity pins, A. *)
+  fast_isub : float array;
+  fast_igate : float array;
+  slowest_leakage : float array;
+      (** [state] leakage of the all-high-Vt/all-thick cell — the
+          unknown-state fallback design. *)
+  slowest_rise : float array;  (** Per-pin factors of that fallback. *)
+  slowest_fall : float array;
+}
+
+type t
+
+val build : ?mode:Version.mode -> Process.t -> t
+(** Characterize all kinds.  This is the expensive step (it enumerates
+    assignments and runs the stack solver); share the result across
+    optimizations. *)
+
+val process : t -> Process.t
+
+val mode : t -> Version.mode
+
+val info : t -> Standby_netlist.Gate_kind.t -> cell_info
+
+val version_count : t -> Standby_netlist.Gate_kind.t -> int
+(** Library size per kind — the paper's Table 2. *)
+
+val total_version_count : t -> int
+
+val options : t -> Standby_netlist.Gate_kind.t -> state:int -> Version.option_entry array
+(** Trade-off points for a kind in a state, ascending leakage. *)
+
+val fast_leakage : t -> Standby_netlist.Gate_kind.t -> state:int -> float
+
+val fast_option_index : t -> Standby_netlist.Gate_kind.t -> state:int -> int
+
+val rise_factor : t -> Standby_netlist.Gate_kind.t -> version:int -> pin:int -> float
+(** Factor for a *physical* pin. *)
+
+val fall_factor : t -> Standby_netlist.Gate_kind.t -> version:int -> pin:int -> float

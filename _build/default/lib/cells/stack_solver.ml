@@ -1,0 +1,250 @@
+open Standby_device
+
+type operating_point = { vgs : float; vds : float; vgd : float; conducting : bool }
+
+type solution = {
+  output_high : bool;
+  points : operating_point array;
+  device_igate : float array;
+  pull_down_isub : float;
+  pull_up_isub : float;
+  isub : float;
+  igate : float;
+  total : float;
+}
+
+(* A network solve is fully determined by the electrical class and
+   effective gate drive of each device plus the structure — independent
+   of which cell/state produced it. *)
+type device_key = {
+  k_polarity : Process.polarity;
+  k_width : float;
+  k_on : bool;
+  k_vt : Process.vt_class;
+  k_tox : Process.tox_class;
+}
+
+type key_tree = K_device of device_key | K_series of key_tree list | K_parallel of key_tree list
+
+type net_solution = {
+  (* Effective (above, below) node potentials per device, depth-first. *)
+  spans : (float * float) list;
+  network_current : float;
+}
+
+type cache = (key_tree, net_solution) Hashtbl.t
+
+let create_cache () : cache = Hashtbl.create 256
+
+let series_iterations = 60
+let section_iterations = 40
+let current_log_low = log 1e-18
+let current_log_high = log 5e-2
+
+let eff_gate vdd key = if key.k_on then vdd else 0.0
+
+let device_current process key ~v_hi ~v_lo =
+  let vdd = process.Process.vdd in
+  Iv_model.drain_current process ~polarity:key.k_polarity ~vt:key.k_vt ~tox:key.k_tox
+    ~width:key.k_width
+    ~vgs:(eff_gate vdd key -. v_lo)
+    ~vds:(v_hi -. v_lo)
+
+(* Current through an arbitrary series-parallel network with its ends
+   held at [v_hi]/[v_lo].  Monotone nondecreasing in [v_hi], which the
+   nested bisections rely on. *)
+let rec net_current process knet ~v_hi ~v_lo =
+  if v_hi <= v_lo then 0.0
+  else
+    match knet with
+    | K_device key -> device_current process key ~v_hi ~v_lo
+    | K_parallel children ->
+      List.fold_left (fun acc c -> acc +. net_current process c ~v_hi ~v_lo) 0.0 children
+    | K_series children -> fst (solve_series process children ~v_hi ~v_lo)
+
+(* Smallest section-top voltage at which the section carries [i] above
+   [v_bottom]; [None] when it saturates below [i] even at vdd. *)
+and section_top process section ~v_bottom ~i =
+  let vdd = process.Process.vdd in
+  if net_current process section ~v_hi:vdd ~v_lo:v_bottom < i then None
+  else begin
+    let lo = ref v_bottom and hi = ref vdd in
+    for _ = 1 to section_iterations do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if net_current process section ~v_hi:mid ~v_lo:v_bottom < i then lo := mid else hi := mid
+    done;
+    Some (0.5 *. (!lo +. !hi))
+  end
+
+(* Shared current of series sections between [v_hi] and [v_lo], plus the
+   section boundary voltages bottom-up (the list has one entry per
+   section, giving its top potential; the last section's bottom is
+   [v_lo]). *)
+and solve_series process sections ~v_hi ~v_lo =
+  let stack_top i =
+    (* Top voltage reached when the chain carries [i]. *)
+    let rec climb remaining v =
+      match remaining with
+      | [] -> Some v
+      | section :: rest ->
+        (match section_top process section ~v_bottom:v ~i with
+         | None -> None
+         | Some v_top -> climb rest v_top)
+    in
+    climb (List.rev sections) v_lo
+  in
+  let lo = ref current_log_low and hi = ref current_log_high in
+  for _ = 1 to series_iterations do
+    let mid = 0.5 *. (!lo +. !hi) in
+    match stack_top (exp mid) with
+    | Some v when v < v_hi -> lo := mid
+    | Some _ | None -> hi := mid
+  done;
+  let i = exp !lo in
+  (i, boundaries process sections ~v_hi ~v_lo ~i)
+
+(* Per-section (top, bottom) boundaries for a known chain current. *)
+and boundaries process sections ~v_hi ~v_lo ~i =
+  let rec climb remaining v acc =
+    match remaining with
+    | [] -> acc
+    | section :: rest ->
+      let v_top =
+        match rest with
+        | [] -> v_hi (* pin the output-side node to the held rail *)
+        | _ ->
+          (match section_top process section ~v_bottom:v ~i with
+           | Some v_top -> v_top
+           | None -> process.Process.vdd)
+      in
+      climb rest v_top ((v_top, v) :: acc)
+  in
+  (* climb from the rail side (last section) upward; accumulate so the
+     result lists sections output-side first. *)
+  climb (List.rev sections) v_lo []
+
+(* Full solve: per-device (above, below) spans plus the network current. *)
+let rec solve_net process knet ~v_hi ~v_lo =
+  if v_hi -. v_lo <= 1e-12 then
+    let rec flat net =
+      match net with
+      | K_device _ -> [ (v_hi, v_lo) ]
+      | K_series cs | K_parallel cs -> List.concat_map flat cs
+    in
+    { spans = flat knet; network_current = 0.0 }
+  else
+    match knet with
+    | K_device key ->
+      { spans = [ (v_hi, v_lo) ]; network_current = device_current process key ~v_hi ~v_lo }
+    | K_parallel children ->
+      let parts = List.map (fun c -> solve_net process c ~v_hi ~v_lo) children in
+      {
+        spans = List.concat_map (fun p -> p.spans) parts;
+        network_current = List.fold_left (fun acc p -> acc +. p.network_current) 0.0 parts;
+      }
+    | K_series children ->
+      let i, bounds = solve_series process children ~v_hi ~v_lo in
+      let parts =
+        List.map2
+          (fun child (top, bottom) -> (solve_net process child ~v_hi:top ~v_lo:bottom).spans)
+          children bounds
+      in
+      { spans = List.concat parts; network_current = i }
+
+let solve_net_cached cache process knet ~v_hi ~v_lo =
+  match cache with
+  | None -> solve_net process knet ~v_hi ~v_lo
+  | Some table ->
+    (* Only the nontrivial (cut network at full swing) case recurs. *)
+    if v_hi -. v_lo <= 1e-12 then solve_net process knet ~v_hi ~v_lo
+    else (
+      match Hashtbl.find_opt table knet with
+      | Some r -> r
+      | None ->
+        let r = solve_net process knet ~v_hi ~v_lo in
+        Hashtbl.add table knet r;
+        r)
+
+let device_on (d : Topology.device) pin_value =
+  match d.polarity with Process.Nmos -> pin_value | Process.Pmos -> not pin_value
+
+let rec network_conducts net pins =
+  match net with
+  | Topology.Device_leaf d -> device_on d pins.(d.Topology.pin)
+  | Topology.Series children -> List.for_all (fun c -> network_conducts c pins) children
+  | Topology.Parallel children -> List.exists (fun c -> network_conducts c pins) children
+
+(* Annotate a topology network with per-device electrical keys, keeping
+   the depth-first device order. *)
+let rec key_tree_of assignment pins index net =
+  match net with
+  | Topology.Device_leaf d ->
+    let i = !index in
+    incr index;
+    K_device
+      {
+        k_polarity = d.Topology.polarity;
+        k_width = d.Topology.width;
+        k_on = device_on d pins.(d.Topology.pin);
+        k_vt = assignment.Topology.vt.(i);
+        k_tox = assignment.Topology.tox.(i);
+      }
+  | Topology.Series children -> K_series (List.map (key_tree_of assignment pins index) children)
+  | Topology.Parallel children ->
+    K_parallel (List.map (key_tree_of assignment pins index) children)
+
+let solve ?cache process (cell : Topology.cell) (assignment : Topology.assignment) pins =
+  let arity = Standby_netlist.Gate_kind.arity cell.kind in
+  if Array.length pins <> arity then invalid_arg "Stack_solver.solve: wrong pin count";
+  let n_devices = Topology.device_count cell in
+  if Array.length assignment.vt <> n_devices || Array.length assignment.tox <> n_devices then
+    invalid_arg "Stack_solver.solve: assignment length mismatch";
+  let vdd = process.Process.vdd in
+  let output_high = network_conducts cell.pull_up pins in
+  let output_low = network_conducts cell.pull_down pins in
+  if output_high = output_low then
+    invalid_arg "Stack_solver.solve: cell networks are not complementary";
+  let points = Array.make n_devices { vgs = 0.0; vds = 0.0; vgd = 0.0; conducting = false } in
+  let device_igate = Array.make n_devices 0.0 in
+  let index = ref 0 in
+  let solve_side net =
+    let offset = !index in
+    let knet = key_tree_of assignment pins index net in
+    let devs = Array.of_list (Topology.network_devices net) in
+    let polarity = devs.(0).Topology.polarity in
+    (* Effective coordinates: the network's own rail is 0 and potentials
+       grow toward the opposite rail; PMOS quantities are mirrored so
+       the NMOS formulas apply to both. *)
+    let v_out = if output_high then vdd else 0.0 in
+    let eff_out = match polarity with Process.Nmos -> v_out | Process.Pmos -> vdd -. v_out in
+    let { spans; network_current } = solve_net_cached cache process knet ~v_hi:eff_out ~v_lo:0.0 in
+    List.iteri
+      (fun side_index (above, below) ->
+        let i = offset + side_index in
+        let d = devs.(side_index) in
+        let eff_vg = if device_on d pins.(d.Topology.pin) then vdd else 0.0 in
+        let vgs = eff_vg -. below in
+        let vds = above -. below in
+        let vgd = eff_vg -. above in
+        let conducting = vgs > Process.vt_of process d.Topology.polarity assignment.vt.(i) in
+        points.(i) <- { vgs; vds; vgd; conducting };
+        device_igate.(i) <-
+          Leakage_model.gate_tunneling process ~polarity:d.Topology.polarity
+            ~tox:assignment.tox.(i) ~width:d.Topology.width ~vgs ~vgd ~conducting)
+      spans;
+    network_current
+  in
+  let pull_down_isub = solve_side cell.pull_down in
+  let pull_up_isub = solve_side cell.pull_up in
+  let isub = pull_down_isub +. pull_up_isub in
+  let igate = Array.fold_left ( +. ) 0.0 device_igate in
+  {
+    output_high;
+    points;
+    device_igate;
+    pull_down_isub;
+    pull_up_isub;
+    isub;
+    igate;
+    total = isub +. igate;
+  }

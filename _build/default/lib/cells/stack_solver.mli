@@ -1,0 +1,61 @@
+(** DC operating point and standby leakage of one library cell.
+
+    This is the library's stand-in for SPICE characterization: given a
+    cell topology, a per-device Vt/Tox assignment and the physical input
+    state, it finds the quiescent node voltages and evaluates both
+    leakage components.
+
+    A cut network is solved exactly (up to bisection tolerance) by
+    current balance over the series-parallel structure: series sections
+    share one current (found by an outer bisection), parallel branches
+    share their end voltages, and each device follows the monotone
+    {!Standby_device.Iv_model}.  This reproduces the effects the paper's
+    optimization exploits — the stack effect (several OFF devices in
+    series leak far less than one), and the collapsed oxide bias of an ON
+    device whose source floats above an OFF device (the pin-reordering
+    effect) — and extends them to the complex AOI/OAI cells.
+    Gate-tunneling currents are evaluated from the solved node voltages
+    but are not fed back into the current balance (a second-order
+    effect).
+
+    Subthreshold leakage is attributed per network as the current it
+    carries (zero for a conducting network, whose nodes all sit at the
+    rail); gate tunneling is summed over every device. *)
+
+open Standby_device
+
+type operating_point = {
+  vgs : float;  (** Effective (source-referenced magnitude) gate-source bias. *)
+  vds : float;  (** Effective drain-source bias. *)
+  vgd : float;  (** Effective gate-drain bias. *)
+  conducting : bool;  (** Channel inverted (|Vgs| above threshold). *)
+}
+
+type solution = {
+  output_high : bool;  (** Logic value of the cell output in this state. *)
+  points : operating_point array;  (** Per flattened device. *)
+  device_igate : float array;  (** Gate tunneling per flattened device, A. *)
+  pull_down_isub : float;  (** Subthreshold current of the NMOS network, A. *)
+  pull_up_isub : float;  (** Subthreshold current of the PMOS network, A. *)
+  isub : float;  (** Total subthreshold leakage, A. *)
+  igate : float;  (** Total gate tunneling leakage, A. *)
+  total : float;  (** [isub +. igate]. *)
+}
+
+type cache
+(** Memoizes network DC solves across assignments and states; one cache
+    may serve many [solve] calls for the same process. *)
+
+val create_cache : unit -> cache
+
+val solve :
+  ?cache:cache ->
+  Process.t ->
+  Topology.cell ->
+  Topology.assignment ->
+  bool array ->
+  solution
+(** [solve process cell assignment physical_pins] — pin values are
+    *physical* (after any pin reordering).  @raise Invalid_argument if
+    the pin-value count does not match the cell arity or the assignment
+    length does not match the device count. *)

@@ -1,0 +1,189 @@
+open Standby_device
+module Gate_kind = Standby_netlist.Gate_kind
+
+type device = { polarity : Process.polarity; pin : int; width : float }
+
+type network = Device_leaf of device | Series of network list | Parallel of network list
+
+type cell = { kind : Gate_kind.t; pull_down : network; pull_up : network }
+
+type assignment = { vt : Process.vt_class array; tox : Process.tox_class array }
+
+let nmos pin width = Device_leaf { polarity = Process.Nmos; pin; width }
+
+let pmos pin width = Device_leaf { polarity = Process.Pmos; pin; width }
+
+(* Classic equal-drive sizing: devices are widened by the depth of the
+   longest series path they sit on; PMOS carry the 2x mobility ratio.
+   Series lists are ordered output-side first; NOR pull-up chains put
+   pin 0 at the Vdd end, matching the paper's Figure 2 where p1 (input
+   i1) is on top. *)
+let of_kind kind =
+  match kind with
+  | Gate_kind.Inv -> { kind; pull_down = nmos 0 1.0; pull_up = pmos 0 2.0 }
+  | Gate_kind.Nand2 ->
+    {
+      kind;
+      pull_down = Series [ nmos 0 2.0; nmos 1 2.0 ];
+      pull_up = Parallel [ pmos 0 2.0; pmos 1 2.0 ];
+    }
+  | Gate_kind.Nand3 ->
+    {
+      kind;
+      pull_down = Series [ nmos 0 3.0; nmos 1 3.0; nmos 2 3.0 ];
+      pull_up = Parallel [ pmos 0 2.0; pmos 1 2.0; pmos 2 2.0 ];
+    }
+  | Gate_kind.Nand4 ->
+    {
+      kind;
+      pull_down = Series [ nmos 0 4.0; nmos 1 4.0; nmos 2 4.0; nmos 3 4.0 ];
+      pull_up = Parallel [ pmos 0 2.0; pmos 1 2.0; pmos 2 2.0; pmos 3 2.0 ];
+    }
+  | Gate_kind.Nor2 ->
+    {
+      kind;
+      pull_down = Parallel [ nmos 0 1.0; nmos 1 1.0 ];
+      pull_up = Series [ pmos 1 4.0; pmos 0 4.0 ];
+    }
+  | Gate_kind.Nor3 ->
+    {
+      kind;
+      pull_down = Parallel [ nmos 0 1.0; nmos 1 1.0; nmos 2 1.0 ];
+      pull_up = Series [ pmos 2 6.0; pmos 1 6.0; pmos 0 6.0 ];
+    }
+  | Gate_kind.Nor4 ->
+    {
+      kind;
+      pull_down = Parallel [ nmos 0 1.0; nmos 1 1.0; nmos 2 1.0; nmos 3 1.0 ];
+      pull_up = Series [ pmos 3 8.0; pmos 2 8.0; pmos 1 8.0; pmos 0 8.0 ];
+    }
+  | Gate_kind.Aoi21 ->
+    (* out = not (i0*i1 + i2): pull-down a 2-stack in parallel with the
+       OR device; pull-up the dual series structure. *)
+    {
+      kind;
+      pull_down = Parallel [ Series [ nmos 0 2.0; nmos 1 2.0 ]; nmos 2 1.0 ];
+      pull_up = Series [ Parallel [ pmos 0 4.0; pmos 1 4.0 ]; pmos 2 4.0 ];
+    }
+  | Gate_kind.Oai21 ->
+    (* out = not ((i0+i1) * i2) *)
+    {
+      kind;
+      pull_down = Series [ Parallel [ nmos 0 2.0; nmos 1 2.0 ]; nmos 2 2.0 ];
+      pull_up = Parallel [ Series [ pmos 0 4.0; pmos 1 4.0 ]; pmos 2 2.0 ];
+    }
+
+let rec network_devices net =
+  match net with
+  | Device_leaf d -> [ d ]
+  | Series children | Parallel children -> List.concat_map network_devices children
+
+let network_device_count net = List.length (network_devices net)
+
+let devices cell =
+  Array.of_list (network_devices cell.pull_down @ network_devices cell.pull_up)
+
+let device_count cell = Array.length (devices cell)
+
+let pull_down_range cell = (0, network_device_count cell.pull_down)
+
+let pull_up_range cell =
+  let n_down = network_device_count cell.pull_down in
+  (n_down, network_device_count cell.pull_up)
+
+(* Diffusion stacks: maximal runs of directly series-connected device
+   leaves.  Walks the tree carrying the running flattened index. *)
+let stacks cell =
+  let groups = ref [] in
+  let index = ref 0 in
+  let rec walk net =
+    match net with
+    | Device_leaf _ ->
+      groups := [ !index ] :: !groups;
+      incr index
+    | Parallel children -> List.iter walk children
+    | Series children ->
+      (* Consecutive device leaves share a stack; composite sections
+         break the run and are walked on their own. *)
+      let run = ref [] in
+      let flush () =
+        if !run <> [] then begin
+          groups := List.rev !run :: !groups;
+          run := []
+        end
+      in
+      List.iter
+        (fun child ->
+          match child with
+          | Device_leaf _ ->
+            run := !index :: !run;
+            incr index
+          | Series _ | Parallel _ ->
+            flush ();
+            walk child)
+        children;
+      flush ()
+  in
+  walk cell.pull_down;
+  walk cell.pull_up;
+  Array.of_list (List.rev_map Array.of_list !groups)
+
+let fast_assignment cell =
+  let n = device_count cell in
+  { vt = Array.make n Process.Low_vt; tox = Array.make n Process.Thin_ox }
+
+let slowest_assignment cell =
+  let n = device_count cell in
+  { vt = Array.make n Process.High_vt; tox = Array.make n Process.Thick_ox }
+
+let assignment_equal a b = a.vt = b.vt && a.tox = b.tox
+
+let slow_device_count a =
+  let n = Array.length a.vt in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    if a.vt.(i) = Process.High_vt || a.tox.(i) = Process.Thick_ox then incr count
+  done;
+  !count
+
+let group_uniform values group =
+  Array.for_all (fun i -> values.(i) = values.(group.(0))) group
+
+let tox_stack_uniform cell a = Array.for_all (group_uniform a.tox) (stacks cell)
+
+let vt_stack_uniform cell a = Array.for_all (group_uniform a.vt) (stacks cell)
+
+let describe_assignment cell a =
+  let devs = devices cell in
+  let parts = ref [] in
+  Array.iteri
+    (fun i d ->
+      let tags =
+        (if a.vt.(i) = Process.High_vt then [ "hvt" ] else [])
+        @ if a.tox.(i) = Process.Thick_ox then [ "tox" ] else []
+      in
+      if tags <> [] then
+        let prefix = match d.polarity with Process.Nmos -> "n" | Process.Pmos -> "p" in
+        parts := Printf.sprintf "%s%d:%s" prefix (d.pin + 1) (String.concat "+" tags) :: !parts)
+    devs;
+  if !parts = [] then "fast" else String.concat " " (List.rev !parts)
+
+let permutations n =
+  let rec insert_everywhere x = function
+    | [] -> [ [ x ] ]
+    | y :: rest as l -> (x :: l) :: List.map (fun r -> y :: r) (insert_everywhere x rest)
+  in
+  let rec perms = function
+    | [] -> [ [] ]
+    | x :: rest -> List.concat_map (insert_everywhere x) (perms rest)
+  in
+  let all = perms (List.init n (fun i -> i)) |> List.map Array.of_list in
+  let identity = Array.init n (fun i -> i) in
+  identity :: List.filter (fun p -> p <> identity) all
+
+let apply_permutation p logical_bits =
+  let n = Array.length logical_bits in
+  if Array.length p <> n then invalid_arg "Topology.apply_permutation: length mismatch";
+  let physical = Array.make n false in
+  Array.iteri (fun logical phys -> physical.(phys) <- logical_bits.(logical)) p;
+  physical

@@ -1,0 +1,1 @@
+lib/circuits/adder.ml: Array Printf Standby_netlist

@@ -1,0 +1,1 @@
+lib/circuits/adder.mli: Standby_netlist

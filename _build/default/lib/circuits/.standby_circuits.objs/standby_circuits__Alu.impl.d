@@ -1,0 +1,1 @@
+lib/circuits/alu.ml: Array Printf Standby_netlist

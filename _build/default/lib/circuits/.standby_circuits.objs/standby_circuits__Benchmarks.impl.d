@@ -1,0 +1,1 @@
+lib/circuits/benchmarks.ml: Alu Hashtbl List Multiplier Random_logic

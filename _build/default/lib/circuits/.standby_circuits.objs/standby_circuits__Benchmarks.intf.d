@@ -1,0 +1,1 @@
+lib/circuits/benchmarks.mli: Standby_netlist

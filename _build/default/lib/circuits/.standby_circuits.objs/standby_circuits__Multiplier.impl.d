@@ -1,0 +1,1 @@
+lib/circuits/multiplier.ml: Array Printf Queue Standby_netlist

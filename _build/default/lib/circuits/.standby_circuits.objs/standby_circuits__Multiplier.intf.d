@@ -1,0 +1,1 @@
+lib/circuits/multiplier.mli: Standby_netlist

@@ -1,0 +1,1 @@
+lib/circuits/random_logic.ml: Array Hashtbl List Printf Queue Standby_netlist Standby_util

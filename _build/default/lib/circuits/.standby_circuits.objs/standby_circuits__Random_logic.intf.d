@@ -1,0 +1,1 @@
+lib/circuits/random_logic.mli: Standby_netlist

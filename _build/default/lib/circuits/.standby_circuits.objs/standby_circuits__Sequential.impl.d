@@ -1,0 +1,1 @@
+lib/circuits/sequential.ml: Array Buffer Hashtbl List Printf Standby_netlist Standby_util String

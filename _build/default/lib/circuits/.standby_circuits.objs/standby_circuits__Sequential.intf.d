@@ -1,0 +1,1 @@
+lib/circuits/sequential.mli: Standby_netlist

@@ -1,0 +1,63 @@
+module B = Standby_netlist.Netlist.Builder
+module Logic_build = Standby_netlist.Logic_build
+
+let declare_operands b bits =
+  let a = Array.init bits (fun i -> B.add_input ~name:(Printf.sprintf "a%d" i) b) in
+  let bb = Array.init bits (fun i -> B.add_input ~name:(Printf.sprintf "b%d" i) b) in
+  let cin = B.add_input ~name:"cin" b in
+  (a, bb, cin)
+
+let ripple_chain b a bb carry_in =
+  let bits = Array.length a in
+  let sums = Array.make bits 0 in
+  let carry = ref carry_in in
+  for i = 0 to bits - 1 do
+    let sum, carry_out = Logic_build.full_adder b a.(i) bb.(i) !carry in
+    sums.(i) <- sum;
+    carry := carry_out
+  done;
+  (sums, !carry)
+
+let ripple_carry ?(name = "ripple_adder") ~bits () =
+  if bits < 1 then invalid_arg "Adder.ripple_carry: bits must be positive";
+  let b = B.create ~name () in
+  let a, bb, cin = declare_operands b bits in
+  let sums, cout = ripple_chain b a bb cin in
+  Array.iteri (fun i s -> B.mark_output ~name:(Printf.sprintf "s%d" i) b s) sums;
+  B.mark_output ~name:"cout" b cout;
+  B.finish b
+
+let carry_select ?(name = "carry_select_adder") ~bits ~block () =
+  if bits < 1 then invalid_arg "Adder.carry_select: bits must be positive";
+  if block < 1 then invalid_arg "Adder.carry_select: block must be positive";
+  let b = B.create ~name () in
+  let a, bb, cin = declare_operands b bits in
+  (* Constant nets for the speculative carries: NAND(x, ¬x) = 1. *)
+  let one = Logic_build.nand_of b [ cin; Logic_build.inv b cin ] in
+  let zero = Logic_build.inv b one in
+  let sums = Array.make bits 0 in
+  let carry = ref cin in
+  let lo = ref 0 in
+  while !lo < bits do
+    let len = min block (bits - !lo) in
+    let slice arr = Array.sub arr !lo len in
+    if !lo = 0 then begin
+      let s, c = ripple_chain b (slice a) (slice bb) !carry in
+      Array.blit s 0 sums !lo len;
+      carry := c
+    end
+    else begin
+      (* Both polarities speculatively, then select on the incoming
+         carry. *)
+      let s0, c0 = ripple_chain b (slice a) (slice bb) zero in
+      let s1, c1 = ripple_chain b (slice a) (slice bb) one in
+      for i = 0 to len - 1 do
+        sums.(!lo + i) <- Logic_build.mux2 b ~sel:!carry s0.(i) s1.(i)
+      done;
+      carry := Logic_build.mux2 b ~sel:!carry c0 c1
+    end;
+    lo := !lo + len
+  done;
+  Array.iteri (fun i s -> B.mark_output ~name:(Printf.sprintf "s%d" i) b s) sums;
+  B.mark_output ~name:"cout" b !carry;
+  B.finish b

@@ -1,0 +1,12 @@
+(** Adder netlist generators — structural workloads for the examples and
+    datapath-flavoured experiments. *)
+
+val ripple_carry : ?name:string -> bits:int -> unit -> Standby_netlist.Netlist.t
+(** [bits]-bit ripple-carry adder: inputs [a0..], [b0..], [cin];
+    outputs [s0..], [cout].  @raise Invalid_argument if [bits < 1]. *)
+
+val carry_select : ?name:string -> bits:int -> block:int -> unit -> Standby_netlist.Netlist.t
+(** Carry-select adder built from ripple blocks of [block] bits computed
+    for both carry polarities and muxed — wider and shallower than
+    {!ripple_carry}.  @raise Invalid_argument if [bits < 1] or
+    [block < 1]. *)

@@ -1,0 +1,26 @@
+module B = Standby_netlist.Netlist.Builder
+module Logic_build = Standby_netlist.Logic_build
+
+let make ?(name = "alu") ~width () =
+  if width < 1 then invalid_arg "Alu.make: width must be positive";
+  let b = B.create ~name () in
+  let a = Array.init width (fun i -> B.add_input ~name:(Printf.sprintf "a%d" i) b) in
+  let bv = Array.init width (fun i -> B.add_input ~name:(Printf.sprintf "b%d" i) b) in
+  let op0 = B.add_input ~name:"op0" b in
+  let op1 = B.add_input ~name:"op1" b in
+  let cin = B.add_input ~name:"cin" b in
+  let carry = ref cin in
+  for i = 0 to width - 1 do
+    let and_bit = Logic_build.and_of b [ a.(i); bv.(i) ] in
+    let or_bit = Logic_build.or_of b [ a.(i); bv.(i) ] in
+    let xor_bit = Logic_build.xor2 b a.(i) bv.(i) in
+    let sum_bit, carry_out = Logic_build.full_adder b a.(i) bv.(i) !carry in
+    carry := carry_out;
+    (* op1 op0: 00 -> AND, 01 -> OR, 10 -> XOR, 11 -> ADD *)
+    let logic_low = Logic_build.mux2 b ~sel:op0 and_bit or_bit in
+    let logic_high = Logic_build.mux2 b ~sel:op0 xor_bit sum_bit in
+    let result = Logic_build.mux2 b ~sel:op1 logic_low logic_high in
+    B.mark_output ~name:(Printf.sprintf "r%d" i) b result
+  done;
+  B.mark_output ~name:"cout" b !carry;
+  B.finish b

@@ -1,0 +1,9 @@
+(** A simple [width]-bit ALU — the paper's "alu64" workload stand-in.
+
+    Computes AND, OR, XOR and ADD of two operands, selected by two
+    opcode bits through per-bit multiplexers.  With [width = 64] the
+    interface matches the paper's alu64: 64 + 64 + 2 opcode bits + carry
+    = 131 primary inputs. *)
+
+val make : ?name:string -> width:int -> unit -> Standby_netlist.Netlist.t
+(** @raise Invalid_argument if [width < 1]. *)

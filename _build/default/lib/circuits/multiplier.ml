@@ -1,0 +1,53 @@
+module B = Standby_netlist.Netlist.Builder
+module Logic_build = Standby_netlist.Logic_build
+
+(* Column-compression array multiplier: every partial product bit lands
+   in its weight column; full/half adders compress each column to one
+   bit, pushing carries to the next weight — the carry-save structure of
+   ISCAS-85 c6288. *)
+let array_multiplier ?(name = "array_multiplier") ~bits () =
+  if bits < 2 then invalid_arg "Multiplier.array_multiplier: bits must be at least 2";
+  let b = B.create ~name () in
+  let a = Array.init bits (fun i -> B.add_input ~name:(Printf.sprintf "a%d" i) b) in
+  let bv = Array.init bits (fun i -> B.add_input ~name:(Printf.sprintf "b%d" i) b) in
+  let width = 2 * bits in
+  let columns = Array.init width (fun _ -> Queue.create ()) in
+  for i = 0 to bits - 1 do
+    for j = 0 to bits - 1 do
+      let pp = Logic_build.and_of b [ a.(i); bv.(j) ] in
+      Queue.add pp columns.(i + j)
+    done
+  done;
+  let half_adder x y =
+    let sum = Logic_build.xor2 b x y in
+    let carry = Logic_build.and_of b [ x; y ] in
+    (sum, carry)
+  in
+  (* FIFO compression: always combine the oldest bits first, so each
+     column reduces as a balanced tree rather than a serial chain. *)
+  for w = 0 to width - 1 do
+    let col = columns.(w) in
+    let push_carry c = if w + 1 < width then Queue.add c columns.(w + 1) in
+    while Queue.length col > 1 do
+      if Queue.length col >= 3 then begin
+        let x = Queue.pop col and y = Queue.pop col and z = Queue.pop col in
+        let sum, carry = Logic_build.full_adder b x y z in
+        Queue.add sum col;
+        push_carry carry
+      end
+      else begin
+        let x = Queue.pop col and y = Queue.pop col in
+        let sum, carry = half_adder x y in
+        Queue.add sum col;
+        push_carry carry
+      end
+    done
+  done;
+  Array.iteri
+    (fun w col ->
+      match Queue.length col with
+      | 1 -> B.mark_output ~name:(Printf.sprintf "p%d" w) b (Queue.pop col)
+      | 0 -> assert (w = width - 1)
+      | _ -> assert false)
+    columns;
+  B.finish b

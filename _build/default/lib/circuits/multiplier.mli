@@ -1,0 +1,9 @@
+(** Array multiplier generator.
+
+    A [bits] x [bits] carry-save array multiplier: the same structure as
+    ISCAS-85 c6288 (a 16x16 array multiplier), used as its stand-in
+    workload. *)
+
+val array_multiplier : ?name:string -> bits:int -> unit -> Standby_netlist.Netlist.t
+(** Inputs [a0..], [b0..]; outputs [p0 .. p(2*bits-1)].
+    @raise Invalid_argument if [bits < 2]. *)

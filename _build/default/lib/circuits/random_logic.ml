@@ -1,0 +1,97 @@
+module B = Standby_netlist.Netlist.Builder
+module Gate_kind = Standby_netlist.Gate_kind
+module Prng = Standby_util.Prng
+
+(* Kind mix loosely matching gate histograms of synthesized control
+   logic: inverter-rich, NAND-leaning. *)
+let kind_weights =
+  [| (Gate_kind.Inv, 20); (Gate_kind.Nand2, 26); (Gate_kind.Nor2, 16);
+     (Gate_kind.Nand3, 13); (Gate_kind.Nor3, 10); (Gate_kind.Nand4, 3);
+     (Gate_kind.Nor4, 2); (Gate_kind.Aoi21, 5); (Gate_kind.Oai21, 5) |]
+
+let pick_kind rng =
+  let total = Array.fold_left (fun acc (_, w) -> acc + w) 0 kind_weights in
+  let r = Prng.int rng ~bound:total in
+  let rec scan i acc =
+    let kind, w = kind_weights.(i) in
+    if r < acc + w then kind else scan (i + 1) (acc + w)
+  in
+  scan 0 0
+
+(* Locality window: most fan-ins come from recent nodes, giving depth
+   comparable to synthesized logic rather than a flat two-level form. *)
+let locality_window = 60
+
+let generate ?name ~seed ~inputs ~gates () =
+  if inputs < 1 then invalid_arg "Random_logic.generate: need at least one input";
+  if gates < (inputs + 2) / 3 then
+    invalid_arg "Random_logic.generate: too few gates to use every input";
+  let name =
+    match name with Some n -> n | None -> Printf.sprintf "rand_i%d_g%d_s%d" inputs gates seed
+  in
+  let rng = Prng.create ~seed in
+  let b = B.create ~name () in
+  let input_ids = Array.init inputs (fun i -> B.add_input ~name:(Printf.sprintf "pi%d" i) b) in
+  let used_as_fanin = Hashtbl.create (inputs + gates) in
+  let unused_inputs = Queue.create () in
+  Array.iter (fun id -> Queue.add id unused_inputs) input_ids;
+  let pick_source () =
+    let n = B.node_count b in
+    if Prng.int rng ~bound:100 < 70 then
+      let lo = max 0 (n - locality_window) in
+      lo + Prng.int rng ~bound:(n - lo)
+    else Prng.int rng ~bound:n
+  in
+  (* [drain] unconnected primary inputs are wired first so none is left
+     floating; the rest of the fan-in comes from locality picks. *)
+  let distinct_fanin arity ~drain =
+    let chosen = ref [] in
+    for _ = 1 to min drain (Queue.length unused_inputs) do
+      chosen := Queue.pop unused_inputs :: !chosen
+    done;
+    while List.length !chosen < arity do
+      let candidate = pick_source () in
+      if not (List.mem candidate !chosen) then chosen := candidate :: !chosen
+    done;
+    let arr = Array.of_list !chosen in
+    Prng.shuffle rng arr;
+    Array.iter (fun id -> Hashtbl.replace used_as_fanin id ()) arr;
+    arr
+  in
+  for g = 1 to gates do
+    let pending = Queue.length unused_inputs in
+    let gates_left_after = gates - g in
+    let kind = pick_kind rng in
+    (* A 1-input cell cannot mix an unconnected input with logic, so
+       force a multi-input kind while inputs remain pending; under
+       pressure (more pending inputs than remaining gates could absorb
+       one-per-gate) use the widest kind and fill it from the queue. *)
+    let pressure = pending > gates_left_after in
+    let kind =
+      if pending > 0 && Gate_kind.arity kind = 1 then Gate_kind.Nand2
+      else if pressure then Gate_kind.Nand3
+      else kind
+    in
+    (* Never ask for more distinct fan-ins than nodes exist (tiny
+       circuits early on). *)
+    let kind =
+      let available = B.node_count b in
+      if Gate_kind.arity kind > available then
+        if available >= 2 then Gate_kind.Nand2 else Gate_kind.Inv
+      else kind
+    in
+    let arity = Gate_kind.arity kind in
+    let drain = if pending = 0 then 0 else if pressure then arity else min 1 (arity - 1) in
+    ignore (B.add_gate b kind (distinct_fanin arity ~drain))
+  done;
+  (* Any node nobody reads is a primary output. *)
+  let n = B.node_count b in
+  let marked = ref 0 in
+  for id = 0 to n - 1 do
+    if not (Hashtbl.mem used_as_fanin id) then begin
+      B.mark_output b id;
+      incr marked
+    end
+  done;
+  if !marked = 0 then B.mark_output b (n - 1);
+  B.finish b

@@ -1,0 +1,18 @@
+(** Seeded random combinational logic.
+
+    Stands in for the synthesized ISCAS-85 netlists (see DESIGN.md):
+    given the published input and gate counts of a benchmark, generates a
+    DAG with the same size, a library-typical kind mix, and synthesis-like
+    depth via locality-biased fan-in selection.  Every primary input is
+    guaranteed to be used; sink nodes become primary outputs.  Equal
+    seeds give identical circuits. *)
+
+val generate :
+  ?name:string ->
+  seed:int ->
+  inputs:int ->
+  gates:int ->
+  unit ->
+  Standby_netlist.Netlist.t
+(** @raise Invalid_argument if [inputs < 1] or [gates < inputs / 3]
+    (too few gates to use every input). *)

@@ -1,0 +1,96 @@
+module Netlist = Standby_netlist.Netlist
+module Bench_io = Standby_netlist.Bench_io
+module Prng = Standby_util.Prng
+
+(* Emit sequential .bench text: a random combinational cloud over the
+   primary inputs and flop outputs, whose sink signals feed the flop
+   data pins and the primary outputs. *)
+let bench_source ?(name = "seq") ~seed ~inputs ~flops ~gates () =
+  if inputs < 1 then invalid_arg "Sequential.generate: need at least one input";
+  if flops < 1 then invalid_arg "Sequential.generate: need at least one flop";
+  ignore name;
+  let rng = Prng.create ~seed in
+  let buf = Buffer.create 4096 in
+  let signals = ref [] in
+  let count = ref 0 in
+  let fresh prefix =
+    incr count;
+    Printf.sprintf "%s%d" prefix !count
+  in
+  let add_signal s = signals := s :: !signals in
+  let inputs_names = List.init inputs (fun i -> Printf.sprintf "in%d" i) in
+  let flop_names = List.init flops (fun i -> Printf.sprintf "q%d" i) in
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (Printf.sprintf "INPUT(%s)\n" s);
+      add_signal s)
+    inputs_names;
+  List.iter add_signal flop_names;
+  let used = Hashtbl.create 64 in
+  let pick () =
+    let arr = Array.of_list !signals in
+    let s = Prng.pick rng arr in
+    Hashtbl.replace used s ();
+    s
+  in
+  let ops = [| "NAND"; "NOR"; "AND"; "OR"; "NOT"; "XOR" |] in
+  let gate_lines = Buffer.create 4096 in
+  for _ = 1 to gates do
+    let op = Prng.pick rng ops in
+    let out = fresh "g" in
+    let args =
+      if op = "NOT" then [ pick () ]
+      else begin
+        let a = pick () in
+        let rec distinct () =
+          let b = pick () in
+          if b = a then distinct () else b
+        in
+        [ a; distinct () ]
+      end
+    in
+    Buffer.add_string gate_lines
+      (Printf.sprintf "%s = %s(%s)\n" out op (String.concat ", " args));
+    add_signal out
+  done;
+  (* Flop data pins and a couple of observable outputs come from the
+     most recent signals so the whole cloud stays live. *)
+  let recent = Array.of_list !signals in
+  let pick_recent () = recent.(Prng.int rng ~bound:(min 40 (Array.length recent))) in
+  (* A signal may be marked as primary output at most once, and the DFF
+     cut turns each flop's data signal into a pseudo output too. *)
+  let taken = Hashtbl.create 16 in
+  let pick_fresh_output () =
+    let rec try_pick attempts =
+      let s = pick_recent () in
+      if Hashtbl.mem taken s && attempts < 50 then try_pick (attempts + 1) else s
+    in
+    let candidate = try_pick 0 in
+    let s =
+      if not (Hashtbl.mem taken candidate) then candidate
+      else (
+        match Array.find_opt (fun s -> not (Hashtbl.mem taken s)) recent with
+        | Some s -> s
+        | None -> invalid_arg "Sequential.generate: more sinks requested than signals")
+    in
+    Hashtbl.replace taken s ();
+    s
+  in
+  List.iter
+    (fun q ->
+      Buffer.add_string gate_lines (Printf.sprintf "%s = DFF(%s)\n" q (pick_fresh_output ())))
+    flop_names;
+  let n_outputs = max 1 (gates / 10) in
+  for i = 0 to n_outputs - 1 do
+    ignore i;
+    let s = pick_fresh_output () in
+    Buffer.add_string buf (Printf.sprintf "OUTPUT(%s)\n" s)
+  done;
+  Buffer.add_buffer buf gate_lines;
+  Buffer.contents buf
+
+let generate ?(name = "seq") ~seed ~inputs ~flops ~gates () =
+  let source = bench_source ~name ~seed ~inputs ~flops ~gates () in
+  match Bench_io.of_string ~name source with
+  | Ok net -> net
+  | Error msg -> invalid_arg ("Sequential.generate: internal error: " ^ msg)

@@ -1,0 +1,26 @@
+(** Sequential (ISCAS-89 style) benchmark stand-ins.
+
+    Generates a random synchronous design — combinational logic wrapped
+    in D flip-flops — as [.bench] text with [DFF] lines, then imports it
+    through {!Standby_netlist.Bench_io}, which cuts the flops: their
+    outputs become pseudo primary inputs and their data pins pseudo
+    outputs.  That is exactly the combinational core a scan-based sleep
+    mode controls, flop state included, so the optimizer's sleep vector
+    covers both the real inputs and the parked register values. *)
+
+val generate :
+  ?name:string ->
+  seed:int ->
+  inputs:int ->
+  flops:int ->
+  gates:int ->
+  unit ->
+  Standby_netlist.Netlist.t
+(** The cut combinational core: [inputs + flops] primary inputs.
+    @raise Invalid_argument under the same conditions as
+    {!Random_logic.generate} (the flops count toward usable sources). *)
+
+val bench_source :
+  ?name:string -> seed:int -> inputs:int -> flops:int -> gates:int -> unit -> string
+(** The underlying sequential [.bench] text (with DFF lines), for tests
+    and for feeding other tools. *)

@@ -1,0 +1,1 @@
+lib/core/baselines.ml: Optimizer Standby_cells Standby_power

@@ -1,0 +1,1 @@
+lib/core/baselines.mli: Optimizer Standby_cells Standby_netlist Standby_power

@@ -1,0 +1,1 @@
+lib/core/bound.ml: Array List Standby_cells Standby_netlist Standby_sim

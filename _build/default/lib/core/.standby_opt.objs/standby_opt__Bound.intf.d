@@ -1,0 +1,1 @@
+lib/core/bound.mli: Standby_cells Standby_netlist Standby_sim

@@ -1,0 +1,1 @@
+lib/core/gate_tree.ml: Array List Search_stats Standby_cells Standby_netlist Standby_timing

@@ -1,0 +1,1 @@
+lib/core/gate_tree.mli: Search_stats Standby_cells Standby_timing

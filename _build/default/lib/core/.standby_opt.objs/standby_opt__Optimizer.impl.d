@@ -1,0 +1,1 @@
+lib/core/optimizer.ml: Array Bound List Refine Search_stats Standby_cells Standby_netlist Standby_power Standby_timing Standby_util State_tree

@@ -1,0 +1,1 @@
+lib/core/optimizer.mli: Search_stats Standby_cells Standby_netlist Standby_power State_tree

@@ -1,0 +1,1 @@
+lib/core/refine.ml: Array Gate_tree Hashtbl Search_stats Standby_netlist Standby_sim Standby_timing Standby_util State_tree

@@ -1,0 +1,1 @@
+lib/core/refine.mli: Gate_tree Search_stats Standby_cells Standby_timing Standby_util State_tree

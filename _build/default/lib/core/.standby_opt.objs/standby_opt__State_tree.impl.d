@@ -1,0 +1,1 @@
+lib/core/state_tree.ml: Array Bound Gate_tree Hashtbl List Search_stats Standby_netlist Standby_sim Standby_timing Standby_util

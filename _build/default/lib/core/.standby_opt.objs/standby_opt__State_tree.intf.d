@@ -1,0 +1,1 @@
+lib/core/state_tree.mli: Bound Gate_tree Search_stats Standby_cells Standby_timing Standby_util

@@ -1,0 +1,17 @@
+module Library = Standby_cells.Library
+module Version = Standby_cells.Version
+
+let random_average ?(vectors = 10_000) ?(seed = 0x5eed) lib net =
+  Standby_power.Evaluate.random_vector_average ~vectors ~seed lib net
+
+let check_mode lib expected context =
+  if Library.mode lib <> expected then
+    invalid_arg (context ^ ": library built with the wrong version mode")
+
+let state_only lib net =
+  check_mode lib Version.state_only_mode "Baselines.state_only";
+  Optimizer.run lib net ~penalty:0.0 Optimizer.Heuristic_1
+
+let vt_and_state lib net ~penalty =
+  check_mode lib Version.vt_and_state_mode "Baselines.vt_and_state";
+  Optimizer.run lib net ~penalty Optimizer.Heuristic_1

@@ -1,0 +1,34 @@
+(** The comparison points of Tables 3–5.
+
+    Each baseline is the proposed machinery with knobs removed, exactly
+    as the paper frames them: the random-vector average is "no technique
+    at all"; state-only assignment searches the state tree over a
+    library with no device swaps; Vt+state is the DAC'03 approach [12]
+    (high-Vt swaps but no thick oxide).  The latter two expect a library
+    built with the matching {!Standby_cells.Version.mode} — pass the
+    right one; the functions check and raise otherwise. *)
+
+val random_average :
+  ?vectors:int ->
+  ?seed:int ->
+  Standby_cells.Library.t ->
+  Standby_netlist.Netlist.t ->
+  Standby_power.Evaluate.breakdown
+(** Average fast-cell leakage over random vectors (defaults: 10 000
+    vectors, a fixed seed) — the reference every "X" factor divides. *)
+
+val state_only :
+  Standby_cells.Library.t -> Standby_netlist.Netlist.t -> Optimizer.result
+(** Pure state assignment (Heuristic 1 descent; there is no
+    delay/leakage trade to make, so no penalty parameter).
+    @raise Invalid_argument unless the library was built with
+    {!Standby_cells.Version.state_only_mode}. *)
+
+val vt_and_state :
+  Standby_cells.Library.t ->
+  Standby_netlist.Netlist.t ->
+  penalty:float ->
+  Optimizer.result
+(** Simultaneous state and Vt assignment, no Tox (the prior approach).
+    @raise Invalid_argument unless the library was built with
+    {!Standby_cells.Version.vt_and_state_mode}. *)

@@ -1,0 +1,71 @@
+module Netlist = Standby_netlist.Netlist
+module Gate_kind = Standby_netlist.Gate_kind
+module Library = Standby_cells.Library
+module Logic = Standby_sim.Logic
+
+type t = {
+  net : Netlist.t;
+  (* Per kind index, per state: minimum option leakage. *)
+  min_leak : float array array;
+  (* Per kind index: minimum over all states. *)
+  min_any : float array;
+}
+
+let create lib net =
+  let min_leak =
+    Array.of_list
+      (List.map
+         (fun kind -> (Library.info lib kind).Library.min_leakage)
+         Gate_kind.all)
+  in
+  let min_any = Array.map (fun per_state -> Array.fold_left min infinity per_state) min_leak in
+  { net; min_leak; min_any }
+
+type evaluation = { lower : float; estimate : float }
+
+(* Per gate: (min, mean) of the per-state minimum option leakage over
+   states compatible with the known fan-in values. *)
+let gate_bound t kind fanin values =
+  let k = Gate_kind.index kind in
+  let arity = Array.length fanin in
+  let known_mask = ref 0 and known_bits = ref 0 and all_known = ref true in
+  for pin = 0 to arity - 1 do
+    let bit = 1 lsl (arity - 1 - pin) in
+    match values.(fanin.(pin)) with
+    | Logic.True ->
+      known_mask := !known_mask lor bit;
+      known_bits := !known_bits lor bit
+    | Logic.False -> known_mask := !known_mask lor bit
+    | Logic.Unknown -> all_known := false
+  done;
+  if !all_known then
+    let v = t.min_leak.(k).(!known_bits) in
+    (v, v)
+  else begin
+    let best = ref infinity and sum = ref 0.0 and count = ref 0 in
+    let states = Array.length t.min_leak.(k) in
+    for s = 0 to states - 1 do
+      if s land !known_mask = !known_bits then begin
+        let v = t.min_leak.(k).(s) in
+        if v < !best then best := v;
+        sum := !sum +. v;
+        incr count
+      end
+    done;
+    (!best, !sum /. float_of_int !count)
+  end
+
+let evaluate t values =
+  let lower = ref 0.0 and estimate = ref 0.0 in
+  Netlist.iter_gates t.net (fun _ kind fanin ->
+      let low, mean = gate_bound t kind fanin values in
+      lower := !lower +. low;
+      estimate := !estimate +. mean);
+  { lower = !lower; estimate = !estimate }
+
+let lower_bound t values = (evaluate t values).lower
+
+let naive_lower_bound t =
+  let total = ref 0.0 in
+  Netlist.iter_gates t.net (fun _ kind _ -> total := !total +. t.min_any.(Gate_kind.index kind));
+  !total

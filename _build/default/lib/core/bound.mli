@@ -1,0 +1,34 @@
+(** Admissible leakage lower bounds for partial input states.
+
+    During the state-tree search only some primary inputs are decided.
+    A three-valued simulation propagates what is known; each gate then
+    contributes the minimum option leakage over every input state
+    compatible with the known fan-in values.  Because the per-state
+    minimum ignores the delay constraint (which can only exclude
+    options), the sum is a true lower bound on any completion — sound
+    for pruning and informative for branch ordering. *)
+
+type t
+
+val create : Standby_cells.Library.t -> Standby_netlist.Netlist.t -> t
+
+type evaluation = {
+  lower : float;
+      (** Admissible lower bound (min option leakage over compatible
+          states per gate) — safe for pruning. *)
+  estimate : float;
+      (** Expected minimum-option leakage under uniform completion of
+          the unknown inputs (independence approximation) — better for
+          branch ordering, not admissible. *)
+}
+
+val evaluate : t -> Standby_sim.Logic.trit array -> evaluation
+(** Both figures for the partial node values produced by
+    {!Standby_sim.Simulator.eval_partial}, in amperes, in one pass. *)
+
+val lower_bound : t -> Standby_sim.Logic.trit array -> float
+(** [(evaluate t v).lower]. *)
+
+val naive_lower_bound : t -> float
+(** The bound with every input unknown — also what a "no partial
+    information" ablation uses at every node. *)

@@ -1,0 +1,38 @@
+(** The gate tree: choosing a cell version (and pin order) per gate for a
+    {e known} circuit state under the delay constraint.
+
+    {!greedy} is the paper's single downward traversal: gates are visited
+    once (by default in order of decreasing potential leakage saving) and
+    each adopts the lowest-leakage trade-off point that keeps every path
+    through it inside the budget, verified against up-to-date STA arrival
+    and required times.  {!exact} is the exhaustive branch-and-bound used
+    inside the exact optimizer and the test oracle; it is exponential in
+    the gate count and intended for small circuits. *)
+
+type result = {
+  choices : int array;  (** Per node: option index for its kind/state. *)
+  leakage : float;  (** Total leakage of the chosen options, A. *)
+}
+
+type order = By_saving | Topological
+
+val greedy :
+  ?order:order ->
+  stats:Search_stats.t ->
+  Standby_cells.Library.t ->
+  Standby_timing.Sta.t ->
+  states:int array ->
+  result
+(** Expects (and leaves) the workspace consistent: on entry every gate
+    fast with timing updated and the budget set; on exit the workspace
+    reflects the returned choices.  The budget must admit the all-fast
+    assignment. *)
+
+val exact :
+  stats:Search_stats.t ->
+  Standby_cells.Library.t ->
+  Standby_timing.Sta.t ->
+  states:int array ->
+  result
+(** Optimal option assignment for this state (leakage-minimal subject to
+    the budget).  Same workspace contract as {!greedy}. *)

@@ -1,0 +1,103 @@
+module Sta = Standby_timing.Sta
+module Library = Standby_cells.Library
+module Version = Standby_cells.Version
+module Assignment = Standby_power.Assignment
+module Evaluate = Standby_power.Evaluate
+module Timer = Standby_util.Timer
+
+type method_ =
+  | Heuristic_1
+  | Heuristic_2 of { time_limit_s : float }
+  | Hill_climb of { time_limit_s : float; max_rounds : int }
+  | Exact
+
+let method_name = function
+  | Heuristic_1 -> "heu1"
+  | Heuristic_2 _ -> "heu2"
+  | Hill_climb _ -> "heu1+hc"
+  | Exact -> "exact"
+
+type result = {
+  method_name : string;
+  library_mode : string;
+  assignment : Assignment.t;
+  breakdown : Evaluate.breakdown;
+  delay : float;
+  budget : float;
+  delay_fast : float;
+  delay_slow : float;
+  penalty : float;
+  runtime_s : float;
+  stats : Search_stats.t;
+}
+
+let run ?config lib net ~penalty method_ =
+  if penalty < 0.0 then invalid_arg "Optimizer.run: negative delay penalty";
+  let stats = Search_stats.create () in
+  let started = Timer.unlimited () in
+  let sta = Sta.create lib net in
+  let delay_fast = Sta.circuit_delay sta in
+  let delay_slow = Sta.all_slow_delay lib net in
+  let budget = delay_fast +. (penalty *. (delay_slow -. delay_fast)) in
+  Sta.set_budget sta budget;
+  let bound = Bound.create lib net in
+  let timer, max_leaves, exact_gate_tree =
+    match method_ with
+    | Heuristic_1 | Hill_climb _ -> (Timer.unlimited (), Some 1, false)
+    | Heuristic_2 { time_limit_s } -> (Timer.start ~limit_s:time_limit_s, None, false)
+    | Exact -> (Timer.unlimited (), None, true)
+  in
+  let leaf = State_tree.search ?config ~stats ~timer ~max_leaves ~exact_gate_tree bound lib sta in
+  let leaf =
+    match method_ with
+    | Hill_climb { time_limit_s; max_rounds } ->
+      let refine_timer = Timer.start ~limit_s:time_limit_s in
+      Refine.hill_climb ~max_rounds ~stats ~timer:refine_timer lib sta ~start:leaf
+    | Heuristic_1 | Heuristic_2 _ | Exact -> leaf
+  in
+  let assignment =
+    Assignment.of_choices lib net ~vector:leaf.State_tree.vector
+      ~choices:leaf.State_tree.choices
+  in
+  let breakdown = Evaluate.of_assignment lib net assignment in
+  (* Re-install the winning leaf in the workspace to report its delay
+     (heuristic 2 may have explored past it). *)
+  Sta.reset_fast sta;
+  Standby_netlist.Netlist.iter_gates net (fun id kind _ ->
+      let state = assignment.Assignment.gate_state.(id) in
+      let entry = (Library.options lib kind ~state).(assignment.Assignment.option_choice.(id)) in
+      Sta.assign sta id ~version:entry.Version.version ~perm:entry.Version.perm);
+  Sta.update sta;
+  let delay = Sta.circuit_delay sta in
+  assert (delay <= budget *. (1.0 +. 1e-9));
+  {
+    method_name = method_name method_;
+    library_mode = Version.mode_name (Library.mode lib);
+    assignment;
+    breakdown;
+    delay;
+    budget;
+    delay_fast;
+    delay_slow;
+    penalty;
+    runtime_s = Timer.elapsed_s started;
+    stats;
+  }
+
+let reduction_factor ~reference result = reference /. result.breakdown.Evaluate.total
+
+let sweep ?config lib net ~penalties method_ =
+  List.map (fun penalty -> (penalty, run ?config lib net ~penalty method_)) penalties
+
+let pareto_front points =
+  let by_delay =
+    List.sort (fun (_, a) (_, b) -> compare a.delay b.delay) points
+  in
+  let rec keep best_leak = function
+    | [] -> []
+    | ((_, r) as point) :: rest ->
+      if r.breakdown.Evaluate.total < best_leak -. 1e-18 then
+        point :: keep r.breakdown.Evaluate.total rest
+      else keep best_leak rest
+  in
+  keep infinity by_delay

@@ -1,0 +1,66 @@
+(** Facade: run one standby-leakage optimization end to end.
+
+    Couples the state-tree engine, gate-tree search, STA budget handling
+    and solution evaluation, and packages the result the way the paper's
+    tables report it (leakage, reduction factor, runtime, delay
+    penalty). *)
+
+type method_ =
+  | Heuristic_1  (** Single bound-guided descent of both trees. *)
+  | Heuristic_2 of { time_limit_s : float }
+      (** Heuristic 1 quality or better: keeps searching states until
+          the time budget expires (the paper used 1800 s; benches use a
+          scaled-down default). *)
+  | Hill_climb of { time_limit_s : float; max_rounds : int }
+      (** Extension: Heuristic 1 followed by bit-flip hill climbing on
+          the sleep vector (see {!Refine}). *)
+  | Exact
+      (** Full branch-and-bound over states with exact gate trees; only
+          tractable for small circuits. *)
+
+val method_name : method_ -> string
+
+type result = {
+  method_name : string;
+  library_mode : string;
+  assignment : Standby_power.Assignment.t;
+  breakdown : Standby_power.Evaluate.breakdown;
+  delay : float;  (** Achieved circuit delay. *)
+  budget : float;  (** Delay constraint used. *)
+  delay_fast : float;  (** All-fast circuit delay. *)
+  delay_slow : float;  (** All-slow circuit delay. *)
+  penalty : float;  (** Requested delay penalty fraction. *)
+  runtime_s : float;
+  stats : Search_stats.t;
+}
+
+val run :
+  ?config:State_tree.config ->
+  Standby_cells.Library.t ->
+  Standby_netlist.Netlist.t ->
+  penalty:float ->
+  method_ ->
+  result
+(** [run lib net ~penalty m] optimizes [net] under a delay budget of
+    [d_fast + penalty * (d_slow - d_fast)].  The returned assignment is
+    verified against the budget (programming error otherwise).
+    @raise Invalid_argument if [penalty < 0]. *)
+
+val reduction_factor : reference:float -> result -> float
+(** [reference /. leakage] — the "X" columns of Tables 3–5. *)
+
+val sweep :
+  ?config:State_tree.config ->
+  Standby_cells.Library.t ->
+  Standby_netlist.Netlist.t ->
+  penalties:float list ->
+  method_ ->
+  (float * result) list
+(** [run] at each penalty, in the given order — the Figure 5 axis as an
+    API.  Results are leakage-monotone in the penalty up to heuristic
+    noise; consumers that need a strict Pareto front can filter with
+    {!pareto_front}. *)
+
+val pareto_front : (float * result) list -> (float * result) list
+(** Keep the points not dominated in (achieved delay, leakage); output
+    is sorted by delay. *)

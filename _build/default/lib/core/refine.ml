@@ -1,0 +1,51 @@
+module Netlist = Standby_netlist.Netlist
+module Sta = Standby_timing.Sta
+module Simulator = Standby_sim.Simulator
+module Timer = Standby_util.Timer
+
+let evaluate ~order ~stats lib sta vector =
+  let net = Sta.netlist sta in
+  let values = Simulator.eval net vector in
+  let states = Simulator.gate_states net values in
+  let result = Gate_tree.greedy ~order ~stats lib sta ~states in
+  {
+    State_tree.vector = Array.copy vector;
+    State_tree.choices = result.Gate_tree.choices;
+    State_tree.leakage = result.Gate_tree.leakage;
+  }
+
+let hill_climb ?(max_rounds = 8) ?(order = Gate_tree.By_saving) ~stats ~timer lib sta
+    ~start =
+  let net = Sta.netlist sta in
+  let n_inputs = Netlist.input_count net in
+  (* Most influential inputs first: their flips move the most gates. *)
+  let positions =
+    let ids = Array.copy (Netlist.inputs net) in
+    let weight id = Netlist.fanout_count net id in
+    Array.sort (fun a b -> compare (weight b) (weight a)) ids;
+    let index_of = Hashtbl.create n_inputs in
+    Array.iteri (fun pos id -> Hashtbl.replace index_of id pos) (Netlist.inputs net);
+    Array.map (fun id -> Hashtbl.find index_of id) ids
+  in
+  let best = ref start in
+  let vector = Array.copy start.State_tree.vector in
+  let rounds = ref 0 in
+  let improved = ref true in
+  while !improved && !rounds < max_rounds && not (Timer.expired timer) do
+    improved := false;
+    incr rounds;
+    Array.iter
+      (fun position ->
+        if not (Timer.expired timer) then begin
+          vector.(position) <- not vector.(position);
+          let candidate = evaluate ~order ~stats lib sta vector in
+          stats.Search_stats.leaves <- stats.Search_stats.leaves + 1;
+          if candidate.State_tree.leakage < !best.State_tree.leakage -. 1e-18 then begin
+            best := candidate;
+            improved := true
+          end
+          else vector.(position) <- not vector.(position)
+        end)
+      positions
+  done;
+  !best

@@ -1,0 +1,21 @@
+type t = {
+  mutable state_nodes : int;
+  mutable leaves : int;
+  mutable pruned : int;
+  mutable gate_changes : int;
+  mutable bound_evaluations : int;
+}
+
+let create () =
+  { state_nodes = 0; leaves = 0; pruned = 0; gate_changes = 0; bound_evaluations = 0 }
+
+let merge_into acc extra =
+  acc.state_nodes <- acc.state_nodes + extra.state_nodes;
+  acc.leaves <- acc.leaves + extra.leaves;
+  acc.pruned <- acc.pruned + extra.pruned;
+  acc.gate_changes <- acc.gate_changes + extra.gate_changes;
+  acc.bound_evaluations <- acc.bound_evaluations + extra.bound_evaluations
+
+let to_string t =
+  Printf.sprintf "state-nodes=%d leaves=%d pruned=%d gate-changes=%d bound-evals=%d"
+    t.state_nodes t.leaves t.pruned t.gate_changes t.bound_evaluations

@@ -1,0 +1,17 @@
+(** Counters describing one optimization run — used by tests, the
+    Figure 4 search-structure report and the ablation benches. *)
+
+type t = {
+  mutable state_nodes : int;  (** State-tree nodes expanded. *)
+  mutable leaves : int;  (** Complete states handed to the gate tree. *)
+  mutable pruned : int;  (** Subtrees cut by the leakage lower bound. *)
+  mutable gate_changes : int;  (** Accepted cell version swaps. *)
+  mutable bound_evaluations : int;
+}
+
+val create : unit -> t
+
+val merge_into : t -> t -> unit
+(** [merge_into acc extra] adds [extra]'s counters to [acc]. *)
+
+val to_string : t -> string

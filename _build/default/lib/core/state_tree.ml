@@ -1,0 +1,106 @@
+module Netlist = Standby_netlist.Netlist
+module Sta = Standby_timing.Sta
+module Logic = Standby_sim.Logic
+module Simulator = Standby_sim.Simulator
+module Timer = Standby_util.Timer
+
+type config = {
+  use_bound_ordering : bool;
+  gate_order : Gate_tree.order;
+  prune_with_bound : bool;
+}
+
+let default_config =
+  { use_bound_ordering = true; gate_order = Gate_tree.By_saving; prune_with_bound = true }
+
+type leaf = { vector : bool array; choices : int array; leakage : float }
+
+(* Primary inputs ordered by descending fan-out: deciding influential
+   inputs first makes early bounds informative. *)
+let input_order net =
+  let ids = Array.copy (Netlist.inputs net) in
+  let weight id = Netlist.fanout_count net id in
+  Array.sort (fun a b -> compare (weight b) (weight a)) ids;
+  (* Map back to positions within the input vector. *)
+  let position = Hashtbl.create (Array.length ids) in
+  Array.iteri (fun pos id -> Hashtbl.replace position id pos) (Netlist.inputs net);
+  Array.map (fun id -> Hashtbl.find position id) ids
+
+let search ?(config = default_config) ~stats ~timer ~max_leaves ~exact_gate_tree bound lib
+    sta =
+  let net = Sta.netlist sta in
+  let n_inputs = Netlist.input_count net in
+  let order = input_order net in
+  let trits = Array.make n_inputs Logic.Unknown in
+  let best = ref None in
+  let best_leak = ref infinity in
+  let leaves_done = ref 0 in
+  let stop () =
+    (match max_leaves with Some k -> !leaves_done >= k | None -> false)
+    || (!leaves_done > 0 && Timer.expired timer)
+  in
+  let evaluate_bound () =
+    stats.Search_stats.bound_evaluations <- stats.Search_stats.bound_evaluations + 1;
+    Bound.evaluate bound (Simulator.eval_partial net trits)
+  in
+  let evaluate_leaf () =
+    incr leaves_done;
+    stats.Search_stats.leaves <- stats.Search_stats.leaves + 1;
+    let vector =
+      Array.map
+        (function
+          | Logic.True -> true
+          | Logic.False -> false
+          | Logic.Unknown -> assert false)
+        trits
+    in
+    let values = Simulator.eval net vector in
+    let states = Simulator.gate_states net values in
+    let result =
+      if exact_gate_tree then Gate_tree.exact ~stats lib sta ~states
+      else Gate_tree.greedy ~order:config.gate_order ~stats lib sta ~states
+    in
+    if result.Gate_tree.leakage < !best_leak then begin
+      best_leak := result.Gate_tree.leakage;
+      best := Some { vector; choices = result.Gate_tree.choices; leakage = result.Gate_tree.leakage }
+    end
+  in
+  let rec explore depth =
+    if not (stop ()) then begin
+      if depth = n_inputs then evaluate_leaf ()
+      else begin
+        stats.Search_stats.state_nodes <- stats.Search_stats.state_nodes + 1;
+        let position = order.(depth) in
+        let branches =
+          if config.use_bound_ordering || config.prune_with_bound then begin
+            trits.(position) <- Logic.False;
+            let b0 = evaluate_bound () in
+            trits.(position) <- Logic.True;
+            let b1 = evaluate_bound () in
+            (* Order by the expectation-style estimate; prune with the
+               admissible lower bound. *)
+            if config.use_bound_ordering && b1.Bound.estimate < b0.Bound.estimate then
+              [ (true, b1.Bound.lower); (false, b0.Bound.lower) ]
+            else [ (false, b0.Bound.lower); (true, b1.Bound.lower) ]
+          end
+          else [ (false, neg_infinity); (true, neg_infinity) ]
+        in
+        List.iter
+          (fun (value, branch_lower) ->
+            if not (stop ()) then begin
+              if config.prune_with_bound && branch_lower >= !best_leak then
+                stats.Search_stats.pruned <- stats.Search_stats.pruned + 1
+              else begin
+                trits.(position) <- Logic.of_bool value;
+                explore (depth + 1)
+              end
+            end)
+          branches;
+        trits.(position) <- Logic.Unknown
+      end
+    end
+  in
+  explore 0;
+  match !best with
+  | Some leaf -> leaf
+  | None -> assert false (* at least one descent always completes *)

@@ -1,0 +1,43 @@
+(** The state tree: branch-and-bound search over sleep input vectors.
+
+    Each tree level decides one primary input (ordered by influence —
+    descending fan-out); each node's two branches are ordered by the
+    partial-state leakage lower bound and pruned against the incumbent.
+    Every leaf (complete vector) invokes a gate-tree search — the
+    "implicit copy of the gate tree at every state-tree node" of the
+    paper's Figure 4.
+
+    The same engine drives all methods: Heuristic 1 stops after a single
+    bound-guided descent, Heuristic 2 keeps searching until a time
+    budget expires, and the exact optimizer runs it to exhaustion with
+    the exact gate tree at the leaves. *)
+
+type config = {
+  use_bound_ordering : bool;
+      (** When false (ablation) branches are taken 0-then-1 and only
+          pruning uses the bound. *)
+  gate_order : Gate_tree.order;
+  prune_with_bound : bool;
+      (** When false (ablation) subtrees are never cut, only ordered. *)
+}
+
+val default_config : config
+
+type leaf = {
+  vector : bool array;  (** Sleep vector, primary-input order. *)
+  choices : int array;  (** Per-node option index. *)
+  leakage : float;  (** Total leakage, A. *)
+}
+
+val search :
+  ?config:config ->
+  stats:Search_stats.t ->
+  timer:Standby_util.Timer.t ->
+  max_leaves:int option ->
+  exact_gate_tree:bool ->
+  Bound.t ->
+  Standby_cells.Library.t ->
+  Standby_timing.Sta.t ->
+  leaf
+(** Best leaf found.  At least one full descent always completes, even
+    on an expired timer, so a solution is guaranteed. *)

@@ -1,0 +1,1 @@
+lib/device/iv_model.mli: Process

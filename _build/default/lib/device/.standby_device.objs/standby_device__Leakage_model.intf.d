@@ -1,0 +1,1 @@
+lib/device/leakage_model.mli: Process

@@ -1,0 +1,1 @@
+lib/device/process_config.ml: Fun List Printf Process String

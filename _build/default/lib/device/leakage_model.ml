@@ -1,0 +1,43 @@
+let subthreshold (p : Process.t) ~polarity ~vt ~width ~vgs ~vds =
+  if vds <= 0.0 then 0.0
+  else
+    let n_vt = p.swing_factor *. p.thermal_voltage in
+    let vt_v = Process.vt_of p polarity vt in
+    let scale =
+      match polarity with
+      | Process.Nmos -> p.isub_scale_nmos
+      | Process.Pmos -> p.isub_scale_pmos
+    in
+    scale *. width
+    *. exp ((vgs -. vt_v +. (p.dibl *. vds)) /. n_vt)
+    *. (1.0 -. exp (-.vds /. p.thermal_voltage))
+
+(* Tunneling current density for a positive oxide bias v. *)
+let density (p : Process.t) tox_nm v =
+  if v <= 0.0 then 0.0
+  else (v /. tox_nm) ** 2.0 *. exp (-.p.igate_b *. tox_nm /. v)
+
+let gate_tunneling (p : Process.t) ~polarity ~tox ~width ~vgs ~vgd ~conducting =
+  let tox_nm = Process.tox_of p tox in
+  let j v = p.igate_scale *. density p tox_nm v in
+  let edge v = p.overlap_fraction *. j (abs_float v) in
+  let channel =
+    if conducting then
+      (* Split the channel between the source- and drain-side bias; a
+         terminal with non-positive oxide bias contributes only its
+         reverse edge component. *)
+      let side v = if v > 0.0 then j v /. 2.0 else edge v /. 2.0 in
+      side vgs +. side vgd
+    else (edge vgs /. 2.0) +. (edge vgd /. 2.0)
+  in
+  let polarity_factor =
+    match polarity with Process.Nmos -> 1.0 | Process.Pmos -> p.pmos_igate_factor
+  in
+  width *. polarity_factor *. channel
+
+let worst_case_isub p ~polarity ~vt ~width =
+  subthreshold p ~polarity ~vt ~width ~vgs:0.0 ~vds:p.Process.vdd
+
+let worst_case_igate p ~polarity ~tox ~width =
+  gate_tunneling p ~polarity ~tox ~width ~vgs:p.Process.vdd ~vgd:p.Process.vdd
+    ~conducting:true

@@ -1,0 +1,57 @@
+(** Analytic standby-leakage models for a single MOS device.
+
+    These functions stand in for the BSIM4/SPICE characterization the
+    paper uses.  All voltages are *source-referenced magnitudes*: callers
+    (the cell {e stack solver}) translate node potentials into
+    [vgs]/[vds]/[vgd] with NMOS sign conventions, and use the same
+    positive-magnitude convention for PMOS devices.  All currents are
+    magnitudes in amperes; widths are in units of the minimum NMOS
+    width. *)
+
+val subthreshold :
+  Process.t ->
+  polarity:Process.polarity ->
+  vt:Process.vt_class ->
+  width:float ->
+  vgs:float ->
+  vds:float ->
+  float
+(** Subthreshold channel current of an OFF (or weakly off) device:
+
+    [Isub = scale * W * exp((Vgs - Vt + eta*Vds) / (n*vT)) * (1 - exp(-Vds/vT))]
+
+    The [eta*Vds] term models DIBL and, together with negative [vgs] on
+    stacked devices, produces the series-stack leakage reduction the
+    optimization exploits ("only one transistor in a stack needs
+    high-Vt").  Returns 0 for non-positive [vds]. *)
+
+val gate_tunneling :
+  Process.t ->
+  polarity:Process.polarity ->
+  tox:Process.tox_class ->
+  width:float ->
+  vgs:float ->
+  vgd:float ->
+  conducting:bool ->
+  float
+(** Gate-oxide tunneling current of a device.
+
+    When [conducting] (an inverted channel exists) the full channel area
+    tunnels: half the width is attributed to the source overlap bias
+    [vgs] and half to the drain bias [vgd], so a device with a raised
+    source node (ON above OFF in a stack, [vgs ≈ Vt]) contributes almost
+    nothing — the effect behind pin reordering.  When not conducting only
+    the gate-source/gate-drain {e overlap} edges tunnel, scaled by the
+    process overlap fraction; a negative bias (e.g. gate low, drain high)
+    gives the small reverse edge current of Figure 1.  PMOS devices are
+    further scaled by [pmos_igate_factor] (SiO2 hole tunneling). *)
+
+val worst_case_isub :
+  Process.t -> polarity:Process.polarity -> vt:Process.vt_class -> width:float -> float
+(** Convenience: [subthreshold] at the worst standby bias
+    (vgs = 0, vds = vdd). *)
+
+val worst_case_igate :
+  Process.t -> polarity:Process.polarity -> tox:Process.tox_class -> width:float -> float
+(** Convenience: [gate_tunneling] of a conducting device at full bias
+    (vgs = vgd = vdd). *)

@@ -1,0 +1,139 @@
+type polarity = Nmos | Pmos
+
+type vt_class = Low_vt | High_vt
+
+type tox_class = Thin_ox | Thick_ox
+
+type t = {
+  vdd : float;
+  thermal_voltage : float;
+  swing_factor : float;
+  dibl : float;
+  nmos_low_vt : float;
+  nmos_high_vt : float;
+  pmos_low_vt : float;
+  pmos_high_vt : float;
+  tox_thin_nm : float;
+  tox_thick_nm : float;
+  isub_scale_nmos : float;
+  isub_scale_pmos : float;
+  igate_scale : float;
+  igate_b : float;
+  pmos_igate_factor : float;
+  overlap_fraction : float;
+  alpha_power : float;
+}
+
+(* Calibration targets (Section 2 of the paper). *)
+let isub_ratio_nmos = 17.8
+let isub_ratio_pmos = 16.7
+let igate_ratio = 11.0
+
+(* Nominal current anchors, A per unit device width at full standby bias.
+   They set the absolute scale (nA per cell, hundreds of uA per circuit)
+   without affecting any reduction factor. *)
+let isub_nmos_at_full_bias = 42e-9
+let isub_pmos_at_full_bias = 18e-9
+let igate_nmos_at_full_bias = 21e-9
+
+let default =
+  let vdd = 1.0 in
+  let thermal_voltage = 0.02585 (* 300 K *) in
+  let swing_factor = 1.5 in
+  let n_vt = swing_factor *. thermal_voltage in
+  let dibl = 0.05 in
+  let nmos_low_vt = 0.22 in
+  let pmos_low_vt = 0.24 in
+  (* High thresholds derived so the Isub ratios hold exactly: the ratio of
+     two Isub values at identical bias is exp(delta_vt / (n*vT)). *)
+  let nmos_high_vt = nmos_low_vt +. (n_vt *. log isub_ratio_nmos) in
+  let pmos_high_vt = pmos_low_vt +. (n_vt *. log isub_ratio_pmos) in
+  let tox_thin_nm = 1.2 in
+  let tox_thick_nm = 1.6 in
+  (* Tunneling current density j(v) = scale * (v/tox)^2 * exp(-b*tox/v).
+     b is derived so j_thin/j_thick = igate_ratio at v = vdd. *)
+  let igate_b =
+    log (igate_ratio /. ((tox_thick_nm /. tox_thin_nm) ** 2.0))
+    /. (tox_thick_nm -. tox_thin_nm)
+    *. vdd
+  in
+  let j_thin_full =
+    (vdd /. tox_thin_nm) ** 2.0 *. exp (-.igate_b *. tox_thin_nm /. vdd)
+  in
+  let igate_scale = igate_nmos_at_full_bias /. j_thin_full in
+  (* Isub prefactors from the full-bias anchors: at vgs=0, vds=vdd the
+     model evaluates scale * exp((-vt + dibl*vdd)/(n*vT)) (the drain term
+     is ~1 at vds = vdd). *)
+  let isub_scale_nmos =
+    isub_nmos_at_full_bias /. exp ((-.nmos_low_vt +. (dibl *. vdd)) /. n_vt)
+  in
+  let isub_scale_pmos =
+    isub_pmos_at_full_bias /. exp ((-.pmos_low_vt +. (dibl *. vdd)) /. n_vt)
+  in
+  {
+    vdd;
+    thermal_voltage;
+    swing_factor;
+    dibl;
+    nmos_low_vt;
+    nmos_high_vt;
+    pmos_low_vt;
+    pmos_high_vt;
+    tox_thin_nm;
+    tox_thick_nm;
+    isub_scale_nmos;
+    isub_scale_pmos;
+    igate_scale;
+    igate_b;
+    pmos_igate_factor = 0.03;
+    overlap_fraction = 0.09;
+    alpha_power = 2.0;
+  }
+
+let reference_kelvin = 300.0
+
+let at_temperature t ~kelvin =
+  if kelvin <= 0.0 then invalid_arg "Process.at_temperature: non-positive temperature";
+  let ratio = kelvin /. reference_kelvin in
+  (* Thresholds fall with temperature (~1 mV/K); the subthreshold
+     prefactor follows T^2; tunneling is temperature-insensitive. *)
+  let delta_vt = -0.001 *. (kelvin -. reference_kelvin) in
+  {
+    t with
+    thermal_voltage = t.thermal_voltage *. ratio;
+    nmos_low_vt = t.nmos_low_vt +. delta_vt;
+    nmos_high_vt = t.nmos_high_vt +. delta_vt;
+    pmos_low_vt = t.pmos_low_vt +. delta_vt;
+    pmos_high_vt = t.pmos_high_vt +. delta_vt;
+    isub_scale_nmos = t.isub_scale_nmos *. ratio *. ratio;
+    isub_scale_pmos = t.isub_scale_pmos *. ratio *. ratio;
+  }
+
+let vt_of t polarity vt =
+  match (polarity, vt) with
+  | Nmos, Low_vt -> t.nmos_low_vt
+  | Nmos, High_vt -> t.nmos_high_vt
+  | Pmos, Low_vt -> t.pmos_low_vt
+  | Pmos, High_vt -> t.pmos_high_vt
+
+let tox_of t = function Thin_ox -> t.tox_thin_nm | Thick_ox -> t.tox_thick_nm
+
+let isub_vt_ratio t polarity =
+  let n_vt = t.swing_factor *. t.thermal_voltage in
+  let delta =
+    match polarity with
+    | Nmos -> t.nmos_high_vt -. t.nmos_low_vt
+    | Pmos -> t.pmos_high_vt -. t.pmos_low_vt
+  in
+  exp (delta /. n_vt)
+
+let igate_tox_ratio t =
+  let j tox = (t.vdd /. tox) ** 2.0 *. exp (-.t.igate_b *. tox /. t.vdd) in
+  j t.tox_thin_nm /. j t.tox_thick_nm
+
+let drive_resistance_factor t polarity vt tox =
+  let vt_low = vt_of t polarity Low_vt in
+  let vt_dev = vt_of t polarity vt in
+  let vt_term = ((t.vdd -. vt_low) /. (t.vdd -. vt_dev)) ** t.alpha_power in
+  let tox_term = tox_of t tox /. t.tox_thin_nm in
+  vt_term *. tox_term

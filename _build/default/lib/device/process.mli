@@ -1,0 +1,85 @@
+(** Technology description for a predictive dual-Vt / dual-Tox 65 nm
+    process.
+
+    The paper pre-characterizes its library with SPICE/BSIM4 on a
+    predictive 65 nm technology.  We replace SPICE with analytic models
+    (see {!Leakage_model}); this module holds the constants those models
+    need, calibrated to the anchors the paper reports in Section 2:
+
+    - replacing a low-Vt device with its high-Vt version divides Isub by
+      17.8 (NMOS) / 16.7 (PMOS);
+    - replacing a thin-oxide device with a thick-oxide one divides Igate
+      by 11;
+    - PMOS gate tunneling is roughly an order of magnitude below NMOS
+      (SiO2 dielectric) and is treated as negligible by the optimizer;
+    - reverse (gate-drain overlap) tunneling is much smaller than channel
+      tunneling;
+    - Igate is roughly 36 % of total leakage at room temperature for a
+      representative gate mix. *)
+
+type polarity = Nmos | Pmos
+
+type vt_class = Low_vt | High_vt
+(** Threshold-voltage flavour of a device.  High-Vt suppresses Isub. *)
+
+type tox_class = Thin_ox | Thick_ox
+(** Gate-oxide flavour of a device.  Thick oxide suppresses Igate. *)
+
+type t = {
+  vdd : float;  (** Supply voltage, V. *)
+  thermal_voltage : float;  (** kT/q at the analysis temperature, V. *)
+  swing_factor : float;  (** Subthreshold slope factor n. *)
+  dibl : float;  (** DIBL coefficient (V of Vt shift per V of Vds). *)
+  nmos_low_vt : float;  (** NMOS low threshold, V. *)
+  nmos_high_vt : float;  (** NMOS high threshold, V. *)
+  pmos_low_vt : float;  (** PMOS low threshold magnitude, V. *)
+  pmos_high_vt : float;  (** PMOS high threshold magnitude, V. *)
+  tox_thin_nm : float;  (** Thin (logic) oxide thickness, nm. *)
+  tox_thick_nm : float;  (** Thick oxide thickness, nm. *)
+  isub_scale_nmos : float;  (** NMOS Isub prefactor, A per unit width. *)
+  isub_scale_pmos : float;  (** PMOS Isub prefactor, A per unit width. *)
+  igate_scale : float;  (** Tunneling prefactor, A per unit width. *)
+  igate_b : float;  (** Tunneling exponent coefficient, 1/nm. *)
+  pmos_igate_factor : float;
+      (** PMOS gate current relative to NMOS at identical bias/Tox. *)
+  overlap_fraction : float;
+      (** Gate-drain overlap area as a fraction of channel area; scales
+          edge-only (reverse) tunneling. *)
+  alpha_power : float;  (** Alpha-power-law exponent for drive current. *)
+}
+
+val default : t
+(** The calibrated predictive 65 nm process used throughout the paper
+    reproduction.  Derived constants (thresholds, prefactors) are computed
+    from the anchor ratios so the 17.8X / 16.7X / 11X figures hold
+    exactly at nominal bias (at 300 K). *)
+
+val at_temperature : t -> kelvin:float -> t
+(** The same process evaluated at a different junction temperature:
+    the thermal voltage scales with T, thresholds drop by ~1 mV/K, and
+    the subthreshold prefactor follows the usual T^2 dependence, so
+    Isub grows steeply with temperature while Igate (tunneling) is
+    essentially temperature-independent.  The paper analyzes standby
+    leakage at room temperature (its footnote 1); this is the knob for
+    exploring how its trade-offs shift on a hot die.
+    @raise Invalid_argument if [kelvin] is not positive. *)
+
+val vt_of : t -> polarity -> vt_class -> float
+(** Threshold magnitude of a device class, V. *)
+
+val tox_of : t -> tox_class -> float
+(** Oxide thickness of a device class, nm. *)
+
+val isub_vt_ratio : t -> polarity -> float
+(** Isub(low-Vt)/Isub(high-Vt) at identical bias — 17.8 for NMOS and
+    16.7 for PMOS under {!default}. *)
+
+val igate_tox_ratio : t -> float
+(** Igate(thin)/Igate(thick) at full bias — 11 under {!default}. *)
+
+val drive_resistance_factor : t -> polarity -> vt_class -> tox_class -> float
+(** Relative channel resistance of a device class versus the fast
+    (low-Vt, thin-oxide) device, from the alpha-power law
+    [R ∝ tox / (Vdd - Vt)^alpha].  Equals 1.0 for the fast class and
+    grows for high-Vt and thick-oxide devices; used by delay
+    characterization. *)

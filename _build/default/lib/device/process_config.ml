@@ -1,0 +1,98 @@
+(* Field table: name, getter, setter.  Kept as first-class accessors so
+   [keys], [apply] and [to_string] cannot drift apart. *)
+let fields : (string * (Process.t -> float) * (Process.t -> float -> Process.t)) list =
+  [
+    ("vdd", (fun p -> p.Process.vdd), fun p v -> { p with Process.vdd = v });
+    ( "thermal_voltage",
+      (fun p -> p.Process.thermal_voltage),
+      fun p v -> { p with Process.thermal_voltage = v } );
+    ( "swing_factor",
+      (fun p -> p.Process.swing_factor),
+      fun p v -> { p with Process.swing_factor = v } );
+    ("dibl", (fun p -> p.Process.dibl), fun p v -> { p with Process.dibl = v });
+    ( "nmos_low_vt",
+      (fun p -> p.Process.nmos_low_vt),
+      fun p v -> { p with Process.nmos_low_vt = v } );
+    ( "nmos_high_vt",
+      (fun p -> p.Process.nmos_high_vt),
+      fun p v -> { p with Process.nmos_high_vt = v } );
+    ( "pmos_low_vt",
+      (fun p -> p.Process.pmos_low_vt),
+      fun p v -> { p with Process.pmos_low_vt = v } );
+    ( "pmos_high_vt",
+      (fun p -> p.Process.pmos_high_vt),
+      fun p v -> { p with Process.pmos_high_vt = v } );
+    ( "tox_thin_nm",
+      (fun p -> p.Process.tox_thin_nm),
+      fun p v -> { p with Process.tox_thin_nm = v } );
+    ( "tox_thick_nm",
+      (fun p -> p.Process.tox_thick_nm),
+      fun p v -> { p with Process.tox_thick_nm = v } );
+    ( "isub_scale_nmos",
+      (fun p -> p.Process.isub_scale_nmos),
+      fun p v -> { p with Process.isub_scale_nmos = v } );
+    ( "isub_scale_pmos",
+      (fun p -> p.Process.isub_scale_pmos),
+      fun p v -> { p with Process.isub_scale_pmos = v } );
+    ( "igate_scale",
+      (fun p -> p.Process.igate_scale),
+      fun p v -> { p with Process.igate_scale = v } );
+    ("igate_b", (fun p -> p.Process.igate_b), fun p v -> { p with Process.igate_b = v });
+    ( "pmos_igate_factor",
+      (fun p -> p.Process.pmos_igate_factor),
+      fun p v -> { p with Process.pmos_igate_factor = v } );
+    ( "overlap_fraction",
+      (fun p -> p.Process.overlap_fraction),
+      fun p v -> { p with Process.overlap_fraction = v } );
+    ( "alpha_power",
+      (fun p -> p.Process.alpha_power),
+      fun p v -> { p with Process.alpha_power = v } );
+  ]
+
+let keys = List.map (fun (k, _, _) -> k) fields
+
+let apply base source =
+  let lines = String.split_on_char '\n' source in
+  let rec go process line_no = function
+    | [] -> Ok process
+    | line :: rest ->
+      let text =
+        match String.index_opt line '#' with
+        | None -> String.trim line
+        | Some i -> String.trim (String.sub line 0 i)
+      in
+      if text = "" then go process (line_no + 1) rest
+      else begin
+        match String.index_opt text '=' with
+        | None -> Error (Printf.sprintf "line %d: expected 'key = value'" line_no)
+        | Some eq ->
+          let key = String.trim (String.sub text 0 eq) in
+          let value = String.trim (String.sub text (eq + 1) (String.length text - eq - 1)) in
+          (match List.find_opt (fun (k, _, _) -> k = key) fields with
+           | None ->
+             Error
+               (Printf.sprintf "line %d: unknown key %S (known: %s)" line_no key
+                  (String.concat ", " keys))
+           | Some (_, _, set) ->
+             (match float_of_string_opt value with
+              | None -> Error (Printf.sprintf "line %d: malformed number %S" line_no value)
+              | Some v -> go (set process v) (line_no + 1) rest))
+      end
+  in
+  go base 1 lines
+
+let load_file base path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | source -> apply base source
+  | exception Sys_error msg -> Error msg
+
+let to_string process =
+  fields
+  |> List.map (fun (key, get, _) -> Printf.sprintf "%s = %.9g" key (get process))
+  |> String.concat "\n"
+  |> fun body -> body ^ "\n"

@@ -1,0 +1,31 @@
+(** Textual process overrides.
+
+    Lets users retarget the technology without recompiling: a small
+    [key = value] file (comments with [#]) overrides fields of
+    {!Process.t}, e.g.
+
+    {v
+    # my 45nm-ish guesses
+    vdd = 0.9
+    nmos_low_vt = 0.20
+    tox_thick_nm = 1.5
+    pmos_igate_factor = 0.05
+    v}
+
+    Keys mirror the record fields.  Derived anchors are NOT recomputed —
+    what you set is what runs — so after an override the
+    {!Process.isub_vt_ratio}/{!Process.igate_tox_ratio} helpers report
+    the ratios your values imply. *)
+
+val keys : string list
+(** Recognized keys, in {!Process.t} field order. *)
+
+val apply : Process.t -> string -> (Process.t, string) result
+(** [apply base source] parses the override text onto [base].  Errors
+    carry a line number (unknown key, malformed number, junk). *)
+
+val load_file : Process.t -> string -> (Process.t, string) result
+
+val to_string : Process.t -> string
+(** Dump every field as an override file (a complete, reloadable
+    description of the process). *)

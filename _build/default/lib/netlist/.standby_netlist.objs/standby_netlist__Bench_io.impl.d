@@ -1,0 +1,1 @@
+lib/netlist/bench_io.ml: Array Buffer Filename Fun Gate_kind Hashtbl List Logic_build Netlist Printf String

@@ -1,0 +1,1 @@
+lib/netlist/gate_kind.mli: Format

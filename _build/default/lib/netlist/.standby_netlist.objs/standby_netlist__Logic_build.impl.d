@@ -1,0 +1,1 @@
+lib/netlist/logic_build.ml: Gate_kind List Netlist

@@ -1,0 +1,1 @@
+lib/netlist/netlist.ml: Array Gate_kind Hashtbl List Printf

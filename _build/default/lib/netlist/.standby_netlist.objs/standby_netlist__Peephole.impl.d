@@ -1,0 +1,1 @@
+lib/netlist/peephole.ml: Array Gate_kind Hashtbl List Netlist

@@ -1,0 +1,239 @@
+type func = F_and | F_nand | F_or | F_nor | F_xor | F_xnor | F_not | F_buff | F_dff
+
+type statement =
+  | S_input of string
+  | S_output of string
+  | S_def of { signal : string; func : func; args : string list }
+
+exception Error of string
+
+let fail line fmt =
+  Printf.ksprintf (fun s -> raise (Error (Printf.sprintf "line %d: %s" line s))) fmt
+
+let func_of_name line s =
+  match String.uppercase_ascii s with
+  | "AND" -> F_and
+  | "NAND" -> F_nand
+  | "OR" -> F_or
+  | "NOR" -> F_nor
+  | "XOR" -> F_xor
+  | "XNOR" -> F_xnor
+  | "NOT" | "INV" -> F_not
+  | "BUF" | "BUFF" -> F_buff
+  | "DFF" -> F_dff
+  | other -> fail line "unknown gate function %S" other
+
+let strip s = String.trim s
+
+(* "NAME(arg)" -> Some (name, arg); tolerant about inner spaces. *)
+let parse_call line s =
+  match String.index_opt s '(' with
+  | None -> None
+  | Some open_paren ->
+    (match String.rindex_opt s ')' with
+     | None -> fail line "missing closing parenthesis"
+     | Some close_paren when close_paren < open_paren -> fail line "mismatched parentheses"
+     | Some close_paren ->
+       let head = strip (String.sub s 0 open_paren) in
+       let inner = String.sub s (open_paren + 1) (close_paren - open_paren - 1) in
+       Some (head, List.map strip (String.split_on_char ',' inner)))
+
+let parse_line line_no raw =
+  let text =
+    match String.index_opt raw '#' with
+    | None -> strip raw
+    | Some i -> strip (String.sub raw 0 i)
+  in
+  if text = "" then None
+  else
+    match String.index_opt text '=' with
+    | Some eq ->
+      let signal = strip (String.sub text 0 eq) in
+      let rhs = strip (String.sub text (eq + 1) (String.length text - eq - 1)) in
+      if signal = "" then fail line_no "empty signal name";
+      (match parse_call line_no rhs with
+       | Some (fname, args) when args <> [ "" ] ->
+         Some (S_def { signal; func = func_of_name line_no fname; args })
+       | Some (fname, _) ->
+         if func_of_name line_no fname = F_dff then fail line_no "DFF with no argument"
+         else fail line_no "gate with no argument"
+       | None -> fail line_no "expected a gate call on the right-hand side")
+    | None ->
+      (match parse_call line_no text with
+       | Some (head, [ arg ]) when String.uppercase_ascii head = "INPUT" -> Some (S_input arg)
+       | Some (head, [ arg ]) when String.uppercase_ascii head = "OUTPUT" -> Some (S_output arg)
+       | Some (head, _) -> fail line_no "unexpected directive %S" head
+       | None -> fail line_no "cannot parse %S" text)
+
+(* Emit a signal and everything it depends on into the builder, with an
+   explicit work-list so arbitrarily deep netlists cannot overflow the
+   stack.  [ids] maps signal names to builder node ids. *)
+let emit_signals defs ids order =
+  let module B = Netlist.Builder in
+  fun builder ->
+    let emit_one signal =
+      match Hashtbl.find_opt defs signal with
+      | None -> raise (Error (Printf.sprintf "undefined signal %S" signal))
+      | Some (func, args) ->
+        let arg_ids = List.map (fun a -> Hashtbl.find ids a) args in
+        (* Functions that map to a single library cell keep the signal
+           name; decomposed ones get it on their final gate only. *)
+        let direct kind =
+          Netlist.Builder.add_gate ~name:signal builder kind (Array.of_list arg_ids)
+        in
+        let id =
+          match (func, arg_ids) with
+          | F_not, [ a ] -> Netlist.Builder.add_gate ~name:signal builder Gate_kind.Inv [| a |]
+          | F_not, _ -> raise (Error (Printf.sprintf "NOT %S needs one argument" signal))
+          | F_buff, [ a ] ->
+            Netlist.Builder.add_gate ~name:signal builder Gate_kind.Inv
+              [| Logic_build.inv builder a |]
+          | F_buff, _ -> raise (Error (Printf.sprintf "BUFF %S needs one argument" signal))
+          | F_nand, [ _; _ ] -> direct Gate_kind.Nand2
+          | F_nand, [ _; _; _ ] -> direct Gate_kind.Nand3
+          | F_nand, [ _; _; _; _ ] -> direct Gate_kind.Nand4
+          | F_nor, [ _; _ ] -> direct Gate_kind.Nor2
+          | F_nor, [ _; _; _ ] -> direct Gate_kind.Nor3
+          | F_nor, [ _; _; _; _ ] -> direct Gate_kind.Nor4
+          | F_and, _ -> Logic_build.and_of builder arg_ids
+          | F_nand, _ -> Logic_build.nand_of builder arg_ids
+          | F_or, _ -> Logic_build.or_of builder arg_ids
+          | F_nor, _ -> Logic_build.nor_of builder arg_ids
+          | F_xor, _ -> Logic_build.xor_of builder arg_ids
+          | F_xnor, [ a; b ] -> Logic_build.xnor2 builder a b
+          | F_xnor, _ -> raise (Error (Printf.sprintf "XNOR %S needs two arguments" signal))
+          | F_dff, _ -> assert false (* cut before emission *)
+        in
+        Hashtbl.replace ids signal id
+    in
+    List.iter emit_one order
+
+(* Topologically order the defined signals; raises on cycles. *)
+let topological_order defs roots =
+  let state = Hashtbl.create 64 (* 0 = visiting, 1 = done *) in
+  let order = ref [] in
+  let rec visit signal =
+    match Hashtbl.find_opt state signal with
+    | Some 1 -> ()
+    | Some _ -> raise (Error (Printf.sprintf "combinational cycle through %S" signal))
+    | None ->
+      (match Hashtbl.find_opt defs signal with
+       | None -> () (* primary input or undefined; undefined caught at emission *)
+       | Some (_, args) ->
+         Hashtbl.replace state signal 0;
+         List.iter visit args;
+         Hashtbl.replace state signal 1;
+         order := signal :: !order)
+  in
+  List.iter visit roots;
+  List.rev !order
+
+let of_string ?(name = "bench") source =
+  try
+    let statements =
+      String.split_on_char '\n' source
+      |> List.mapi (fun i l -> parse_line (i + 1) l)
+      |> List.filter_map (fun x -> x)
+    in
+    let declared_inputs = ref [] in
+    let declared_outputs = ref [] in
+    let defs = Hashtbl.create 256 in
+    let dff_cuts = ref [] in
+    List.iter
+      (function
+        | S_input s -> declared_inputs := s :: !declared_inputs
+        | S_output s -> declared_outputs := s :: !declared_outputs
+        | S_def { signal; func = F_dff; args } ->
+          (* Cut the flop: output side becomes an input, data side a
+             pseudo primary output so its cone is preserved. *)
+          (match args with
+           | [ data ] ->
+             declared_inputs := signal :: !declared_inputs;
+             dff_cuts := data :: !dff_cuts
+           | _ -> raise (Error (Printf.sprintf "DFF %S needs one argument" signal)))
+        | S_def { signal; func; args } ->
+          if Hashtbl.mem defs signal then
+            raise (Error (Printf.sprintf "signal %S defined twice" signal));
+          Hashtbl.replace defs signal (func, args))
+      statements;
+    let inputs = List.rev !declared_inputs in
+    let outputs = List.rev !declared_outputs @ List.rev !dff_cuts in
+    if outputs = [] then raise (Error "no OUTPUT directive");
+    let builder = Netlist.Builder.create ~name () in
+    let ids = Hashtbl.create 256 in
+    List.iter
+      (fun s ->
+        if not (Hashtbl.mem ids s) then
+          Hashtbl.replace ids s (Netlist.Builder.add_input ~name:s builder))
+      inputs;
+    let order = topological_order defs outputs in
+    (* Check every referenced signal resolves to an input or a definition. *)
+    Hashtbl.iter
+      (fun _ (_, args) ->
+        List.iter
+          (fun a ->
+            if (not (Hashtbl.mem defs a)) && not (Hashtbl.mem ids a) then
+              raise (Error (Printf.sprintf "undefined signal %S" a)))
+          args)
+      defs;
+    emit_signals defs ids order builder;
+    List.iter
+      (fun s ->
+        match Hashtbl.find_opt ids s with
+        | Some id -> Netlist.Builder.mark_output ~name:s builder id
+        | None -> raise (Error (Printf.sprintf "undefined output signal %S" s)))
+      outputs;
+    Ok (Netlist.Builder.finish builder)
+  with
+  | Error msg -> Error msg
+  | Invalid_argument msg -> Error msg
+
+let read_file path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | source -> of_string ~name:(Filename.remove_extension (Filename.basename path)) source
+  | exception Sys_error msg -> Error msg
+
+let to_string net =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "# %s\n" (Netlist.design_name net));
+  Array.iter
+    (fun i -> Buffer.add_string buf (Printf.sprintf "INPUT(%s)\n" (Netlist.name_of net i)))
+    (Netlist.inputs net);
+  Array.iter
+    (fun i -> Buffer.add_string buf (Printf.sprintf "OUTPUT(%s)\n" (Netlist.name_of net i)))
+    (Netlist.outputs net);
+  Netlist.iter_gates net (fun i kind fanin ->
+      let arg pin = Netlist.name_of net fanin.(pin) in
+      let args =
+        fanin |> Array.to_list |> List.map (Netlist.name_of net) |> String.concat ", "
+      in
+      let emit func operands =
+        Buffer.add_string buf
+          (Printf.sprintf "%s = %s(%s)\n" (Netlist.name_of net i) func operands)
+      in
+      match kind with
+      | Gate_kind.Inv -> emit "NOT" args
+      | Gate_kind.Nand2 | Gate_kind.Nand3 | Gate_kind.Nand4 -> emit "NAND" args
+      | Gate_kind.Nor2 | Gate_kind.Nor3 | Gate_kind.Nor4 -> emit "NOR" args
+      | Gate_kind.Aoi21 ->
+        (* not (a*b + c) = NOR(AND(a,b), c), via an auxiliary signal. *)
+        let aux = Netlist.name_of net i ^ "_and" in
+        Buffer.add_string buf (Printf.sprintf "%s = AND(%s, %s)\n" aux (arg 0) (arg 1));
+        emit "NOR" (aux ^ ", " ^ arg 2)
+      | Gate_kind.Oai21 ->
+        (* not ((a+b) * c) = NAND(OR(a,b), c). *)
+        let aux = Netlist.name_of net i ^ "_or" in
+        Buffer.add_string buf (Printf.sprintf "%s = OR(%s, %s)\n" aux (arg 0) (arg 1));
+        emit "NAND" (aux ^ ", " ^ arg 2));
+  Buffer.contents buf
+
+let write_file path net =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string net))

@@ -1,0 +1,24 @@
+(** ISCAS-85 / ISCAS-89 [.bench] netlist import and export.
+
+    The paper evaluates on the ISCAS-85 benchmarks (c432 … c7552); this
+    module lets the tool run on the genuine netlists when they are
+    available.  Rich gate functions (wide AND/OR, XOR, XNOR, BUFF) are
+    lowered onto the library kinds with {!Logic_build}, the way the
+    paper's circuits were synthesized onto an industrial cell library.
+    D flip-flops (ISCAS-89) are cut: the flop output becomes a primary
+    input and the flop input a primary output, leaving the combinational
+    core the optimizer works on. *)
+
+val of_string : ?name:string -> string -> (Netlist.t, string) result
+(** Parse a [.bench] source.  Errors carry a line number and reason
+    (unknown function, undefined signal, combinational cycle, …). *)
+
+val read_file : string -> (Netlist.t, string) result
+(** Parse a file; the design name is the file basename. *)
+
+val to_string : Netlist.t -> string
+(** Render a netlist back to [.bench] text using only INPUT/OUTPUT,
+    NAND, NOR and NOT lines.  Re-parsing yields an equivalent circuit
+    (same Boolean function per output). *)
+
+val write_file : string -> Netlist.t -> unit

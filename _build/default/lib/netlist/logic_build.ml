@@ -1,0 +1,70 @@
+module B = Netlist.Builder
+
+let inv b x = B.add_gate b Gate_kind.Inv [| x |]
+
+(* Split a list into chunks of at most four elements, keeping order. *)
+let rec chunk4 = function
+  | [] -> []
+  | [ a ] -> [ [ a ] ]
+  | [ a; b ] -> [ [ a; b ] ]
+  | [ a; b; c ] -> [ [ a; b; c ] ]
+  | a :: b :: c :: d :: rest -> [ a; b; c; d ] :: chunk4 rest
+
+let rec nand_of b ids =
+  match ids with
+  | [] -> invalid_arg "Logic_build.nand_of: empty input list"
+  | [ a ] -> inv b a
+  | [ a; c ] -> B.add_gate b Gate_kind.Nand2 [| a; c |]
+  | [ a; c; d ] -> B.add_gate b Gate_kind.Nand3 [| a; c; d |]
+  | [ a; c; d; e ] -> B.add_gate b Gate_kind.Nand4 [| a; c; d; e |]
+  | _ ->
+    let groups = chunk4 ids in
+    nand_of b (List.map (and_of b) groups)
+
+and and_of b ids =
+  match ids with
+  | [ a ] -> a
+  | _ -> inv b (nand_of b ids)
+
+let rec nor_of b ids =
+  match ids with
+  | [] -> invalid_arg "Logic_build.nor_of: empty input list"
+  | [ a ] -> inv b a
+  | [ a; c ] -> B.add_gate b Gate_kind.Nor2 [| a; c |]
+  | [ a; c; d ] -> B.add_gate b Gate_kind.Nor3 [| a; c; d |]
+  | [ a; c; d; e ] -> B.add_gate b Gate_kind.Nor4 [| a; c; d; e |]
+  | _ ->
+    let groups = chunk4 ids in
+    nor_of b (List.map (or_of b) groups)
+
+and or_of b ids =
+  match ids with
+  | [ a ] -> a
+  | _ -> inv b (nor_of b ids)
+
+let xor2 b a c =
+  let shared = B.add_gate b Gate_kind.Nand2 [| a; c |] in
+  let left = B.add_gate b Gate_kind.Nand2 [| a; shared |] in
+  let right = B.add_gate b Gate_kind.Nand2 [| c; shared |] in
+  B.add_gate b Gate_kind.Nand2 [| left; right |]
+
+let xnor2 b a c = inv b (xor2 b a c)
+
+let xor_of b ids =
+  match ids with
+  | [] -> invalid_arg "Logic_build.xor_of: empty input list"
+  | first :: rest -> List.fold_left (fun acc x -> xor2 b acc x) first rest
+
+let mux2 b ~sel a0 a1 =
+  let sel_n = inv b sel in
+  let pick0 = B.add_gate b Gate_kind.Nand2 [| a0; sel_n |] in
+  let pick1 = B.add_gate b Gate_kind.Nand2 [| a1; sel |] in
+  B.add_gate b Gate_kind.Nand2 [| pick0; pick1 |]
+
+let full_adder b a c carry_in =
+  let half = xor2 b a c in
+  let sum = xor2 b half carry_in in
+  let gen = B.add_gate b Gate_kind.Nand2 [| a; c |] in
+  let prop = B.add_gate b Gate_kind.Nand2 [| half; carry_in |] in
+  let carry_out = B.add_gate b Gate_kind.Nand2 [| gen; prop |] in
+  (sum, carry_out)

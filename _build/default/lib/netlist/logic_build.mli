@@ -1,0 +1,43 @@
+(** Technology mapping helpers.
+
+    Generators and file import produce rich Boolean functions (wide
+    AND/OR, XOR, multiplexers); this module lowers them onto the
+    {!Gate_kind} library (INV, NAND2/3, NOR2/3) on top of a
+    {!Netlist.Builder}.  Wide gates are decomposed as balanced trees so
+    logic depth grows logarithmically, mirroring what a synthesis tool
+    would do with the paper's industrial library. *)
+
+val inv : Netlist.Builder.t -> int -> int
+(** Inverter. *)
+
+val nand_of : Netlist.Builder.t -> int list -> int
+(** k-input NAND.  k = 1 degenerates to an inverter; k ≤ 3 maps to a
+    single cell; wider gates become a NAND of AND subtrees.
+    @raise Invalid_argument on an empty list. *)
+
+val nor_of : Netlist.Builder.t -> int list -> int
+(** k-input NOR, dual of {!nand_of}. *)
+
+val and_of : Netlist.Builder.t -> int list -> int
+(** k-input AND ([nand_of] plus an inverter; the single-element list is
+    the identity). *)
+
+val or_of : Netlist.Builder.t -> int list -> int
+(** k-input OR. *)
+
+val xor2 : Netlist.Builder.t -> int -> int -> int
+(** Two-input XOR as the standard four-NAND network. *)
+
+val xnor2 : Netlist.Builder.t -> int -> int -> int
+(** Two-input XNOR (XOR plus inverter). *)
+
+val xor_of : Netlist.Builder.t -> int list -> int
+(** k-input XOR chain.  @raise Invalid_argument on an empty list. *)
+
+val mux2 : Netlist.Builder.t -> sel:int -> int -> int -> int
+(** [mux2 b ~sel a0 a1] selects [a0] when [sel] is low, [a1] when high,
+    using a three-NAND/one-INV network. *)
+
+val full_adder : Netlist.Builder.t -> int -> int -> int -> int * int
+(** [full_adder b a c carry_in] returns [(sum, carry_out)]; the standard
+    nine-gate NAND realization. *)

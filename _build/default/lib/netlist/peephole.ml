@@ -1,0 +1,124 @@
+module B = Netlist.Builder
+
+(* Reachability from the primary outputs; inputs are always kept. *)
+let liveness net =
+  let n = Netlist.node_count net in
+  let live = Array.make n false in
+  Array.iter (fun o -> live.(o) <- true) (Netlist.outputs net);
+  for id = n - 1 downto 0 do
+    if live.(id) then
+      match Netlist.node net id with
+      | Netlist.Primary_input -> ()
+      | Netlist.Cell { fanin; _ } -> Array.iter (fun src -> live.(src) <- true) fanin
+  done;
+  live
+
+(* Drop repeated fan-ins, keeping first occurrences in order. *)
+let unique_fanins fanin =
+  let seen = Hashtbl.create 8 in
+  Array.to_list fanin
+  |> List.filter (fun x ->
+         if Hashtbl.mem seen x then false
+         else begin
+           Hashtbl.replace seen x ();
+           true
+         end)
+
+let narrowed_kind kind arity =
+  match (kind, arity) with
+  | (Gate_kind.Nand2 | Gate_kind.Nand3 | Gate_kind.Nand4), 1 -> Some Gate_kind.Inv
+  | (Gate_kind.Nand3 | Gate_kind.Nand4), 2 -> Some Gate_kind.Nand2
+  | Gate_kind.Nand4, 3 -> Some Gate_kind.Nand3
+  | (Gate_kind.Nor2 | Gate_kind.Nor3 | Gate_kind.Nor4), 1 -> Some Gate_kind.Inv
+  | (Gate_kind.Nor3 | Gate_kind.Nor4), 2 -> Some Gate_kind.Nor2
+  | Gate_kind.Nor4, 3 -> Some Gate_kind.Nor3
+  | kind, _ when arity = Gate_kind.arity kind -> Some kind
+  | _ -> None
+
+let simplify net =
+  let live = liveness net in
+  let b = B.create ~name:(Netlist.design_name net) () in
+  let map = Array.make (Netlist.node_count net) (-1) in
+  (* new id -> what it inverts, for INV(INV x) forwarding *)
+  let inv_of = Hashtbl.create 64 in
+  (* (kind, new fan-ins) -> new id, for structural CSE *)
+  let cse = Hashtbl.create 256 in
+  let make_inv ?name x =
+    match Hashtbl.find_opt inv_of x with
+    | Some y -> y
+    | None ->
+      let key = (Gate_kind.Inv, [ x ]) in
+      (match Hashtbl.find_opt cse key with
+       | Some existing -> existing
+       | None ->
+         let id = B.add_gate ?name b Gate_kind.Inv [| x |] in
+         Hashtbl.replace cse key id;
+         Hashtbl.replace inv_of id x;
+         id)
+  in
+  let make_gate ?name kind fanin_new =
+    match kind with
+    | Gate_kind.Inv -> make_inv ?name fanin_new.(0)
+    | Gate_kind.Aoi21 | Gate_kind.Oai21 ->
+      (* Complex cells: CSE only (duplicate inputs change the function
+         per position, so no narrowing). *)
+      let key = (kind, Array.to_list fanin_new) in
+      (match Hashtbl.find_opt cse key with
+       | Some existing -> existing
+       | None ->
+         let id = B.add_gate ?name b kind fanin_new in
+         Hashtbl.replace cse key id;
+         id)
+    | Gate_kind.Nand2 | Gate_kind.Nand3 | Gate_kind.Nand4
+    | Gate_kind.Nor2 | Gate_kind.Nor3 | Gate_kind.Nor4 ->
+      let inputs = unique_fanins fanin_new in
+      (match narrowed_kind kind (List.length inputs) with
+       | Some Gate_kind.Inv -> make_inv ?name (List.hd inputs)
+       | Some narrower ->
+         let key = (narrower, inputs) in
+         (match Hashtbl.find_opt cse key with
+          | Some existing -> existing
+          | None ->
+            let id = B.add_gate ?name b narrower (Array.of_list inputs) in
+            Hashtbl.replace cse key id;
+            id)
+       | None -> assert false)
+  in
+  Array.iter
+    (fun id ->
+      ignore (map.(id) <- B.add_input ~name:(Netlist.name_of net id) b))
+    (Netlist.inputs net);
+  Netlist.iter_gates net (fun id kind fanin ->
+      if live.(id) then begin
+        let fanin_new = Array.map (fun src -> map.(src)) fanin in
+        map.(id) <- make_gate ~name:(Netlist.name_of net id) kind fanin_new
+      end);
+  (* Outputs keep their count; a collapse onto an already-used node gets
+     an explicit (non-CSE'd) buffer pair so the nets stay distinct. *)
+  let used = Hashtbl.create 16 in
+  Array.iter
+    (fun o ->
+      let n = map.(o) in
+      let n =
+        if not (Hashtbl.mem used n) then n
+        else begin
+          let first = B.add_gate b Gate_kind.Inv [| n |] in
+          B.add_gate b Gate_kind.Inv [| first |]
+        end
+      in
+      Hashtbl.replace used n ();
+      B.mark_output ~name:(Netlist.name_of net o) b n)
+    (Netlist.outputs net);
+  let result = B.finish b in
+  (result, Netlist.gate_count net - Netlist.gate_count result)
+
+let simplify_fixpoint ?(max_rounds = 8) net =
+  let rec go net total rounds =
+    if rounds = 0 then (net, total)
+    else begin
+      let next, removed = simplify net in
+      if removed <= 0 then (next, total + removed)
+      else go next (total + removed) (rounds - 1)
+    end
+  in
+  go net 0 max_rounds

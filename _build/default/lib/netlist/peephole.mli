@@ -1,0 +1,27 @@
+(** Peephole netlist cleanup.
+
+    Local, function-preserving rewrites that imported netlists routinely
+    need before optimization (the [.bench]/Verilog readers expand BUFF
+    into inverter pairs, benchmark converters leave duplicated and dead
+    logic behind):
+
+    - dead-logic pruning: gates reaching no primary output are dropped;
+    - structural CSE: gates with identical kind and fan-ins merge;
+    - double-inverter forwarding: [INV (INV x)] collapses to [x];
+    - duplicate-input reduction: [NAND2(x,x)] and [NOR2(x,x)] become
+      inverters, wider NAND/NOR with repeated fan-ins narrow
+      (AOI/OAI are left untouched).
+
+    Primary outputs keep their count and order; when two outputs would
+    collapse onto one node, a buffering inverter pair keeps the nets
+    distinct (so the pass can, rarely, add a gate pair — the net effect
+    on real netlists is strongly negative).  Rewrites cascade in one
+    topological pass; run to a fixed point with {!simplify_fixpoint}. *)
+
+val simplify : Netlist.t -> Netlist.t * int
+(** One pass; also returns the net change in gate count (positive =
+    gates removed). *)
+
+val simplify_fixpoint : ?max_rounds:int -> Netlist.t -> Netlist.t * int
+(** Iterate {!simplify} until no further reduction (default at most 8
+    rounds); returns the total reduction. *)

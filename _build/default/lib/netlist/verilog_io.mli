@@ -1,0 +1,23 @@
+(** Gate-level structural Verilog import and export.
+
+    Supports the flat primitive-instantiation subset that gate-level
+    benchmark netlists use: one module with scalar ports, [input] /
+    [output] / [wire] declarations, and [nand] / [nor] / [and] / [or] /
+    [xor] / [xnor] / [not] / [buf] primitive instances (instance names
+    optional, multi-input primitives allowed).  Rich functions are
+    lowered onto the cell library with {!Logic_build}, like the [.bench]
+    reader.  Vectors, assigns, behavioural constructs and hierarchies
+    are rejected with a clear error. *)
+
+val of_string : ?name:string -> string -> (Netlist.t, string) result
+(** Parse Verilog source.  The design name comes from the module header
+    unless [name] overrides it. *)
+
+val read_file : string -> (Netlist.t, string) result
+
+val to_string : Netlist.t -> string
+(** Render as a single flat module using primitives; complex cells
+    (AOI21/OAI21) are decomposed through auxiliary wires.  Re-parsing
+    yields an equivalent circuit (same Boolean function per output). *)
+
+val write_file : string -> Netlist.t -> unit

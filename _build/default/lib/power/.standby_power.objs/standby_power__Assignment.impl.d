@@ -1,0 +1,1 @@
+lib/power/assignment.ml: Array Standby_cells Standby_netlist Standby_sim

@@ -1,0 +1,1 @@
+lib/power/assignment.mli: Standby_cells Standby_netlist

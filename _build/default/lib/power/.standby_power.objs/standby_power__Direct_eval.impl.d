@@ -1,0 +1,1 @@
+lib/power/direct_eval.ml: Array Assignment Evaluate Standby_cells Standby_netlist

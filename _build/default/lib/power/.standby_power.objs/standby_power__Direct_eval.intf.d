@@ -1,0 +1,1 @@
+lib/power/direct_eval.mli: Assignment Evaluate Standby_cells Standby_netlist

@@ -1,0 +1,1 @@
+lib/power/evaluate.ml: Array Assignment Standby_cells Standby_netlist Standby_sim Standby_util

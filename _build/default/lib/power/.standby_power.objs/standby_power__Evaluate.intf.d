@@ -1,0 +1,1 @@
+lib/power/evaluate.mli: Assignment Standby_cells Standby_netlist

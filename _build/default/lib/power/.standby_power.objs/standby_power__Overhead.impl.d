@@ -1,0 +1,1 @@
+lib/power/overhead.ml: Array Standby_cells Standby_netlist

@@ -1,0 +1,1 @@
+lib/power/overhead.mli: Standby_cells Standby_netlist

@@ -1,0 +1,1 @@
+lib/power/variation.ml: Array Assignment Float Standby_cells Standby_device Standby_netlist Standby_util

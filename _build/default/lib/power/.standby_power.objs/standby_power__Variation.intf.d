@@ -1,0 +1,1 @@
+lib/power/variation.mli: Assignment Standby_cells Standby_netlist

@@ -1,0 +1,47 @@
+module Netlist = Standby_netlist.Netlist
+module Library = Standby_cells.Library
+
+type t = {
+  input_vector : bool array;
+  node_values : bool array;
+  gate_state : int array;
+  option_choice : int array;
+}
+
+let of_choices lib net ~vector ~choices =
+  let node_values = Standby_sim.Simulator.eval net vector in
+  let gate_state = Standby_sim.Simulator.gate_states net node_values in
+  ignore lib;
+  {
+    input_vector = Array.copy vector;
+    node_values;
+    gate_state;
+    option_choice = Array.copy choices;
+  }
+
+let all_fast lib net input_vector =
+  let node_values = Standby_sim.Simulator.eval net input_vector in
+  let gate_state = Standby_sim.Simulator.gate_states net node_values in
+  let option_choice = Array.make (Netlist.node_count net) 0 in
+  Netlist.iter_gates net (fun id kind _ ->
+      option_choice.(id) <- Library.fast_option_index lib kind ~state:gate_state.(id));
+  {
+    input_vector = Array.copy input_vector;
+    node_values;
+    gate_state;
+    option_choice;
+  }
+
+let choice lib net t id =
+  match Netlist.kind_of net id with
+  | None -> invalid_arg "Assignment.choice: primary input"
+  | Some kind ->
+    let options = Library.options lib kind ~state:t.gate_state.(id) in
+    options.(t.option_choice.(id))
+
+let slow_gate_count lib net t =
+  let count = ref 0 in
+  Netlist.iter_gates net (fun id _ _ ->
+      let entry = choice lib net t id in
+      if entry.Standby_cells.Version.version <> 0 then incr count);
+  !count

@@ -1,0 +1,35 @@
+(** A complete standby solution: the sleep input vector plus the cell
+    version (and pin order) chosen for every gate.
+
+    This is the object the optimizer produces and the evaluator and
+    reports consume. *)
+
+type t = {
+  input_vector : bool array;  (** Per primary input, declaration order. *)
+  node_values : bool array;  (** Simulated value of every node. *)
+  gate_state : int array;  (** Packed input state per node (0 for inputs). *)
+  option_choice : int array;
+      (** Per node: index into the library options for this gate's kind
+          and state; 0 is always the fast version.  Unused for inputs. *)
+}
+
+val all_fast : Standby_cells.Library.t -> Standby_netlist.Netlist.t -> bool array -> t
+(** Solution using the given sleep vector with every gate fast. *)
+
+val of_choices :
+  Standby_cells.Library.t ->
+  Standby_netlist.Netlist.t ->
+  vector:bool array ->
+  choices:int array ->
+  t
+(** Solution from a sleep vector and per-gate option indices (into the
+    library options of each gate's kind/state). *)
+
+val choice :
+  Standby_cells.Library.t -> Standby_netlist.Netlist.t -> t -> int ->
+  Standby_cells.Version.option_entry
+(** The library option selected at a gate node.
+    @raise Invalid_argument for a primary-input node. *)
+
+val slow_gate_count : Standby_cells.Library.t -> Standby_netlist.Netlist.t -> t -> int
+(** Gates using something other than the fast version. *)

@@ -1,0 +1,24 @@
+module Netlist = Standby_netlist.Netlist
+module Gate_kind = Standby_netlist.Gate_kind
+module Library = Standby_cells.Library
+module Version = Standby_cells.Version
+module Topology = Standby_cells.Topology
+module Characterize = Standby_cells.Characterize
+module Stack_solver = Standby_cells.Stack_solver
+
+let of_assignment ?cache lib net (a : Assignment.t) =
+  let cache = match cache with Some c -> c | None -> Stack_solver.create_cache () in
+  let process = Library.process lib in
+  let total = ref 0.0 and isub = ref 0.0 and igate = ref 0.0 in
+  Netlist.iter_gates net (fun id kind _ ->
+      let info = Library.info lib kind in
+      let entry = Assignment.choice lib net a id in
+      let assignment = info.Library.versions.(entry.Version.version) in
+      let solution =
+        Characterize.solve_state ~cache ~perm:entry.Version.perm process
+          info.Library.cell assignment ~state:a.Assignment.gate_state.(id)
+      in
+      total := !total +. solution.Stack_solver.total;
+      isub := !isub +. solution.Stack_solver.isub;
+      igate := !igate +. solution.Stack_solver.igate);
+  { Evaluate.total = !total; Evaluate.isub = !isub; Evaluate.igate = !igate }

@@ -1,0 +1,23 @@
+(** Differential-testing oracle for leakage evaluation.
+
+    Re-evaluates a complete solution by running the DC stack solver on
+    every gate instance directly — resolving the chosen version's
+    transistor assignment and pin permutation and solving the cell in
+    its simulated state — instead of reading the library's
+    pre-characterized option tables.
+
+    The two paths share the device models, so any disagreement points at
+    bookkeeping bugs in the long chain between them: state packing, pin
+    permutation application, option indexing, version deduplication or
+    table construction.  The property tests keep them equal to numerical
+    tolerance on random circuits and solutions. *)
+
+val of_assignment :
+  ?cache:Standby_cells.Stack_solver.cache ->
+  Standby_cells.Library.t ->
+  Standby_netlist.Netlist.t ->
+  Assignment.t ->
+  Evaluate.breakdown
+(** Totals computed gate by gate from first principles.  Noticeably
+    slower than {!Evaluate.of_assignment}; meant for verification, not
+    inner loops. *)

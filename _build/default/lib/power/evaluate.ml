@@ -1,0 +1,51 @@
+module Netlist = Standby_netlist.Netlist
+module Library = Standby_cells.Library
+module Version = Standby_cells.Version
+
+type breakdown = { total : float; isub : float; igate : float }
+
+let of_assignment lib net (a : Assignment.t) =
+  let total = ref 0.0 and isub = ref 0.0 and igate = ref 0.0 in
+  Netlist.iter_gates net (fun id _ _ ->
+      let entry = Assignment.choice lib net a id in
+      total := !total +. entry.Version.leakage;
+      isub := !isub +. entry.Version.isub;
+      igate := !igate +. entry.Version.igate);
+  { total = !total; isub = !isub; igate = !igate }
+
+let fast_states lib net states =
+  let total = ref 0.0 and isub = ref 0.0 and igate = ref 0.0 in
+  Netlist.iter_gates net (fun id kind _ ->
+      let info = Library.info lib kind in
+      let s = states.(id) in
+      total := !total +. info.Library.fast_leakage.(s);
+      isub := !isub +. info.Library.fast_isub.(s);
+      igate := !igate +. info.Library.fast_igate.(s));
+  { total = !total; isub = !isub; igate = !igate }
+
+let fast_vector lib net vector =
+  let values = Standby_sim.Simulator.eval net vector in
+  fast_states lib net (Standby_sim.Simulator.gate_states net values)
+
+let random_vector_average ?(vectors = 10_000) ~seed lib net =
+  let rng = Standby_util.Prng.create ~seed in
+  let n_inputs = Netlist.input_count net in
+  let total = ref 0.0 and isub = ref 0.0 and igate = ref 0.0 in
+  for _ = 1 to vectors do
+    let vector = Array.init n_inputs (fun _ -> Standby_util.Prng.bool rng) in
+    let b = fast_vector lib net vector in
+    total := !total +. b.total;
+    isub := !isub +. b.isub;
+    igate := !igate +. b.igate
+  done;
+  let k = float_of_int vectors in
+  { total = !total /. k; isub = !isub /. k; igate = !igate /. k }
+
+let slowest_vector lib net vector =
+  let values = Standby_sim.Simulator.eval net vector in
+  let states = Standby_sim.Simulator.gate_states net values in
+  let total = ref 0.0 in
+  Netlist.iter_gates net (fun id kind _ ->
+      let info = Library.info lib kind in
+      total := !total +. info.Library.slowest_leakage.(states.(id)));
+  { total = !total; isub = 0.0; igate = 0.0 }

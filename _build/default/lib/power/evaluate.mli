@@ -1,0 +1,36 @@
+(** Circuit-level standby leakage evaluation.
+
+    Sums the pre-characterized per-cell leakage over all gates for a
+    given solution; also provides the baselines' figures of merit — the
+    fast-library leakage of a vector and the average over random vectors
+    (the paper's "no technique" reference column). *)
+
+type breakdown = {
+  total : float;  (** Amperes. *)
+  isub : float;
+  igate : float;
+}
+
+val of_assignment :
+  Standby_cells.Library.t -> Standby_netlist.Netlist.t -> Assignment.t -> breakdown
+(** Leakage of a complete solution. *)
+
+val fast_vector :
+  Standby_cells.Library.t -> Standby_netlist.Netlist.t -> bool array -> breakdown
+(** Leakage with the given sleep vector and every gate fast (the
+    state-assignment-only figure for that vector). *)
+
+val random_vector_average :
+  ?vectors:int ->
+  seed:int ->
+  Standby_cells.Library.t ->
+  Standby_netlist.Netlist.t ->
+  breakdown
+(** Mean fast-library leakage over random input vectors (default
+    10_000, the paper's setting). *)
+
+val slowest_vector :
+  Standby_cells.Library.t -> Standby_netlist.Netlist.t -> bool array -> breakdown
+(** Leakage with every gate replaced by its all-high-Vt/all-thick
+    fallback — the 100 % delay-penalty reference of Figure 5.  The
+    breakdown reports the total only ([isub]/[igate] are 0). *)

@@ -1,0 +1,47 @@
+module Netlist = Standby_netlist.Netlist
+module Gate_kind = Standby_netlist.Gate_kind
+module Library = Standby_cells.Library
+module Topology = Standby_cells.Topology
+
+type t = {
+  forced_inputs : int;
+  area_gate_equivalents : float;
+  area_fraction : float;
+  control_leakage : float;
+}
+
+(* A sleep-forcing mux or modified scan flop costs about one and a half
+   NAND2 footprints per input (transmission gate + control buffer). *)
+let gate_equivalents_per_input = 1.5
+
+let nand2_device_count = Topology.device_count (Topology.of_kind Gate_kind.Nand2)
+
+let circuit_device_count net =
+  let total = ref 0 in
+  Netlist.iter_gates net (fun _ kind _ ->
+      total := !total + Topology.device_count (Topology.of_kind kind));
+  !total
+
+(* The forcing cell sits outside the optimized region: charge it an
+   average-state fast NAND2 leakage. *)
+let forcing_cell_leakage lib =
+  let info = Library.info lib Gate_kind.Nand2 in
+  let states = Array.length info.Library.fast_leakage in
+  Array.fold_left ( +. ) 0.0 info.Library.fast_leakage /. float_of_int states
+  *. gate_equivalents_per_input
+
+let estimate lib net =
+  let forced_inputs = Netlist.input_count net in
+  let area_gate_equivalents = float_of_int forced_inputs *. gate_equivalents_per_input in
+  let added_devices = area_gate_equivalents *. float_of_int nand2_device_count in
+  let circuit_devices = float_of_int (circuit_device_count net) in
+  {
+    forced_inputs;
+    area_gate_equivalents;
+    area_fraction = (if circuit_devices > 0.0 then added_devices /. circuit_devices else 0.0);
+    control_leakage = float_of_int forced_inputs *. forcing_cell_leakage lib;
+  }
+
+let net_reduction_factor lib net ~reference ~optimized =
+  let overhead = estimate lib net in
+  reference /. (optimized +. overhead.control_leakage)

@@ -1,0 +1,32 @@
+(** Cost model for entering the sleep state.
+
+    The paper's technique assumes the circuit can be parked in a known
+    input vector, which in practice means every primary input is driven
+    by a modified (sleep-forcing) flip-flop or a small mux [1][3 in the
+    paper].  This module quantifies that overhead so reports can show
+    the net benefit: extra area per forced input, the leakage the
+    forcing logic itself adds, and both relative to the optimized
+    circuit. *)
+
+type t = {
+  forced_inputs : int;  (** Primary inputs needing a sleep-forcing cell. *)
+  area_gate_equivalents : float;
+      (** Added area in NAND2-equivalents (a 2:1 mux / modified flop is
+          ~1.5 gate equivalents per input). *)
+  area_fraction : float;  (** Added area relative to the circuit's cells. *)
+  control_leakage : float;
+      (** Standby leakage of the forcing cells themselves, A (each
+          roughly an average fast NAND2 in an uncontrolled state). *)
+}
+
+val estimate : Standby_cells.Library.t -> Standby_netlist.Netlist.t -> t
+
+val net_reduction_factor :
+  Standby_cells.Library.t ->
+  Standby_netlist.Netlist.t ->
+  reference:float ->
+  optimized:float ->
+  float
+(** Reduction factor after charging the forcing logic's own leakage to
+    the optimized figure: [reference / (optimized + control_leakage)].
+    The honest version of the paper's "X" columns. *)

@@ -1,0 +1,57 @@
+module Netlist = Standby_netlist.Netlist
+module Library = Standby_cells.Library
+module Version = Standby_cells.Version
+module Process = Standby_device.Process
+module Prng = Standby_util.Prng
+
+type summary = {
+  samples : int;
+  mean : float;
+  std_dev : float;
+  p95 : float;
+  worst : float;
+  nominal : float;
+}
+
+(* Box–Muller over the deterministic PRNG. *)
+let gaussian rng =
+  let u1 = max 1e-12 (Prng.float rng ~bound:1.0) in
+  let u2 = Prng.float rng ~bound:1.0 in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let monte_carlo ?(samples = 2000) ?(sigma_vt = 0.020) ~seed lib net assignment =
+  if samples < 1 then invalid_arg "Variation.monte_carlo: need at least one sample";
+  if sigma_vt < 0.0 then invalid_arg "Variation.monte_carlo: negative sigma";
+  let process = Library.process lib in
+  (* A Vt shift of delta scales subthreshold leakage by
+     exp(-delta / (n*vT)); with delta ~ N(0, sigma) the scale factor is
+     lognormal with this log-sigma. *)
+  let log_sigma =
+    sigma_vt /. (process.Process.swing_factor *. process.Process.thermal_voltage)
+  in
+  let rng = Prng.create ~seed in
+  (* Collect the per-gate components once. *)
+  let components = ref [] in
+  Netlist.iter_gates net (fun id _ _ ->
+      let entry = Assignment.choice lib net assignment id in
+      components := (entry.Version.isub, entry.Version.igate) :: !components);
+  let components = Array.of_list !components in
+  let nominal = Array.fold_left (fun acc (i, g) -> acc +. i +. g) 0.0 components in
+  let totals =
+    Array.init samples (fun _ ->
+        Array.fold_left
+          (fun acc (isub, igate) -> acc +. (isub *. exp (log_sigma *. gaussian rng)) +. igate)
+          0.0 components)
+  in
+  Array.sort compare totals;
+  let stats = Standby_util.Stats.create () in
+  Array.iter (Standby_util.Stats.add stats) totals;
+  let p95_index = min (samples - 1) (int_of_float (ceil (0.95 *. float_of_int samples)) - 1) in
+  {
+    samples;
+    mean = Standby_util.Stats.mean stats;
+    std_dev = Standby_util.Stats.stddev stats;
+    p95 = totals.(max 0 p95_index);
+    worst = totals.(samples - 1);
+    nominal;
+  }

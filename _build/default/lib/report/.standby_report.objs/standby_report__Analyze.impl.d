@@ -1,0 +1,1 @@
+lib/report/analyze.ml: Array Buffer List Printf Standby_cells Standby_netlist Standby_power String

@@ -1,0 +1,1 @@
+lib/report/analyze.mli: Standby_cells Standby_netlist Standby_power

@@ -1,0 +1,1 @@
+lib/report/dot_export.ml: Array Buffer Fun List Printf Standby_cells Standby_netlist Standby_power String

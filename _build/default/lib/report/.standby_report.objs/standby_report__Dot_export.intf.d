@@ -1,0 +1,1 @@
+lib/report/dot_export.mli: Standby_cells Standby_netlist Standby_power

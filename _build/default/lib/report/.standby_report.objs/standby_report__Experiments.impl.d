@@ -1,0 +1,1 @@
+lib/report/experiments.ml: Array Ascii_table Bool Csv Hashtbl Lazy List Printf Standby_cells Standby_circuits Standby_device Standby_netlist Standby_opt Standby_power String

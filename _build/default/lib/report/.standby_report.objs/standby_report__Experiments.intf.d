@@ -1,0 +1,1 @@
+lib/report/experiments.mli: Standby_cells Standby_netlist

@@ -1,0 +1,98 @@
+module Netlist = Standby_netlist.Netlist
+module Gate_kind = Standby_netlist.Gate_kind
+module Library = Standby_cells.Library
+module Version = Standby_cells.Version
+module Assignment = Standby_power.Assignment
+module Evaluate = Standby_power.Evaluate
+module Overhead = Standby_power.Overhead
+
+let circuit_summary net =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s: %d inputs, %d gates, %d outputs, depth %d\n"
+       (Netlist.design_name net) (Netlist.input_count net) (Netlist.gate_count net)
+       (Array.length (Netlist.outputs net))
+       (Netlist.depth net));
+  let hist = Netlist.gate_histogram net in
+  let cells =
+    List.map
+      (fun (kind, count) -> Printf.sprintf "%s:%d" (Gate_kind.name kind) count)
+      hist
+  in
+  Buffer.add_string buf (Printf.sprintf "  cells: %s\n" (String.concat " " cells));
+  let fanouts = ref [] in
+  Netlist.iter_gates net (fun id _ _ -> fanouts := Netlist.fanout_count net id :: !fanouts);
+  (match !fanouts with
+   | [] -> ()
+   | list ->
+     let n = List.length list in
+     let sum = List.fold_left ( + ) 0 list in
+     let worst = List.fold_left max 0 list in
+     Buffer.add_string buf
+       (Printf.sprintf "  fanout: mean %.2f, max %d\n"
+          (float_of_int sum /. float_of_int n)
+          worst));
+  Buffer.contents buf
+
+let leakage_profile ?(top = 10) lib net assignment =
+  let buf = Buffer.create 2048 in
+  let breakdown = Evaluate.of_assignment lib net assignment in
+  Buffer.add_string buf
+    (Printf.sprintf "total leakage: %.2f uA (isub %.2f + igate %.2f)\n"
+       (breakdown.Evaluate.total *. 1e6)
+       (breakdown.Evaluate.isub *. 1e6)
+       (breakdown.Evaluate.igate *. 1e6));
+  (* Per-kind totals and version usage. *)
+  let kind_total = Array.make (List.length Gate_kind.all) 0.0 in
+  let kind_count = Array.make (List.length Gate_kind.all) 0 in
+  let slow = ref 0 in
+  let gates = ref [] in
+  Netlist.iter_gates net (fun id kind _ ->
+      let entry = Assignment.choice lib net assignment id in
+      let k = Gate_kind.index kind in
+      kind_total.(k) <- kind_total.(k) +. entry.Version.leakage;
+      kind_count.(k) <- kind_count.(k) + 1;
+      if entry.Version.version <> 0 then incr slow;
+      gates := (id, kind, entry) :: !gates);
+  Buffer.add_string buf
+    (Printf.sprintf "swapped cells: %d of %d\n" !slow (Netlist.gate_count net));
+  Buffer.add_string buf "per kind:\n";
+  List.iter
+    (fun kind ->
+      let k = Gate_kind.index kind in
+      if kind_count.(k) > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "  %-6s %5d cells  %8.2f uA\n" (Gate_kind.name kind) kind_count.(k)
+             (kind_total.(k) *. 1e6)))
+    Gate_kind.all;
+  (* Worst individual gates. *)
+  let ranked =
+    List.sort
+      (fun (_, _, (a : Version.option_entry)) (_, _, b) ->
+        compare b.Version.leakage a.Version.leakage)
+      !gates
+  in
+  Buffer.add_string buf (Printf.sprintf "top %d leaky gates:\n" top);
+  List.iteri
+    (fun i (id, kind, (entry : Version.option_entry)) ->
+      if i < top then begin
+        let info = Library.info lib kind in
+        Buffer.add_string buf
+          (Printf.sprintf "  %-12s %-6s state %2d  %-24s %8.2f nA\n" (Netlist.name_of net id)
+             (Gate_kind.name kind)
+             assignment.Assignment.gate_state.(id)
+             info.Library.version_names.(entry.Version.version)
+             (entry.Version.leakage *. 1e9))
+      end)
+    ranked;
+  (* Sleep-entry overhead. *)
+  let overhead = Overhead.estimate lib net in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "sleep-entry overhead: %d forced inputs, %.1f gate-equivalents (%.1f%% area),\n  control leakage %.2f uA -> net reduction factor scales by %.3f\n"
+       overhead.Overhead.forced_inputs overhead.Overhead.area_gate_equivalents
+       (100.0 *. overhead.Overhead.area_fraction)
+       (overhead.Overhead.control_leakage *. 1e6)
+       (breakdown.Evaluate.total
+        /. (breakdown.Evaluate.total +. overhead.Overhead.control_leakage)));
+  Buffer.contents buf

@@ -1,0 +1,19 @@
+(** Circuit- and solution-level analysis reports.
+
+    The designer-facing views the CLI's [analyze] subcommand prints:
+    structural statistics of a netlist, and — for an optimized solution
+    — where the remaining leakage lives (per cell kind, per component,
+    and the worst individual gates). *)
+
+val circuit_summary : Standby_netlist.Netlist.t -> string
+(** Gate histogram, depth, fan-out statistics, I/O counts. *)
+
+val leakage_profile :
+  ?top:int ->
+  Standby_cells.Library.t ->
+  Standby_netlist.Netlist.t ->
+  Standby_power.Assignment.t ->
+  string
+(** Residual-leakage breakdown of a solution: totals split into
+    Isub/Igate, per-kind contributions, version usage, and the [top]
+    (default 10) leakiest gates with their chosen versions. *)

@@ -1,0 +1,54 @@
+type align = Left | Right
+
+let float_cell ?(decimals = 1) v = Printf.sprintf "%.*f" decimals v
+
+let render ?title ~columns rows =
+  let n = List.length columns in
+  let pad_row row =
+    let len = List.length row in
+    if len > n then invalid_arg "Ascii_table.render: row longer than header";
+    row @ List.init (n - len) (fun _ -> "")
+  in
+  let rows = List.map pad_row rows in
+  let headers = List.map fst columns in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      headers
+  in
+  let render_cell width align text =
+    let pad = width - String.length text in
+    match align with
+    | Left -> text ^ String.make pad ' '
+    | Right -> String.make pad ' ' ^ text
+  in
+  let render_row cells =
+    let parts =
+      List.mapi
+        (fun i cell ->
+          let width = List.nth widths i in
+          let _, align = List.nth columns i in
+          render_cell width align cell)
+        cells
+    in
+    String.concat "  " parts
+  in
+  let buf = Buffer.create 1024 in
+  (match title with
+   | Some t ->
+     Buffer.add_string buf t;
+     Buffer.add_char buf '\n'
+   | None -> ());
+  Buffer.add_string buf (render_row headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (String.concat "  " (List.map (fun w -> String.make w '-') widths));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_row row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf

@@ -1,0 +1,12 @@
+(** Minimal fixed-width table rendering for the experiment reports. *)
+
+type align = Left | Right
+
+val render : ?title:string -> columns:(string * align) list -> string list list -> string
+(** Pads every column to its widest cell; a separator rules off the
+    header.  Rows shorter than the column list are padded with empty
+    cells.  @raise Invalid_argument if a row is longer than the column
+    list. *)
+
+val float_cell : ?decimals:int -> float -> string
+(** Fixed-point rendering, default one decimal. *)

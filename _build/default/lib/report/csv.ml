@@ -1,0 +1,18 @@
+let escape cell =
+  let needs_quoting =
+    String.exists (function ',' | '"' | '\n' | '\r' -> true | _ -> false) cell
+  in
+  if needs_quoting then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let line cells = String.concat "," (List.map escape cells)
+
+let to_string ~header ~rows =
+  String.concat "\n" (line header :: List.map line rows) ^ "\n"
+
+let write_file path ~header ~rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string ~header ~rows))

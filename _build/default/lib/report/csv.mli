@@ -1,0 +1,8 @@
+(** CSV export of experiment data (for external plotting of the
+    figures). *)
+
+val to_string : header:string list -> rows:string list list -> string
+(** RFC-4180-style quoting for cells containing commas, quotes or
+    newlines. *)
+
+val write_file : string -> header:string list -> rows:string list list -> unit

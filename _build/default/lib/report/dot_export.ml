@@ -1,0 +1,72 @@
+module Netlist = Standby_netlist.Netlist
+module Gate_kind = Standby_netlist.Gate_kind
+module Library = Standby_cells.Library
+module Version = Standby_cells.Version
+module Assignment = Standby_power.Assignment
+
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '"' -> "\\\""
+         | '\\' -> "\\\\"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let node_id id = Printf.sprintf "n%d" id
+
+let render ?annotate net =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "digraph \"%s\" {\n  rankdir=LR;\n  node [fontsize=10];\n"
+       (escape (Netlist.design_name net)));
+  let outputs = Netlist.outputs net in
+  let is_output id = Array.exists (( = ) id) outputs in
+  Array.iter
+    (fun id ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s [shape=box, label=\"%s\"];\n" (node_id id)
+           (escape (Netlist.name_of net id))))
+    (Netlist.inputs net);
+  Netlist.iter_gates net (fun id kind _ ->
+      let label, style =
+        match annotate with
+        | None -> (Printf.sprintf "%s\\n%s" (Netlist.name_of net id) (Gate_kind.name kind), "")
+        | Some (lib, a) ->
+          let entry = Assignment.choice lib net a id in
+          let info = Library.info lib kind in
+          let label =
+            Printf.sprintf "%s\\n%s\\n%s\\n%.1f nA" (Netlist.name_of net id)
+              (Gate_kind.name kind)
+              info.Library.version_names.(entry.Version.version)
+              (entry.Version.leakage *. 1e9)
+          in
+          let style =
+            if entry.Version.version <> 0 then
+              ", style=filled, fillcolor=\"#cfe8cf\""
+            else if entry.Version.leakage > 50e-9 then
+              ", style=filled, fillcolor=\"#f2c4c4\""
+            else ""
+          in
+          (label, style)
+      in
+      let shape = if is_output id then "doubleoctagon" else "ellipse" in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s [shape=%s, label=\"%s\"%s];\n" (node_id id) shape (escape label)
+           style));
+  Netlist.iter_gates net (fun id _ fanin ->
+      Array.iter
+        (fun src ->
+          Buffer.add_string buf (Printf.sprintf "  %s -> %s;\n" (node_id src) (node_id id)))
+        fanin);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let of_netlist net = render net
+
+let of_assignment lib net a = render ~annotate:(lib, a) net
+
+let write_file path dot =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc dot)

@@ -1,0 +1,20 @@
+(** Graphviz (DOT) export of netlists and solutions.
+
+    Produces a left-to-right dataflow drawing: primary inputs as boxes,
+    cells as records labelled with kind (and, when a solution is given,
+    the chosen version and per-gate leakage), primary outputs
+    double-circled.  With a solution, swapped cells are filled and the
+    heaviest leakers shaded darker — the picture reviewers ask for. *)
+
+val of_netlist : Standby_netlist.Netlist.t -> string
+(** Structure only. *)
+
+val of_assignment :
+  Standby_cells.Library.t ->
+  Standby_netlist.Netlist.t ->
+  Standby_power.Assignment.t ->
+  string
+(** Structure annotated with the solution. *)
+
+val write_file : string -> string -> unit
+(** [write_file path dot] — convenience writer. *)

@@ -1,0 +1,1 @@
+lib/sim/simulator.mli: Logic Standby_netlist

@@ -1,0 +1,26 @@
+type trit = False | True | Unknown
+
+let of_bool b = if b then True else False
+
+let to_bool = function True -> Some true | False -> Some false | Unknown -> None
+
+let is_known = function Unknown -> false | True | False -> true
+
+let lnot = function True -> False | False -> True | Unknown -> Unknown
+
+let nand inputs =
+  if Array.exists (fun v -> v = False) inputs then True
+  else if Array.for_all (fun v -> v = True) inputs then False
+  else Unknown
+
+let nor inputs =
+  if Array.exists (fun v -> v = True) inputs then False
+  else if Array.for_all (fun v -> v = False) inputs then True
+  else Unknown
+
+let equal (a : trit) b = a = b
+
+let pp fmt = function
+  | True -> Format.pp_print_char fmt '1'
+  | False -> Format.pp_print_char fmt '0'
+  | Unknown -> Format.pp_print_char fmt 'X'

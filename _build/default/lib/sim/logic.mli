@@ -1,0 +1,26 @@
+(** Two- and three-valued logic values.
+
+    The three-valued domain supports partial input states during the
+    state-tree search: an [Unknown] input leaves downstream gate states
+    unknown, and the optimizer's lower bound must range over the
+    compatible completions. *)
+
+type trit = False | True | Unknown
+
+val of_bool : bool -> trit
+
+val to_bool : trit -> bool option
+(** [None] for [Unknown]. *)
+
+val is_known : trit -> bool
+
+val lnot : trit -> trit
+
+val nand : trit array -> trit
+(** Kleene semantics: a controlling 0 forces the output even when other
+    inputs are unknown. *)
+
+val nor : trit array -> trit
+
+val equal : trit -> trit -> bool
+val pp : Format.formatter -> trit -> unit

@@ -1,0 +1,43 @@
+module Netlist = Standby_netlist.Netlist
+module Gate_kind = Standby_netlist.Gate_kind
+
+let eval net input_values =
+  let input_ids = Netlist.inputs net in
+  if Array.length input_values <> Array.length input_ids then
+    invalid_arg "Simulator.eval: input count mismatch";
+  let values = Array.make (Netlist.node_count net) false in
+  Array.iteri (fun i id -> values.(id) <- input_values.(i)) input_ids;
+  Netlist.iter_gates net (fun id kind fanin ->
+      values.(id) <- Gate_kind.eval kind (Array.map (fun src -> values.(src)) fanin));
+  values
+
+let eval_partial net input_values =
+  let input_ids = Netlist.inputs net in
+  if Array.length input_values <> Array.length input_ids then
+    invalid_arg "Simulator.eval_partial: input count mismatch";
+  let values = Array.make (Netlist.node_count net) Logic.Unknown in
+  Array.iteri (fun i id -> values.(id) <- input_values.(i)) input_ids;
+  Netlist.iter_gates net (fun id kind fanin ->
+      let ins = Array.map (fun src -> values.(src)) fanin in
+      values.(id) <-
+        (match kind with
+         | Gate_kind.Inv -> Logic.lnot ins.(0)
+         | Gate_kind.Nand2 | Gate_kind.Nand3 | Gate_kind.Nand4 -> Logic.nand ins
+         | Gate_kind.Nor2 | Gate_kind.Nor3 | Gate_kind.Nor4 -> Logic.nor ins
+         | Gate_kind.Aoi21 ->
+           Logic.nor [| Logic.lnot (Logic.nand [| ins.(0); ins.(1) |]); ins.(2) |]
+         | Gate_kind.Oai21 ->
+           Logic.nand [| Logic.lnot (Logic.nor [| ins.(0); ins.(1) |]); ins.(2) |]));
+  values
+
+let gate_state net values id =
+  let fanin = Netlist.fanin net id in
+  Array.fold_left (fun acc src -> (acc lsl 1) lor if values.(src) then 1 else 0) 0 fanin
+
+let gate_states net values =
+  Array.init (Netlist.node_count net) (fun id ->
+      if Netlist.is_input net id then 0 else gate_state net values id)
+
+let output_vector net input_values =
+  let values = eval net input_values in
+  Array.map (fun id -> values.(id)) (Netlist.outputs net)

@@ -1,0 +1,24 @@
+(** Zero-delay logic simulation over the topologically ordered netlist.
+
+    One forward pass computes every node value; the per-gate packed
+    input state is what the leakage library is indexed by. *)
+
+val eval : Standby_netlist.Netlist.t -> bool array -> bool array
+(** [eval net input_values] — inputs in primary-input declaration order.
+    Returns a value per node id.
+    @raise Invalid_argument on an input-count mismatch. *)
+
+val eval_partial : Standby_netlist.Netlist.t -> Logic.trit array -> Logic.trit array
+(** Three-valued counterpart for partial input assignments. *)
+
+val gate_state : Standby_netlist.Netlist.t -> bool array -> int -> int
+(** Packed input state of a gate node given all node values
+    (most-significant bit = fanin 0, the {!Standby_netlist.Gate_kind}
+    convention). *)
+
+val gate_states : Standby_netlist.Netlist.t -> bool array -> int array
+(** [gate_state] for every node (0 for primary inputs). *)
+
+val output_vector : Standby_netlist.Netlist.t -> bool array -> bool array
+(** Values of the primary outputs for an input vector — used by
+    equivalence property tests. *)

@@ -1,0 +1,1 @@
+lib/timing/delay_model.ml: Standby_netlist

@@ -1,0 +1,1 @@
+lib/timing/sta.ml: Array Delay_model Standby_cells Standby_netlist

@@ -1,0 +1,1 @@
+lib/timing/timing_report.ml: Array Buffer List Printf Sta Standby_netlist

@@ -1,0 +1,1 @@
+lib/timing/timing_report.mli: Sta

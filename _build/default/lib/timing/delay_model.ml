@@ -1,0 +1,29 @@
+module Gate_kind = Standby_netlist.Gate_kind
+module Netlist = Standby_netlist.Netlist
+
+let intrinsic = function
+  | Gate_kind.Inv -> 1.0
+  | Gate_kind.Nand2 -> 1.4
+  | Gate_kind.Nand3 -> 1.8
+  | Gate_kind.Nand4 -> 2.2
+  | Gate_kind.Nor2 -> 1.6
+  | Gate_kind.Nor3 -> 2.2
+  | Gate_kind.Nor4 -> 2.8
+  | Gate_kind.Aoi21 -> 1.9
+  | Gate_kind.Oai21 -> 1.9
+
+let load_factor = 0.3
+
+let base_delay kind ~fanout = intrinsic kind +. (load_factor *. float_of_int fanout)
+
+let slew_intrinsic_fraction = 0.6
+let slew_load_factor = 0.2
+
+let base_output_slew kind ~fanout =
+  (slew_intrinsic_fraction *. intrinsic kind) +. (slew_load_factor *. float_of_int fanout)
+
+let slew_sensitivity = 0.15
+
+let primary_input_slew = 0.8
+
+let node_load net id = max 1 (Netlist.fanout_count net id)

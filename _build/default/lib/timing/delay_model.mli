@@ -1,0 +1,28 @@
+(** Base cell delays.
+
+    A linear load model in arbitrary units: intrinsic delay per kind
+    plus a load term proportional to fan-out (primary outputs count as
+    one load).  Only ratios matter for the optimization — the delay
+    constraint is expressed as a percentage of the all-fast/all-slow
+    spread — so the units are never converted to seconds. *)
+
+val base_delay : Standby_netlist.Gate_kind.t -> fanout:int -> float
+(** Pin-to-output delay of the fast version of a kind driving [fanout]
+    sinks, at zero input slew. *)
+
+val base_output_slew : Standby_netlist.Gate_kind.t -> fanout:int -> float
+(** Output transition time of the fast version of a kind driving
+    [fanout] sinks.  Slow versions scale it by the same per-pin delay
+    factor as the delay itself (a weaker device slews its output
+    proportionally slower). *)
+
+val slew_sensitivity : float
+(** Extra pin-to-output delay per unit of input transition time — the
+    second axis of the paper's pre-characterized delay tables. *)
+
+val primary_input_slew : float
+(** Transition time assumed at primary inputs. *)
+
+val node_load : Standby_netlist.Netlist.t -> int -> int
+(** Effective load of a node: fan-out count, with a minimum of one so
+    primary outputs still see a load. *)

@@ -1,0 +1,279 @@
+module Netlist = Standby_netlist.Netlist
+module Library = Standby_cells.Library
+
+let epsilon = 1e-9
+
+type t = {
+  lib : Library.t;
+  net : Netlist.t;
+  version : int array;
+  perm : int array array;
+  base : float array;
+  base_slew : float array;
+  arr_rise : float array;
+  arr_fall : float array;
+  slew_rise : float array;
+  slew_fall : float array;
+  req_rise : float array;
+  req_fall : float array;
+  mutable budget : float;
+}
+
+let netlist t = t.net
+
+let identity_perm arity = Array.init arity (fun i -> i)
+
+(* Pin-to-output delays for the current assignment: the version factor
+   derates the drive, and the input transition time adds the
+   slew-sensitivity term of the two-axis delay tables. *)
+let gate_delays t id kind fanin_pin src =
+  let info = Library.info t.lib kind in
+  let v = t.version.(id) in
+  let phys = t.perm.(id).(fanin_pin) in
+  let d_rise =
+    (t.base.(id) *. info.Library.rise_factors.(v).(phys))
+    +. (Delay_model.slew_sensitivity *. t.slew_fall.(src))
+  in
+  let d_fall =
+    (t.base.(id) *. info.Library.fall_factors.(v).(phys))
+    +. (Delay_model.slew_sensitivity *. t.slew_rise.(src))
+  in
+  (d_rise, d_fall)
+
+let recompute_arrival t id kind fanin =
+  let info = Library.info t.lib kind in
+  let v = t.version.(id) in
+  let rise = ref 0.0 and fall = ref 0.0 in
+  let rise_pin = ref 0 and fall_pin = ref 0 in
+  Array.iteri
+    (fun pin src ->
+      let d_rise, d_fall = gate_delays t id kind pin src in
+      if t.arr_fall.(src) +. d_rise > !rise then begin
+        rise := t.arr_fall.(src) +. d_rise;
+        rise_pin := pin
+      end;
+      if t.arr_rise.(src) +. d_fall > !fall then begin
+        fall := t.arr_rise.(src) +. d_fall;
+        fall_pin := pin
+      end)
+    fanin;
+  t.arr_rise.(id) <- !rise;
+  t.arr_fall.(id) <- !fall;
+  (* The output transition is set by the critical pin's drive. *)
+  t.slew_rise.(id) <- t.base_slew.(id) *. info.Library.rise_factors.(v).(t.perm.(id).(!rise_pin));
+  t.slew_fall.(id) <- t.base_slew.(id) *. info.Library.fall_factors.(v).(t.perm.(id).(!fall_pin))
+
+let forward t =
+  Array.iter
+    (fun id ->
+      t.arr_rise.(id) <- 0.0;
+      t.arr_fall.(id) <- 0.0;
+      t.slew_rise.(id) <- Delay_model.primary_input_slew;
+      t.slew_fall.(id) <- Delay_model.primary_input_slew)
+    (Netlist.inputs t.net);
+  Netlist.iter_gates t.net (fun id kind fanin -> recompute_arrival t id kind fanin)
+
+let backward t =
+  let n = Netlist.node_count t.net in
+  Array.fill t.req_rise 0 n infinity;
+  Array.fill t.req_fall 0 n infinity;
+  Array.iter
+    (fun o ->
+      t.req_rise.(o) <- min t.req_rise.(o) t.budget;
+      t.req_fall.(o) <- min t.req_fall.(o) t.budget)
+    (Netlist.outputs t.net);
+  for id = n - 1 downto 0 do
+    match Netlist.node t.net id with
+    | Netlist.Primary_input -> ()
+    | Netlist.Cell { fanin; _ } ->
+      let kind = match Netlist.kind_of t.net id with Some k -> k | None -> assert false in
+      Array.iteri
+        (fun pin src ->
+          let d_rise, d_fall = gate_delays t id kind pin src in
+          if t.req_rise.(id) -. d_rise < t.req_fall.(src) then
+            t.req_fall.(src) <- t.req_rise.(id) -. d_rise;
+          if t.req_fall.(id) -. d_fall < t.req_rise.(src) then
+            t.req_rise.(src) <- t.req_fall.(id) -. d_fall)
+        fanin
+  done
+
+let update t =
+  forward t;
+  backward t
+
+let update_from t start =
+  let n = Netlist.node_count t.net in
+  let changed = Array.make n false in
+  (match Netlist.node t.net start with
+   | Netlist.Primary_input -> ()
+   | Netlist.Cell { kind; fanin } -> recompute_arrival t start kind fanin);
+  changed.(start) <- true;
+  for id = start + 1 to n - 1 do
+    match Netlist.node t.net id with
+    | Netlist.Primary_input -> ()
+    | Netlist.Cell { kind; fanin } ->
+      if Array.exists (fun src -> changed.(src)) fanin then begin
+        let old_rise = t.arr_rise.(id) and old_fall = t.arr_fall.(id) in
+        let old_srise = t.slew_rise.(id) and old_sfall = t.slew_fall.(id) in
+        recompute_arrival t id kind fanin;
+        if
+          abs_float (t.arr_rise.(id) -. old_rise) > epsilon
+          || abs_float (t.arr_fall.(id) -. old_fall) > epsilon
+          || abs_float (t.slew_rise.(id) -. old_srise) > epsilon
+          || abs_float (t.slew_fall.(id) -. old_sfall) > epsilon
+        then changed.(id) <- true
+      end
+  done;
+  backward t
+
+let circuit_delay t =
+  Array.fold_left
+    (fun acc o -> max acc (max t.arr_rise.(o) t.arr_fall.(o)))
+    0.0 (Netlist.outputs t.net)
+
+let create lib net =
+  let n = Netlist.node_count net in
+  let base = Array.make n 0.0 in
+  let base_slew = Array.make n 0.0 in
+  let perm = Array.make n [||] in
+  Netlist.iter_gates net (fun id kind fanin ->
+      let fanout = Delay_model.node_load net id in
+      base.(id) <- Delay_model.base_delay kind ~fanout;
+      base_slew.(id) <- Delay_model.base_output_slew kind ~fanout;
+      perm.(id) <- identity_perm (Array.length fanin));
+  let t =
+    {
+      lib;
+      net;
+      version = Array.make n 0;
+      perm;
+      base;
+      base_slew;
+      arr_rise = Array.make n 0.0;
+      arr_fall = Array.make n 0.0;
+      slew_rise = Array.make n 0.0;
+      slew_fall = Array.make n 0.0;
+      req_rise = Array.make n infinity;
+      req_fall = Array.make n infinity;
+      budget = 0.0;
+    }
+  in
+  forward t;
+  t.budget <- circuit_delay t;
+  backward t;
+  t
+
+let assign t id ~version ~perm =
+  t.version.(id) <- version;
+  Array.blit perm 0 t.perm.(id) 0 (Array.length perm)
+
+let version_of t id = t.version.(id)
+
+let perm_of t id = t.perm.(id)
+
+let reset_fast t =
+  Netlist.iter_gates t.net (fun id _ fanin ->
+      t.version.(id) <- 0;
+      t.perm.(id) <- identity_perm (Array.length fanin));
+  update t
+
+let set_budget t budget =
+  t.budget <- budget;
+  backward t
+
+let budget t = t.budget
+
+let meets_budget t = circuit_delay t <= t.budget +. epsilon
+
+let candidate_feasible t id ~version ~perm =
+  match Netlist.node t.net id with
+  | Netlist.Primary_input -> invalid_arg "Sta.candidate_feasible: not a gate"
+  | Netlist.Cell { kind; fanin } ->
+    let info = Library.info t.lib kind in
+    let ok = ref true in
+    Array.iteri
+      (fun pin src ->
+        if !ok then begin
+          let phys = perm.(pin) in
+          let d_rise =
+            (t.base.(id) *. info.Library.rise_factors.(version).(phys))
+            +. (Delay_model.slew_sensitivity *. t.slew_fall.(src))
+          in
+          let d_fall =
+            (t.base.(id) *. info.Library.fall_factors.(version).(phys))
+            +. (Delay_model.slew_sensitivity *. t.slew_rise.(src))
+          in
+          if
+            t.arr_fall.(src) +. d_rise > t.req_rise.(id) +. epsilon
+            || t.arr_rise.(src) +. d_fall > t.req_fall.(id) +. epsilon
+          then ok := false
+        end)
+      fanin;
+    !ok
+
+let gate_slack t id =
+  min (t.req_rise.(id) -. t.arr_rise.(id)) (t.req_fall.(id) -. t.arr_fall.(id))
+
+(* Generic forward pass with externally supplied factors. *)
+let delay_with lib net factors_of =
+  let n = Netlist.node_count net in
+  let arr_rise = Array.make n 0.0 and arr_fall = Array.make n 0.0 in
+  let slew_rise = Array.make n Delay_model.primary_input_slew in
+  let slew_fall = Array.make n Delay_model.primary_input_slew in
+  Netlist.iter_gates net (fun id kind fanin ->
+      let fanout = Delay_model.node_load net id in
+      let base = Delay_model.base_delay kind ~fanout in
+      let base_slew = Delay_model.base_output_slew kind ~fanout in
+      let rise_f, fall_f = factors_of lib kind in
+      let rise = ref 0.0 and fall = ref 0.0 in
+      let rise_pin = ref 0 and fall_pin = ref 0 in
+      Array.iteri
+        (fun pin src ->
+          let d_rise =
+            (base *. rise_f.(pin)) +. (Delay_model.slew_sensitivity *. slew_fall.(src))
+          in
+          let d_fall =
+            (base *. fall_f.(pin)) +. (Delay_model.slew_sensitivity *. slew_rise.(src))
+          in
+          if arr_fall.(src) +. d_rise > !rise then begin
+            rise := arr_fall.(src) +. d_rise;
+            rise_pin := pin
+          end;
+          if arr_rise.(src) +. d_fall > !fall then begin
+            fall := arr_rise.(src) +. d_fall;
+            fall_pin := pin
+          end)
+        fanin;
+      arr_rise.(id) <- !rise;
+      arr_fall.(id) <- !fall;
+      slew_rise.(id) <- base_slew *. rise_f.(!rise_pin);
+      slew_fall.(id) <- base_slew *. fall_f.(!fall_pin));
+  Array.fold_left
+    (fun acc o -> max acc (max arr_rise.(o) arr_fall.(o)))
+    0.0 (Netlist.outputs net)
+
+let all_fast_delay lib net =
+  delay_with lib net (fun l kind ->
+      let info = Library.info l kind in
+      (info.Library.rise_factors.(0), info.Library.fall_factors.(0)))
+
+let all_slow_delay lib net =
+  delay_with lib net (fun l kind ->
+      let info = Library.info l kind in
+      (info.Library.slowest_rise, info.Library.slowest_fall))
+
+let budget_for_penalty lib net ~penalty =
+  let fast = all_fast_delay lib net in
+  let slow = all_slow_delay lib net in
+  fast +. (penalty *. (slow -. fast))
+
+let slew_of t id = (t.slew_rise.(id), t.slew_fall.(id))
+
+let arrival t id = (t.arr_rise.(id), t.arr_fall.(id))
+
+let required t id = (t.req_rise.(id), t.req_fall.(id))
+
+let edge_delays t id ~pin =
+  match Netlist.node t.net id with
+  | Netlist.Primary_input -> invalid_arg "Sta.edge_delays: not a gate"
+  | Netlist.Cell { kind; fanin } -> gate_delays t id kind pin fanin.(pin)

@@ -1,0 +1,95 @@
+(** Static timing analysis with per-version delay derating and slew
+    propagation.
+
+    Tracks rise and fall arrival/required times separately: every
+    library cell is inverting, so an output rise is launched by input
+    falls and vice versa, and a version's rise/fall factors derate
+    different paths (a high-Vt PMOS only hurts rises — the property the
+    four-trade-point library exploits).  Delays follow the paper's
+    two-axis tables: a load-dependent base scaled by the version factor
+    plus a term proportional to the input transition time; output slews
+    are derated by the same factor, so a slowed cell also degrades its
+    fan-out's delay.
+
+    The optimizer's contract: keep a workspace's version/pin assignment
+    in sync, call {!update} (or {!update_from}) after accepting a
+    change, and pre-filter candidate versions against the *current*
+    arrival and required times with {!candidate_feasible}.  Because a
+    slowed cell also slows downstream stages through its output slew,
+    the pre-filter is necessary but not sufficient — accept a candidate
+    only after re-checking {!meets_budget} on the updated workspace (the
+    gate-tree search does exactly that, reverting on failure). *)
+
+type t
+(** Mutable timing workspace bound to one netlist and library. *)
+
+val create : Standby_cells.Library.t -> Standby_netlist.Netlist.t -> t
+(** Workspace with every gate on the fast version, budget at the
+    all-fast circuit delay, timing up to date. *)
+
+val netlist : t -> Standby_netlist.Netlist.t
+
+val assign : t -> int -> version:int -> perm:int array -> unit
+(** Set a gate's version and pin order.  Timing becomes stale until
+    {!update} (or {!update_from}) runs. *)
+
+val version_of : t -> int -> int
+
+val perm_of : t -> int -> int array
+
+val reset_fast : t -> unit
+(** Back to the all-fast assignment; refreshes timing. *)
+
+val set_budget : t -> float -> unit
+(** Set the delay constraint and refresh required times. *)
+
+val budget : t -> float
+
+val update : t -> unit
+(** Full arrival (forward) and required (backward) recomputation. *)
+
+val update_from : t -> int -> unit
+(** Propagate arrivals forward from one changed gate, then refresh
+    required times.  Equivalent to {!update} but touches only the
+    affected cone for arrivals. *)
+
+val circuit_delay : t -> float
+(** Worst arrival over primary outputs (both transitions). *)
+
+val meets_budget : t -> bool
+
+val candidate_feasible : t -> int -> version:int -> perm:int array -> bool
+(** Would swapping this single gate keep every path through it within
+    the budget, given current arrivals/requireds and input slews?  A
+    fast necessary check; confirm with {!meets_budget} after installing
+    the candidate (output-slew degradation propagates downstream). *)
+
+val slew_of : t -> int -> float * float
+(** Current (rise, fall) output transition times of a node. *)
+
+val gate_slack : t -> int -> float
+(** Smallest slack over the gate's transitions — a measure of how much
+    this gate could be slowed. *)
+
+val all_fast_delay : Standby_cells.Library.t -> Standby_netlist.Netlist.t -> float
+(** Circuit delay with every cell fast. *)
+
+val all_slow_delay : Standby_cells.Library.t -> Standby_netlist.Netlist.t -> float
+(** Circuit delay with every cell replaced by its all-high-Vt,
+    all-thick-oxide fallback — the 100 % point of the paper's
+    delay-penalty axis. *)
+
+val budget_for_penalty :
+  Standby_cells.Library.t -> Standby_netlist.Netlist.t -> penalty:float -> float
+(** [d_fast +. penalty *. (d_slow -. d_fast)]: the paper's definition of
+    an x% delay penalty. *)
+
+val arrival : t -> int -> float * float
+(** Current (rise, fall) arrival times of a node. *)
+
+val required : t -> int -> float * float
+(** Current (rise, fall) required times of a node under the budget. *)
+
+val edge_delays : t -> int -> pin:int -> float * float
+(** Current (rise, fall) pin-to-output delays of a gate's fan-in pin,
+    including the slew term.  @raise Invalid_argument for inputs. *)

@@ -1,0 +1,87 @@
+module Netlist = Standby_netlist.Netlist
+module Gate_kind = Standby_netlist.Gate_kind
+
+type transition = Rise | Fall
+
+type step = { node : int; transition : transition; arrival : float; slew : float }
+
+let step_of sta node transition =
+  let rise, fall = Sta.arrival sta node in
+  let slew_rise, slew_fall = Sta.slew_of sta node in
+  match transition with
+  | Rise -> { node; transition; arrival = rise; slew = slew_rise }
+  | Fall -> { node; transition; arrival = fall; slew = slew_fall }
+
+let critical_path sta =
+  let net = Sta.netlist sta in
+  (* Worst output and its transition. *)
+  let endpoint =
+    Array.fold_left
+      (fun acc o ->
+        let rise, fall = Sta.arrival sta o in
+        let best = match acc with None -> neg_infinity | Some (_, _, a) -> a in
+        let acc = if rise > best then Some (o, Rise, rise) else acc in
+        let best = match acc with None -> neg_infinity | Some (_, _, a) -> a in
+        if fall > best then Some (o, Fall, fall) else acc)
+      None (Netlist.outputs net)
+  in
+  match endpoint with
+  | None -> []
+  | Some (out, transition, _) ->
+    let rec walk node transition acc =
+      let acc = step_of sta node transition :: acc in
+      match Netlist.node net node with
+      | Netlist.Primary_input -> acc
+      | Netlist.Cell { fanin; _ } ->
+        (* The pin whose (arrival + edge delay) set this node's arrival;
+           every cell is inverting, so the upstream transition flips. *)
+        let target = (step_of sta node transition).arrival in
+        let best = ref None in
+        Array.iteri
+          (fun pin src ->
+            let d_rise, d_fall = Sta.edge_delays sta node ~pin in
+            let src_rise, src_fall = Sta.arrival sta src in
+            let candidate =
+              match transition with
+              | Rise -> src_fall +. d_rise
+              | Fall -> src_rise +. d_fall
+            in
+            let closeness = abs_float (candidate -. target) in
+            match !best with
+            | Some (_, best_closeness) when best_closeness <= closeness -> ()
+            | _ -> best := Some (src, closeness))
+          fanin;
+        (match !best with
+         | None -> acc
+         | Some (src, _) ->
+           let upstream = match transition with Rise -> Fall | Fall -> Rise in
+           walk src upstream acc)
+    in
+    walk out transition []
+
+let render sta =
+  let net = Sta.netlist sta in
+  let buf = Buffer.create 1024 in
+  let path = critical_path sta in
+  Buffer.add_string buf
+    (Printf.sprintf "Critical path of %s (budget %.3f):\n" (Netlist.design_name net)
+       (Sta.budget sta));
+  Buffer.add_string buf
+    (Printf.sprintf "  %-16s %-8s %-6s %9s %8s\n" "node" "cell" "edge" "arrival" "slew");
+  List.iter
+    (fun s ->
+      let kind =
+        match Netlist.kind_of net s.node with
+        | Some k -> Gate_kind.name k
+        | None -> "input"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %-16s %-8s %-6s %9.3f %8.3f\n" (Netlist.name_of net s.node) kind
+           (match s.transition with Rise -> "rise" | Fall -> "fall")
+           s.arrival s.slew))
+    path;
+  let delay = Sta.circuit_delay sta in
+  Buffer.add_string buf
+    (Printf.sprintf "  delay %.3f, budget %.3f, slack %.3f\n" delay (Sta.budget sta)
+       (Sta.budget sta -. delay));
+  Buffer.contents buf

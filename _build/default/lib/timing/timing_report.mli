@@ -1,0 +1,23 @@
+(** Critical-path extraction and human-readable timing reports.
+
+    Walks the worst path backward from the latest primary output through
+    the fan-in pins that set each arrival, alternating transitions at
+    every inverting stage — the report a designer would read to see
+    where the delay budget went after Vt/Tox assignment. *)
+
+type transition = Rise | Fall
+
+type step = {
+  node : int;
+  transition : transition;  (** Transition launched at this node. *)
+  arrival : float;
+  slew : float;
+}
+
+val critical_path : Sta.t -> step list
+(** Steps from a primary input to the worst primary output, in signal
+    order.  Timing must be up to date ({!Sta.update}). *)
+
+val render : Sta.t -> string
+(** A formatted path report with per-stage arrivals/slews plus the
+    budget/slack summary line. *)

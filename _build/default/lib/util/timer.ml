@@ -1,0 +1,16 @@
+type t = { started_at : float; limit_s : float }
+
+let now () = Unix.gettimeofday ()
+
+let start ~limit_s = { started_at = now (); limit_s }
+
+let unlimited () = { started_at = now (); limit_s = infinity }
+
+let elapsed_s t = now () -. t.started_at
+
+let expired t = elapsed_s t >= t.limit_s
+
+let time f =
+  let t0 = now () in
+  let result = f () in
+  (result, now () -. t0)

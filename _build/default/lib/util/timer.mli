@@ -1,0 +1,25 @@
+(** Wall-clock budgets.
+
+    Heuristic 2 searches the state tree "for a preset time limit"; this
+    module provides the deadline primitive it polls, plus a simple
+    stopwatch for reporting runtimes in the benchmark tables. *)
+
+type t
+(** A deadline. *)
+
+val start : limit_s:float -> t
+(** [start ~limit_s] begins a budget of [limit_s] seconds from now.  A
+    non-positive limit is an already-expired budget. *)
+
+val unlimited : unit -> t
+(** A budget that never expires. *)
+
+val expired : t -> bool
+(** Has the budget run out? *)
+
+val elapsed_s : t -> float
+(** Seconds since [start]. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and also returns its wall-clock duration in
+    seconds. *)

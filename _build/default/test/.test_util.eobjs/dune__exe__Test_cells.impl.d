@@ -1,0 +1,1 @@
+test/test_cells.ml: Alcotest Array Gen Lazy List Printf QCheck QCheck_alcotest Standby_cells Standby_device Standby_netlist String

@@ -1,0 +1,1 @@
+test/test_device.ml: Alcotest Gen List QCheck QCheck_alcotest Standby_device

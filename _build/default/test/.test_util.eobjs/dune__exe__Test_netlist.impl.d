@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Bool Filename Gen Hashtbl List Printf QCheck QCheck_alcotest Result Standby_circuits Standby_netlist Standby_sim Sys

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array Gen List QCheck QCheck_alcotest Standby_cells Standby_circuits Standby_device Standby_netlist Standby_opt Standby_power Standby_sim Standby_timing String

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Array Filename Lazy List Standby_cells Standby_circuits Standby_netlist Standby_opt Standby_report String Sys

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Gen Hashtbl QCheck QCheck_alcotest Standby_circuits Standby_netlist Standby_sim Standby_util

@@ -1,0 +1,1 @@
+test/test_timing.ml: Alcotest Array Gen List QCheck QCheck_alcotest Standby_cells Standby_circuits Standby_device Standby_netlist Standby_timing Standby_util String

@@ -1,0 +1,612 @@
+(* Tests for standby_netlist: gate semantics, builder invariants,
+   technology mapping, and .bench I/O. *)
+
+module Gate_kind = Standby_netlist.Gate_kind
+module Netlist = Standby_netlist.Netlist
+module Logic_build = Standby_netlist.Logic_build
+module Bench_io = Standby_netlist.Bench_io
+module B = Netlist.Builder
+
+let check = Alcotest.check
+
+(* ----------------------------- Gate_kind -------------------------- *)
+
+let test_arities () =
+  List.iter
+    (fun (kind, a) -> check Alcotest.int (Gate_kind.name kind) a (Gate_kind.arity kind))
+    [ (Gate_kind.Inv, 1); (Gate_kind.Nand2, 2); (Gate_kind.Nand3, 3);
+      (Gate_kind.Nand4, 4); (Gate_kind.Nor2, 2); (Gate_kind.Nor3, 3);
+      (Gate_kind.Nor4, 4); (Gate_kind.Aoi21, 3); (Gate_kind.Oai21, 3) ]
+
+let test_truth_tables () =
+  check Alcotest.bool "inv 0" true (Gate_kind.eval Gate_kind.Inv [| false |]);
+  check Alcotest.bool "inv 1" false (Gate_kind.eval Gate_kind.Inv [| true |]);
+  check Alcotest.bool "nand2 11" false (Gate_kind.eval Gate_kind.Nand2 [| true; true |]);
+  check Alcotest.bool "nand2 10" true (Gate_kind.eval Gate_kind.Nand2 [| true; false |]);
+  check Alcotest.bool "nor2 00" true (Gate_kind.eval Gate_kind.Nor2 [| false; false |]);
+  check Alcotest.bool "nor2 01" false (Gate_kind.eval Gate_kind.Nor2 [| false; true |]);
+  check Alcotest.bool "nand3 111" false
+    (Gate_kind.eval Gate_kind.Nand3 [| true; true; true |]);
+  check Alcotest.bool "nor3 000" true
+    (Gate_kind.eval Gate_kind.Nor3 [| false; false; false |]);
+  check Alcotest.bool "nand4 1111" false
+    (Gate_kind.eval Gate_kind.Nand4 [| true; true; true; true |]);
+  check Alcotest.bool "nor4 0000" true
+    (Gate_kind.eval Gate_kind.Nor4 [| false; false; false; false |]);
+  (* AOI21 = not (i0*i1 + i2) *)
+  check Alcotest.bool "aoi21 110" false (Gate_kind.eval Gate_kind.Aoi21 [| true; true; false |]);
+  check Alcotest.bool "aoi21 100" true (Gate_kind.eval Gate_kind.Aoi21 [| true; false; false |]);
+  check Alcotest.bool "aoi21 001" false (Gate_kind.eval Gate_kind.Aoi21 [| false; false; true |]);
+  (* OAI21 = not ((i0+i1) * i2) *)
+  check Alcotest.bool "oai21 101" false (Gate_kind.eval Gate_kind.Oai21 [| true; false; true |]);
+  check Alcotest.bool "oai21 110" true (Gate_kind.eval Gate_kind.Oai21 [| true; true; false |]);
+  check Alcotest.bool "oai21 001" true (Gate_kind.eval Gate_kind.Oai21 [| false; false; true |])
+
+let test_eval_arity_mismatch () =
+  Alcotest.check_raises "wrong arity" (Invalid_argument "Gate_kind.eval: wrong input count")
+    (fun () -> ignore (Gate_kind.eval Gate_kind.Nand2 [| true |]))
+
+let test_state_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"state packing roundtrip"
+    QCheck.(make Gen.(pair (int_range 0 8) (int_range 0 15)))
+    (fun (kind_index, state) ->
+      let kind = List.nth Gate_kind.all kind_index in
+      let state = state mod Gate_kind.state_count kind in
+      Gate_kind.state_of_bits kind (Gate_kind.bits_of_state kind state) = state)
+
+let test_state_msb_convention () =
+  (* Pin 0 is the most significant bit: NAND2 state "10" = i1 high. *)
+  let bits = Gate_kind.bits_of_state Gate_kind.Nand2 2 in
+  check Alcotest.bool "i1 of 10" true bits.(0);
+  check Alcotest.bool "i2 of 10" false bits.(1)
+
+let test_of_name () =
+  let kind_t = Alcotest.testable Gate_kind.pp Gate_kind.equal in
+  List.iter
+    (fun kind ->
+      check (Alcotest.option kind_t) (Gate_kind.name kind) (Some kind)
+        (Gate_kind.of_name (Gate_kind.name kind)))
+    Gate_kind.all;
+  check (Alcotest.option kind_t) "unknown" None (Gate_kind.of_name "XOR9")
+
+(* ----------------------------- Builder ---------------------------- *)
+
+let tiny_netlist () =
+  let b = B.create ~name:"tiny" () in
+  let a = B.add_input ~name:"a" b in
+  let c = B.add_input ~name:"c" b in
+  let g1 = B.add_gate ~name:"g1" b Gate_kind.Nand2 [| a; c |] in
+  let g2 = B.add_gate ~name:"g2" b Gate_kind.Inv [| g1 |] in
+  B.mark_output ~name:"out" b g2;
+  B.finish b
+
+let test_builder_basics () =
+  let net = tiny_netlist () in
+  check Alcotest.int "nodes" 4 (Netlist.node_count net);
+  check Alcotest.int "inputs" 2 (Netlist.input_count net);
+  check Alcotest.int "gates" 2 (Netlist.gate_count net);
+  check Alcotest.string "design name" "tiny" (Netlist.design_name net);
+  check Alcotest.int "depth" 2 (Netlist.depth net);
+  check (Alcotest.option Alcotest.int) "id by name" (Some 2) (Netlist.id_of_name net "g1")
+
+let test_builder_validation () =
+  let net = tiny_netlist () in
+  check (Alcotest.result Alcotest.unit Alcotest.string) "valid" (Ok ()) (Netlist.validate net)
+
+let test_builder_bad_fanin () =
+  let b = B.create () in
+  let a = B.add_input b in
+  Alcotest.check_raises "forward reference"
+    (Invalid_argument "Netlist.Builder.add_gate: fan-in refers to an unknown node")
+    (fun () -> ignore (B.add_gate b Gate_kind.Nand2 [| a; 99 |]))
+
+let test_builder_bad_arity () =
+  let b = B.create () in
+  let a = B.add_input b in
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Netlist.Builder.add_gate: fan-in count does not match arity")
+    (fun () -> ignore (B.add_gate b Gate_kind.Nand2 [| a |]))
+
+let test_builder_no_output () =
+  let b = B.create () in
+  ignore (B.add_input b);
+  Alcotest.check_raises "no output"
+    (Invalid_argument "Netlist.Builder.finish: netlist has no primary output") (fun () ->
+      ignore (B.finish b))
+
+let test_double_mark () =
+  let b = B.create () in
+  let a = B.add_input b in
+  B.mark_output b a;
+  Alcotest.check_raises "double mark"
+    (Invalid_argument "Netlist.Builder.mark_output: node marked twice") (fun () ->
+      B.mark_output b a)
+
+let test_fanout_consistency () =
+  let net = tiny_netlist () in
+  (* a and c each drive g1; g1 drives g2; g2 drives nothing. *)
+  check (Alcotest.array Alcotest.int) "fanout of a" [| 2 |] (Netlist.fanout net 0);
+  check (Alcotest.array Alcotest.int) "fanout of g1" [| 3 |] (Netlist.fanout net 2);
+  check Alcotest.int "fanout count of g2" 0 (Netlist.fanout_count net 3)
+
+let test_levels () =
+  let net = tiny_netlist () in
+  check (Alcotest.array Alcotest.int) "levels" [| 0; 0; 1; 2 |] (Netlist.level_of net)
+
+let test_names_unique =
+  QCheck.Test.make ~count:30 ~name:"node names unique after finish"
+    QCheck.(make Gen.(int_range 0 10_000))
+    (fun seed ->
+      let net = Standby_circuits.Random_logic.generate ~seed ~inputs:6 ~gates:40 () in
+      let seen = Hashtbl.create 64 in
+      let ok = ref true in
+      for id = 0 to Netlist.node_count net - 1 do
+        let name = Netlist.name_of net id in
+        if Hashtbl.mem seen name then ok := false;
+        Hashtbl.replace seen name ();
+        (* and id_of_name resolves to the node carrying the name *)
+        if Netlist.id_of_name net name <> Some id then ok := false
+      done;
+      !ok)
+
+let test_histogram () =
+  let net = tiny_netlist () in
+  let hist = Netlist.gate_histogram net in
+  check Alcotest.int "inv count" 1 (List.assoc Gate_kind.Inv hist);
+  check Alcotest.int "nand2 count" 1 (List.assoc Gate_kind.Nand2 hist)
+
+(* --------------------------- Logic_build -------------------------- *)
+
+(* Evaluate a constructed function against a specification on all input
+   combinations. *)
+let check_function ~inputs ~build ~spec name =
+  let b = B.create () in
+  let ids = Array.init inputs (fun _ -> B.add_input b) in
+  let out = build b ids in
+  B.mark_output b out;
+  let net = B.finish b in
+  for v = 0 to (1 lsl inputs) - 1 do
+    let bits = Array.init inputs (fun i -> (v lsr i) land 1 = 1) in
+    let result = (Standby_sim.Simulator.output_vector net bits).(0) in
+    if result <> spec bits then Alcotest.failf "%s: wrong output for assignment %d" name v
+  done
+
+let test_wide_nand () =
+  List.iter
+    (fun k ->
+      check_function ~inputs:k
+        ~build:(fun b ids -> Logic_build.nand_of b (Array.to_list ids))
+        ~spec:(fun bits -> not (Array.for_all (fun x -> x) bits))
+        (Printf.sprintf "nand%d" k))
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let test_wide_nor () =
+  List.iter
+    (fun k ->
+      check_function ~inputs:k
+        ~build:(fun b ids -> Logic_build.nor_of b (Array.to_list ids))
+        ~spec:(fun bits -> not (Array.exists (fun x -> x) bits))
+        (Printf.sprintf "nor%d" k))
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let test_wide_and_or () =
+  check_function ~inputs:5
+    ~build:(fun b ids -> Logic_build.and_of b (Array.to_list ids))
+    ~spec:(fun bits -> Array.for_all (fun x -> x) bits)
+    "and5";
+  check_function ~inputs:5
+    ~build:(fun b ids -> Logic_build.or_of b (Array.to_list ids))
+    ~spec:(fun bits -> Array.exists (fun x -> x) bits)
+    "or5"
+
+let test_xor_xnor () =
+  check_function ~inputs:2
+    ~build:(fun b ids -> Logic_build.xor2 b ids.(0) ids.(1))
+    ~spec:(fun bits -> bits.(0) <> bits.(1))
+    "xor2";
+  check_function ~inputs:2
+    ~build:(fun b ids -> Logic_build.xnor2 b ids.(0) ids.(1))
+    ~spec:(fun bits -> bits.(0) = bits.(1))
+    "xnor2";
+  check_function ~inputs:4
+    ~build:(fun b ids -> Logic_build.xor_of b (Array.to_list ids))
+    ~spec:(fun bits -> Array.fold_left (fun acc x -> acc <> x) false bits)
+    "xor4"
+
+let test_mux () =
+  check_function ~inputs:3
+    ~build:(fun b ids -> Logic_build.mux2 b ~sel:ids.(2) ids.(0) ids.(1))
+    ~spec:(fun bits -> if bits.(2) then bits.(1) else bits.(0))
+    "mux2"
+
+let test_full_adder () =
+  check_function ~inputs:3
+    ~build:(fun b ids ->
+      let sum, _ = Logic_build.full_adder b ids.(0) ids.(1) ids.(2) in
+      sum)
+    ~spec:(fun bits -> Array.fold_left (fun acc x -> acc <> x) false bits)
+    "fa sum";
+  check_function ~inputs:3
+    ~build:(fun b ids ->
+      let _, carry = Logic_build.full_adder b ids.(0) ids.(1) ids.(2) in
+      carry)
+    ~spec:(fun bits ->
+      let n = Array.fold_left (fun acc x -> acc + Bool.to_int x) 0 bits in
+      n >= 2)
+    "fa carry"
+
+(* ------------------------------ Bench_io -------------------------- *)
+
+let sample_bench =
+  "# sample\n\
+   INPUT(a)\n\
+   INPUT(b)\n\
+   INPUT(c)\n\
+   OUTPUT(y)\n\
+   OUTPUT(z)\n\
+   t1 = AND(a, b)\n\
+   t2 = XOR(t1, c)\n\
+   y = NOT(t2)\n\
+   z = OR(a, t2)\n"
+
+let test_bench_parse () =
+  match Bench_io.of_string sample_bench with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok net ->
+    check Alcotest.int "inputs" 3 (Netlist.input_count net);
+    check Alcotest.int "outputs" 2 (Array.length (Netlist.outputs net));
+    check (Alcotest.result Alcotest.unit Alcotest.string) "valid" (Ok ())
+      (Netlist.validate net)
+
+let outputs_for net v =
+  let n = Netlist.input_count net in
+  let bits = Array.init n (fun i -> (v lsr i) land 1 = 1) in
+  Standby_sim.Simulator.output_vector net bits
+
+let test_bench_semantics () =
+  match Bench_io.of_string sample_bench with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok net ->
+    (* Input order in file: a, b, c. *)
+    for v = 0 to 7 do
+      let a = v land 1 = 1 and b = v land 2 = 2 and c = v land 4 = 4 in
+      let t2 = (a && b) <> c in
+      let out = outputs_for net v in
+      check Alcotest.bool (Printf.sprintf "y @%d" v) (not t2) out.(0);
+      check Alcotest.bool (Printf.sprintf "z @%d" v) (a || t2) out.(1)
+    done
+
+let test_bench_roundtrip =
+  QCheck.Test.make ~count:20 ~name:"export/import preserves the Boolean function"
+    QCheck.(make Gen.(int_range 0 10_000))
+    (fun seed ->
+      let net = Standby_circuits.Random_logic.generate ~seed ~inputs:6 ~gates:25 () in
+      match Bench_io.of_string (Bench_io.to_string net) with
+      | Error _ -> false
+      | Ok again ->
+        let ok = ref (Netlist.input_count net = Netlist.input_count again) in
+        for v = 0 to 63 do
+          if outputs_for net v <> outputs_for again v then ok := false
+        done;
+        !ok)
+
+let test_bench_dff_cut () =
+  let src = "INPUT(d)\nOUTPUT(q)\ns = DFF(n)\nn = AND(d, s)\nq = NOT(s)\n" in
+  match Bench_io.of_string src with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok net ->
+    (* The flop output s becomes an input; its data n becomes an output. *)
+    check Alcotest.int "inputs" 2 (Netlist.input_count net);
+    check Alcotest.int "outputs" 2 (Array.length (Netlist.outputs net))
+
+let test_bench_errors () =
+  let check_err src =
+    match Bench_io.of_string src with
+    | Ok _ -> Alcotest.failf "expected failure: %s" src
+    | Error _ -> ()
+  in
+  check_err "INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n";
+  check_err "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n";
+  check_err "INPUT(a)\nOUTPUT(y)\ny = AND(a, z)\nz = NOT(y)\n";
+  check_err "INPUT(a)\ny = NOT(a)\n" (* no outputs *);
+  check_err "INPUT(a)\nOUTPUT(y)\ny = NOT(a\n"
+
+(* ----------------------------- Verilog_io ------------------------- *)
+
+module Verilog_io = Standby_netlist.Verilog_io
+
+let c17_verilog =
+  "// c17\n\
+   module c17 (N1, N2, N3, N6, N7, N22, N23);\n\
+   \  input N1, N2, N3, N6, N7;\n\
+   \  output N22, N23;\n\
+   \  wire N10, N11, N16, N19;\n\
+   \  nand g1 (N10, N1, N3);\n\
+   \  nand g2 (N11, N3, N6);\n\
+   \  nand g3 (N16, N2, N11);\n\
+   \  nand g4 (N19, N11, N7);\n\
+   \  nand g5 (N22, N10, N16);\n\
+   \  nand g6 (N23, N16, N19);\n\
+   endmodule\n"
+
+let test_verilog_parse_c17 () =
+  match Verilog_io.of_string c17_verilog with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok net ->
+    check Alcotest.string "module name" "c17" (Netlist.design_name net);
+    check Alcotest.int "inputs" 5 (Netlist.input_count net);
+    check Alcotest.int "gates" 6 (Netlist.gate_count net);
+    check Alcotest.int "outputs" 2 (Array.length (Netlist.outputs net));
+    check (Alcotest.result Alcotest.unit Alcotest.string) "valid" (Ok ())
+      (Netlist.validate net)
+
+let test_verilog_matches_bench () =
+  (* The same circuit via both readers computes the same function. *)
+  let bench =
+    "INPUT(N1)\nINPUT(N2)\nINPUT(N3)\nINPUT(N6)\nINPUT(N7)\n\
+     OUTPUT(N22)\nOUTPUT(N23)\n\
+     N10 = NAND(N1, N3)\nN11 = NAND(N3, N6)\nN16 = NAND(N2, N11)\n\
+     N19 = NAND(N11, N7)\nN22 = NAND(N10, N16)\nN23 = NAND(N16, N19)\n"
+  in
+  match (Verilog_io.of_string c17_verilog, Bench_io.of_string bench) with
+  | Ok v, Ok b ->
+    for vec = 0 to 31 do
+      if outputs_for v vec <> outputs_for b vec then
+        Alcotest.failf "mismatch at vector %d" vec
+    done
+  | Error m, _ | _, Error m -> Alcotest.failf "parse failed: %s" m
+
+let test_verilog_roundtrip =
+  QCheck.Test.make ~count:20 ~name:"verilog export/import preserves the function"
+    QCheck.(make Gen.(int_range 0 10_000))
+    (fun seed ->
+      let net = Standby_circuits.Random_logic.generate ~seed ~inputs:6 ~gates:30 () in
+      match Verilog_io.of_string (Verilog_io.to_string net) with
+      | Error _ -> false
+      | Ok again ->
+        let ok = ref (Netlist.input_count net = Netlist.input_count again) in
+        for v = 0 to 63 do
+          if outputs_for net v <> outputs_for again v then ok := false
+        done;
+        !ok)
+
+let test_verilog_primitives_and_comments () =
+  let src =
+    "module m (a, b, y);\n\
+     \  input a, b; output y;\n\
+     \  wire t1, t2, t3; /* block\n comment */\n\
+     \  and (t1, a, b);\n\
+     \  xor (t2, a, b);\n\
+     \  buf (t3, t2);\n\
+     \  nor named_instance (y, t1, t3);\n\
+     endmodule\n"
+  in
+  match Verilog_io.of_string src with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok net ->
+    for v = 0 to 3 do
+      let a = v land 1 = 1 and b = v land 2 = 2 in
+      let expected = not ((a && b) || (a <> b)) in
+      check Alcotest.bool (Printf.sprintf "y @%d" v) expected (outputs_for net v).(0)
+    done
+
+let test_verilog_errors () =
+  let check_err src =
+    match Verilog_io.of_string src with
+    | Ok _ -> Alcotest.failf "expected failure: %s" src
+    | Error _ -> ()
+  in
+  check_err "module m (a, y); input a; output y; wire [3:0] bus; endmodule";
+  check_err "module m (a, y); input a; output y; assign y = a; endmodule";
+  check_err "module m (a, y); input a; output y; not (y, ghost); endmodule";
+  check_err "module m (a, y); input a; output y; not (y, z); not (z, y); endmodule";
+  check_err "module m (a, y); input a; output y; not (y, a); not (y, a); endmodule";
+  check_err "module m (a, y); input a; output y; not (y, a);";
+  check_err "no module here"
+
+let test_bench_comments_and_blank_lines () =
+  let src = "\n# hello\n  INPUT(a)  \n\nOUTPUT(y) # trailing\ny = NOT(a)\n" in
+  match Bench_io.of_string src with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok net -> check Alcotest.int "gates" 1 (Netlist.gate_count net)
+
+(* ------------------------------ Peephole --------------------------- *)
+
+module Peephole = Standby_netlist.Peephole
+
+let equivalent a b =
+  Netlist.input_count a = Netlist.input_count b
+  && Array.length (Netlist.outputs a) = Array.length (Netlist.outputs b)
+  && begin
+    let ok = ref true in
+    for v = 0 to (1 lsl Netlist.input_count a) - 1 do
+      if outputs_for a v <> outputs_for b v then ok := false
+    done;
+    !ok
+  end
+
+let test_peephole_equivalence =
+  QCheck.Test.make ~count:40 ~name:"peephole rewrites preserve the function"
+    QCheck.(make Gen.(int_range 0 100_000))
+    (fun seed ->
+      let net = Standby_circuits.Random_logic.generate ~seed ~inputs:7 ~gates:60 () in
+      let simplified, _ = Peephole.simplify_fixpoint net in
+      Result.is_ok (Netlist.validate simplified) && equivalent net simplified)
+
+let test_peephole_removes_buffers () =
+  (* BUFF import becomes INV pairs; the pass collapses them back. *)
+  let src =
+    "INPUT(a)\nINPUT(b)\nOUTPUT(y)\n\
+     t1 = BUFF(a)\nt2 = BUFF(t1)\nt3 = AND(t2, b)\ny = BUFF(t3)\n"
+  in
+  match Bench_io.of_string src with
+  | Error m -> Alcotest.failf "parse: %s" m
+  | Ok net ->
+    let simplified, removed = Peephole.simplify_fixpoint net in
+    check Alcotest.bool "buffers removed" true (removed >= 6);
+    check Alcotest.bool "still equivalent" true (equivalent net simplified)
+
+let test_peephole_cse () =
+  let b = B.create () in
+  let a = B.add_input b in
+  let c = B.add_input b in
+  let g1 = B.add_gate b Gate_kind.Nand2 [| a; c |] in
+  let g2 = B.add_gate b Gate_kind.Nand2 [| a; c |] in
+  let out = B.add_gate b Gate_kind.Nand2 [| g1; g2 |] in
+  B.mark_output b out;
+  let net = B.finish b in
+  let simplified, _ = Peephole.simplify_fixpoint net in
+  (* NAND(g,g) with g = CSE-merged pair collapses to INV(NAND(a,c)). *)
+  check Alcotest.int "two gates remain" 2 (Netlist.gate_count simplified);
+  check Alcotest.bool "equivalent" true (equivalent net simplified)
+
+let test_peephole_duplicate_inputs () =
+  let b = B.create () in
+  let a = B.add_input b in
+  let c = B.add_input b in
+  let g = B.add_gate b Gate_kind.Nand3 [| a; a; c |] in
+  B.mark_output b g;
+  let net = B.finish b in
+  let simplified, _ = Peephole.simplify net in
+  check Alcotest.bool "narrowed to nand2" true
+    (Netlist.kind_of simplified 2 = Some Gate_kind.Nand2);
+  check Alcotest.bool "equivalent" true (equivalent net simplified)
+
+let test_peephole_dead_logic () =
+  let b = B.create () in
+  let a = B.add_input b in
+  let live = B.add_gate b Gate_kind.Inv [| a |] in
+  let _dead = B.add_gate b Gate_kind.Nand2 [| a; live |] in
+  B.mark_output b live;
+  let net = B.finish b in
+  let simplified, removed = Peephole.simplify net in
+  check Alcotest.int "dead gate dropped" 1 removed;
+  check Alcotest.int "one gate left" 1 (Netlist.gate_count simplified)
+
+let test_peephole_preserves_output_count () =
+  (* Two outputs wired to identical logic must stay distinct nets. *)
+  let b = B.create () in
+  let a = B.add_input b in
+  let g1 = B.add_gate b Gate_kind.Inv [| a |] in
+  let g2 = B.add_gate b Gate_kind.Inv [| a |] in
+  B.mark_output b g1;
+  B.mark_output b g2;
+  let net = B.finish b in
+  let simplified, _ = Peephole.simplify net in
+  check Alcotest.int "two outputs" 2 (Array.length (Netlist.outputs simplified));
+  check Alcotest.bool "distinct nodes" true
+    ((Netlist.outputs simplified).(0) <> (Netlist.outputs simplified).(1));
+  check Alcotest.bool "equivalent" true (equivalent net simplified)
+
+(* --------------------------- File fixtures ------------------------ *)
+
+let fixture name =
+  (* dune runs tests in _build/default/test; fixtures are declared as
+     deps from the workspace root. *)
+  let candidates = [ Filename.concat "../data" name; Filename.concat "data" name ] in
+  match List.find_opt Sys.file_exists candidates with
+  | Some path -> path
+  | None -> Alcotest.failf "fixture %s not found" name
+
+let test_c17_bench_file () =
+  match Bench_io.read_file (fixture "c17.bench") with
+  | Error msg -> Alcotest.failf "read failed: %s" msg
+  | Ok net ->
+    check Alcotest.string "design name" "c17" (Netlist.design_name net);
+    check Alcotest.int "gates" 6 (Netlist.gate_count net)
+
+let test_c17_cross_format () =
+  (* The .bench and .v fixtures describe the same circuit. *)
+  match (Bench_io.read_file (fixture "c17.bench"), Verilog_io.read_file (fixture "c17.v")) with
+  | Ok a, Ok b ->
+    check Alcotest.int "same inputs" (Netlist.input_count a) (Netlist.input_count b);
+    for v = 0 to 31 do
+      if outputs_for a v <> outputs_for b v then Alcotest.failf "mismatch at %d" v
+    done
+  | Error m, _ | _, Error m -> Alcotest.failf "read failed: %s" m
+
+let test_cross_format_roundtrip =
+  QCheck.Test.make ~count:15 ~name:"verilog(bench(net)) preserves the function"
+    QCheck.(make Gen.(int_range 0 10_000))
+    (fun seed ->
+      let net = Standby_circuits.Random_logic.generate ~seed ~inputs:6 ~gates:30 () in
+      match Bench_io.of_string (Bench_io.to_string net) with
+      | Error _ -> false
+      | Ok via_bench ->
+        (match Verilog_io.of_string (Verilog_io.to_string via_bench) with
+         | Error _ -> false
+         | Ok via_both ->
+           let ok = ref true in
+           for v = 0 to 63 do
+             if outputs_for net v <> outputs_for via_both v then ok := false
+           done;
+           !ok))
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "standby_netlist"
+    [
+      ( "gate-kind",
+        [
+          quick "arities" test_arities;
+          quick "truth tables" test_truth_tables;
+          quick "arity mismatch" test_eval_arity_mismatch;
+          QCheck_alcotest.to_alcotest test_state_roundtrip;
+          quick "msb convention" test_state_msb_convention;
+          quick "of_name" test_of_name;
+        ] );
+      ( "builder",
+        [
+          quick "basics" test_builder_basics;
+          quick "validation" test_builder_validation;
+          quick "bad fanin" test_builder_bad_fanin;
+          quick "bad arity" test_builder_bad_arity;
+          quick "no output" test_builder_no_output;
+          quick "double mark" test_double_mark;
+          quick "fanouts" test_fanout_consistency;
+          quick "levels" test_levels;
+          QCheck_alcotest.to_alcotest test_names_unique;
+          quick "histogram" test_histogram;
+        ] );
+      ( "logic-build",
+        [
+          quick "wide nand" test_wide_nand;
+          quick "wide nor" test_wide_nor;
+          quick "wide and/or" test_wide_and_or;
+          quick "xor/xnor" test_xor_xnor;
+          quick "mux" test_mux;
+          quick "full adder" test_full_adder;
+        ] );
+      ( "bench-io",
+        [
+          quick "parse" test_bench_parse;
+          quick "semantics" test_bench_semantics;
+          QCheck_alcotest.to_alcotest test_bench_roundtrip;
+          quick "dff cut" test_bench_dff_cut;
+          quick "errors" test_bench_errors;
+          quick "comments and blanks" test_bench_comments_and_blank_lines;
+        ] );
+      ( "verilog-io",
+        [
+          quick "parse c17" test_verilog_parse_c17;
+          quick "matches bench" test_verilog_matches_bench;
+          QCheck_alcotest.to_alcotest test_verilog_roundtrip;
+          quick "primitives and comments" test_verilog_primitives_and_comments;
+          quick "errors" test_verilog_errors;
+        ] );
+      ( "peephole",
+        [
+          QCheck_alcotest.to_alcotest test_peephole_equivalence;
+          quick "buffer removal" test_peephole_removes_buffers;
+          quick "cse" test_peephole_cse;
+          quick "duplicate inputs" test_peephole_duplicate_inputs;
+          quick "dead logic" test_peephole_dead_logic;
+          quick "output count" test_peephole_preserves_output_count;
+        ] );
+      ( "fixtures",
+        [
+          quick "c17 bench file" test_c17_bench_file;
+          quick "c17 cross-format" test_c17_cross_format;
+          QCheck_alcotest.to_alcotest test_cross_format_roundtrip;
+        ] );
+    ]

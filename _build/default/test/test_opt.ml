@@ -1,0 +1,377 @@
+(* Tests for standby_opt: bounds, gate tree, state tree, heuristics,
+   exact branch-and-bound and baselines. *)
+
+module Process = Standby_device.Process
+module Gate_kind = Standby_netlist.Gate_kind
+module Netlist = Standby_netlist.Netlist
+module Version = Standby_cells.Version
+module Library = Standby_cells.Library
+module Logic = Standby_sim.Logic
+module Simulator = Standby_sim.Simulator
+module Sta = Standby_timing.Sta
+module Evaluate = Standby_power.Evaluate
+module Assignment = Standby_power.Assignment
+module Bound = Standby_opt.Bound
+module Gate_tree = Standby_opt.Gate_tree
+module State_tree = Standby_opt.State_tree
+module Search_stats = Standby_opt.Search_stats
+module Optimizer = Standby_opt.Optimizer
+module Baselines = Standby_opt.Baselines
+
+let check = Alcotest.check
+
+let lib = Library.build Process.default
+
+let lib_state = Library.build ~mode:Version.state_only_mode Process.default
+
+let lib_vt = Library.build ~mode:Version.vt_and_state_mode Process.default
+
+let small seed = Standby_circuits.Random_logic.generate ~seed ~inputs:6 ~gates:12 ()
+
+let medium seed = Standby_circuits.Random_logic.generate ~seed ~inputs:12 ~gates:80 ()
+
+let total (r : Optimizer.result) = r.Optimizer.breakdown.Evaluate.total
+
+(* ------------------------------- Bound ----------------------------- *)
+
+let test_bound_full_info_is_min_sum =
+  QCheck.Test.make ~count:30 ~name:"bound with full state = sum of per-gate minima"
+    QCheck.(make Gen.(pair (int_range 0 500) (int_range 0 63)))
+    (fun (seed, v) ->
+      let net = small seed in
+      let bound = Bound.create lib net in
+      let inputs = Array.init 6 (fun i -> (v lsr i) land 1 = 1) in
+      let trits = Array.map Logic.of_bool inputs in
+      let values = Simulator.eval net inputs in
+      let states = Simulator.gate_states net values in
+      let expected = ref 0.0 in
+      Netlist.iter_gates net (fun id kind _ ->
+          expected :=
+            !expected +. (Library.options lib kind ~state:states.(id)).(0).Version.leakage);
+      let got = Bound.lower_bound bound (Simulator.eval_partial net trits) in
+      abs_float (got -. !expected) < 1e-15 +. (1e-9 *. !expected))
+
+let test_bound_monotone_in_information =
+  (* Revealing more inputs can only raise (or keep) the lower bound. *)
+  QCheck.Test.make ~count:30 ~name:"bound nondecreasing as inputs become known"
+    QCheck.(make Gen.(triple (int_range 0 500) (int_range 0 63) (int_range 0 5)))
+    (fun (seed, v, reveal) ->
+      let net = small seed in
+      let bound = Bound.create lib net in
+      let partial =
+        Array.init 6 (fun i ->
+            if i < reveal then Logic.of_bool ((v lsr i) land 1 = 1) else Logic.Unknown)
+      in
+      let more =
+        Array.init 6 (fun i ->
+            if i <= reveal then Logic.of_bool ((v lsr i) land 1 = 1) else Logic.Unknown)
+      in
+      let b1 = Bound.lower_bound bound (Simulator.eval_partial net partial) in
+      let b2 = Bound.lower_bound bound (Simulator.eval_partial net more) in
+      b2 >= b1 -. 1e-15)
+
+let test_bound_admissible_vs_exact =
+  (* The root bound must not exceed the exact optimum. *)
+  QCheck.Test.make ~count:8 ~name:"root bound below exact optimum"
+    QCheck.(make Gen.(int_range 0 200))
+    (fun seed ->
+      let net = small seed in
+      let bound = Bound.create lib net in
+      let root = Bound.naive_lower_bound bound in
+      let exact = Optimizer.run lib net ~penalty:0.25 Optimizer.Exact in
+      root <= total exact +. 1e-15)
+
+(* ----------------------------- Gate tree -------------------------- *)
+
+let run_gate_tree ?order ~exact net vector penalty =
+  let sta = Sta.create lib net in
+  Sta.set_budget sta (Sta.budget_for_penalty lib net ~penalty);
+  let values = Simulator.eval net vector in
+  let states = Simulator.gate_states net values in
+  let stats = Search_stats.create () in
+  if exact then Gate_tree.exact ~stats lib sta ~states
+  else Gate_tree.greedy ?order ~stats lib sta ~states
+
+let leakage_of_choices net vector choices =
+  let a = Assignment.of_choices lib net ~vector ~choices in
+  (Evaluate.of_assignment lib net a).Evaluate.total
+
+let test_greedy_improves_on_fast =
+  QCheck.Test.make ~count:20 ~name:"greedy gate tree never worse than all-fast"
+    QCheck.(make Gen.(pair (int_range 0 500) (int_range 0 4095)))
+    (fun (seed, v) ->
+      let net = medium seed in
+      let vector = Array.init 12 (fun i -> (v lsr i) land 1 = 1) in
+      let r = run_gate_tree ~exact:false net vector 0.05 in
+      let fast = (Evaluate.fast_vector lib net vector).Evaluate.total in
+      r.Gate_tree.leakage <= fast +. 1e-15)
+
+let test_greedy_leakage_matches_evaluator =
+  QCheck.Test.make ~count:20 ~name:"gate-tree leakage agrees with the evaluator"
+    QCheck.(make Gen.(pair (int_range 0 500) (int_range 0 4095)))
+    (fun (seed, v) ->
+      let net = medium seed in
+      let vector = Array.init 12 (fun i -> (v lsr i) land 1 = 1) in
+      let r = run_gate_tree ~exact:false net vector 0.05 in
+      let independent = leakage_of_choices net vector r.Gate_tree.choices in
+      abs_float (independent -. r.Gate_tree.leakage) < 1e-15 +. (1e-9 *. independent))
+
+let test_greedy_respects_budget =
+  QCheck.Test.make ~count:20 ~name:"greedy result meets the delay budget"
+    QCheck.(make Gen.(pair (int_range 0 500) (int_range 0 4095)))
+    (fun (seed, v) ->
+      let net = medium seed in
+      let vector = Array.init 12 (fun i -> (v lsr i) land 1 = 1) in
+      let sta = Sta.create lib net in
+      Sta.set_budget sta (Sta.budget_for_penalty lib net ~penalty:0.05);
+      let values = Simulator.eval net vector in
+      let states = Simulator.gate_states net values in
+      let stats = Search_stats.create () in
+      ignore (Gate_tree.greedy ~stats lib sta ~states);
+      Sta.meets_budget sta)
+
+let test_exact_not_worse_than_greedy =
+  QCheck.Test.make ~count:6 ~name:"exact gate tree <= greedy gate tree"
+    QCheck.(make Gen.(pair (int_range 0 200) (int_range 0 63)))
+    (fun (seed, v) ->
+      let net = small seed in
+      let vector = Array.init 6 (fun i -> (v lsr i) land 1 = 1) in
+      let greedy = run_gate_tree ~exact:false net vector 0.10 in
+      let exact = run_gate_tree ~exact:true net vector 0.10 in
+      exact.Gate_tree.leakage <= greedy.Gate_tree.leakage +. 1e-15)
+
+let test_gate_order_variants_work () =
+  let net = medium 7 in
+  let vector = Array.make 12 false in
+  let by_saving = run_gate_tree ~order:Gate_tree.By_saving ~exact:false net vector 0.05 in
+  let topological = run_gate_tree ~order:Gate_tree.Topological ~exact:false net vector 0.05 in
+  check Alcotest.bool "both produce finite results" true
+    (by_saving.Gate_tree.leakage > 0.0 && topological.Gate_tree.leakage > 0.0)
+
+(* ----------------------------- Optimizer --------------------------- *)
+
+let test_methods_ordering =
+  (* exact <= heu2 <= heu1 (heu2 starts from the heu1 descent). *)
+  QCheck.Test.make ~count:5 ~name:"exact <= heu2 <= heu1"
+    QCheck.(make Gen.(int_range 0 100))
+    (fun seed ->
+      let net = small seed in
+      let h1 = Optimizer.run lib net ~penalty:0.10 Optimizer.Heuristic_1 in
+      let h2 =
+        Optimizer.run lib net ~penalty:0.10 (Optimizer.Heuristic_2 { time_limit_s = 0.5 })
+      in
+      let ex = Optimizer.run lib net ~penalty:0.10 Optimizer.Exact in
+      total ex <= total h2 +. 1e-15 && total h2 <= total h1 +. 1e-15)
+
+let test_penalty_monotone () =
+  let net = medium 11 in
+  let leak p = total (Optimizer.run lib net ~penalty:p Optimizer.Heuristic_1) in
+  let l0 = leak 0.0 and l5 = leak 0.05 and l25 = leak 0.25 and l100 = leak 1.0 in
+  check Alcotest.bool "5% <= 0%" true (l5 <= l0 +. 1e-15);
+  check Alcotest.bool "25% <= 5%" true (l25 <= l5 +. 1e-15);
+  check Alcotest.bool "100% <= 25%" true (l100 <= l25 +. 1e-15)
+
+let test_delay_within_budget =
+  QCheck.Test.make ~count:10 ~name:"achieved delay within budget for all methods"
+    QCheck.(make Gen.(pair (int_range 0 300) (int_range 0 2)))
+    (fun (seed, which) ->
+      let net = medium seed in
+      let m =
+        match which with
+        | 0 -> Optimizer.Heuristic_1
+        | 1 -> Optimizer.Heuristic_2 { time_limit_s = 0.05 }
+        | _ -> Optimizer.Heuristic_1
+      in
+      let r = Optimizer.run lib net ~penalty:0.05 m in
+      r.Optimizer.delay <= r.Optimizer.budget +. 1e-9)
+
+let test_result_fields () =
+  let net = medium 13 in
+  let r = Optimizer.run lib net ~penalty:0.10 Optimizer.Heuristic_1 in
+  check Alcotest.string "method name" "heu1" r.Optimizer.method_name;
+  check Alcotest.string "library mode" "4-option" r.Optimizer.library_mode;
+  check Alcotest.bool "fast <= budget" true (r.Optimizer.delay_fast <= r.Optimizer.budget);
+  check Alcotest.bool "budget <= slow" true
+    (r.Optimizer.budget <= r.Optimizer.delay_slow +. 1e-9);
+  check Alcotest.bool "stats populated" true (r.Optimizer.stats.Search_stats.leaves >= 1);
+  check (Alcotest.float 1e-9) "penalty recorded" 0.10 r.Optimizer.penalty
+
+let test_negative_penalty_rejected () =
+  let net = small 1 in
+  Alcotest.check_raises "negative penalty"
+    (Invalid_argument "Optimizer.run: negative delay penalty") (fun () ->
+      ignore (Optimizer.run lib net ~penalty:(-0.1) Optimizer.Heuristic_1))
+
+let test_heu2_explores_more () =
+  let net = medium 17 in
+  let h1 = Optimizer.run lib net ~penalty:0.05 Optimizer.Heuristic_1 in
+  let h2 = Optimizer.run lib net ~penalty:0.05 (Optimizer.Heuristic_2 { time_limit_s = 0.3 }) in
+  check Alcotest.bool "more leaves" true
+    (h2.Optimizer.stats.Search_stats.leaves > h1.Optimizer.stats.Search_stats.leaves);
+  check Alcotest.bool "not worse" true (total h2 <= total h1 +. 1e-15)
+
+let test_hill_climb_not_worse =
+  QCheck.Test.make ~count:8 ~name:"hill climbing never worse than heu1"
+    QCheck.(make Gen.(int_range 0 300))
+    (fun seed ->
+      let net = medium seed in
+      let h1 = Optimizer.run lib net ~penalty:0.05 Optimizer.Heuristic_1 in
+      let hc =
+        Optimizer.run lib net ~penalty:0.05
+          (Optimizer.Hill_climb { time_limit_s = 0.5; max_rounds = 2 })
+      in
+      total hc <= total h1 +. 1e-15 && hc.Optimizer.delay <= hc.Optimizer.budget +. 1e-9)
+
+let test_hill_climb_method_name () =
+  let net = small 6 in
+  let hc =
+    Optimizer.run lib net ~penalty:0.10 (Optimizer.Hill_climb { time_limit_s = 0.2; max_rounds = 1 })
+  in
+  check Alcotest.string "name" "heu1+hc" hc.Optimizer.method_name
+
+let test_reduction_factor () =
+  let net = small 2 in
+  let r = Optimizer.run lib net ~penalty:0.05 Optimizer.Heuristic_1 in
+  let x = Optimizer.reduction_factor ~reference:(2.0 *. total r) r in
+  check (Alcotest.float 1e-9) "factor" 2.0 x
+
+let test_sweep_and_pareto () =
+  let net = medium 23 in
+  let points =
+    Optimizer.sweep lib net ~penalties:[ 0.0; 0.05; 0.25 ] Optimizer.Heuristic_1
+  in
+  check Alcotest.int "three points" 3 (List.length points);
+  List.iter
+    (fun (penalty, (r : Optimizer.result)) ->
+      check (Alcotest.float 1e-12) "penalty recorded" penalty r.Optimizer.penalty)
+    points;
+  let front = Optimizer.pareto_front points in
+  check Alcotest.bool "front non-empty" true (List.length front >= 1);
+  (* strictly improving leakage along the front *)
+  let rec strictly_decreasing = function
+    | (_, a) :: ((_, b) :: _ as rest) ->
+      total a > total b && strictly_decreasing rest
+    | _ -> true
+  in
+  check Alcotest.bool "front monotone" true (strictly_decreasing front)
+
+(* ----------------------------- State tree -------------------------- *)
+
+let test_state_tree_config_variants () =
+  let net = medium 19 in
+  let run config = total (Optimizer.run ~config lib net ~penalty:0.05 Optimizer.Heuristic_1) in
+  let default = run State_tree.default_config in
+  let no_order = run { State_tree.default_config with State_tree.use_bound_ordering = false } in
+  let no_prune = run { State_tree.default_config with State_tree.prune_with_bound = false } in
+  check Alcotest.bool "all configurations solve" true
+    (default > 0.0 && no_order > 0.0 && no_prune > 0.0)
+
+let test_exact_insensitive_to_ordering_ablation =
+  (* Exhaustive search must find the same optimum regardless of branch
+     ordering. *)
+  QCheck.Test.make ~count:4 ~name:"exact optimum independent of branch ordering"
+    QCheck.(make Gen.(int_range 0 100))
+    (fun seed ->
+      let net = small seed in
+      let with_order = Optimizer.run lib net ~penalty:0.25 Optimizer.Exact in
+      let without =
+        Optimizer.run
+          ~config:{ State_tree.default_config with State_tree.use_bound_ordering = false }
+          lib net ~penalty:0.25 Optimizer.Exact
+      in
+      abs_float (total with_order -. total without)
+      < 1e-15 +. (1e-9 *. total with_order))
+
+(* ------------------------------ Baselines -------------------------- *)
+
+let test_baseline_mode_checks () =
+  let net = small 3 in
+  Alcotest.check_raises "state_only wants its mode"
+    (Invalid_argument "Baselines.state_only: library built with the wrong version mode")
+    (fun () -> ignore (Baselines.state_only lib net));
+  Alcotest.check_raises "vt_and_state wants its mode"
+    (Invalid_argument "Baselines.vt_and_state: library built with the wrong version mode")
+    (fun () -> ignore (Baselines.vt_and_state lib net ~penalty:0.05))
+
+let test_baseline_hierarchy () =
+  (* The paper's Table 4 ordering: average >= state-only >= vt+state >=
+     full approach. *)
+  let net = Standby_circuits.Benchmarks.circuit "c432" in
+  let avg = (Baselines.random_average ~vectors:2000 lib net).Evaluate.total in
+  let st = total (Baselines.state_only lib_state net) in
+  let vt = total (Baselines.vt_and_state lib_vt net ~penalty:0.05) in
+  let h1 = total (Optimizer.run lib net ~penalty:0.05 Optimizer.Heuristic_1) in
+  check Alcotest.bool "state <= avg" true (st <= avg);
+  check Alcotest.bool "vt+state < state" true (vt < st);
+  check Alcotest.bool "full < vt+state" true (h1 < vt)
+
+let test_state_only_no_swaps () =
+  let net = small 4 in
+  let r = Baselines.state_only lib_state net in
+  check Alcotest.int "no slow gates" 0
+    (Assignment.slow_gate_count lib_state net r.Optimizer.assignment)
+
+let test_random_average_seed_stability () =
+  let net = small 5 in
+  let a = Baselines.random_average ~vectors:200 ~seed:9 lib net in
+  let b = Baselines.random_average ~vectors:200 ~seed:9 lib net in
+  check (Alcotest.float 1e-18) "stable" a.Evaluate.total b.Evaluate.total
+
+(* ---------------------------- Search stats ------------------------- *)
+
+let test_stats_merge () =
+  let a = Search_stats.create () and b = Search_stats.create () in
+  a.Search_stats.leaves <- 2;
+  b.Search_stats.leaves <- 3;
+  b.Search_stats.pruned <- 7;
+  Search_stats.merge_into a b;
+  check Alcotest.int "leaves" 5 a.Search_stats.leaves;
+  check Alcotest.int "pruned" 7 a.Search_stats.pruned;
+  check Alcotest.bool "printable" true (String.length (Search_stats.to_string a) > 0)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "standby_opt"
+    [
+      ( "bound",
+        [
+          QCheck_alcotest.to_alcotest test_bound_full_info_is_min_sum;
+          QCheck_alcotest.to_alcotest test_bound_monotone_in_information;
+          QCheck_alcotest.to_alcotest test_bound_admissible_vs_exact;
+        ] );
+      ( "gate-tree",
+        [
+          QCheck_alcotest.to_alcotest test_greedy_improves_on_fast;
+          QCheck_alcotest.to_alcotest test_greedy_leakage_matches_evaluator;
+          QCheck_alcotest.to_alcotest test_greedy_respects_budget;
+          QCheck_alcotest.to_alcotest test_exact_not_worse_than_greedy;
+          quick "order variants" test_gate_order_variants_work;
+        ] );
+      ( "optimizer",
+        [
+          QCheck_alcotest.to_alcotest test_methods_ordering;
+          quick "penalty monotone" test_penalty_monotone;
+          QCheck_alcotest.to_alcotest test_delay_within_budget;
+          quick "result fields" test_result_fields;
+          quick "negative penalty" test_negative_penalty_rejected;
+          quick "heu2 explores more" test_heu2_explores_more;
+          QCheck_alcotest.to_alcotest test_hill_climb_not_worse;
+          quick "hill climb method name" test_hill_climb_method_name;
+          quick "reduction factor" test_reduction_factor;
+        ] );
+      ( "sweep",
+        [ quick "sweep and pareto" test_sweep_and_pareto ] );
+      ( "state-tree",
+        [
+          quick "config variants" test_state_tree_config_variants;
+          QCheck_alcotest.to_alcotest test_exact_insensitive_to_ordering_ablation;
+        ] );
+      ( "baselines",
+        [
+          quick "mode checks" test_baseline_mode_checks;
+          quick "hierarchy" test_baseline_hierarchy;
+          quick "state-only no swaps" test_state_only_no_swaps;
+          quick "seed stability" test_random_average_seed_stability;
+        ] );
+      ("stats", [ quick "merge" test_stats_merge ]);
+    ]

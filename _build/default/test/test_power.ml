@@ -1,0 +1,255 @@
+(* Tests for standby_power: assignments and circuit-level evaluation. *)
+
+module Process = Standby_device.Process
+module Gate_kind = Standby_netlist.Gate_kind
+module Netlist = Standby_netlist.Netlist
+module Version = Standby_cells.Version
+module Library = Standby_cells.Library
+module Assignment = Standby_power.Assignment
+module Evaluate = Standby_power.Evaluate
+module Prng = Standby_util.Prng
+
+let check = Alcotest.check
+
+let lib = Library.build Process.default
+
+let random_circuit seed = Standby_circuits.Random_logic.generate ~seed ~inputs:8 ~gates:40 ()
+
+let random_vector rng n = Array.init n (fun _ -> Prng.bool rng)
+
+let test_all_fast_consistency =
+  QCheck.Test.make ~count:40 ~name:"all_fast assignment evaluates like fast_vector"
+    QCheck.(make Gen.(pair (int_range 0 500) (int_range 0 255)))
+    (fun (seed, v) ->
+      let net = random_circuit seed in
+      let vector = Array.init 8 (fun i -> (v lsr i) land 1 = 1) in
+      let a = Assignment.all_fast lib net vector in
+      let from_assignment = Evaluate.of_assignment lib net a in
+      let direct = Evaluate.fast_vector lib net vector in
+      abs_float (from_assignment.Evaluate.total -. direct.Evaluate.total)
+      < 1e-18 +. (1e-9 *. direct.Evaluate.total))
+
+let test_all_fast_uses_version_zero () =
+  let net = random_circuit 3 in
+  let a = Assignment.all_fast lib net (Array.make 8 false) in
+  check Alcotest.int "no slow gates" 0 (Assignment.slow_gate_count lib net a)
+
+let test_choice_rejects_inputs () =
+  let net = random_circuit 3 in
+  let a = Assignment.all_fast lib net (Array.make 8 true) in
+  Alcotest.check_raises "input node" (Invalid_argument "Assignment.choice: primary input")
+    (fun () -> ignore (Assignment.choice lib net a (Netlist.inputs net).(0)))
+
+let test_breakdown_adds_up =
+  QCheck.Test.make ~count:40 ~name:"breakdown components sum to total"
+    QCheck.(make Gen.(pair (int_range 0 500) (int_range 0 255)))
+    (fun (seed, v) ->
+      let net = random_circuit seed in
+      let vector = Array.init 8 (fun i -> (v lsr i) land 1 = 1) in
+      let b = Evaluate.fast_vector lib net vector in
+      abs_float (b.Evaluate.total -. (b.Evaluate.isub +. b.Evaluate.igate))
+      < 1e-15 +. (1e-9 *. b.Evaluate.total))
+
+let test_random_average_deterministic () =
+  let net = random_circuit 5 in
+  let a = Evaluate.random_vector_average ~vectors:500 ~seed:42 lib net in
+  let b = Evaluate.random_vector_average ~vectors:500 ~seed:42 lib net in
+  check (Alcotest.float 1e-15) "same seed same average" a.Evaluate.total b.Evaluate.total;
+  let c = Evaluate.random_vector_average ~vectors:500 ~seed:43 lib net in
+  check Alcotest.bool "different seed differs" true
+    (abs_float (a.Evaluate.total -. c.Evaluate.total) > 0.0)
+
+let test_random_average_within_state_bounds () =
+  (* The average over vectors must sit between the best and worst single
+     vector observed. *)
+  let net = random_circuit 6 in
+  let avg = (Evaluate.random_vector_average ~vectors:200 ~seed:7 lib net).Evaluate.total in
+  let rng = Prng.create ~seed:7 in
+  let lo = ref infinity and hi = ref neg_infinity in
+  for _ = 1 to 200 do
+    let v = random_vector rng 8 in
+    let t = (Evaluate.fast_vector lib net v).Evaluate.total in
+    lo := min !lo t;
+    hi := max !hi t
+  done;
+  check Alcotest.bool "avg within [min,max]" true (avg >= !lo && avg <= !hi)
+
+let test_slowest_vector_below_fast =
+  QCheck.Test.make ~count:30 ~name:"all-slow cells leak less than fast cells"
+    QCheck.(make Gen.(pair (int_range 0 500) (int_range 0 255)))
+    (fun (seed, v) ->
+      let net = random_circuit seed in
+      let vector = Array.init 8 (fun i -> (v lsr i) land 1 = 1) in
+      (Evaluate.slowest_vector lib net vector).Evaluate.total
+      < (Evaluate.fast_vector lib net vector).Evaluate.total)
+
+let test_of_choices_roundtrip () =
+  let net = random_circuit 9 in
+  let vector = Array.make 8 true in
+  let a = Assignment.all_fast lib net vector in
+  let again = Assignment.of_choices lib net ~vector ~choices:a.Assignment.option_choice in
+  check
+    (Alcotest.array Alcotest.int)
+    "states preserved" a.Assignment.gate_state again.Assignment.gate_state;
+  check
+    (Alcotest.array Alcotest.bool)
+    "values preserved" a.Assignment.node_values again.Assignment.node_values
+
+let test_min_choice_reduces_leakage () =
+  (* Choosing the minimum-leakage option everywhere (ignoring delay)
+     must beat all-fast. *)
+  let net = random_circuit 10 in
+  let vector = Array.make 8 false in
+  let fast = Assignment.all_fast lib net vector in
+  let min_choices = Array.make (Netlist.node_count net) 0 in
+  let min_assignment = Assignment.of_choices lib net ~vector ~choices:min_choices in
+  let fast_total = (Evaluate.of_assignment lib net fast).Evaluate.total in
+  let min_total = (Evaluate.of_assignment lib net min_assignment).Evaluate.total in
+  check Alcotest.bool "min options leak less" true (min_total < fast_total)
+
+(* ------------------------------ Overhead -------------------------- *)
+
+module Overhead = Standby_power.Overhead
+
+let test_overhead_fields () =
+  let net = random_circuit 3 in
+  let o = Overhead.estimate lib net in
+  check Alcotest.int "forced inputs" (Netlist.input_count net) o.Overhead.forced_inputs;
+  check Alcotest.bool "area positive" true (o.Overhead.area_gate_equivalents > 0.0);
+  check Alcotest.bool "fraction positive" true (o.Overhead.area_fraction > 0.0);
+  check Alcotest.bool "control leakage positive" true (o.Overhead.control_leakage > 0.0)
+
+let test_overhead_scales_with_inputs () =
+  let small = Standby_circuits.Random_logic.generate ~seed:1 ~inputs:4 ~gates:40 () in
+  let big = Standby_circuits.Random_logic.generate ~seed:1 ~inputs:16 ~gates:40 () in
+  let a = Overhead.estimate lib small and b = Overhead.estimate lib big in
+  check Alcotest.bool "more inputs, more overhead" true
+    (b.Overhead.control_leakage > a.Overhead.control_leakage)
+
+let test_net_reduction_below_raw () =
+  let net = random_circuit 4 in
+  let reference = 10e-6 and optimized = 1e-6 in
+  let raw = reference /. optimized in
+  let honest = Overhead.net_reduction_factor lib net ~reference ~optimized in
+  check Alcotest.bool "overhead charges the factor" true (honest < raw);
+  check Alcotest.bool "still a reduction" true (honest > 1.0)
+
+(* ---------------------------- Direct oracle ----------------------- *)
+
+module Direct_eval = Standby_power.Direct_eval
+module Optimizer = Standby_opt.Optimizer
+
+let test_direct_matches_tables =
+  QCheck.Test.make ~count:10
+    ~name:"table-based evaluation equals direct transistor-level re-solve"
+    QCheck.(make Gen.(pair (int_range 0 300) (int_range 0 255)))
+    (fun (seed, v) ->
+      let net = random_circuit seed in
+      let vector = Array.init 8 (fun i -> (v lsr i) land 1 = 1) in
+      let a = Assignment.all_fast lib net vector in
+      let tabled = Evaluate.of_assignment lib net a in
+      let direct = Direct_eval.of_assignment lib net a in
+      abs_float (tabled.Evaluate.total -. direct.Evaluate.total)
+      < 1e-15 +. (1e-6 *. tabled.Evaluate.total))
+
+let test_direct_matches_optimized () =
+  (* The full chain — states, option indices, versions, permutations —
+     agrees with first principles on an optimized solution too. *)
+  let net = random_circuit 31 in
+  let r = Optimizer.run lib net ~penalty:0.10 Optimizer.Heuristic_1 in
+  let a = r.Optimizer.assignment in
+  let tabled = Evaluate.of_assignment lib net a in
+  let direct = Direct_eval.of_assignment lib net a in
+  let close x y = abs_float (x -. y) < 1e-15 +. (1e-6 *. abs_float y) in
+  check Alcotest.bool "total" true (close tabled.Evaluate.total direct.Evaluate.total);
+  check Alcotest.bool "isub" true (close tabled.Evaluate.isub direct.Evaluate.isub);
+  check Alcotest.bool "igate" true (close tabled.Evaluate.igate direct.Evaluate.igate)
+
+(* ------------------------------ Variation ------------------------- *)
+
+module Variation = Standby_power.Variation
+
+let variation_setup () =
+  let net = random_circuit 21 in
+  let a = Assignment.all_fast lib net (Array.make 8 false) in
+  (net, a)
+
+let test_variation_deterministic () =
+  let net, a = variation_setup () in
+  let s1 = Variation.monte_carlo ~samples:300 ~seed:5 lib net a in
+  let s2 = Variation.monte_carlo ~samples:300 ~seed:5 lib net a in
+  check (Alcotest.float 1e-15) "same seed same mean" s1.Variation.mean s2.Variation.mean;
+  check (Alcotest.float 1e-15) "same seed same p95" s1.Variation.p95 s2.Variation.p95
+
+let test_variation_zero_sigma () =
+  let net, a = variation_setup () in
+  let s = Variation.monte_carlo ~samples:50 ~sigma_vt:0.0 ~seed:5 lib net a in
+  check (Alcotest.float 1e-12) "no variation -> nominal mean" s.Variation.nominal
+    s.Variation.mean;
+  check (Alcotest.float 1e-12) "no variation -> nominal p95" s.Variation.nominal
+    s.Variation.p95
+
+let test_variation_ordering () =
+  let net, a = variation_setup () in
+  let s = Variation.monte_carlo ~samples:1000 ~seed:7 lib net a in
+  check Alcotest.bool "mean above nominal (lognormal)" true
+    (s.Variation.mean > s.Variation.nominal);
+  check Alcotest.bool "p95 above mean" true (s.Variation.p95 > s.Variation.mean);
+  check Alcotest.bool "worst above p95" true (s.Variation.worst >= s.Variation.p95);
+  check Alcotest.bool "std positive" true (s.Variation.std_dev > 0.0)
+
+let test_variation_sigma_monotone () =
+  let net, a = variation_setup () in
+  let narrow = Variation.monte_carlo ~samples:500 ~sigma_vt:0.010 ~seed:9 lib net a in
+  let wide = Variation.monte_carlo ~samples:500 ~sigma_vt:0.040 ~seed:9 lib net a in
+  check Alcotest.bool "wider sigma, wider spread" true
+    (wide.Variation.std_dev > narrow.Variation.std_dev)
+
+let test_variation_invalid () =
+  let net, a = variation_setup () in
+  Alcotest.check_raises "no samples"
+    (Invalid_argument "Variation.monte_carlo: need at least one sample") (fun () ->
+      ignore (Variation.monte_carlo ~samples:0 ~seed:1 lib net a));
+  Alcotest.check_raises "negative sigma"
+    (Invalid_argument "Variation.monte_carlo: negative sigma") (fun () ->
+      ignore (Variation.monte_carlo ~sigma_vt:(-0.1) ~seed:1 lib net a))
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "standby_power"
+    [
+      ( "assignment",
+        [
+          QCheck_alcotest.to_alcotest test_all_fast_consistency;
+          quick "all fast no slow gates" test_all_fast_uses_version_zero;
+          quick "choice rejects inputs" test_choice_rejects_inputs;
+          quick "of_choices roundtrip" test_of_choices_roundtrip;
+        ] );
+      ( "evaluate",
+        [
+          QCheck_alcotest.to_alcotest test_breakdown_adds_up;
+          quick "random average deterministic" test_random_average_deterministic;
+          quick "average within bounds" test_random_average_within_state_bounds;
+          QCheck_alcotest.to_alcotest test_slowest_vector_below_fast;
+          quick "min options beat fast" test_min_choice_reduces_leakage;
+        ] );
+      ( "overhead",
+        [
+          quick "fields" test_overhead_fields;
+          quick "scales with inputs" test_overhead_scales_with_inputs;
+          quick "net reduction" test_net_reduction_below_raw;
+        ] );
+      ( "direct-oracle",
+        [
+          QCheck_alcotest.to_alcotest test_direct_matches_tables;
+          quick "optimized solution" test_direct_matches_optimized;
+        ] );
+      ( "variation",
+        [
+          quick "deterministic" test_variation_deterministic;
+          quick "zero sigma" test_variation_zero_sigma;
+          quick "ordering" test_variation_ordering;
+          quick "sigma monotone" test_variation_sigma_monotone;
+          quick "invalid args" test_variation_invalid;
+        ] );
+    ]

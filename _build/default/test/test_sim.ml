@@ -1,0 +1,163 @@
+(* Tests for standby_sim: two- and three-valued simulation. *)
+
+module Gate_kind = Standby_netlist.Gate_kind
+module Netlist = Standby_netlist.Netlist
+module Logic = Standby_sim.Logic
+module Simulator = Standby_sim.Simulator
+module Prng = Standby_util.Prng
+
+let check = Alcotest.check
+
+(* ------------------------------- Logic ---------------------------- *)
+
+let trit = Alcotest.testable Logic.pp Logic.equal
+
+let test_logic_not () =
+  check trit "not 1" Logic.False (Logic.lnot Logic.True);
+  check trit "not 0" Logic.True (Logic.lnot Logic.False);
+  check trit "not X" Logic.Unknown (Logic.lnot Logic.Unknown)
+
+let test_logic_nand_controlling () =
+  (* A controlling 0 decides the output despite unknowns. *)
+  check trit "nand(0,X)" Logic.True (Logic.nand [| Logic.False; Logic.Unknown |]);
+  check trit "nand(1,X)" Logic.Unknown (Logic.nand [| Logic.True; Logic.Unknown |]);
+  check trit "nand(1,1)" Logic.False (Logic.nand [| Logic.True; Logic.True |])
+
+let test_logic_nor_controlling () =
+  check trit "nor(1,X)" Logic.False (Logic.nor [| Logic.True; Logic.Unknown |]);
+  check trit "nor(0,X)" Logic.Unknown (Logic.nor [| Logic.False; Logic.Unknown |]);
+  check trit "nor(0,0)" Logic.True (Logic.nor [| Logic.False; Logic.False |])
+
+let test_logic_of_to_bool () =
+  check (Alcotest.option Alcotest.bool) "to_bool 1" (Some true) (Logic.to_bool Logic.True);
+  check (Alcotest.option Alcotest.bool) "to_bool X" None (Logic.to_bool Logic.Unknown);
+  check trit "of_bool" Logic.True (Logic.of_bool true);
+  check Alcotest.bool "is_known" false (Logic.is_known Logic.Unknown)
+
+(* ----------------------------- Simulator -------------------------- *)
+
+(* Reference evaluation by recursive descent, independent of the
+   iter_gates order. *)
+let reference_eval net inputs =
+  let input_ids = Netlist.inputs net in
+  let cache = Hashtbl.create 64 in
+  Array.iteri (fun i id -> Hashtbl.replace cache id inputs.(i)) input_ids;
+  let rec value id =
+    match Hashtbl.find_opt cache id with
+    | Some v -> v
+    | None ->
+      let v =
+        match Netlist.node net id with
+        | Netlist.Primary_input -> assert false
+        | Netlist.Cell { kind; fanin } -> Gate_kind.eval kind (Array.map value fanin)
+      in
+      Hashtbl.replace cache id v;
+      v
+  in
+  Array.init (Netlist.node_count net) value
+
+let random_circuit seed =
+  Standby_circuits.Random_logic.generate ~seed ~inputs:8 ~gates:40 ()
+
+let test_eval_matches_reference =
+  QCheck.Test.make ~count:50 ~name:"eval matches recursive reference"
+    QCheck.(make Gen.(pair (int_range 0 1000) (int_range 0 255)))
+    (fun (seed, v) ->
+      let net = random_circuit seed in
+      let inputs = Array.init 8 (fun i -> (v lsr i) land 1 = 1) in
+      Simulator.eval net inputs = reference_eval net inputs)
+
+let test_eval_input_mismatch () =
+  let net = random_circuit 1 in
+  Alcotest.check_raises "wrong input count"
+    (Invalid_argument "Simulator.eval: input count mismatch") (fun () ->
+      ignore (Simulator.eval net [| true |]))
+
+let test_partial_agrees_with_full =
+  QCheck.Test.make ~count:50 ~name:"eval_partial with full info equals eval"
+    QCheck.(make Gen.(pair (int_range 0 1000) (int_range 0 255)))
+    (fun (seed, v) ->
+      let net = random_circuit seed in
+      let inputs = Array.init 8 (fun i -> (v lsr i) land 1 = 1) in
+      let trits = Array.map Logic.of_bool inputs in
+      let full = Simulator.eval net inputs in
+      let partial = Simulator.eval_partial net trits in
+      Array.for_all2 (fun b t -> Logic.to_bool t = Some b) full partial)
+
+let test_partial_sound =
+  (* Whatever eval_partial claims to know must hold for every completion
+     of the unknown inputs. *)
+  QCheck.Test.make ~count:30 ~name:"partial values sound for all completions"
+    QCheck.(make Gen.(triple (int_range 0 500) (int_range 0 255) (int_range 0 255)))
+    (fun (seed, known_mask, values) ->
+      let net = random_circuit seed in
+      let trits =
+        Array.init 8 (fun i ->
+            if (known_mask lsr i) land 1 = 1 then Logic.of_bool ((values lsr i) land 1 = 1)
+            else Logic.Unknown)
+      in
+      let partial = Simulator.eval_partial net trits in
+      let sound = ref true in
+      for completion = 0 to 255 do
+        let inputs =
+          Array.init 8 (fun i ->
+              match trits.(i) with
+              | Logic.True -> true
+              | Logic.False -> false
+              | Logic.Unknown -> (completion lsr i) land 1 = 1)
+        in
+        let full = Simulator.eval net inputs in
+        Array.iteri
+          (fun id t ->
+            match Logic.to_bool t with
+            | Some claimed -> if claimed <> full.(id) then sound := false
+            | None -> ())
+          partial
+      done;
+      !sound)
+
+let test_gate_states_convention () =
+  (* gate_state packs fanin 0 as the MSB. *)
+  let b = Netlist.Builder.create () in
+  let a = Netlist.Builder.add_input b in
+  let c = Netlist.Builder.add_input b in
+  let g = Netlist.Builder.add_gate b Gate_kind.Nand2 [| a; c |] in
+  Netlist.Builder.mark_output b g;
+  let net = Netlist.Builder.finish b in
+  let values = Simulator.eval net [| true; false |] in
+  check Alcotest.int "state 10" 2 (Simulator.gate_state net values g);
+  let states = Simulator.gate_states net values in
+  check Alcotest.int "inputs report 0" 0 states.(a);
+  check Alcotest.int "array agrees" 2 states.(g)
+
+let test_output_vector () =
+  let net = random_circuit 3 in
+  let rng = Prng.create ~seed:4 in
+  let inputs = Array.init 8 (fun _ -> Prng.bool rng) in
+  let values = Simulator.eval net inputs in
+  let out = Simulator.output_vector net inputs in
+  Array.iteri
+    (fun i o -> check Alcotest.bool "output matches values" values.(o) out.(i))
+    (Netlist.outputs net)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "standby_sim"
+    [
+      ( "logic",
+        [
+          quick "not" test_logic_not;
+          quick "nand controlling" test_logic_nand_controlling;
+          quick "nor controlling" test_logic_nor_controlling;
+          quick "bool conversions" test_logic_of_to_bool;
+        ] );
+      ( "simulator",
+        [
+          QCheck_alcotest.to_alcotest test_eval_matches_reference;
+          quick "input mismatch" test_eval_input_mismatch;
+          QCheck_alcotest.to_alcotest test_partial_agrees_with_full;
+          QCheck_alcotest.to_alcotest test_partial_sound;
+          quick "gate states convention" test_gate_states_convention;
+          quick "output vector" test_output_vector;
+        ] );
+    ]

@@ -1,0 +1,270 @@
+(* Tests for standby_timing: the delay model and the rise/fall STA with
+   version derating, budgets and feasibility checks. *)
+
+module Process = Standby_device.Process
+module Gate_kind = Standby_netlist.Gate_kind
+module Netlist = Standby_netlist.Netlist
+module Version = Standby_cells.Version
+module Library = Standby_cells.Library
+module Delay_model = Standby_timing.Delay_model
+module Sta = Standby_timing.Sta
+module Prng = Standby_util.Prng
+
+let check = Alcotest.check
+
+let lib = Library.build Process.default
+
+let random_circuit seed = Standby_circuits.Random_logic.generate ~seed ~inputs:8 ~gates:40 ()
+
+(* Pick a random library option for every gate. *)
+let randomize_workspace rng sta net =
+  Netlist.iter_gates net (fun id kind _ ->
+      let state = Prng.int rng ~bound:(Gate_kind.state_count kind) in
+      let opts = Library.options lib kind ~state in
+      let o = opts.(Prng.int rng ~bound:(Array.length opts)) in
+      Sta.assign sta id ~version:o.Version.version ~perm:o.Version.perm);
+  Sta.update sta
+
+(* --------------------------- Delay model -------------------------- *)
+
+let test_base_delay_positive () =
+  List.iter
+    (fun kind ->
+      check Alcotest.bool (Gate_kind.name kind) true
+        (Delay_model.base_delay kind ~fanout:1 > 0.0))
+    Gate_kind.all
+
+let test_base_delay_load_monotone () =
+  List.iter
+    (fun kind ->
+      check Alcotest.bool (Gate_kind.name kind) true
+        (Delay_model.base_delay kind ~fanout:4 > Delay_model.base_delay kind ~fanout:1))
+    Gate_kind.all
+
+let test_node_load_minimum_one () =
+  let net = random_circuit 1 in
+  Array.iter
+    (fun o -> check Alcotest.bool "PO load" true (Delay_model.node_load net o >= 1))
+    (Netlist.outputs net)
+
+(* ------------------------------- STA ------------------------------ *)
+
+let test_create_meets_own_budget () =
+  let net = random_circuit 2 in
+  let sta = Sta.create lib net in
+  check Alcotest.bool "all-fast meets its own delay" true (Sta.meets_budget sta);
+  check (Alcotest.float 1e-9) "budget = delay" (Sta.circuit_delay sta) (Sta.budget sta)
+
+let test_all_slow_roughly_doubles () =
+  (* The paper: replacing every device with its slowest version nearly
+     doubles the delay. *)
+  let net = random_circuit 3 in
+  let fast = Sta.all_fast_delay lib net in
+  let slow = Sta.all_slow_delay lib net in
+  let ratio = slow /. fast in
+  if ratio < 1.5 || ratio > 2.2 then Alcotest.failf "slow/fast ratio %.2f" ratio
+
+let test_budget_interpolation () =
+  let net = random_circuit 4 in
+  let fast = Sta.all_fast_delay lib net in
+  let slow = Sta.all_slow_delay lib net in
+  let b = Sta.budget_for_penalty lib net ~penalty:0.25 in
+  check (Alcotest.float 1e-9) "interpolation" (fast +. (0.25 *. (slow -. fast))) b
+
+let test_slowing_gates_monotone =
+  QCheck.Test.make ~count:40 ~name:"assigning slower versions never reduces delay"
+    QCheck.(make Gen.(pair (int_range 0 500) (int_range 0 10_000)))
+    (fun (seed, pick) ->
+      let net = random_circuit seed in
+      let sta = Sta.create lib net in
+      let d0 = Sta.circuit_delay sta in
+      (* Slow one arbitrary gate to its minimum-leakage option at the
+         all-ones state. *)
+      let gates = ref [] in
+      Netlist.iter_gates net (fun id kind _ -> gates := (id, kind) :: !gates);
+      let arr = Array.of_list !gates in
+      let id, kind = arr.(pick mod Array.length arr) in
+      let state = Gate_kind.state_count kind - 1 in
+      let o = (Library.options lib kind ~state).(0) in
+      Sta.assign sta id ~version:o.Version.version ~perm:o.Version.perm;
+      Sta.update sta;
+      Sta.circuit_delay sta >= d0 -. 1e-9)
+
+let test_update_from_equals_full_update =
+  QCheck.Test.make ~count:30 ~name:"incremental update matches full recomputation"
+    QCheck.(make Gen.(pair (int_range 0 500) (int_range 0 10_000)))
+    (fun (seed, pick) ->
+      let net = random_circuit seed in
+      let sta = Sta.create lib net in
+      let gates = ref [] in
+      Netlist.iter_gates net (fun id kind _ -> gates := (id, kind) :: !gates);
+      let arr = Array.of_list !gates in
+      let id, kind = arr.(pick mod Array.length arr) in
+      let state = Gate_kind.state_count kind - 1 in
+      let o = (Library.options lib kind ~state).(0) in
+      Sta.assign sta id ~version:o.Version.version ~perm:o.Version.perm;
+      Sta.update_from sta id;
+      let incremental = Sta.circuit_delay sta in
+      Sta.update sta;
+      abs_float (incremental -. Sta.circuit_delay sta) < 1e-9)
+
+let test_candidate_feasible_necessary =
+  (* Slowing a gate on an all-fast workspace only degrades timing, so a
+     failed local check guarantees the installed candidate breaks the
+     budget (the check is a sound rejection filter); a passing check may
+     still break it downstream via slew propagation, which the gate tree
+     covers with a post-install meets_budget confirmation. *)
+  QCheck.Test.make ~count:40 ~name:"candidate_feasible rejections are real violations"
+    QCheck.(make Gen.(triple (int_range 0 300) (int_range 0 10_000) (int_range 0 3)))
+    (fun (seed, pick, state_pick) ->
+      let net = random_circuit seed in
+      let sta = Sta.create lib net in
+      Sta.set_budget sta (Sta.budget_for_penalty lib net ~penalty:0.05);
+      let gates = ref [] in
+      Netlist.iter_gates net (fun id kind _ -> gates := (id, kind) :: !gates);
+      let arr = Array.of_list !gates in
+      let id, kind = arr.(pick mod Array.length arr) in
+      let state = state_pick mod Gate_kind.state_count kind in
+      let opts = Library.options lib kind ~state in
+      let o = opts.(0) in
+      let locally_ok =
+        Sta.candidate_feasible sta id ~version:o.Version.version ~perm:o.Version.perm
+      in
+      Sta.assign sta id ~version:o.Version.version ~perm:o.Version.perm;
+      Sta.update sta;
+      let globally_ok = Sta.meets_budget sta in
+      (* not locally_ok implies not globally_ok *)
+      locally_ok || not globally_ok)
+
+let test_reset_fast_restores () =
+  let rng = Prng.create ~seed:77 in
+  let net = random_circuit 7 in
+  let sta = Sta.create lib net in
+  let d0 = Sta.circuit_delay sta in
+  randomize_workspace rng sta net;
+  Sta.reset_fast sta;
+  check (Alcotest.float 1e-9) "delay restored" d0 (Sta.circuit_delay sta)
+
+let test_slacks_nonnegative_within_budget () =
+  let net = random_circuit 9 in
+  let sta = Sta.create lib net in
+  Sta.set_budget sta (Sta.budget_for_penalty lib net ~penalty:0.10);
+  Netlist.iter_gates net (fun id _ _ ->
+      if Sta.gate_slack sta id < -1e-9 then Alcotest.failf "negative slack at %d" id)
+
+let test_version_accessors () =
+  let net = random_circuit 11 in
+  let sta = Sta.create lib net in
+  let id = Netlist.node_count net - 1 in
+  if not (Netlist.is_input net id) then begin
+    let kind = match Netlist.kind_of net id with Some k -> k | None -> assert false in
+    let o = (Library.options lib kind ~state:0).(0) in
+    Sta.assign sta id ~version:o.Version.version ~perm:o.Version.perm;
+    check Alcotest.int "version_of" o.Version.version (Sta.version_of sta id)
+  end
+
+let test_feasible_rejects_infeasible () =
+  (* With a zero-slack budget, a strictly slower candidate on a critical
+     gate must be rejected. *)
+  let net = random_circuit 13 in
+  let sta = Sta.create lib net in
+  (* budget = all-fast delay: zero slack on the critical path *)
+  let found_rejection = ref false in
+  Netlist.iter_gates net (fun id kind _ ->
+      let state = Gate_kind.state_count kind - 1 in
+      let opts = Library.options lib kind ~state in
+      let o = opts.(0) in
+      if
+        o.Version.version <> 0
+        && not (Sta.candidate_feasible sta id ~version:o.Version.version ~perm:o.Version.perm)
+      then found_rejection := true);
+  check Alcotest.bool "some candidate rejected at zero slack" true !found_rejection
+
+(* --------------------------- Timing report ------------------------ *)
+
+module Timing_report = Standby_timing.Timing_report
+
+let test_critical_path_structure =
+  QCheck.Test.make ~count:20 ~name:"critical path: input to worst output, nondecreasing"
+    QCheck.(make Gen.(int_range 0 500))
+    (fun seed ->
+      let net = random_circuit seed in
+      let sta = Sta.create lib net in
+      let path = Timing_report.critical_path sta in
+      match path with
+      | [] -> false
+      | first :: _ ->
+        let last = List.nth path (List.length path - 1) in
+        let starts_at_input = Netlist.is_input net first.Timing_report.node in
+        let ends_at_worst =
+          abs_float (last.Timing_report.arrival -. Sta.circuit_delay sta) < 1e-9
+          && Array.exists (( = ) last.Timing_report.node) (Netlist.outputs net)
+        in
+        let monotone = ref true in
+        List.fold_left
+          (fun prev (s : Timing_report.step) ->
+            if s.Timing_report.arrival < prev -. 1e-9 then monotone := false;
+            s.Timing_report.arrival)
+          0.0 path
+        |> ignore;
+        starts_at_input && ends_at_worst && !monotone)
+
+let test_critical_path_alternates () =
+  let net = random_circuit 5 in
+  let sta = Sta.create lib net in
+  let path = Timing_report.critical_path sta in
+  (* Inverting stages alternate transitions. *)
+  List.fold_left
+    (fun prev (s : Timing_report.step) ->
+      (match prev with
+       | Some p ->
+         if p = s.Timing_report.transition then Alcotest.fail "transition did not alternate"
+       | None -> ());
+      Some s.Timing_report.transition)
+    None path
+  |> ignore
+
+let test_render_report () =
+  let net = random_circuit 6 in
+  let sta = Sta.create lib net in
+  let text = Timing_report.render sta in
+  List.iter
+    (fun needle ->
+      let found =
+        let nl = String.length needle and hl = String.length text in
+        let rec scan i = i + nl <= hl && (String.sub text i nl = needle || scan (i + 1)) in
+        scan 0
+      in
+      if not found then Alcotest.failf "missing %S in report" needle)
+    [ "Critical path"; "slack"; "input" ]
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "standby_timing"
+    [
+      ( "delay-model",
+        [
+          quick "positive" test_base_delay_positive;
+          quick "load monotone" test_base_delay_load_monotone;
+          quick "po load" test_node_load_minimum_one;
+        ] );
+      ( "sta",
+        [
+          quick "create meets budget" test_create_meets_own_budget;
+          quick "all-slow doubles" test_all_slow_roughly_doubles;
+          quick "budget interpolation" test_budget_interpolation;
+          QCheck_alcotest.to_alcotest test_slowing_gates_monotone;
+          QCheck_alcotest.to_alcotest test_update_from_equals_full_update;
+          QCheck_alcotest.to_alcotest test_candidate_feasible_necessary;
+          quick "reset fast" test_reset_fast_restores;
+          quick "slacks nonnegative" test_slacks_nonnegative_within_budget;
+          quick "version accessors" test_version_accessors;
+          quick "rejects infeasible" test_feasible_rejects_infeasible;
+        ] );
+      ( "timing-report",
+        [
+          QCheck_alcotest.to_alcotest test_critical_path_structure;
+          quick "alternating transitions" test_critical_path_alternates;
+          quick "render" test_render_report;
+        ] );
+    ]

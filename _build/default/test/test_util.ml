@@ -1,0 +1,197 @@
+(* Tests for standby_util: PRNG determinism and distribution sanity,
+   running statistics, timers. *)
+
+module Prng = Standby_util.Prng
+module Stats = Standby_util.Stats
+module Timer = Standby_util.Timer
+
+let check = Alcotest.check
+let checkf msg = Alcotest.check (Alcotest.float 1e-9) msg
+
+(* ------------------------------- PRNG ----------------------------- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Prng.next_int64 a <> Prng.next_int64 b then differs := true
+  done;
+  check Alcotest.bool "different seeds differ" true !differs
+
+let test_prng_copy_independent () =
+  let a = Prng.create ~seed:7 in
+  ignore (Prng.next_int64 a);
+  let b = Prng.copy a in
+  check Alcotest.int64 "copy continues identically" (Prng.next_int64 a) (Prng.next_int64 b);
+  ignore (Prng.next_int64 a);
+  (* advancing a does not advance b *)
+  let a2 = Prng.next_int64 a and b2 = Prng.next_int64 b in
+  check Alcotest.bool "streams diverge after extra draw" true (a2 <> b2)
+
+let test_prng_split () =
+  let a = Prng.create ~seed:3 in
+  let b = Prng.split a in
+  let xa = Prng.next_int64 a and xb = Prng.next_int64 b in
+  check Alcotest.bool "split streams differ" true (xa <> xb)
+
+let test_prng_int_bounds () =
+  let rng = Prng.create ~seed:5 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int rng ~bound:17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_prng_int_invalid () =
+  let rng = Prng.create ~seed:5 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int rng ~bound:0))
+
+let test_prng_float_bounds () =
+  let rng = Prng.create ~seed:11 in
+  for _ = 1 to 10_000 do
+    let v = Prng.float rng ~bound:2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.failf "out of range: %f" v
+  done
+
+let test_prng_bool_balance () =
+  let rng = Prng.create ~seed:13 in
+  let trues = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Prng.bool rng then incr trues
+  done;
+  let ratio = float_of_int !trues /. float_of_int n in
+  if ratio < 0.45 || ratio > 0.55 then Alcotest.failf "biased bool: %f" ratio
+
+let test_prng_int_uniformity () =
+  let rng = Prng.create ~seed:17 in
+  let buckets = Array.make 8 0 in
+  let n = 40_000 in
+  for _ = 1 to n do
+    let v = Prng.int rng ~bound:8 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = n / 8 in
+      if abs (c - expected) > expected / 5 then
+        Alcotest.failf "bucket %d skewed: %d vs %d" i c expected)
+    buckets
+
+let test_shuffle_permutation () =
+  let rng = Prng.create ~seed:23 in
+  let a = Array.init 50 (fun i -> i) in
+  Prng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check (Alcotest.array Alcotest.int) "shuffle is a permutation"
+    (Array.init 50 (fun i -> i))
+    sorted
+
+let test_pick_member () =
+  let rng = Prng.create ~seed:29 in
+  let a = [| 3; 5; 8 |] in
+  for _ = 1 to 100 do
+    let v = Prng.pick rng a in
+    check Alcotest.bool "pick returns a member" true (Array.exists (( = ) v) a)
+  done;
+  Alcotest.check_raises "empty pick" (Invalid_argument "Prng.pick: empty array") (fun () ->
+      ignore (Prng.pick rng [||]))
+
+(* ------------------------------- Stats ---------------------------- *)
+
+let test_stats_basics () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  check Alcotest.int "count" 4 (Stats.count s);
+  checkf "mean" 2.5 (Stats.mean s);
+  checkf "min" 1.0 (Stats.min_value s);
+  checkf "max" 4.0 (Stats.max_value s);
+  checkf "variance" (5.0 /. 3.0) (Stats.variance s)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  checkf "empty mean" 0.0 (Stats.mean s);
+  checkf "empty variance" 0.0 (Stats.variance s);
+  Alcotest.check_raises "empty min" (Invalid_argument "Stats.min_value: empty") (fun () ->
+      ignore (Stats.min_value s))
+
+let test_stats_matches_naive =
+  QCheck.Test.make ~count:200 ~name:"welford matches naive mean/variance"
+    QCheck.(list_of_size Gen.(int_range 2 50) (float_range (-100.) 100.))
+    (fun xs ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) xs;
+      let n = float_of_int (List.length xs) in
+      let mean = List.fold_left ( +. ) 0.0 xs /. n in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 xs /. (n -. 1.0)
+      in
+      abs_float (Stats.mean s -. mean) < 1e-6
+      && abs_float (Stats.variance s -. var) < 1e-5 *. (1.0 +. var))
+
+let test_geometric_mean () =
+  checkf "geomean" 2.0 (Stats.geometric_mean [| 1.0; 2.0; 4.0 |]);
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Stats.geometric_mean: non-positive value") (fun () ->
+      ignore (Stats.geometric_mean [| 1.0; 0.0 |]))
+
+let test_mean_of_array () =
+  checkf "mean of array" 2.0 (Stats.mean_of_array [| 1.0; 2.0; 3.0 |]);
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.mean_of_array: empty") (fun () ->
+      ignore (Stats.mean_of_array [||]))
+
+(* ------------------------------- Timer ---------------------------- *)
+
+let test_timer_unlimited () =
+  let t = Timer.unlimited () in
+  check Alcotest.bool "never expires" false (Timer.expired t)
+
+let test_timer_expired () =
+  let t = Timer.start ~limit_s:0.0 in
+  check Alcotest.bool "zero budget expires" true (Timer.expired t)
+
+let test_timer_time () =
+  let value, seconds = Timer.time (fun () -> 42) in
+  check Alcotest.int "value" 42 value;
+  check Alcotest.bool "non-negative duration" true (seconds >= 0.0)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "standby_util"
+    [
+      ( "prng",
+        [
+          quick "deterministic" test_prng_deterministic;
+          quick "seed sensitivity" test_prng_seed_sensitivity;
+          quick "copy" test_prng_copy_independent;
+          quick "split" test_prng_split;
+          quick "int bounds" test_prng_int_bounds;
+          quick "int invalid" test_prng_int_invalid;
+          quick "float bounds" test_prng_float_bounds;
+          quick "bool balance" test_prng_bool_balance;
+          quick "int uniformity" test_prng_int_uniformity;
+          quick "shuffle permutation" test_shuffle_permutation;
+          quick "pick member" test_pick_member;
+        ] );
+      ( "stats",
+        [
+          quick "basics" test_stats_basics;
+          quick "empty" test_stats_empty;
+          QCheck_alcotest.to_alcotest test_stats_matches_naive;
+          quick "geometric mean" test_geometric_mean;
+          quick "mean of array" test_mean_of_array;
+        ] );
+      ( "timer",
+        [
+          quick "unlimited" test_timer_unlimited;
+          quick "expired" test_timer_expired;
+          quick "time" test_timer_time;
+        ] );
+    ]
