@@ -1,0 +1,17 @@
+.PHONY: all test ci bench clean
+
+all:
+	dune build
+
+test:
+	dune runtest
+
+# Everything CI runs: full build, test suites, batch-engine smoke test.
+ci:
+	dune build @ci
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -3,6 +3,7 @@
 
    Subcommands:
      optimize   run a method on a benchmark or .bench netlist
+     batch      run a manifest of jobs on a domain pool with a result cache
      report     regenerate the paper's tables and figures
      library    inspect the characterized cell library
      circuits   list the built-in benchmark suite
@@ -29,18 +30,15 @@ module Timing_report = Standby_timing.Timing_report
 module Sta = Standby_timing.Sta
 module Process_config = Standby_device.Process_config
 module Dot_export = Standby_report.Dot_export
+module Manifest = Standby_service.Manifest
+module Engine = Standby_service.Engine
+module Result_store = Standby_service.Result_store
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                     *)
 
-let mode_of_string = function
-  | "4opt" -> Ok Version.default_mode
-  | "2opt" -> Ok Version.two_option_mode
-  | "4opt-uniform" -> Ok Version.uniform_stack_mode
-  | "2opt-uniform" -> Ok Version.two_option_uniform_stack_mode
-  | "vt-state" -> Ok Version.vt_and_state_mode
-  | "state-only" -> Ok Version.state_only_mode
-  | s -> Error (`Msg (Printf.sprintf "unknown library mode %S" s))
+let mode_of_string s =
+  Result.map_error (fun msg -> `Msg msg) (Manifest.mode_of_string s)
 
 let mode_conv =
   Arg.conv
@@ -221,6 +219,79 @@ let optimize_cmd =
       $ simplify_arg)
 
 (* ------------------------------------------------------------------ *)
+(* batch                                                                *)
+
+let manifest_arg =
+  let doc = "Job manifest file (see the README for the format)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"MANIFEST" ~doc)
+
+let workers_arg =
+  let doc = "Worker-pool size (default: available cores minus one)." in
+  Arg.(value & opt (some int) None & info [ "j"; "workers" ] ~docv:"N" ~doc)
+
+let cache_dir_arg =
+  let doc =
+    "Result-cache directory (default: \\$STANDBYOPT_CACHE_DIR, else \
+     \\$XDG_CACHE_HOME/standbyopt, else ~/.cache/standbyopt)."
+  in
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+let no_cache_arg =
+  let doc = "Disable the persistent result cache for this run." in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+let csv_arg =
+  let doc = "Also write the per-job results as CSV." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+
+let quiet_arg =
+  let doc = "Suppress per-job progress lines (the summary still prints)." in
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+
+let run_batch manifest workers cache_dir no_cache csv quiet =
+  match Manifest.load_file manifest with
+  | Error msg ->
+    Printf.eprintf "error: %s: %s\n" manifest msg;
+    1
+  | Ok jobs -> (
+    match
+      if no_cache then Ok None
+      else
+        let dir = Option.value cache_dir ~default:(Result_store.default_dir ()) in
+        match Result_store.create ~dir with
+        | store -> Ok (Some store)
+        | exception Sys_error msg -> Error msg
+    with
+    | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+    | Ok store ->
+      let progress line = if not quiet then print_endline line in
+      let summary = Engine.run ?workers ?store ~progress jobs in
+      print_string (Engine.table summary);
+      (match store with
+       | Some s -> Printf.printf "cache          %s\n" (Result_store.dir s)
+       | None -> ());
+      Option.iter
+        (fun path ->
+          Engine.write_csv path summary;
+          Printf.printf "wrote %s\n" path)
+        csv;
+      if summary.Engine.failed > 0 then 1 else 0)
+
+let batch_cmd =
+  let info =
+    Cmd.info "batch"
+      ~doc:
+        "Run a manifest of optimization jobs on a worker pool, with a persistent result \
+         cache and deadline-aware degradation"
+  in
+  Cmd.v info
+    Term.(
+      const run_batch $ manifest_arg $ workers_arg $ cache_dir_arg $ no_cache_arg $ csv_arg
+      $ quiet_arg)
+
+(* ------------------------------------------------------------------ *)
 (* report                                                               *)
 
 let artifacts_arg =
@@ -398,8 +469,8 @@ let main_cmd =
   let info = Cmd.info "standbyopt" ~version:"1.0.0" ~doc in
   Cmd.group info
     [
-      optimize_cmd; report_cmd; library_cmd; circuits_cmd; export_cmd; analyze_cmd;
-      export_lib_cmd; export_process_cmd;
+      optimize_cmd; batch_cmd; report_cmd; library_cmd; circuits_cmd; export_cmd;
+      analyze_cmd; export_lib_cmd; export_process_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -76,11 +76,25 @@ let greedy ?(order = By_saving) ~stats lib sta ~states =
     rows;
   { choices; leakage = !total }
 
-let exact ~stats lib sta ~states =
+let exact ?(interrupt = fun () -> false) ~stats lib sta ~states =
   let net = Sta.netlist sta in
   Sta.reset_fast sta;
   let rows = gate_rows lib sta states in
   let m = Array.length rows in
+  (* Poll the interrupt sparsely: it is typically a wall-clock read. *)
+  let interrupted = ref false in
+  let polls = ref 0 in
+  let stop () =
+    !interrupted
+    || begin
+         incr polls;
+         if !polls land 255 = 0 && interrupt () then begin
+           interrupted := true;
+           true
+         end
+         else false
+       end
+  in
   (* suffix_min.(j): unconstrained minimum leakage of gates j.. — the
      admissible completion bound. *)
   let suffix_min = Array.make (m + 1) 0.0 in
@@ -93,7 +107,8 @@ let exact ~stats lib sta ~states =
   let best_choices = ref (Array.copy fast) in
   let best_leak = ref infinity in
   let rec explore j current_leak =
-    if j = m then begin
+    if stop () then ()
+    else if j = m then begin
       stats.Search_stats.leaves <- stats.Search_stats.leaves + 1;
       if current_leak < !best_leak then begin
         best_leak := current_leak;
@@ -133,10 +148,16 @@ let exact ~stats lib sta ~states =
     end
   in
   explore 0 0.0;
-  (* Leave the workspace reflecting the best solution found. *)
-  Sta.reset_fast sta;
-  Netlist.iter_gates net (fun id kind _ ->
-      let entry = (Library.options lib kind ~state:states.(id)).(!best_choices.(id)) in
-      Sta.assign sta id ~version:entry.Version.version ~perm:entry.Version.perm);
-  Sta.update sta;
-  { choices = !best_choices; leakage = !best_leak }
+  if !best_leak = infinity then
+    (* Interrupted before any complete assignment: fall back to the
+       greedy answer, which is fast and always produces one. *)
+    greedy ~stats lib sta ~states
+  else begin
+    (* Leave the workspace reflecting the best solution found. *)
+    Sta.reset_fast sta;
+    Netlist.iter_gates net (fun id kind _ ->
+        let entry = (Library.options lib kind ~state:states.(id)).(!best_choices.(id)) in
+        Sta.assign sta id ~version:entry.Version.version ~perm:entry.Version.perm);
+    Sta.update sta;
+    { choices = !best_choices; leakage = !best_leak }
+  end

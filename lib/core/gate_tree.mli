@@ -29,10 +29,17 @@ val greedy :
     assignment. *)
 
 val exact :
+  ?interrupt:(unit -> bool) ->
   stats:Search_stats.t ->
   Standby_cells.Library.t ->
   Standby_timing.Sta.t ->
   states:int array ->
   result
 (** Optimal option assignment for this state (leakage-minimal subject to
-    the budget).  Same workspace contract as {!greedy}. *)
+    the budget).  Same workspace contract as {!greedy}.
+
+    [interrupt] is polled periodically for cooperative cancellation
+    (deadline enforcement): once it returns true, the search unwinds and
+    returns the best complete assignment found so far — or, when none
+    was reached yet, the {!greedy} answer, so the caller always gets a
+    valid budget-feasible result. *)

@@ -29,12 +29,15 @@ type result = {
   penalty : float;
   runtime_s : float;
   stats : Search_stats.t;
+  degraded : bool;
 }
 
-let run ?config lib net ~penalty method_ =
+let run ?config ?deadline_s ?on_incumbent lib net ~penalty method_ =
   if penalty < 0.0 then invalid_arg "Optimizer.run: negative delay penalty";
   let stats = Search_stats.create () in
   let started = Timer.unlimited () in
+  let deadline = Option.map (fun limit_s -> Timer.start ~limit_s) deadline_s in
+  let with_deadline t = match deadline with None -> t | Some d -> Timer.earliest t d in
   let sta = Sta.create lib net in
   let delay_fast = Sta.circuit_delay sta in
   let delay_slow = Sta.all_slow_delay lib net in
@@ -47,11 +50,22 @@ let run ?config lib net ~penalty method_ =
     | Heuristic_2 { time_limit_s } -> (Timer.start ~limit_s:time_limit_s, None, false)
     | Exact -> (Timer.unlimited (), None, true)
   in
-  let leaf = State_tree.search ?config ~stats ~timer ~max_leaves ~exact_gate_tree bound lib sta in
+  let outcome =
+    State_tree.search ?config ?on_incumbent ~stats ~timer:(with_deadline timer) ~max_leaves
+      ~exact_gate_tree bound lib sta
+  in
+  (* Degraded = the external deadline (not the method's own stopping
+     rule) is what cut the search. *)
+  let degraded =
+    match (deadline, outcome.State_tree.stop_reason) with
+    | Some d, (State_tree.Timed_out | State_tree.Interrupted) -> Timer.expired d
+    | _ -> false
+  in
+  let leaf = outcome.State_tree.best in
   let leaf =
     match method_ with
     | Hill_climb { time_limit_s; max_rounds } ->
-      let refine_timer = Timer.start ~limit_s:time_limit_s in
+      let refine_timer = with_deadline (Timer.start ~limit_s:time_limit_s) in
       Refine.hill_climb ~max_rounds ~stats ~timer:refine_timer lib sta ~start:leaf
     | Heuristic_1 | Heuristic_2 _ | Exact -> leaf
   in
@@ -82,6 +96,7 @@ let run ?config lib net ~penalty method_ =
     penalty;
     runtime_s = Timer.elapsed_s started;
     stats;
+    degraded;
   }
 
 let reduction_factor ~reference result = reference /. result.breakdown.Evaluate.total

@@ -32,10 +32,17 @@ type result = {
   penalty : float;  (** Requested delay penalty fraction. *)
   runtime_s : float;
   stats : Search_stats.t;
+  degraded : bool;
+      (** True when an external [deadline_s] cut the state search short
+          of its own stopping rule: the assignment is the best (still
+          delay-feasible) incumbent recorded up to the deadline, not the
+          method's full answer. *)
 }
 
 val run :
   ?config:State_tree.config ->
+  ?deadline_s:float ->
+  ?on_incumbent:(State_tree.leaf -> unit) ->
   Standby_cells.Library.t ->
   Standby_netlist.Netlist.t ->
   penalty:float ->
@@ -44,6 +51,14 @@ val run :
 (** [run lib net ~penalty m] optimizes [net] under a delay budget of
     [d_fast + penalty * (d_slow - d_fast)].  The returned assignment is
     verified against the budget (programming error otherwise).
+
+    [deadline_s] imposes a wall-clock ceiling on top of the method's own
+    stopping rule (Heuristic 2's budget, exact exhaustion): the search
+    is cooperatively cancelled once it expires, the best incumbent found
+    so far is returned, and the result is marked {!field-degraded}.  At
+    least one full descent always completes, so even a zero deadline
+    yields a valid, delay-feasible assignment.  [on_incumbent] is
+    forwarded to {!State_tree.search}.
     @raise Invalid_argument if [penalty < 0]. *)
 
 val reduction_factor : reference:float -> result -> float

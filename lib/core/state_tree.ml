@@ -15,6 +15,10 @@ let default_config =
 
 type leaf = { vector : bool array; choices : int array; leakage : float }
 
+type stop_reason = Exhausted | Leaf_limit | Timed_out | Interrupted
+
+type outcome = { best : leaf; stop_reason : stop_reason }
+
 (* Primary inputs ordered by descending fan-out: deciding influential
    inputs first makes early bounds informative. *)
 let input_order net =
@@ -26,8 +30,8 @@ let input_order net =
   Array.iteri (fun pos id -> Hashtbl.replace position id pos) (Netlist.inputs net);
   Array.map (fun id -> Hashtbl.find position id) ids
 
-let search ?(config = default_config) ~stats ~timer ~max_leaves ~exact_gate_tree bound lib
-    sta =
+let search ?(config = default_config) ?on_incumbent ?(interrupt = fun () -> false) ~stats
+    ~timer ~max_leaves ~exact_gate_tree bound lib sta =
   let net = Sta.netlist sta in
   let n_inputs = Netlist.input_count net in
   let order = input_order net in
@@ -35,9 +39,26 @@ let search ?(config = default_config) ~stats ~timer ~max_leaves ~exact_gate_tree
   let best = ref None in
   let best_leak = ref infinity in
   let leaves_done = ref 0 in
+  let stop_reason = ref Exhausted in
+  (* All stop conditions wait for the first complete descent so a
+     solution is always available. *)
   let stop () =
-    (match max_leaves with Some k -> !leaves_done >= k | None -> false)
-    || (!leaves_done > 0 && Timer.expired timer)
+    !leaves_done > 0
+    && begin
+         if match max_leaves with Some k -> !leaves_done >= k | None -> false then begin
+           stop_reason := Leaf_limit;
+           true
+         end
+         else if Timer.expired timer then begin
+           stop_reason := Timed_out;
+           true
+         end
+         else if interrupt () then begin
+           stop_reason := Interrupted;
+           true
+         end
+         else false
+       end
   in
   let evaluate_bound () =
     stats.Search_stats.bound_evaluations <- stats.Search_stats.bound_evaluations + 1;
@@ -57,12 +78,20 @@ let search ?(config = default_config) ~stats ~timer ~max_leaves ~exact_gate_tree
     let values = Simulator.eval net vector in
     let states = Simulator.gate_states net values in
     let result =
-      if exact_gate_tree then Gate_tree.exact ~stats lib sta ~states
+      if exact_gate_tree then
+        (* The exact gate tree is exponential; without its own interrupt
+           a deadline could never fire inside the first descent. *)
+        Gate_tree.exact ~interrupt:(fun () -> Timer.expired timer || interrupt ()) ~stats
+          lib sta ~states
       else Gate_tree.greedy ~order:config.gate_order ~stats lib sta ~states
     in
     if result.Gate_tree.leakage < !best_leak then begin
       best_leak := result.Gate_tree.leakage;
-      best := Some { vector; choices = result.Gate_tree.choices; leakage = result.Gate_tree.leakage }
+      let leaf =
+        { vector; choices = result.Gate_tree.choices; leakage = result.Gate_tree.leakage }
+      in
+      best := Some leaf;
+      match on_incumbent with Some f -> f leaf | None -> ()
     end
   in
   let rec explore depth =
@@ -102,5 +131,5 @@ let search ?(config = default_config) ~stats ~timer ~max_leaves ~exact_gate_tree
   in
   explore 0;
   match !best with
-  | Some leaf -> leaf
+  | Some leaf -> { best = leaf; stop_reason = !stop_reason }
   | None -> assert false (* at least one descent always completes *)

@@ -29,8 +29,18 @@ type leaf = {
   leakage : float;  (** Total leakage, A. *)
 }
 
+type stop_reason =
+  | Exhausted  (** The whole tree was explored (or pruned away). *)
+  | Leaf_limit  (** [max_leaves] descents completed (Heuristic 1). *)
+  | Timed_out  (** The timer expired (Heuristic 2 budget or deadline). *)
+  | Interrupted  (** The [interrupt] callback requested a stop. *)
+
+type outcome = { best : leaf; stop_reason : stop_reason }
+
 val search :
   ?config:config ->
+  ?on_incumbent:(leaf -> unit) ->
+  ?interrupt:(unit -> bool) ->
   stats:Search_stats.t ->
   timer:Standby_util.Timer.t ->
   max_leaves:int option ->
@@ -38,6 +48,10 @@ val search :
   Bound.t ->
   Standby_cells.Library.t ->
   Standby_timing.Sta.t ->
-  leaf
+  outcome
 (** Best leaf found.  At least one full descent always completes, even
-    on an expired timer, so a solution is guaranteed. *)
+    on an expired timer or a true [interrupt], so a solution is
+    guaranteed.  [on_incumbent] fires every time a descent improves on
+    the best leaf so far (including the first), letting callers snapshot
+    the incumbent for deadline-degraded results; [interrupt] is polled
+    at every node and leaf boundary for cooperative cancellation. *)

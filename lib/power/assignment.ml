@@ -39,6 +39,72 @@ let choice lib net t id =
     let options = Library.options lib kind ~state:t.gate_state.(id) in
     options.(t.option_choice.(id))
 
+let to_string t =
+  let buf = Buffer.create (Array.length t.option_choice * 3) in
+  Buffer.add_string buf "vector ";
+  Array.iter (fun b -> Buffer.add_char buf (if b then '1' else '0')) t.input_vector;
+  Buffer.add_string buf "\nchoices";
+  Array.iter (fun c -> Buffer.add_string buf (Printf.sprintf " %d" c)) t.option_choice;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let of_string lib net source =
+  let fail fmt = Printf.ksprintf (fun msg -> Error msg) fmt in
+  let lines =
+    String.split_on_char '\n' source |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | [ vector_line; choices_line ] -> (
+    match
+      ( String.index_opt vector_line ' ',
+        String.length vector_line >= 7 && String.sub vector_line 0 7 = "vector ",
+        String.length choices_line >= 8 && String.sub choices_line 0 8 = "choices " )
+    with
+    | Some _, true, true -> (
+      let bits = String.sub vector_line 7 (String.length vector_line - 7) in
+      let bits = String.trim bits in
+      if String.length bits <> Netlist.input_count net then
+        fail "Assignment.of_string: vector length %d, netlist has %d inputs"
+          (String.length bits) (Netlist.input_count net)
+      else
+        let bad_bit = String.exists (fun c -> c <> '0' && c <> '1') bits in
+        if bad_bit then fail "Assignment.of_string: vector is not a 0/1 string"
+        else
+          let vector = Array.init (String.length bits) (fun i -> bits.[i] = '1') in
+          let fields =
+            String.sub choices_line 8 (String.length choices_line - 8)
+            |> String.split_on_char ' '
+            |> List.filter (fun f -> f <> "")
+          in
+          match
+            List.fold_left
+              (fun acc f ->
+                Result.bind acc (fun acc ->
+                    match int_of_string_opt f with
+                    | Some v when v >= 0 -> Ok (v :: acc)
+                    | _ -> fail "Assignment.of_string: bad choice %S" f))
+              (Ok []) fields
+          with
+          | Error _ as e -> e
+          | Ok rev ->
+            let choices = Array.of_list (List.rev rev) in
+            if Array.length choices <> Netlist.node_count net then
+              fail "Assignment.of_string: %d choices, netlist has %d nodes"
+                (Array.length choices) (Netlist.node_count net)
+            else
+              let t = of_choices lib net ~vector ~choices in
+              let invalid = ref None in
+              Netlist.iter_gates net (fun id kind _ ->
+                  let options = Library.options lib kind ~state:t.gate_state.(id) in
+                  if t.option_choice.(id) >= Array.length options && !invalid = None then
+                    invalid := Some id);
+              (match !invalid with
+               | Some id -> fail "Assignment.of_string: choice out of range at node %d" id
+               | None -> Ok t))
+    | _ -> fail "Assignment.of_string: expected 'vector ...' and 'choices ...' lines")
+  | _ -> fail "Assignment.of_string: expected exactly two lines"
+
 let slow_gate_count lib net t =
   let count = ref 0 in
   Netlist.iter_gates net (fun id _ _ ->

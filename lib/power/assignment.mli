@@ -33,3 +33,22 @@ val choice :
 
 val slow_gate_count : Standby_cells.Library.t -> Standby_netlist.Netlist.t -> t -> int
 (** Gates using something other than the fast version. *)
+
+(** {1 Stable serialization}
+
+    The persistent result cache stores solutions across processes, so
+    the format must stay stable: two lines, ["vector <0/1 bits>"] and
+    ["choices <ints>"].  The simulated node values and gate states are
+    not stored — they are derived from the vector on load. *)
+
+val to_string : t -> string
+
+val of_string :
+  Standby_cells.Library.t ->
+  Standby_netlist.Netlist.t ->
+  string ->
+  (t, string) result
+(** Rebuild a solution against [net]: re-simulates the vector and
+    validates every option index against the library, so a cache entry
+    from a different netlist or library mode is rejected rather than
+    producing an out-of-range lookup later. *)

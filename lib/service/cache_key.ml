@@ -1,0 +1,84 @@
+module Netlist = Standby_netlist.Netlist
+module Gate_kind = Standby_netlist.Gate_kind
+module Version = Standby_cells.Version
+module Process_config = Standby_device.Process_config
+module Optimizer = Standby_opt.Optimizer
+
+let canonical net =
+  let buf = Buffer.create 4096 in
+  let inputs = Netlist.inputs net in
+  Buffer.add_string buf (Printf.sprintf "inputs %d\n" (Array.length inputs));
+  let canon = Array.make (Netlist.node_count net) (-1) in
+  Array.iteri (fun position id -> canon.(id) <- position) inputs;
+  let next = ref (Array.length inputs) in
+  let emit id =
+    let fanin = Netlist.fanin net id in
+    let kind = match Netlist.kind_of net id with Some k -> k | None -> assert false in
+    let cid = !next in
+    incr next;
+    canon.(id) <- cid;
+    Buffer.add_string buf (Printf.sprintf "n%d = %s(" cid (Gate_kind.name kind));
+    Array.iteri
+      (fun pin driver ->
+        if pin > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (Printf.sprintf "n%d" canon.(driver)))
+      fanin;
+    Buffer.add_string buf ")\n"
+  in
+  (* Iterative post-order (fan-ins in pin order before the gate) so
+     pathological fan-in chains cannot overflow the call stack. *)
+  let visit root =
+    let stack = ref [ (root, false) ] in
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | (id, children_done) :: rest ->
+        stack := rest;
+        if canon.(id) < 0 then
+          if children_done then emit id
+          else begin
+            stack := (id, true) :: !stack;
+            let fanin = Netlist.fanin net id in
+            for pin = Array.length fanin - 1 downto 0 do
+              if canon.(fanin.(pin)) < 0 then stack := (fanin.(pin), false) :: !stack
+            done
+          end
+    done
+  in
+  Array.iter visit (Netlist.outputs net);
+  Buffer.add_string buf "outputs ";
+  Array.iteri
+    (fun i id ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "n%d" canon.(id)))
+    (Netlist.outputs net);
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let method_descriptor = function
+  | Optimizer.Heuristic_1 -> "heu1"
+  | Optimizer.Heuristic_2 { time_limit_s } -> Printf.sprintf "heu2:%.9g" time_limit_s
+  | Optimizer.Hill_climb { time_limit_s; max_rounds } ->
+    Printf.sprintf "hc:%.9g:%d" time_limit_s max_rounds
+  | Optimizer.Exact -> "exact"
+
+let mode_descriptor (mode : Version.mode) =
+  Printf.sprintf "points=%s uniform-vt=%b high-vt=%b thick-tox=%b reorder=%b"
+    (match mode.Version.trade_points with
+     | Version.Two_points -> "2"
+     | Version.Four_points -> "4")
+    mode.Version.uniform_stack_vt mode.Version.allow_high_vt mode.Version.allow_thick_tox
+    mode.Version.allow_pin_reorder
+
+let digest ~net ~process ~mode ~penalty ~method_ =
+  let payload =
+    String.concat "\x00"
+      [
+        canonical net;
+        Process_config.to_string process;
+        mode_descriptor mode;
+        Printf.sprintf "penalty=%.17g" penalty;
+        method_descriptor method_;
+      ]
+  in
+  Digest.to_hex (Digest.string payload)

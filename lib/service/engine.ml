@@ -1,0 +1,316 @@
+module Netlist = Standby_netlist.Netlist
+module Version = Standby_cells.Version
+module Library = Standby_cells.Library
+module Assignment = Standby_power.Assignment
+module Evaluate = Standby_power.Evaluate
+module Optimizer = Standby_opt.Optimizer
+module Search_stats = Standby_opt.Search_stats
+module Timer = Standby_util.Timer
+module Ascii_table = Standby_report.Ascii_table
+module Csv = Standby_report.Csv
+
+type status = Computed | Cached | Degraded | Failed of string
+
+type outcome = {
+  job : Manifest.job;
+  key : string option;
+  status : status;
+  result : Optimizer.result option;
+  inputs : int;
+  gates : int;
+  wall_s : float;
+}
+
+type summary = {
+  outcomes : outcome array;
+  wall_s : float;
+  computed : int;
+  cached : int;
+  degraded : int;
+  failed : int;
+}
+
+let status_name = function
+  | Computed -> "computed"
+  | Cached -> "cached"
+  | Degraded -> "degraded"
+  | Failed _ -> "FAILED"
+
+(* ------------------------------------------------------------------ *)
+(* Cache round trip                                                     *)
+
+let entry_of_result (r : Optimizer.result) =
+  {
+    Result_store.method_name = r.Optimizer.method_name;
+    penalty = r.Optimizer.penalty;
+    budget = r.Optimizer.budget;
+    delay = r.Optimizer.delay;
+    delay_fast = r.Optimizer.delay_fast;
+    delay_slow = r.Optimizer.delay_slow;
+    total = r.Optimizer.breakdown.Evaluate.total;
+    isub = r.Optimizer.breakdown.Evaluate.isub;
+    igate = r.Optimizer.breakdown.Evaluate.igate;
+    runtime_s = r.Optimizer.runtime_s;
+    assignment = Assignment.to_string r.Optimizer.assignment;
+  }
+
+(* Rebuild an [Optimizer.result] from a stored entry, re-evaluating the
+   leakage against the live library.  A mismatch means the entry was
+   produced by different code or inputs than the key claims (or the
+   file was corrupted) — treat it as a miss. *)
+let result_of_entry lib net (entry : Result_store.entry) =
+  match Assignment.of_string lib net entry.Result_store.assignment with
+  | Error _ -> None
+  | Ok assignment ->
+    let breakdown = Evaluate.of_assignment lib net assignment in
+    let close a b = Float.abs (a -. b) <= 1e-12 +. (1e-6 *. Float.abs b) in
+    if not (close breakdown.Evaluate.total entry.Result_store.total) then None
+    else
+      Some
+        {
+          Optimizer.method_name = entry.Result_store.method_name;
+          library_mode = Version.mode_name (Library.mode lib);
+          assignment;
+          breakdown;
+          delay = entry.Result_store.delay;
+          budget = entry.Result_store.budget;
+          delay_fast = entry.Result_store.delay_fast;
+          delay_slow = entry.Result_store.delay_slow;
+          penalty = entry.Result_store.penalty;
+          runtime_s = entry.Result_store.runtime_s;
+          stats = Search_stats.create ();
+          degraded = false;
+        }
+
+(* ------------------------------------------------------------------ *)
+(* Run                                                                  *)
+
+let run ?workers ?store ?(progress = fun _ -> ()) jobs =
+  let started = Timer.unlimited () in
+  let jobs = Array.of_list jobs in
+  let total = Array.length jobs in
+  let progress_mutex = Mutex.create () in
+  let say fmt =
+    Printf.ksprintf
+      (fun line ->
+        Mutex.lock progress_mutex;
+        Fun.protect ~finally:(fun () -> Mutex.unlock progress_mutex) (fun () -> progress line))
+      fmt
+  in
+  (* Resolve everything up front: bad paths and names fail before any
+     domain spawns or library characterizes. *)
+  let resolved = Array.map Job.resolve jobs in
+  (* Pre-warm the library cache sequentially — with it hot, workers only
+     ever read. *)
+  let libraries = Job.Library_cache.create () in
+  Array.iter
+    (function
+      | Error _ -> ()
+      | Ok (r : Job.resolved) ->
+        let mode = r.Job.job.Manifest.mode in
+        let _, build_s =
+          Timer.time (fun () ->
+              Job.Library_cache.get libraries ~mode ~process:r.Job.process)
+        in
+        if build_s > 0.05 then
+          say "library %-12s characterized in %.2f s" (Version.mode_name mode) build_s)
+    resolved;
+  let outcomes = Array.make total None in
+  let finished = ref 0 in
+  let run_one (r : Job.resolved) =
+    let job = r.Job.job in
+    let wall = Timer.unlimited () in
+    let key = Job.key r in
+    let lib =
+      Job.Library_cache.get libraries ~mode:job.Manifest.mode ~process:r.Job.process
+    in
+    let from_cache =
+      match store with
+      | None -> None
+      | Some s ->
+        Option.bind (Result_store.find s ~key) (fun entry ->
+            result_of_entry lib r.Job.net entry)
+    in
+    let status, result =
+      match from_cache with
+      | Some result -> (Cached, Some result)
+      | None ->
+        let result =
+          Optimizer.run ?deadline_s:job.Manifest.deadline_s lib r.Job.net
+            ~penalty:job.Manifest.penalty job.Manifest.method_
+        in
+        if result.Optimizer.degraded then (Degraded, Some result)
+        else begin
+          (match store with
+           | Some s -> Result_store.store s ~key (entry_of_result result)
+           | None -> ());
+          (Computed, Some result)
+        end
+    in
+    {
+      job;
+      key = Some key;
+      status;
+      result;
+      inputs = Netlist.input_count r.Job.net;
+      gates = Netlist.gate_count r.Job.net;
+      wall_s = Timer.elapsed_s wall;
+    }
+  in
+  let pool = Pool.create ?workers () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      Array.iteri
+        (fun i resolution ->
+          Pool.submit pool (fun () ->
+              let outcome =
+                match resolution with
+                | Error msg ->
+                  {
+                    job = jobs.(i);
+                    key = None;
+                    status = Failed msg;
+                    result = None;
+                    inputs = 0;
+                    gates = 0;
+                    wall_s = 0.0;
+                  }
+                | Ok r -> (
+                  try run_one r
+                  with e ->
+                    {
+                      job = jobs.(i);
+                      key = Some (Job.key r);
+                      status = Failed (Printexc.to_string e);
+                      result = None;
+                      inputs = Netlist.input_count r.Job.net;
+                      gates = Netlist.gate_count r.Job.net;
+                      wall_s = 0.0;
+                    })
+              in
+              outcomes.(i) <- Some outcome;
+              let n =
+                Mutex.lock progress_mutex;
+                incr finished;
+                let n = !finished in
+                Mutex.unlock progress_mutex;
+                n
+              in
+              match outcome.status with
+              | Failed msg -> say "[%d/%d] %-16s %-9s %s" n total outcome.job.Manifest.id
+                                (status_name outcome.status) msg
+              | _ ->
+                let r = Option.get outcome.result in
+                say "[%d/%d] %-16s %-9s %8.2f uA  delay %.2f/%.2f  %.2f s" n total
+                  outcome.job.Manifest.id (status_name outcome.status)
+                  (r.Optimizer.breakdown.Evaluate.total *. 1e6)
+                  r.Optimizer.delay r.Optimizer.budget outcome.wall_s))
+        resolved;
+      Pool.wait pool);
+  let outcomes = Array.map Option.get outcomes in
+  let count p = Array.fold_left (fun acc o -> if p o.status then acc + 1 else acc) 0 outcomes in
+  {
+    outcomes;
+    wall_s = Timer.elapsed_s started;
+    computed = count (fun s -> s = Computed);
+    cached = count (fun s -> s = Cached);
+    degraded = count (fun s -> s = Degraded);
+    failed = count (function Failed _ -> true | _ -> false);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                            *)
+
+let columns =
+  [
+    ("job", Ascii_table.Left);
+    ("circuit", Ascii_table.Left);
+    ("gates", Ascii_table.Right);
+    ("method", Ascii_table.Left);
+    ("penalty", Ascii_table.Right);
+    ("budget", Ascii_table.Right);
+    ("delay", Ascii_table.Right);
+    ("leak uA", Ascii_table.Right);
+    ("isub uA", Ascii_table.Right);
+    ("igate uA", Ascii_table.Right);
+    ("status", Ascii_table.Left);
+    ("wall s", Ascii_table.Right);
+  ]
+
+let row o =
+  let circuit = Manifest.source_name o.job.Manifest.source in
+  match o.result with
+  | None ->
+    let reason = match o.status with Failed msg -> msg | _ -> "" in
+    [ o.job.Manifest.id; circuit; "-"; "-"; "-"; "-"; "-"; "-"; "-"; "-";
+      status_name o.status ^ ": " ^ reason; Ascii_table.float_cell ~decimals:2 o.wall_s ]
+  | Some r ->
+    [
+      o.job.Manifest.id;
+      circuit;
+      string_of_int o.gates;
+      r.Optimizer.method_name;
+      Printf.sprintf "%.0f%%" (r.Optimizer.penalty *. 100.0);
+      Ascii_table.float_cell ~decimals:2 r.Optimizer.budget;
+      Ascii_table.float_cell ~decimals:2 r.Optimizer.delay;
+      Ascii_table.float_cell ~decimals:2 (r.Optimizer.breakdown.Evaluate.total *. 1e6);
+      Ascii_table.float_cell ~decimals:2 (r.Optimizer.breakdown.Evaluate.isub *. 1e6);
+      Ascii_table.float_cell ~decimals:2 (r.Optimizer.breakdown.Evaluate.igate *. 1e6);
+      status_name o.status;
+      Ascii_table.float_cell ~decimals:2 o.wall_s;
+    ]
+
+let table summary =
+  let rows = Array.to_list (Array.map row summary.outcomes) in
+  let body = Ascii_table.render ~title:"batch summary" ~columns rows in
+  Printf.sprintf "%s\n%d job(s): %d computed, %d cached, %d degraded, %d failed — %.2f s\n"
+    body
+    (Array.length summary.outcomes)
+    summary.computed summary.cached summary.degraded summary.failed summary.wall_s
+
+let csv_header =
+  [
+    "job"; "circuit"; "inputs"; "gates"; "library"; "method"; "penalty"; "budget"; "delay";
+    "delay_fast"; "delay_slow"; "leakage_A"; "isub_A"; "igate_A"; "status"; "runtime_s";
+    "wall_s"; "key";
+  ]
+
+let csv_row o =
+  let circuit = Manifest.source_name o.job.Manifest.source in
+  let f v = Printf.sprintf "%.6g" v in
+  match o.result with
+  | None ->
+    let reason = match o.status with Failed msg -> msg | _ -> "" in
+    [ o.job.Manifest.id; circuit; ""; ""; ""; ""; ""; ""; ""; ""; ""; ""; ""; "";
+      status_name o.status ^ ": " ^ reason; ""; f o.wall_s;
+      Option.value o.key ~default:"" ]
+  | Some r ->
+    [
+      o.job.Manifest.id;
+      circuit;
+      string_of_int o.inputs;
+      string_of_int o.gates;
+      r.Optimizer.library_mode;
+      r.Optimizer.method_name;
+      f r.Optimizer.penalty;
+      f r.Optimizer.budget;
+      f r.Optimizer.delay;
+      f r.Optimizer.delay_fast;
+      f r.Optimizer.delay_slow;
+      f r.Optimizer.breakdown.Evaluate.total;
+      f r.Optimizer.breakdown.Evaluate.isub;
+      f r.Optimizer.breakdown.Evaluate.igate;
+      status_name o.status;
+      f r.Optimizer.runtime_s;
+      f o.wall_s;
+      Option.value o.key ~default:"";
+    ]
+
+let csv summary =
+  Csv.to_string ~header:csv_header
+    ~rows:(Array.to_list (Array.map csv_row summary.outcomes))
+
+let write_csv path summary =
+  Csv.write_file path ~header:csv_header
+    ~rows:(Array.to_list (Array.map csv_row summary.outcomes))

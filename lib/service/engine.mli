@@ -1,0 +1,53 @@
+(** The batch optimization engine.
+
+    Takes a manifest, resolves every job, deduplicates the expensive
+    library characterizations, and runs the jobs on a {!Pool} of
+    domains.  Each job first probes the {!Result_store} by
+    {!Cache_key.digest}; hits are decoded, re-evaluated against the
+    live library (a stale or cross-version entry falls back to a miss)
+    and reported as [Cached].  Misses run the optimizer under the job's
+    deadline: results the deadline cut short come back as [Degraded] —
+    a valid, delay-feasible incumbent, deliberately *not* persisted —
+    while full-quality results are written back to the store. *)
+
+type status =
+  | Computed  (** Ran to the method's own stopping rule. *)
+  | Cached  (** Served from the result store. *)
+  | Degraded  (** Deadline hit: best incumbent, not persisted. *)
+  | Failed of string  (** Resolution or execution error. *)
+
+type outcome = {
+  job : Manifest.job;
+  key : string option;  (** [None] when resolution failed. *)
+  status : status;
+  result : Standby_opt.Optimizer.result option;  (** [None] iff [Failed]. *)
+  inputs : int;
+  gates : int;
+  wall_s : float;  (** Wall-clock spent on this job (cache probe included). *)
+}
+
+type summary = {
+  outcomes : outcome array;  (** In manifest order. *)
+  wall_s : float;
+  computed : int;
+  cached : int;
+  degraded : int;
+  failed : int;
+}
+
+val run :
+  ?workers:int ->
+  ?store:Result_store.t ->
+  ?progress:(string -> unit) ->
+  Manifest.job list ->
+  summary
+(** [workers] defaults to {!Pool.default_workers}; omit [store] to
+    disable caching; [progress] receives one line per finished job (and
+    one per library characterization), serialized across domains. *)
+
+val table : summary -> string
+(** Per-job {!Standby_report.Ascii_table} plus a totals line. *)
+
+val csv : summary -> string
+
+val write_csv : string -> summary -> unit

@@ -1,0 +1,37 @@
+(** A fixed-size worker pool on OCaml 5 domains.
+
+    A classic mutex/condition work queue: [submit] enqueues thunks,
+    worker domains drain them, [wait] blocks until the queue is empty
+    and every worker is idle, [shutdown] drains and joins.  Tasks run
+    truly in parallel — the optimizer jobs the batch engine submits are
+    CPU-bound and independent (they share only the immutable
+    characterized libraries), which is exactly the shape domains
+    reward. *)
+
+type t
+
+val default_workers : unit -> int
+(** [recommended_domain_count - 1] (leaving one for the coordinator),
+    at least 1. *)
+
+val create : ?workers:int -> unit -> t
+(** Spawns the worker domains immediately.  [workers] defaults to
+    {!default_workers} and is clamped to at least 1. *)
+
+val workers : t -> int
+
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue a task.  Exceptions escaping a task are swallowed (workers
+    never die); tasks that care must capture their own outcome.
+    @raise Invalid_argument after {!shutdown}. *)
+
+val wait : t -> unit
+(** Block until all submitted tasks have finished. *)
+
+val shutdown : t -> unit
+(** Drain remaining tasks, stop and join every worker.  Idempotent. *)
+
+val map : ?workers:int -> ('a -> 'b) -> 'a array -> 'b array
+(** One-shot convenience: run [f] over the array on a fresh pool,
+    preserving order.  Re-raises the first task exception (by index)
+    after all tasks settle. *)

@@ -1,0 +1,148 @@
+type t = { dir : string }
+
+type entry = {
+  method_name : string;
+  penalty : float;
+  budget : float;
+  delay : float;
+  delay_fast : float;
+  delay_slow : float;
+  total : float;
+  isub : float;
+  igate : float;
+  runtime_s : float;
+  assignment : string;
+}
+
+let magic = "standbyopt-result 1"
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ~dir =
+  mkdir_p dir;
+  if not (Sys.is_directory dir) then
+    raise (Sys_error (Printf.sprintf "cache path %s is not a directory" dir));
+  { dir }
+
+let dir t = t.dir
+
+let default_dir () =
+  match Sys.getenv_opt "STANDBYOPT_CACHE_DIR" with
+  | Some dir when dir <> "" -> dir
+  | _ -> (
+    match Sys.getenv_opt "XDG_CACHE_HOME" with
+    | Some base when base <> "" -> Filename.concat base "standbyopt"
+    | _ -> (
+      match Sys.getenv_opt "HOME" with
+      | Some home when home <> "" ->
+        Filename.concat (Filename.concat home ".cache") "standbyopt"
+      | _ -> "_standbyopt_cache"))
+
+let valid_key key =
+  key <> "" && String.for_all (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) key
+
+let path t ~key = Filename.concat t.dir (key ^ ".result")
+
+let to_text entry =
+  String.concat "\n"
+    [
+      magic;
+      "method " ^ entry.method_name;
+      Printf.sprintf "penalty %.17g" entry.penalty;
+      Printf.sprintf "budget %.17g" entry.budget;
+      Printf.sprintf "delay %.17g" entry.delay;
+      Printf.sprintf "delay_fast %.17g" entry.delay_fast;
+      Printf.sprintf "delay_slow %.17g" entry.delay_slow;
+      Printf.sprintf "total %.17g" entry.total;
+      Printf.sprintf "isub %.17g" entry.isub;
+      Printf.sprintf "igate %.17g" entry.igate;
+      Printf.sprintf "runtime %.17g" entry.runtime_s;
+      entry.assignment;
+    ]
+
+let of_text text =
+  match String.split_on_char '\n' text with
+  | first :: method_line :: rest when first = magic -> (
+    let field prefix line =
+      let p = prefix ^ " " in
+      let n = String.length p in
+      if String.length line > n && String.sub line 0 n = p then
+        Some (String.sub line n (String.length line - n))
+      else None
+    in
+    let float_field prefix line = Option.bind (field prefix line) float_of_string_opt in
+    match rest with
+    | pen :: bud :: del :: dfast :: dslow :: tot :: isub :: igate :: runtime :: assignment
+      -> (
+      match
+        ( field "method" method_line,
+          float_field "penalty" pen,
+          float_field "budget" bud,
+          float_field "delay" del,
+          float_field "delay_fast" dfast,
+          float_field "delay_slow" dslow,
+          float_field "total" tot,
+          float_field "isub" isub,
+          float_field "igate" igate,
+          float_field "runtime" runtime )
+      with
+      | ( Some method_name,
+          Some penalty,
+          Some budget,
+          Some delay,
+          Some delay_fast,
+          Some delay_slow,
+          Some total,
+          Some isub,
+          Some igate,
+          Some runtime_s ) ->
+        Some
+          {
+            method_name;
+            penalty;
+            budget;
+            delay;
+            delay_fast;
+            delay_slow;
+            total;
+            isub;
+            igate;
+            runtime_s;
+            assignment = String.concat "\n" assignment;
+          }
+      | _ -> None)
+    | _ -> None)
+  | _ -> None
+
+let find t ~key =
+  if not (valid_key key) then None
+  else
+    let file = path t ~key in
+    match In_channel.with_open_text file In_channel.input_all with
+    | text -> of_text text
+    | exception Sys_error _ -> None
+
+let store t ~key entry =
+  if not (valid_key key) then invalid_arg "Result_store.store: malformed key";
+  let file = path t ~key in
+  let tmp = Printf.sprintf "%s.tmp.%d" file (Unix.getpid ()) in
+  (* No trailing separator: the assignment payload ends with its own
+     newline, and [of_text] folds everything after the fixed fields back
+     into it — write and read must be exact inverses. *)
+  Out_channel.with_open_text tmp (fun oc -> Out_channel.output_string oc (to_text entry));
+  Sys.rename tmp file
+
+let clear t =
+  let removed = ref 0 in
+  Array.iter
+    (fun name ->
+      if Filename.check_suffix name ".result" then begin
+        (try Sys.remove (Filename.concat t.dir name) with Sys_error _ -> ());
+        incr removed
+      end)
+    (try Sys.readdir t.dir with Sys_error _ -> [||]);
+  !removed

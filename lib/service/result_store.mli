@@ -1,0 +1,46 @@
+(** Persistent, content-addressed store of optimization results.
+
+    One file per {!Cache_key.digest} under a cache directory, written
+    atomically (temp file + rename), in a line-oriented text format.
+    Re-running a manifest therefore only recomputes jobs whose circuit,
+    process, constraint or algorithm changed.  Unreadable or malformed
+    entries are treated as misses, never as errors — a corrupted cache
+    degrades to recomputation.
+
+    Degraded (deadline-cut) results are the caller's responsibility to
+    keep out of the store; only full-quality answers should be
+    persisted. *)
+
+type t
+
+type entry = {
+  method_name : string;
+  penalty : float;
+  budget : float;
+  delay : float;
+  delay_fast : float;
+  delay_slow : float;
+  total : float;  (** Leakage, A. *)
+  isub : float;
+  igate : float;
+  runtime_s : float;  (** Original compute time — what a hit saves. *)
+  assignment : string;  (** {!Standby_power.Assignment.to_string} payload. *)
+}
+
+val create : dir:string -> t
+(** Creates [dir] (and parents) if needed.
+    @raise Sys_error if the directory cannot be created. *)
+
+val dir : t -> string
+
+val default_dir : unit -> string
+(** [$STANDBYOPT_CACHE_DIR], else [$XDG_CACHE_HOME/standbyopt], else
+    [~/.cache/standbyopt], else [_standbyopt_cache] in the working
+    directory. *)
+
+val find : t -> key:string -> entry option
+
+val store : t -> key:string -> entry -> unit
+
+val clear : t -> int
+(** Remove all entries; returns how many were removed. *)

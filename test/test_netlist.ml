@@ -290,6 +290,47 @@ let test_bench_roundtrip =
         done;
         !ok)
 
+(* The parsers are load-bearing for the batch manifest loader, so pin
+   the round trip down harder than function preservation alone: primary
+   input names and order survive, the output count survives, structure
+   is preserved exactly from the second pass on (the first pass may
+   lower complex cells, which can force output renames on collision),
+   and the printed form is a textual fixpoint of print-after-parse. *)
+let roundtrip_properties ~of_string ~to_string net =
+  match of_string (to_string net) with
+  | Error _ -> false
+  | Ok again -> (
+    let io_names n ids = Array.map (Netlist.name_of n) ids in
+    Netlist.input_count net = Netlist.input_count again
+    && io_names net (Netlist.inputs net) = io_names again (Netlist.inputs again)
+    && Array.length (Netlist.outputs net) = Array.length (Netlist.outputs again)
+    && Result.is_ok (Netlist.validate again)
+    && begin
+         let ok = ref true in
+         for v = 0 to (1 lsl Netlist.input_count net) - 1 do
+           if outputs_for net v <> outputs_for again v then ok := false
+         done;
+         !ok
+       end
+    &&
+    let printed = to_string again in
+    match of_string printed with
+    | Error _ -> false
+    | Ok third ->
+      to_string third = printed
+      && Netlist.gate_count third = Netlist.gate_count again
+      && Netlist.gate_histogram third = Netlist.gate_histogram again
+      && io_names again (Netlist.inputs again) = io_names third (Netlist.inputs third)
+      && io_names again (Netlist.outputs again) = io_names third (Netlist.outputs third))
+
+let test_bench_roundtrip_exhaustive =
+  QCheck.Test.make ~count:40 ~name:"bench of_string . to_string = id (names, function, fixpoint)"
+    QCheck.(make ~print:string_of_int Gen.(int_range 0 100_000))
+    (fun seed ->
+      let net = Standby_circuits.Random_logic.generate ~seed ~inputs:8 ~gates:60 () in
+      roundtrip_properties ~of_string:(Bench_io.of_string ?name:None)
+        ~to_string:Bench_io.to_string net)
+
 let test_bench_dff_cut () =
   let src = "INPUT(d)\nOUTPUT(q)\ns = DFF(n)\nn = AND(d, s)\nq = NOT(s)\n" in
   match Bench_io.of_string src with
@@ -369,6 +410,15 @@ let test_verilog_roundtrip =
           if outputs_for net v <> outputs_for again v then ok := false
         done;
         !ok)
+
+let test_verilog_roundtrip_exhaustive =
+  QCheck.Test.make ~count:40
+    ~name:"verilog of_string . to_string = id (names, function, fixpoint)"
+    QCheck.(make ~print:string_of_int Gen.(int_range 0 100_000))
+    (fun seed ->
+      let net = Standby_circuits.Random_logic.generate ~seed ~inputs:8 ~gates:60 () in
+      roundtrip_properties ~of_string:(Verilog_io.of_string ?name:None)
+        ~to_string:Verilog_io.to_string net)
 
 let test_verilog_primitives_and_comments () =
   let src =
@@ -582,6 +632,7 @@ let () =
           quick "parse" test_bench_parse;
           quick "semantics" test_bench_semantics;
           QCheck_alcotest.to_alcotest test_bench_roundtrip;
+          QCheck_alcotest.to_alcotest test_bench_roundtrip_exhaustive;
           quick "dff cut" test_bench_dff_cut;
           quick "errors" test_bench_errors;
           quick "comments and blanks" test_bench_comments_and_blank_lines;
@@ -591,6 +642,7 @@ let () =
           quick "parse c17" test_verilog_parse_c17;
           quick "matches bench" test_verilog_matches_bench;
           QCheck_alcotest.to_alcotest test_verilog_roundtrip;
+          QCheck_alcotest.to_alcotest test_verilog_roundtrip_exhaustive;
           quick "primitives and comments" test_verilog_primitives_and_comments;
           quick "errors" test_verilog_errors;
         ] );

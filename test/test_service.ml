@@ -1,0 +1,421 @@
+(* The batch subsystem: manifests, cache keys, the result store, the
+   domain pool, deadline degradation and the engine end to end. *)
+
+module Netlist = Standby_netlist.Netlist
+module Gate_kind = Standby_netlist.Gate_kind
+module Bench_io = Standby_netlist.Bench_io
+module Process = Standby_device.Process
+module Version = Standby_cells.Version
+module Library = Standby_cells.Library
+module Optimizer = Standby_opt.Optimizer
+module Assignment = Standby_power.Assignment
+module Benchmarks = Standby_circuits.Benchmarks
+module Manifest = Standby_service.Manifest
+module Cache_key = Standby_service.Cache_key
+module Result_store = Standby_service.Result_store
+module Pool = Standby_service.Pool
+module Engine = Standby_service.Engine
+
+let check = Alcotest.check
+let quick name f = Alcotest.test_case name `Quick f
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let check_error ~sub name = function
+  | Ok _ -> Alcotest.failf "%s: expected an error mentioning %S" name sub
+  | Error msg ->
+    if not (contains ~sub msg) then
+      Alcotest.failf "%s: error %S does not mention %S" name msg sub
+
+let data_file name =
+  let candidates = [ Filename.concat "../data" name; Filename.concat "data" name ] in
+  match List.find_opt Sys.file_exists candidates with
+  | Some path -> path
+  | None -> Alcotest.failf "fixture %s not found" name
+
+(* A unique throwaway directory (created on demand by its consumer). *)
+let fresh_dir prefix =
+  let file = Filename.temp_file prefix "" in
+  Sys.remove file;
+  file
+
+let read_file path = In_channel.with_open_text path In_channel.input_all
+
+(* Characterizing the default library is the expensive setup; share it. *)
+let library = lazy (Library.build Process.default)
+
+(* ------------------------------------------------------------------ *)
+(* Manifest                                                             *)
+
+let sample_manifest =
+  {|# batch manifest
+[defaults]
+library = 2opt
+method = heu2
+time-limit = 0.5
+penalty = 0.08
+
+[job first]
+circuit = c432
+
+[job second]
+file = sub/c17.bench
+method = exact
+penalty = 0.02
+deadline = 30
+
+[job third]
+circuit = c880
+method = hc
+rounds = 3
+|}
+
+let test_manifest_parse () =
+  match Manifest.parse ~dir:"/anchor" sample_manifest with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok jobs ->
+    check (Alcotest.list Alcotest.string) "ids, in manifest order"
+      [ "first"; "second"; "third" ]
+      (List.map (fun j -> j.Manifest.id) jobs);
+    let first, second, third =
+      match jobs with [ a; b; c ] -> (a, b, c) | _ -> assert false
+    in
+    check Alcotest.bool "defaults apply" true
+      (first.Manifest.mode = Version.two_option_mode
+      && first.Manifest.method_ = Optimizer.Heuristic_2 { time_limit_s = 0.5 }
+      && first.Manifest.penalty = 0.08
+      && first.Manifest.deadline_s = None
+      && first.Manifest.source = Manifest.Builtin "c432");
+    check Alcotest.bool "per-job overrides win" true
+      (second.Manifest.method_ = Optimizer.Exact
+      && second.Manifest.penalty = 0.02
+      && second.Manifest.deadline_s = Some 30.0);
+    check Alcotest.string "relative file anchored to dir" "/anchor/sub/c17.bench"
+      (match second.Manifest.source with Manifest.File p -> p | _ -> "not a file");
+    check Alcotest.bool "job keys fall back to defaults" true
+      (third.Manifest.method_ = Optimizer.Hill_climb { time_limit_s = 0.5; max_rounds = 3 })
+
+let test_manifest_errors () =
+  let parse = Manifest.parse ?dir:None in
+  check_error ~sub:"no jobs" "empty" (parse "");
+  check_error ~sub:"duplicate job" "duplicate"
+    (parse "[job a]\ncircuit = c432\n[job a]\ncircuit = c432\n");
+  check_error ~sub:"sets both" "circuit and file"
+    (parse "[job a]\ncircuit = c432\nfile = x.bench\n");
+  check_error ~sub:"needs 'circuit" "no source" (parse "[job a]\npenalty = 0.1\n");
+  check_error ~sub:"line 2: unknown key" "unknown key"
+    (parse "[job a]\nfrobnicate = yes\ncircuit = c432\n");
+  check_error ~sub:"outside" "key at toplevel" (parse "penalty = 0.1\n");
+  check_error ~sub:"not allowed in [defaults]" "circuit in defaults"
+    (parse "[defaults]\ncircuit = c432\n");
+  check_error ~sub:"unknown method" "bad method"
+    (parse "[job a]\ncircuit = c432\nmethod = annealing\n");
+  check_error ~sub:"unknown library mode" "bad mode"
+    (parse "[job a]\ncircuit = c432\nlibrary = 9opt\n");
+  check_error ~sub:"deadline must be positive" "zero deadline"
+    (parse "[job a]\ncircuit = c432\ndeadline = 0\n");
+  check_error ~sub:"unterminated" "unterminated header" (parse "[job a\ncircuit = c432\n");
+  check_error ~sub:"malformed number" "bad float"
+    (parse "[job a]\ncircuit = c432\npenalty = lots\n")
+
+(* ------------------------------------------------------------------ *)
+(* Cache keys                                                           *)
+
+(* Three inputs, two parallel gates, one output gate — small enough to
+   build by hand twice with the parallel gates swapped. *)
+let diamond ~swap_order ~names () =
+  let b = Netlist.Builder.create ~name:(if names then "one" else "two") () in
+  let input i = Netlist.Builder.add_input ~name:(Printf.sprintf "%s%d" i 0) b in
+  let a = input (if names then "a" else "p") in
+  let bb = input (if names then "b" else "q") in
+  let c = input (if names then "c" else "r") in
+  let x, y =
+    if swap_order then begin
+      let y = Netlist.Builder.add_gate b Gate_kind.Nor2 [| bb; c |] in
+      let x = Netlist.Builder.add_gate b Gate_kind.Nand2 [| a; bb |] in
+      (x, y)
+    end
+    else begin
+      let x = Netlist.Builder.add_gate b Gate_kind.Nand2 [| a; bb |] in
+      let y = Netlist.Builder.add_gate b Gate_kind.Nor2 [| bb; c |] in
+      (x, y)
+    end
+  in
+  let out = Netlist.Builder.add_gate b Gate_kind.Nand2 [| x; y |] in
+  Netlist.Builder.mark_output b out;
+  (b, a)
+
+let finish (b, _) = Netlist.Builder.finish b
+
+let test_canonical_invariance () =
+  let net1 = finish (diamond ~swap_order:false ~names:true ()) in
+  let net2 = finish (diamond ~swap_order:true ~names:false ()) in
+  check Alcotest.string "gate insertion order and names are irrelevant"
+    (Cache_key.canonical net1) (Cache_key.canonical net2);
+  (* Dead logic — a gate feeding no output — must not affect the key. *)
+  let b, a = diamond ~swap_order:false ~names:true () in
+  let _dead = Netlist.Builder.add_gate b Gate_kind.Inv [| a |] in
+  let net3 = Netlist.Builder.finish b in
+  check Alcotest.string "unreachable logic is irrelevant" (Cache_key.canonical net1)
+    (Cache_key.canonical net3);
+  (* But an actual structural change must show. *)
+  let b, _ = diamond ~swap_order:false ~names:true () in
+  let inv = Netlist.Builder.add_gate b Gate_kind.Inv [| 0 |] in
+  Netlist.Builder.mark_output b inv;
+  let net4 = Netlist.Builder.finish b in
+  check Alcotest.bool "structure changes the rendering" false
+    (Cache_key.canonical net1 = Cache_key.canonical net4)
+
+let test_digest_sensitivity () =
+  let net = finish (diamond ~swap_order:false ~names:true ()) in
+  let digest ?(process = Process.default) ?(mode = Version.default_mode) ?(penalty = 0.05)
+      ?(method_ = Optimizer.Heuristic_1) () =
+    Cache_key.digest ~net ~process ~mode ~penalty ~method_
+  in
+  let base = digest () in
+  check Alcotest.string "digest is deterministic" base (digest ());
+  check Alcotest.string "equal structure, equal digest" base
+    (Cache_key.digest
+       ~net:(finish (diamond ~swap_order:true ~names:false ()))
+       ~process:Process.default ~mode:Version.default_mode ~penalty:0.05
+       ~method_:Optimizer.Heuristic_1);
+  let differs name key = check Alcotest.bool name false (key = base) in
+  differs "process parameter misses"
+    (digest ~process:{ Process.default with Process.vdd = Process.default.Process.vdd +. 0.05 } ());
+  differs "penalty misses" (digest ~penalty:0.06 ());
+  differs "library mode misses" (digest ~mode:Version.two_option_mode ());
+  differs "method misses" (digest ~method_:(Optimizer.Heuristic_2 { time_limit_s = 1.0 }) ());
+  differs "method parameter misses"
+    (digest ~method_:(Optimizer.Hill_climb { time_limit_s = 1.0; max_rounds = 4 }) ());
+  check Alcotest.bool "method parameters are part of the descriptor" false
+    (Cache_key.method_descriptor (Optimizer.Heuristic_2 { time_limit_s = 1.0 })
+    = Cache_key.method_descriptor (Optimizer.Heuristic_2 { time_limit_s = 2.0 }))
+
+(* ------------------------------------------------------------------ *)
+(* Result store                                                         *)
+
+let sample_entry =
+  {
+    Result_store.method_name = "heu1";
+    penalty = 0.05;
+    budget = 1.25;
+    delay = 1.2000000000000003;
+    delay_fast = 1.0;
+    delay_slow = 3.5;
+    total = 1.234e-6;
+    isub = 1.0e-6;
+    igate = 0.234e-6;
+    runtime_s = 0.75;
+    assignment = "vector 0101\nchoices 0 0 1 2\n";
+  }
+
+let test_store_roundtrip () =
+  let store = Result_store.create ~dir:(fresh_dir "standbyopt-store") in
+  let key = String.make 32 'a' in
+  check Alcotest.bool "missing key is a miss" true (Result_store.find store ~key = None);
+  Result_store.store store ~key sample_entry;
+  (match Result_store.find store ~key with
+   | None -> Alcotest.fail "stored entry not found"
+   | Some e ->
+     (* %.17g round-trips doubles exactly, so equality is structural. *)
+     check Alcotest.bool "entry survives the round trip" true (e = sample_entry));
+  (* Corruption degrades to a miss, never an error. *)
+  Out_channel.with_open_text
+    (Filename.concat (Result_store.dir store) (key ^ ".result"))
+    (fun oc -> Out_channel.output_string oc "not a result file\n");
+  check Alcotest.bool "corrupted entry is a miss" true (Result_store.find store ~key = None);
+  Result_store.store store ~key sample_entry;
+  Result_store.store store ~key:(String.make 32 'b') sample_entry;
+  check Alcotest.int "clear removes every entry" 2 (Result_store.clear store);
+  check Alcotest.bool "cleared store is empty" true (Result_store.find store ~key = None)
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                 *)
+
+let test_pool_map () =
+  let input = Array.init 100 (fun i -> i) in
+  let output = Pool.map ~workers:4 (fun i -> i * i) input in
+  check (Alcotest.array Alcotest.int) "order preserved" (Array.map (fun i -> i * i) input)
+    output;
+  match Pool.map ~workers:2 (fun i -> if i = 5 then failwith "boom" else i) input with
+  | _ -> Alcotest.fail "expected the task exception to re-raise"
+  | exception Failure msg -> check Alcotest.string "first task exception re-raised" "boom" msg
+
+let test_pool_submit_wait () =
+  let pool = Pool.create ~workers:3 () in
+  check Alcotest.int "worker count" 3 (Pool.workers pool);
+  let counter = Atomic.make 0 in
+  for _ = 1 to 50 do
+    Pool.submit pool (fun () -> Atomic.incr counter)
+  done;
+  Pool.wait pool;
+  check Alcotest.int "every task ran" 50 (Atomic.get counter);
+  (* Exceptions must not kill workers. *)
+  Pool.submit pool (fun () -> failwith "swallowed");
+  Pool.submit pool (fun () -> Atomic.incr counter);
+  Pool.wait pool;
+  check Alcotest.int "worker survives a task exception" 51 (Atomic.get counter);
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (* Idempotent. *)
+  match Pool.submit pool (fun () -> ()) with
+  | () -> Alcotest.fail "submit after shutdown must raise"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Assignment serialization                                             *)
+
+let test_assignment_roundtrip () =
+  let lib = Lazy.force library in
+  let net = Result.get_ok (Bench_io.of_string (read_file (data_file "c17.bench"))) in
+  let result = Optimizer.run lib net ~penalty:0.1 Optimizer.Heuristic_1 in
+  let a = result.Optimizer.assignment in
+  match Assignment.of_string lib net (Assignment.to_string a) with
+  | Error msg -> Alcotest.failf "round trip failed: %s" msg
+  | Ok b ->
+    check (Alcotest.array Alcotest.bool) "input vector" a.Assignment.input_vector
+      b.Assignment.input_vector;
+    check (Alcotest.array Alcotest.int) "option choices" a.Assignment.option_choice
+      b.Assignment.option_choice;
+    check (Alcotest.array Alcotest.bool) "node values re-derived" a.Assignment.node_values
+      b.Assignment.node_values;
+    check (Alcotest.array Alcotest.int) "gate states re-derived" a.Assignment.gate_state
+      b.Assignment.gate_state
+
+let test_assignment_rejects () =
+  let lib = Lazy.force library in
+  let net = Result.get_ok (Bench_io.of_string (read_file (data_file "c17.bench"))) in
+  let reject name text = check_error ~sub:"" name (Assignment.of_string lib net text) in
+  reject "wrong vector length" "vector 01\nchoices 0 0 0 0 0 0\n";
+  reject "wrong choice count" "vector 01010\nchoices 0 0\n";
+  reject "out-of-range choice" "vector 01010\nchoices 99 0 0 0 0 0\n";
+  reject "garbage" "hello\n"
+
+(* ------------------------------------------------------------------ *)
+(* Deadline degradation                                                 *)
+
+let test_degraded_flag () =
+  let lib = Lazy.force library in
+  let net = Benchmarks.circuit "c880" in
+  (* Exact search on hundreds of gates cannot finish inside a zero
+     deadline — but it must still return a feasible incumbent. *)
+  let r = Optimizer.run ~deadline_s:0.0 lib net ~penalty:0.1 Optimizer.Exact in
+  check Alcotest.bool "deadline cut marks the result degraded" true r.Optimizer.degraded;
+  check Alcotest.bool "degraded result stays delay-feasible" true
+    (r.Optimizer.delay <= r.Optimizer.budget +. 1e-9);
+  let full = Optimizer.run lib net ~penalty:0.1 Optimizer.Heuristic_1 in
+  check Alcotest.bool "no deadline, not degraded" false full.Optimizer.degraded;
+  (* A generous deadline that the method beats on its own is not a cut. *)
+  let easy = Optimizer.run ~deadline_s:3600.0 lib net ~penalty:0.1 Optimizer.Heuristic_1 in
+  check Alcotest.bool "unexercised deadline, not degraded" false easy.Optimizer.degraded
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                               *)
+
+let engine_job ~id ?deadline_s ?(method_ = Optimizer.Heuristic_1) ?(penalty = 0.1) source =
+  {
+    Manifest.id;
+    source;
+    mode = Version.default_mode;
+    method_;
+    penalty;
+    deadline_s;
+    process_file = None;
+  }
+
+let test_engine_cache_flow () =
+  let c17 = data_file "c17.bench" in
+  let jobs =
+    [
+      engine_job ~id:"c17-a" ~penalty:0.05 (Manifest.File c17);
+      engine_job ~id:"c17-b" ~penalty:0.15 (Manifest.File c17);
+      engine_job ~id:"c432" (Manifest.Builtin "c432");
+      engine_job ~id:"c880-tight" ~method_:Optimizer.Exact ~deadline_s:0.01
+        (Manifest.Builtin "c880");
+    ]
+  in
+  let store = Result_store.create ~dir:(fresh_dir "standbyopt-cache") in
+  let cold = Engine.run ~workers:2 ~store jobs in
+  check Alcotest.int "cold run computes" 3 cold.Engine.computed;
+  check Alcotest.int "cold run has no hits" 0 cold.Engine.cached;
+  check Alcotest.int "deadline job degrades" 1 cold.Engine.degraded;
+  check Alcotest.int "nothing fails" 0 cold.Engine.failed;
+  let entries dir =
+    Array.length
+      (Array.of_list
+         (List.filter
+            (fun f -> Filename.check_suffix f ".result")
+            (Array.to_list (Sys.readdir dir))))
+  in
+  check Alcotest.int "degraded results are not persisted" 3
+    (entries (Result_store.dir store));
+  let warm = Engine.run ~workers:2 ~store jobs in
+  check Alcotest.int "warm run hits" 3 warm.Engine.cached;
+  check Alcotest.int "warm run recomputes nothing" 0 warm.Engine.computed;
+  check Alcotest.int "degraded job reruns every time" 1 warm.Engine.degraded;
+  check Alcotest.int "store is unchanged" 3 (entries (Result_store.dir store));
+  Array.iter
+    (fun o ->
+      match o.Engine.status with
+      | Engine.Failed msg -> Alcotest.failf "job %s failed: %s" o.Engine.job.Manifest.id msg
+      | _ ->
+        check Alcotest.bool "every outcome carries a result" true (o.Engine.result <> None))
+    warm.Engine.outcomes;
+  (* Outcomes come back in manifest order regardless of completion order. *)
+  check (Alcotest.list Alcotest.string) "manifest order preserved"
+    (List.map (fun j -> j.Manifest.id) jobs)
+    (Array.to_list (Array.map (fun o -> o.Engine.job.Manifest.id) warm.Engine.outcomes));
+  let rendered = Engine.table warm in
+  List.iter
+    (fun sub ->
+      check Alcotest.bool (Printf.sprintf "table mentions %s" sub) true
+        (contains ~sub rendered))
+    [ "c17-a"; "c880-tight"; "cached"; "degraded" ];
+  let csv = Engine.csv warm in
+  check Alcotest.bool "csv has the header" true (contains ~sub:"job,circuit" csv);
+  check Alcotest.bool "csv carries the cache key" true
+    (match warm.Engine.outcomes.(0).Engine.key with
+     | Some key -> contains ~sub:key csv
+     | None -> false)
+
+let test_engine_failure () =
+  let summary =
+    Engine.run ~workers:1
+      [
+        engine_job ~id:"ghost" (Manifest.File "/nonexistent/ghost.bench");
+        engine_job ~id:"real" (Manifest.File (data_file "c17.bench"));
+      ]
+  in
+  check Alcotest.int "bad path fails its job only" 1 summary.Engine.failed;
+  check Alcotest.int "good job still computes" 1 summary.Engine.computed;
+  let ghost = summary.Engine.outcomes.(0) in
+  check Alcotest.bool "failed outcome has no key or result" true
+    (ghost.Engine.key = None && ghost.Engine.result = None)
+
+let () =
+  Alcotest.run "standby.service"
+    [
+      ("manifest", [ quick "parse" test_manifest_parse; quick "errors" test_manifest_errors ]);
+      ( "cache-key",
+        [
+          quick "canonical invariance" test_canonical_invariance;
+          quick "digest sensitivity" test_digest_sensitivity;
+        ] );
+      ("result-store", [ quick "roundtrip, corruption, clear" test_store_roundtrip ]);
+      ( "pool",
+        [ quick "map" test_pool_map; quick "submit and wait" test_pool_submit_wait ] );
+      ( "assignment-io",
+        [
+          quick "roundtrip" test_assignment_roundtrip;
+          quick "rejects bad payloads" test_assignment_rejects;
+        ] );
+      ("degradation", [ quick "deadline flag" test_degraded_flag ]);
+      ( "engine",
+        [
+          quick "compute then cache" test_engine_cache_flow;
+          quick "failure isolation" test_engine_failure;
+        ] );
+    ]
