@@ -25,6 +25,60 @@ module Baselines = Standby_opt.Baselines
 module Bound = Standby_opt.Bound
 module Benchmarks = Standby_circuits.Benchmarks
 module Experiments = Standby_report.Experiments
+module Metrics = Standby_telemetry.Metrics
+module Json = Standby_telemetry.Json
+module Timer = Standby_util.Timer
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_results.json — machine-readable record of every bench run.     *)
+
+let results_path = "BENCH_results.json"
+
+(* The optimizer feeds these process-global counters; deltas around an
+   artifact isolate its share of the search work. *)
+let search_counters =
+  List.map
+    (fun name -> (name, Metrics.counter Metrics.default ("search." ^ name)))
+    [
+      "state_nodes"; "leaves"; "pruned"; "gate_changes"; "bound_evaluations";
+      "incumbent_updates"; "restarts";
+    ]
+
+let counter_snapshot () = List.map (fun (_, c) -> Metrics.counter_value c) search_counters
+
+let counter_delta before =
+  List.map2
+    (fun (name, c) b -> (name, Json.Int (Metrics.counter_value c - b)))
+    search_counters before
+
+let circuit_sizes () =
+  Json.List
+    (List.map
+       (fun (p : Benchmarks.profile) ->
+         let net = Benchmarks.circuit p.Benchmarks.bench_name in
+         Json.Obj
+           [
+             ("name", Json.String p.Benchmarks.bench_name);
+             ("inputs", Json.Int (Netlist.input_count net));
+             ("gates", Json.Int (Netlist.gate_count net));
+             ("depth", Json.Int (Netlist.depth net));
+           ])
+       Benchmarks.profiles)
+
+let write_results ~quick entries =
+  let doc =
+    Json.Obj
+      [
+        ("generated_at", Json.Float (Timer.wall_now ()));
+        ("config", Json.String (if quick then "quick" else "full"));
+        ("circuits", circuit_sizes ());
+        ("artifacts", Json.List (List.rev entries));
+      ]
+  in
+  Out_channel.with_open_text results_path (fun oc ->
+      output_string oc (Json.to_string doc);
+      output_char oc '\n');
+  Printf.printf "wrote %s\n%!" results_path
 
 (* ------------------------------------------------------------------ *)
 (* Experiment reproduction                                              *)
@@ -53,14 +107,25 @@ let run_experiments ~quick artifacts =
     | "ablation" -> Experiments.ablation t
     | other -> Printf.sprintf "unknown artifact %S" other
   in
+  let entries = ref [] in
   List.iter
     (fun name ->
       if wanted name then begin
-        let out, seconds = Standby_util.Timer.time (fun () -> render name) in
+        let before = counter_snapshot () in
+        let out, seconds = Timer.time (fun () -> render name) in
         print_endline out;
-        Printf.printf "[%s: %.1f s]\n\n%!" name seconds
+        Printf.printf "[%s: %.1f s]\n\n%!" name seconds;
+        entries :=
+          Json.Obj
+            [
+              ("artifact", Json.String name);
+              ("wall_s", Json.Float seconds);
+              ("search", Json.Obj (counter_delta before));
+            ]
+          :: !entries
       end)
-    artifact_names
+    artifact_names;
+  write_results ~quick !entries
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one kernel per table/figure              *)
@@ -173,7 +238,18 @@ let () =
   let quick = List.mem "--quick" args in
   let args = List.filter (fun a -> a <> "--quick") args in
   match args with
-  | [ "speed" ] -> run_speed ()
+  | [ "speed" ] ->
+    let before = counter_snapshot () in
+    let (), seconds = Timer.time run_speed in
+    write_results ~quick
+      [
+        Json.Obj
+          [
+            ("artifact", Json.String "speed");
+            ("wall_s", Json.Float seconds);
+            ("search", Json.Obj (counter_delta before));
+          ];
+      ]
   | [] -> run_experiments ~quick [ "all" ]
   | artifacts ->
     let unknown =

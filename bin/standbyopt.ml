@@ -7,7 +7,8 @@
      report     regenerate the paper's tables and figures
      library    inspect the characterized cell library
      circuits   list the built-in benchmark suite
-     export     write a benchmark netlist as .bench *)
+     export     write a benchmark netlist as .bench
+     trace      inspect trace files written via --trace *)
 
 open Cmdliner
 module Process = Standby_device.Process
@@ -33,6 +34,60 @@ module Dot_export = Standby_report.Dot_export
 module Manifest = Standby_service.Manifest
 module Engine = Standby_service.Engine
 module Result_store = Standby_service.Result_store
+module Log = Standby_telemetry.Log
+module Telemetry = Standby_telemetry.Telemetry
+module Metrics = Standby_telemetry.Metrics
+module Trace = Standby_telemetry.Trace
+module Trace_view = Standby_report.Trace_view
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry flags — shared by the commands that run the optimizer      *)
+
+let log_level_conv =
+  Arg.conv
+    ( (fun s -> Result.map_error (fun msg -> `Msg msg) (Log.level_of_string s)),
+      fun fmt l -> Format.pp_print_string fmt (Log.level_name l) )
+
+let log_level_arg =
+  let doc = "Log threshold: error, warn, info or debug." in
+  Arg.(value & opt (some log_level_conv) None & info [ "log-level" ] ~docv:"LEVEL" ~doc)
+
+let trace_file_arg =
+  let doc = "Write a JSONL trace of spans and events (see trace summarize)." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_file_arg =
+  let doc = "Write the metrics registry on exit (JSON, or Prometheus text for .prom)." in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+type telemetry_opts = {
+  level : Log.level option;
+  trace : string option;
+  metrics : string option;
+}
+
+let telemetry_term =
+  let combine level trace metrics = { level; trace; metrics } in
+  Term.(const combine $ log_level_arg $ trace_file_arg $ metrics_file_arg)
+
+(* Call first thing in a command's run function, before any work that
+   should be observed.  The metrics file is written at exit so it also
+   captures counters from error paths. *)
+let install_telemetry ?(quiet = false) t =
+  (match t.level with
+   | Some l -> Log.set_level l
+   | None -> if quiet then Log.set_level Log.Warn);
+  (match t.trace with
+   | Some path ->
+     Telemetry.set_trace_file path;
+     at_exit Telemetry.close_trace
+   | None -> ());
+  match t.metrics with
+  | None -> ()
+  | Some path ->
+    at_exit (fun () ->
+        try Metrics.write_file Metrics.default path
+        with Sys_error msg -> Printf.eprintf "error: cannot write metrics: %s\n" msg)
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                     *)
@@ -141,14 +196,15 @@ let timing_arg =
   let doc = "Also print the critical-path timing report of the solution." in
   Arg.(value & flag & info [ "timing" ] ~doc)
 
-let run_optimize circuit file mode method_ penalty heu2_limit vectors verbose timing
-    process_file simplify =
+let run_optimize telemetry circuit file mode method_ penalty heu2_limit vectors verbose
+    timing process_file simplify =
+  install_telemetry telemetry;
   match
     Result.bind (resolve_process process_file) (fun process ->
         Result.map (fun net -> (process, net)) (load_netlist circuit file))
   with
   | Error msg ->
-    Printf.eprintf "error: %s\n" msg;
+    Log.err "%s" msg;
     1
   | Ok (process, net) ->
     let net = maybe_simplify simplify net in
@@ -214,9 +270,9 @@ let optimize_cmd =
   let info = Cmd.info "optimize" ~doc:"Run a standby-leakage optimization" in
   Cmd.v info
     Term.(
-      const run_optimize $ circuit_arg $ bench_file_arg $ mode_arg $ method_arg $ penalty_arg
-      $ heu2_limit_arg $ vectors_arg $ verbose_arg $ timing_arg $ process_file_arg
-      $ simplify_arg)
+      const run_optimize $ telemetry_term $ circuit_arg $ bench_file_arg $ mode_arg
+      $ method_arg $ penalty_arg $ heu2_limit_arg $ vectors_arg $ verbose_arg $ timing_arg
+      $ process_file_arg $ simplify_arg)
 
 (* ------------------------------------------------------------------ *)
 (* batch                                                                *)
@@ -245,13 +301,17 @@ let csv_arg =
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
 
 let quiet_arg =
-  let doc = "Suppress per-job progress lines (the summary still prints)." in
+  let doc =
+    "Raise the log threshold to warn — no per-job progress lines (the summary still \
+     prints).  An explicit --log-level wins."
+  in
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
 
-let run_batch manifest workers cache_dir no_cache csv quiet =
+let run_batch telemetry manifest workers cache_dir no_cache csv quiet =
+  install_telemetry ~quiet telemetry;
   match Manifest.load_file manifest with
   | Error msg ->
-    Printf.eprintf "error: %s: %s\n" manifest msg;
+    Log.err "%s: %s" manifest msg;
     1
   | Ok jobs -> (
     match
@@ -263,11 +323,10 @@ let run_batch manifest workers cache_dir no_cache csv quiet =
         | exception Sys_error msg -> Error msg
     with
     | Error msg ->
-      Printf.eprintf "error: %s\n" msg;
+      Log.err "%s" msg;
       1
     | Ok store ->
-      let progress line = if not quiet then print_endline line in
-      let summary = Engine.run ?workers ?store ~progress jobs in
+      let summary = Engine.run ?workers ?store jobs in
       print_string (Engine.table summary);
       (match store with
        | Some s -> Printf.printf "cache          %s\n" (Result_store.dir s)
@@ -288,8 +347,8 @@ let batch_cmd =
   in
   Cmd.v info
     Term.(
-      const run_batch $ manifest_arg $ workers_arg $ cache_dir_arg $ no_cache_arg $ csv_arg
-      $ quiet_arg)
+      const run_batch $ telemetry_term $ manifest_arg $ workers_arg $ cache_dir_arg
+      $ no_cache_arg $ csv_arg $ quiet_arg)
 
 (* ------------------------------------------------------------------ *)
 (* report                                                               *)
@@ -302,7 +361,8 @@ let quick_arg =
   let doc = "Use the trimmed configuration (small suite, few vectors)." in
   Arg.(value & flag & info [ "quick" ] ~doc)
 
-let run_report quick artifacts =
+let run_report telemetry quick artifacts =
+  install_telemetry telemetry;
   let config = if quick then Experiments.quick_config else Experiments.default_config in
   let t = Experiments.create ~config () in
   let wanted name = List.mem "all" artifacts || List.mem name artifacts in
@@ -335,7 +395,34 @@ let run_report quick artifacts =
 
 let report_cmd =
   let info = Cmd.info "report" ~doc:"Regenerate the paper's tables and figures" in
-  Cmd.v info Term.(const run_report $ quick_arg $ artifacts_arg)
+  Cmd.v info Term.(const run_report $ telemetry_term $ quick_arg $ artifacts_arg)
+
+(* ------------------------------------------------------------------ *)
+(* trace                                                                *)
+
+let trace_pos_arg =
+  let doc = "Trace file written by --trace." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let run_trace_summarize file =
+  match Trace.read_file file with
+  | Error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    1
+  | Ok records ->
+    print_string (Trace_view.render records);
+    0
+
+let trace_cmd =
+  let summarize =
+    let info =
+      Cmd.info "summarize"
+        ~doc:"Per-span wall/self-time table and incumbent trajectory of a trace"
+    in
+    Cmd.v info Term.(const run_trace_summarize $ trace_pos_arg)
+  in
+  let info = Cmd.info "trace" ~doc:"Inspect trace files written via --trace" in
+  Cmd.group info [ summarize ]
 
 (* ------------------------------------------------------------------ *)
 (* library                                                              *)
@@ -470,7 +557,7 @@ let main_cmd =
   Cmd.group info
     [
       optimize_cmd; batch_cmd; report_cmd; library_cmd; circuits_cmd; export_cmd;
-      analyze_cmd; export_lib_cmd; export_process_cmd;
+      analyze_cmd; export_lib_cmd; export_process_cmd; trace_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -2,6 +2,8 @@ module Netlist = Standby_netlist.Netlist
 module Library = Standby_cells.Library
 module Version = Standby_cells.Version
 module Sta = Standby_timing.Sta
+module Telemetry = Standby_telemetry.Telemetry
+module Json = Standby_telemetry.Json
 
 type result = { choices : int array; leakage : float }
 
@@ -27,6 +29,7 @@ let fast_choices lib net states =
   choices
 
 let greedy ?(order = By_saving) ~stats lib sta ~states =
+ Telemetry.span "gate_tree.greedy" (fun () ->
   let net = Sta.netlist sta in
   Sta.reset_fast sta;
   let rows = gate_rows lib sta states in
@@ -74,9 +77,11 @@ let greedy ?(order = By_saving) ~stats lib sta ~states =
       in
       try_option 0)
     rows;
-  { choices; leakage = !total }
+  Telemetry.add_fields [ ("leakage", Json.Float !total) ];
+  { choices; leakage = !total })
 
 let exact ?(interrupt = fun () -> false) ~stats lib sta ~states =
+ Telemetry.span "gate_tree.exact" (fun () ->
   let net = Sta.netlist sta in
   Sta.reset_fast sta;
   let rows = gate_rows lib sta states in
@@ -148,6 +153,7 @@ let exact ?(interrupt = fun () -> false) ~stats lib sta ~states =
     end
   in
   explore 0 0.0;
+  Telemetry.add_fields [ ("interrupted", Json.Bool !interrupted) ];
   if !best_leak = infinity then
     (* Interrupted before any complete assignment: fall back to the
        greedy answer, which is fast and always produces one. *)
@@ -159,5 +165,6 @@ let exact ?(interrupt = fun () -> false) ~stats lib sta ~states =
         let entry = (Library.options lib kind ~state:states.(id)).(!best_choices.(id)) in
         Sta.assign sta id ~version:entry.Version.version ~perm:entry.Version.perm);
     Sta.update sta;
+    Telemetry.add_fields [ ("leakage", Json.Float !best_leak) ];
     { choices = !best_choices; leakage = !best_leak }
-  end
+  end)

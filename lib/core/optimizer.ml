@@ -4,6 +4,32 @@ module Version = Standby_cells.Version
 module Assignment = Standby_power.Assignment
 module Evaluate = Standby_power.Evaluate
 module Timer = Standby_util.Timer
+module Telemetry = Standby_telemetry.Telemetry
+module Metrics = Standby_telemetry.Metrics
+module Json = Standby_telemetry.Json
+
+(* Registered once at module initialization — before any worker domain
+   can exist — so the hot paths below only pay atomic updates. *)
+let m_runs = Metrics.counter Metrics.default "optimizer.runs" ~help:"Completed optimizer runs"
+let m_degraded =
+  Metrics.counter Metrics.default "optimizer.degraded"
+    ~help:"Runs cut short by an external deadline"
+let m_runtime =
+  Metrics.histogram Metrics.default "optimizer.runtime_s" ~help:"Optimizer wall time"
+let m_state_nodes =
+  Metrics.counter Metrics.default "search.state_nodes" ~help:"State-tree nodes expanded"
+let m_leaves =
+  Metrics.counter Metrics.default "search.leaves" ~help:"Complete states evaluated"
+let m_pruned =
+  Metrics.counter Metrics.default "search.pruned" ~help:"Subtrees cut by the leakage bound"
+let m_gate_changes =
+  Metrics.counter Metrics.default "search.gate_changes" ~help:"Accepted cell version swaps"
+let m_bound_evals =
+  Metrics.counter Metrics.default "search.bound_evaluations" ~help:"Lower-bound evaluations"
+let m_incumbents =
+  Metrics.counter Metrics.default "search.incumbent_updates" ~help:"Incumbent improvements"
+let m_restarts =
+  Metrics.counter Metrics.default "search.restarts" ~help:"Hill-climbing restart rounds"
 
 type method_ =
   | Heuristic_1
@@ -34,13 +60,23 @@ type result = {
 
 let run ?config ?deadline_s ?on_incumbent lib net ~penalty method_ =
   if penalty < 0.0 then invalid_arg "Optimizer.run: negative delay penalty";
+ Telemetry.span "optimizer.run"
+   ~fields:
+     [
+       ("method", Json.String (method_name method_));
+       ("circuit", Json.String (Standby_netlist.Netlist.design_name net));
+       ("inputs", Json.Int (Standby_netlist.Netlist.input_count net));
+       ("gates", Json.Int (Standby_netlist.Netlist.gate_count net));
+       ("penalty", Json.Float penalty);
+     ]
+   (fun () ->
   let stats = Search_stats.create () in
   let started = Timer.unlimited () in
   let deadline = Option.map (fun limit_s -> Timer.start ~limit_s) deadline_s in
   let with_deadline t = match deadline with None -> t | Some d -> Timer.earliest t d in
-  let sta = Sta.create lib net in
+  let sta = Telemetry.span "sta.init" (fun () -> Sta.create lib net) in
   let delay_fast = Sta.circuit_delay sta in
-  let delay_slow = Sta.all_slow_delay lib net in
+  let delay_slow = Telemetry.span "sta.all_slow_delay" (fun () -> Sta.all_slow_delay lib net) in
   let budget = delay_fast +. (penalty *. (delay_slow -. delay_fast)) in
   Sta.set_budget sta budget;
   let bound = Bound.create lib net in
@@ -84,6 +120,24 @@ let run ?config ?deadline_s ?on_incumbent lib net ~penalty method_ =
   Sta.update sta;
   let delay = Sta.circuit_delay sta in
   assert (delay <= budget *. (1.0 +. 1e-9));
+  let runtime_s = Timer.elapsed_s started in
+  Metrics.incr m_runs;
+  if degraded then Metrics.incr m_degraded;
+  Metrics.observe m_runtime runtime_s;
+  Metrics.add m_state_nodes stats.Search_stats.state_nodes;
+  Metrics.add m_leaves stats.Search_stats.leaves;
+  Metrics.add m_pruned stats.Search_stats.pruned;
+  Metrics.add m_gate_changes stats.Search_stats.gate_changes;
+  Metrics.add m_bound_evals stats.Search_stats.bound_evaluations;
+  Metrics.add m_incumbents stats.Search_stats.incumbent_updates;
+  Metrics.add m_restarts stats.Search_stats.restarts;
+  Telemetry.add_fields
+    (("leakage", Json.Float breakdown.Evaluate.total)
+     :: ("delay", Json.Float delay)
+     :: ("budget", Json.Float budget)
+     :: ("degraded", Json.Bool degraded)
+     :: ("runtime_s", Json.Float runtime_s)
+     :: Search_stats.fields stats);
   {
     method_name = method_name method_;
     library_mode = Version.mode_name (Library.mode lib);
@@ -94,10 +148,10 @@ let run ?config ?deadline_s ?on_incumbent lib net ~penalty method_ =
     delay_fast;
     delay_slow;
     penalty;
-    runtime_s = Timer.elapsed_s started;
+    runtime_s;
     stats;
     degraded;
-  }
+  })
 
 let reduction_factor ~reference result = reference /. result.breakdown.Evaluate.total
 

@@ -2,6 +2,8 @@ module Netlist = Standby_netlist.Netlist
 module Sta = Standby_timing.Sta
 module Simulator = Standby_sim.Simulator
 module Timer = Standby_util.Timer
+module Telemetry = Standby_telemetry.Telemetry
+module Json = Standby_telemetry.Json
 
 let evaluate ~order ~stats lib sta vector =
   let net = Sta.netlist sta in
@@ -16,6 +18,9 @@ let evaluate ~order ~stats lib sta vector =
 
 let hill_climb ?(max_rounds = 8) ?(order = Gate_tree.By_saving) ~stats ~timer lib sta
     ~start =
+ Telemetry.span "refine.hill_climb"
+   ~fields:[ ("max_rounds", Json.Int max_rounds) ]
+   (fun () ->
   let net = Sta.netlist sta in
   let n_inputs = Netlist.input_count net in
   (* Most influential inputs first: their flips move the most gates. *)
@@ -34,6 +39,9 @@ let hill_climb ?(max_rounds = 8) ?(order = Gate_tree.By_saving) ~stats ~timer li
   while !improved && !rounds < max_rounds && not (Timer.expired timer) do
     improved := false;
     incr rounds;
+    (* Every round after the first restarts the full input scan from
+       the improved incumbent. *)
+    if !rounds > 1 then stats.Search_stats.restarts <- stats.Search_stats.restarts + 1;
     Array.iter
       (fun position ->
         if not (Timer.expired timer) then begin
@@ -42,10 +50,23 @@ let hill_climb ?(max_rounds = 8) ?(order = Gate_tree.By_saving) ~stats ~timer li
           stats.Search_stats.leaves <- stats.Search_stats.leaves + 1;
           if candidate.State_tree.leakage < !best.State_tree.leakage -. 1e-18 then begin
             best := candidate;
-            improved := true
+            improved := true;
+            stats.Search_stats.incumbent_updates <-
+              stats.Search_stats.incumbent_updates + 1;
+            if Telemetry.tracing () then begin
+              let delay = Sta.circuit_delay sta in
+              Telemetry.event "incumbent"
+                ~fields:
+                  (("leakage", Json.Float candidate.State_tree.leakage)
+                   :: ("delay", Json.Float delay)
+                   :: ("slack", Json.Float (Sta.budget sta -. delay))
+                   :: ("round", Json.Int !rounds)
+                   :: Search_stats.fields stats)
+            end
           end
           else vector.(position) <- not vector.(position)
         end)
       positions
   done;
-  !best
+  Telemetry.add_fields (("rounds", Json.Int !rounds) :: Search_stats.fields stats);
+  !best)

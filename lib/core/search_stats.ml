@@ -1,21 +1,49 @@
+module Json = Standby_telemetry.Json
+
 type t = {
   mutable state_nodes : int;
   mutable leaves : int;
   mutable pruned : int;
   mutable gate_changes : int;
   mutable bound_evaluations : int;
+  mutable incumbent_updates : int;
+  mutable restarts : int;
 }
 
 let create () =
-  { state_nodes = 0; leaves = 0; pruned = 0; gate_changes = 0; bound_evaluations = 0 }
+  {
+    state_nodes = 0;
+    leaves = 0;
+    pruned = 0;
+    gate_changes = 0;
+    bound_evaluations = 0;
+    incumbent_updates = 0;
+    restarts = 0;
+  }
 
 let merge_into acc extra =
   acc.state_nodes <- acc.state_nodes + extra.state_nodes;
   acc.leaves <- acc.leaves + extra.leaves;
   acc.pruned <- acc.pruned + extra.pruned;
   acc.gate_changes <- acc.gate_changes + extra.gate_changes;
-  acc.bound_evaluations <- acc.bound_evaluations + extra.bound_evaluations
+  acc.bound_evaluations <- acc.bound_evaluations + extra.bound_evaluations;
+  acc.incumbent_updates <- acc.incumbent_updates + extra.incumbent_updates;
+  acc.restarts <- acc.restarts + extra.restarts
 
 let to_string t =
-  Printf.sprintf "state-nodes=%d leaves=%d pruned=%d gate-changes=%d bound-evals=%d"
-    t.state_nodes t.leaves t.pruned t.gate_changes t.bound_evaluations
+  Printf.sprintf
+    "state-nodes=%d leaves=%d pruned=%d gate-changes=%d bound-evals=%d incumbents=%d \
+     restarts=%d"
+    t.state_nodes t.leaves t.pruned t.gate_changes t.bound_evaluations t.incumbent_updates
+    t.restarts
+
+let fields t =
+  [
+    ("state_nodes", Json.Int t.state_nodes);
+    ("leaves", Json.Int t.leaves);
+    ("pruned", Json.Int t.pruned);
+    ("gate_changes", Json.Int t.gate_changes);
+    ("bound_evaluations", Json.Int t.bound_evaluations);
+    ("incumbent_updates", Json.Int t.incumbent_updates);
+    ("restarts", Json.Int t.restarts);
+  ]

@@ -1,5 +1,6 @@
 (** Counters describing one optimization run — used by tests, the
-    Figure 4 search-structure report and the ablation benches. *)
+    Figure 4 search-structure report, the ablation benches and the
+    telemetry layer. *)
 
 type t = {
   mutable state_nodes : int;  (** State-tree nodes expanded. *)
@@ -7,11 +8,22 @@ type t = {
   mutable pruned : int;  (** Subtrees cut by the leakage lower bound. *)
   mutable gate_changes : int;  (** Accepted cell version swaps. *)
   mutable bound_evaluations : int;
+  mutable incumbent_updates : int;
+      (** How often the best-so-far solution improved (state search and
+          hill climbing combined). *)
+  mutable restarts : int;
+      (** Hill-climbing improvement rounds beyond the first — each one
+          restarts the full input scan from the new incumbent. *)
 }
 
 val create : unit -> t
 
 val merge_into : t -> t -> unit
-(** [merge_into acc extra] adds [extra]'s counters to [acc]. *)
+(** [merge_into acc extra] adds [extra]'s counters to [acc] — how the
+    batch engine folds per-worker stats into a run total. *)
 
 val to_string : t -> string
+
+val fields : t -> (string * Standby_telemetry.Json.t) list
+(** The counters as structured telemetry fields, for span/event
+    snapshots. *)

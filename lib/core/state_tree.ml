@@ -3,6 +3,8 @@ module Sta = Standby_timing.Sta
 module Logic = Standby_sim.Logic
 module Simulator = Standby_sim.Simulator
 module Timer = Standby_util.Timer
+module Telemetry = Standby_telemetry.Telemetry
+module Json = Standby_telemetry.Json
 
 type config = {
   use_bound_ordering : bool;
@@ -30,8 +32,21 @@ let input_order net =
   Array.iteri (fun pos id -> Hashtbl.replace position id pos) (Netlist.inputs net);
   Array.map (fun id -> Hashtbl.find position id) ids
 
+let stop_reason_name = function
+  | Exhausted -> "exhausted"
+  | Leaf_limit -> "leaf-limit"
+  | Timed_out -> "timed-out"
+  | Interrupted -> "interrupted"
+
 let search ?(config = default_config) ?on_incumbent ?(interrupt = fun () -> false) ~stats
     ~timer ~max_leaves ~exact_gate_tree bound lib sta =
+ Telemetry.span "state_tree.search"
+   ~fields:
+     [
+       ("inputs", Json.Int (Netlist.input_count (Sta.netlist sta)));
+       ("exact_gate_tree", Json.Bool exact_gate_tree);
+     ]
+   (fun () ->
   let net = Sta.netlist sta in
   let n_inputs = Netlist.input_count net in
   let order = input_order net in
@@ -91,6 +106,19 @@ let search ?(config = default_config) ?on_incumbent ?(interrupt = fun () -> fals
         { vector; choices = result.Gate_tree.choices; leakage = result.Gate_tree.leakage }
       in
       best := Some leaf;
+      stats.Search_stats.incumbent_updates <- stats.Search_stats.incumbent_updates + 1;
+      if Telemetry.tracing () then begin
+        (* The gate-tree searches leave the workspace reflecting their
+           winning assignment, so the current circuit delay is the
+           incumbent's. *)
+        let delay = Sta.circuit_delay sta in
+        Telemetry.event "incumbent"
+          ~fields:
+            (("leakage", Json.Float leaf.leakage)
+             :: ("delay", Json.Float delay)
+             :: ("slack", Json.Float (Sta.budget sta -. delay))
+             :: Search_stats.fields stats)
+      end;
       match on_incumbent with Some f -> f leaf | None -> ()
     end
   in
@@ -130,6 +158,9 @@ let search ?(config = default_config) ?on_incumbent ?(interrupt = fun () -> fals
     end
   in
   explore 0;
+  Telemetry.add_fields
+    (("stop_reason", Json.String (stop_reason_name !stop_reason))
+     :: Search_stats.fields stats);
   match !best with
   | Some leaf -> { best = leaf; stop_reason = !stop_reason }
-  | None -> assert false (* at least one descent always completes *)
+  | None -> assert false (* at least one descent always completes *))

@@ -35,6 +35,10 @@ type stop_reason =
   | Timed_out  (** The timer expired (Heuristic 2 budget or deadline). *)
   | Interrupted  (** The [interrupt] callback requested a stop. *)
 
+val stop_reason_name : stop_reason -> string
+(** Stable lowercase names ("exhausted", "leaf-limit", "timed-out",
+    "interrupted") — used in trace fields and reports. *)
+
 type outcome = { best : leaf; stop_reason : stop_reason }
 
 val search :

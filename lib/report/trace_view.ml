@@ -1,0 +1,73 @@
+module Trace = Standby_telemetry.Trace
+
+let span_table records =
+  let rows = Trace.span_summary records in
+  if rows = [] then "trace contains no spans\n"
+  else
+    let columns =
+      [
+        ("span", Ascii_table.Left);
+        ("count", Ascii_table.Right);
+        ("total s", Ascii_table.Right);
+        ("self s", Ascii_table.Right);
+        ("min s", Ascii_table.Right);
+        ("max s", Ascii_table.Right);
+        ("mean s", Ascii_table.Right);
+      ]
+    in
+    let cell = Ascii_table.float_cell ~decimals:4 in
+    let row (r : Trace.span_row) =
+      [
+        r.Trace.span_name;
+        string_of_int r.Trace.count;
+        cell r.Trace.total_s;
+        cell r.Trace.self_s;
+        cell r.Trace.min_s;
+        cell r.Trace.max_s;
+        cell (r.Trace.total_s /. float_of_int r.Trace.count);
+      ]
+    in
+    Ascii_table.render ~title:"spans" ~columns (List.map row rows)
+
+let incumbent_table records =
+  let points = Trace.events_named "incumbent" records in
+  if points = [] then ""
+  else
+    let columns =
+      [
+        ("#", Ascii_table.Right);
+        ("t s", Ascii_table.Right);
+        ("leakage uA", Ascii_table.Right);
+        ("delay", Ascii_table.Right);
+        ("slack", Ascii_table.Right);
+      ]
+    in
+    let opt_cell ?(scale = 1.0) ~decimals v =
+      match v with
+      | Some v -> Ascii_table.float_cell ~decimals (v *. scale)
+      | None -> "-"
+    in
+    let row i p =
+      [
+        string_of_int (i + 1);
+        Ascii_table.float_cell ~decimals:4 p.Trace.t_rel_s;
+        opt_cell ~scale:1e6 ~decimals:3 (Trace.field_float "leakage" p);
+        opt_cell ~decimals:3 (Trace.field_float "delay" p);
+        opt_cell ~decimals:3 (Trace.field_float "slack" p);
+      ]
+    in
+    Ascii_table.render ~title:"incumbent trajectory" ~columns (List.mapi row points)
+
+let render records =
+  let count kind =
+    List.length (List.filter (fun (r : Trace.record) -> r.Trace.kind = kind) records)
+  in
+  let census =
+    Printf.sprintf "%d record(s): %d span(s), %d event(s)\n" (List.length records)
+      (count "span") (count "event")
+  in
+  let incumbents = incumbent_table records in
+  String.concat "\n"
+    (List.filter
+       (fun s -> s <> "")
+       [ span_table records; (if incumbents = "" then "" else incumbents); census ])

@@ -1,0 +1,15 @@
+(** Render a parsed trace ({!Standby_telemetry.Trace}) for the terminal:
+    the per-span wall/self-time table and the incumbent-improvement
+    trajectory behind [standbyopt trace summarize]. *)
+
+val span_table : Standby_telemetry.Trace.record list -> string
+(** Per span name: count, total wall, self (total minus direct
+    children), min/max/mean — widest total first. *)
+
+val incumbent_table : Standby_telemetry.Trace.record list -> string
+(** The ["incumbent"] event trajectory: time since trace start, leakage,
+    delay and slack per improvement.  Empty string when the trace holds
+    no incumbent events. *)
+
+val render : Standby_telemetry.Trace.record list -> string
+(** Both views plus a one-line record census. *)

@@ -8,6 +8,19 @@ module Search_stats = Standby_opt.Search_stats
 module Timer = Standby_util.Timer
 module Ascii_table = Standby_report.Ascii_table
 module Csv = Standby_report.Csv
+module Telemetry = Standby_telemetry.Telemetry
+module Metrics = Standby_telemetry.Metrics
+module Log = Standby_telemetry.Log
+module Json = Standby_telemetry.Json
+
+let m_job_wall =
+  Metrics.histogram Metrics.default "engine.job_wall_s" ~help:"Batch job wall time"
+let m_computed =
+  Metrics.counter Metrics.default "engine.jobs_computed" ~help:"Jobs computed from scratch"
+let m_cached = Metrics.counter Metrics.default "engine.jobs_cached" ~help:"Jobs served from cache"
+let m_degraded =
+  Metrics.counter Metrics.default "engine.jobs_degraded" ~help:"Jobs cut by their deadline"
+let m_failed = Metrics.counter Metrics.default "engine.jobs_failed" ~help:"Jobs that errored"
 
 type status = Computed | Cached | Degraded | Failed of string
 
@@ -28,6 +41,7 @@ type summary = {
   cached : int;
   degraded : int;
   failed : int;
+  search_stats : Search_stats.t;
 }
 
 let status_name = function
@@ -85,18 +99,21 @@ let result_of_entry lib net (entry : Result_store.entry) =
 (* ------------------------------------------------------------------ *)
 (* Run                                                                  *)
 
-let run ?workers ?store ?(progress = fun _ -> ()) jobs =
+let count_status = function
+  | Computed -> Metrics.incr m_computed
+  | Cached -> Metrics.incr m_cached
+  | Degraded -> Metrics.incr m_degraded
+  | Failed _ -> Metrics.incr m_failed
+
+let run ?workers ?store jobs =
+ Telemetry.span "engine.run"
+   ~fields:[ ("jobs", Json.Int (List.length jobs)) ]
+   (fun () ->
   let started = Timer.unlimited () in
   let jobs = Array.of_list jobs in
   let total = Array.length jobs in
-  let progress_mutex = Mutex.create () in
-  let say fmt =
-    Printf.ksprintf
-      (fun line ->
-        Mutex.lock progress_mutex;
-        Fun.protect ~finally:(fun () -> Mutex.unlock progress_mutex) (fun () -> progress line))
-      fmt
-  in
+  let finish_mutex = Mutex.create () in
+  let finished = ref 0 in
   (* Resolve everything up front: bad paths and names fail before any
      domain spawns or library characterizes. *)
   let resolved = Array.map Job.resolve jobs in
@@ -109,14 +126,17 @@ let run ?workers ?store ?(progress = fun _ -> ()) jobs =
       | Ok (r : Job.resolved) ->
         let mode = r.Job.job.Manifest.mode in
         let _, build_s =
-          Timer.time (fun () ->
-              Job.Library_cache.get libraries ~mode ~process:r.Job.process)
+          Telemetry.span "engine.characterize"
+            ~fields:[ ("library", Json.String (Version.mode_name mode)) ]
+            (fun () ->
+              Timer.time (fun () ->
+                  Job.Library_cache.get libraries ~mode ~process:r.Job.process))
         in
         if build_s > 0.05 then
-          say "library %-12s characterized in %.2f s" (Version.mode_name mode) build_s)
+          Log.info "library characterized"
+            ~fields:[ Log.str "library" (Version.mode_name mode); Log.float "build_s" build_s ])
     resolved;
   let outcomes = Array.make total None in
-  let finished = ref 0 in
   let run_one (r : Job.resolved) =
     let job = r.Job.job in
     let wall = Timer.unlimited () in
@@ -127,9 +147,20 @@ let run ?workers ?store ?(progress = fun _ -> ()) jobs =
     let from_cache =
       match store with
       | None -> None
-      | Some s ->
-        Option.bind (Result_store.find s ~key) (fun entry ->
-            result_of_entry lib r.Job.net entry)
+      | Some s -> (
+        match Result_store.find s ~key with
+        | None -> None
+        | Some entry -> (
+          match result_of_entry lib r.Job.net entry with
+          | Some result -> Some result
+          | None ->
+            (* The entry decoded but contradicts the live library —
+               count it with the store's corruption metric and
+               recompute. *)
+            Result_store.note_corrupt ();
+            Log.warn "cache entry rejected, recomputing"
+              ~fields:[ Log.str "job" job.Manifest.id; Log.str "key" key ];
+            None))
     in
     let status, result =
       match from_cache with
@@ -165,51 +196,91 @@ let run ?workers ?store ?(progress = fun _ -> ()) jobs =
         (fun i resolution ->
           Pool.submit pool (fun () ->
               let outcome =
-                match resolution with
-                | Error msg ->
-                  {
-                    job = jobs.(i);
-                    key = None;
-                    status = Failed msg;
-                    result = None;
-                    inputs = 0;
-                    gates = 0;
-                    wall_s = 0.0;
-                  }
-                | Ok r -> (
-                  try run_one r
-                  with e ->
-                    {
-                      job = jobs.(i);
-                      key = Some (Job.key r);
-                      status = Failed (Printexc.to_string e);
-                      result = None;
-                      inputs = Netlist.input_count r.Job.net;
-                      gates = Netlist.gate_count r.Job.net;
-                      wall_s = 0.0;
-                    })
+                Telemetry.span "engine.job"
+                  ~fields:
+                    [
+                      ("job", Json.String jobs.(i).Manifest.id);
+                      ("circuit", Json.String (Manifest.source_name jobs.(i).Manifest.source));
+                    ]
+                  (fun () ->
+                    let outcome =
+                      match resolution with
+                      | Error msg ->
+                        {
+                          job = jobs.(i);
+                          key = None;
+                          status = Failed msg;
+                          result = None;
+                          inputs = 0;
+                          gates = 0;
+                          wall_s = 0.0;
+                        }
+                      | Ok r -> (
+                        try run_one r
+                        with e ->
+                          {
+                            job = jobs.(i);
+                            key = Some (Job.key r);
+                            status = Failed (Printexc.to_string e);
+                            result = None;
+                            inputs = Netlist.input_count r.Job.net;
+                            gates = Netlist.gate_count r.Job.net;
+                            wall_s = 0.0;
+                          })
+                    in
+                    Telemetry.add_fields
+                      [
+                        ("status", Json.String (status_name outcome.status));
+                        ("wall_s", Json.Float outcome.wall_s);
+                      ];
+                    outcome)
               in
               outcomes.(i) <- Some outcome;
+              Metrics.observe m_job_wall outcome.wall_s;
+              count_status outcome.status;
               let n =
-                Mutex.lock progress_mutex;
+                Mutex.lock finish_mutex;
                 incr finished;
                 let n = !finished in
-                Mutex.unlock progress_mutex;
+                Mutex.unlock finish_mutex;
                 n
               in
+              let progress_fields r =
+                [
+                  Log.str "job" outcome.job.Manifest.id;
+                  Log.str "status" (status_name outcome.status);
+                  Log.int "done" n;
+                  Log.int "total" total;
+                  Log.float "wall_s" outcome.wall_s;
+                ]
+                @ (match r with
+                   | None -> []
+                   | Some r ->
+                     [
+                       Log.float "leakage_uA" (r.Optimizer.breakdown.Evaluate.total *. 1e6);
+                       Log.float "delay" r.Optimizer.delay;
+                       Log.float "budget" r.Optimizer.budget;
+                     ])
+              in
               match outcome.status with
-              | Failed msg -> say "[%d/%d] %-16s %-9s %s" n total outcome.job.Manifest.id
-                                (status_name outcome.status) msg
+              | Failed msg ->
+                Log.err "job failed: %s" msg ~fields:(progress_fields outcome.result)
               | _ ->
-                let r = Option.get outcome.result in
-                say "[%d/%d] %-16s %-9s %8.2f uA  delay %.2f/%.2f  %.2f s" n total
-                  outcome.job.Manifest.id (status_name outcome.status)
-                  (r.Optimizer.breakdown.Evaluate.total *. 1e6)
-                  r.Optimizer.delay r.Optimizer.budget outcome.wall_s))
+                Log.info "job finished" ~fields:(progress_fields outcome.result)))
         resolved;
       Pool.wait pool);
   let outcomes = Array.map Option.get outcomes in
   let count p = Array.fold_left (fun acc o -> if p o.status then acc + 1 else acc) 0 outcomes in
+  (* Fold every worker's per-job counters into one run total — without
+     this the per-worker stats evaporate when the domains join. *)
+  let search_stats = Search_stats.create () in
+  Array.iter
+    (fun o ->
+      match o.result with
+      | Some r -> Search_stats.merge_into search_stats r.Optimizer.stats
+      | None -> ())
+    outcomes;
+  Telemetry.add_fields (Search_stats.fields search_stats);
   {
     outcomes;
     wall_s = Timer.elapsed_s started;
@@ -217,7 +288,8 @@ let run ?workers ?store ?(progress = fun _ -> ()) jobs =
     cached = count (fun s -> s = Cached);
     degraded = count (fun s -> s = Degraded);
     failed = count (function Failed _ -> true | _ -> false);
-  }
+    search_stats;
+  })
 
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                            *)
@@ -264,16 +336,19 @@ let row o =
 let table summary =
   let rows = Array.to_list (Array.map row summary.outcomes) in
   let body = Ascii_table.render ~title:"batch summary" ~columns rows in
-  Printf.sprintf "%s\n%d job(s): %d computed, %d cached, %d degraded, %d failed — %.2f s\n"
+  Printf.sprintf
+    "%s\n%d job(s): %d computed, %d cached, %d degraded, %d failed — %.2f s\nsearch: %s\n"
     body
     (Array.length summary.outcomes)
     summary.computed summary.cached summary.degraded summary.failed summary.wall_s
+    (Search_stats.to_string summary.search_stats)
 
 let csv_header =
   [
     "job"; "circuit"; "inputs"; "gates"; "library"; "method"; "penalty"; "budget"; "delay";
     "delay_fast"; "delay_slow"; "leakage_A"; "isub_A"; "igate_A"; "status"; "runtime_s";
-    "wall_s"; "key";
+    "wall_s"; "state_nodes"; "bound_evaluations"; "gate_changes"; "incumbent_updates";
+    "restarts"; "key";
   ]
 
 let csv_row o =
@@ -283,7 +358,7 @@ let csv_row o =
   | None ->
     let reason = match o.status with Failed msg -> msg | _ -> "" in
     [ o.job.Manifest.id; circuit; ""; ""; ""; ""; ""; ""; ""; ""; ""; ""; ""; "";
-      status_name o.status ^ ": " ^ reason; ""; f o.wall_s;
+      status_name o.status ^ ": " ^ reason; ""; f o.wall_s; ""; ""; ""; ""; "";
       Option.value o.key ~default:"" ]
   | Some r ->
     [
@@ -304,6 +379,11 @@ let csv_row o =
       status_name o.status;
       f r.Optimizer.runtime_s;
       f o.wall_s;
+      string_of_int r.Optimizer.stats.Search_stats.state_nodes;
+      string_of_int r.Optimizer.stats.Search_stats.bound_evaluations;
+      string_of_int r.Optimizer.stats.Search_stats.gate_changes;
+      string_of_int r.Optimizer.stats.Search_stats.incumbent_updates;
+      string_of_int r.Optimizer.stats.Search_stats.restarts;
       Option.value o.key ~default:"";
     ]
 

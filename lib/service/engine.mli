@@ -33,17 +33,21 @@ type summary = {
   cached : int;
   degraded : int;
   failed : int;
+  search_stats : Standby_opt.Search_stats.t;
+      (** Every job's counters merged — per-worker stats would otherwise
+          be lost when the domains join. *)
 }
 
 val run :
   ?workers:int ->
   ?store:Result_store.t ->
-  ?progress:(string -> unit) ->
   Manifest.job list ->
   summary
 (** [workers] defaults to {!Pool.default_workers}; omit [store] to
-    disable caching; [progress] receives one line per finished job (and
-    one per library characterization), serialized across domains. *)
+    disable caching.  Progress is reported through
+    {!Standby_telemetry.Log} (one [info] line per finished job, [err] on
+    failure); each job runs under an [engine.job] trace span and feeds
+    the [engine.*] counters and the [engine.job_wall_s] histogram. *)
 
 val table : summary -> string
 (** Per-job {!Standby_report.Ascii_table} plus a totals line. *)

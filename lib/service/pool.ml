@@ -1,3 +1,16 @@
+module Metrics = Standby_telemetry.Metrics
+
+(* One set of gauges shared by every pool in the process (batch runs
+   create one pool at a time).  Registered at module initialization,
+   before any domain spawns. *)
+let m_workers = Metrics.gauge Metrics.default "pool.workers" ~help:"Worker domains"
+let m_queue_depth =
+  Metrics.gauge Metrics.default "pool.queue_depth" ~help:"Tasks waiting for a worker"
+let m_busy =
+  Metrics.gauge Metrics.default "pool.workers_busy" ~help:"Workers executing a task"
+let m_completed =
+  Metrics.counter Metrics.default "pool.tasks_completed" ~help:"Tasks run to completion"
+
 type t = {
   mutex : Mutex.t;
   work_available : Condition.t;  (* queue gained a task, or stopping *)
@@ -20,10 +33,14 @@ let worker t () =
     else begin
       let task = Queue.pop t.queue in
       t.active <- t.active + 1;
+      Metrics.set_gauge m_queue_depth (float_of_int (Queue.length t.queue));
+      Metrics.set_gauge m_busy (float_of_int t.active);
       Mutex.unlock t.mutex;
       (try task () with _ -> ());
+      Metrics.incr m_completed;
       Mutex.lock t.mutex;
       t.active <- t.active - 1;
+      Metrics.set_gauge m_busy (float_of_int t.active);
       if Queue.is_empty t.queue && t.active = 0 then Condition.broadcast t.work_done;
       Mutex.unlock t.mutex;
       loop ()
@@ -45,6 +62,7 @@ let create ?workers () =
     }
   in
   t.domains <- List.init n (fun _ -> Domain.spawn (worker t));
+  Metrics.set_gauge m_workers (float_of_int n);
   t
 
 let workers t = List.length t.domains
@@ -56,6 +74,7 @@ let submit t task =
     invalid_arg "Pool.submit: pool is shut down"
   end;
   Queue.push task t.queue;
+  Metrics.set_gauge m_queue_depth (float_of_int (Queue.length t.queue));
   Condition.signal t.work_available;
   Mutex.unlock t.mutex
 

@@ -1,3 +1,14 @@
+module Metrics = Standby_telemetry.Metrics
+
+let m_hits = Metrics.counter Metrics.default "result_store.hits" ~help:"Cache entries served"
+let m_misses =
+  Metrics.counter Metrics.default "result_store.misses" ~help:"Keys with no cache entry"
+let m_corrupt =
+  Metrics.counter Metrics.default "result_store.corrupt"
+    ~help:"Entries rejected as unreadable or inconsistent"
+
+let note_corrupt () = Metrics.incr m_corrupt
+
 type t = { dir : string }
 
 type entry = {
@@ -123,8 +134,19 @@ let find t ~key =
   else
     let file = path t ~key in
     match In_channel.with_open_text file In_channel.input_all with
-    | text -> of_text text
-    | exception Sys_error _ -> None
+    | text -> (
+      match of_text text with
+      | Some entry ->
+        Metrics.incr m_hits;
+        Some entry
+      | None ->
+        (* The file exists but does not decode: corruption, not a
+           mere miss. *)
+        Metrics.incr m_corrupt;
+        None)
+    | exception Sys_error _ ->
+      Metrics.incr m_misses;
+      None
 
 let store t ~key entry =
   if not (valid_key key) then invalid_arg "Result_store.store: malformed key";

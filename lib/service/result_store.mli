@@ -39,6 +39,13 @@ val default_dir : unit -> string
     directory. *)
 
 val find : t -> key:string -> entry option
+(** Feeds the [result_store.hits] / [result_store.misses] /
+    [result_store.corrupt] counters in {!Standby_telemetry.Metrics}:
+    a present-but-undecodable file counts as corrupt, not a miss. *)
+
+val note_corrupt : unit -> unit
+(** Count a corruption the caller detected after {!find} — e.g. an
+    entry whose re-evaluated leakage contradicts its stored total. *)
 
 val store : t -> key:string -> entry -> unit
 

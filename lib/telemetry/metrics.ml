@@ -1,0 +1,253 @@
+type counter = { c_name : string; c_help : string; c_value : int Atomic.t }
+
+type gauge = { g_name : string; g_help : string; g_value : float Atomic.t }
+
+type histogram = {
+  h_name : string;
+  h_help : string;
+  h_bounds : float array;  (* finite upper bounds, ascending *)
+  h_counts : int array;  (* one per bound, plus a final +Inf slot *)
+  mutable h_sum : float;
+  mutable h_count : int;
+  h_mutex : Mutex.t;
+}
+
+type instrument = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type t = { mutex : Mutex.t; table : (string, instrument) Hashtbl.t }
+
+let create () = { mutex = Mutex.create (); table = Hashtbl.create 32 }
+
+let default = create ()
+
+let kind_name = function Counter _ -> "counter" | Gauge _ -> "gauge" | Histogram _ -> "histogram"
+
+(* Shared register-or-return: everything funnels through the registry
+   mutex, so concurrent first registrations of the same name cannot
+   race. *)
+let intern t name make match_existing =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      match Hashtbl.find_opt t.table name with
+      | Some existing -> (
+        match match_existing existing with
+        | Some instrument -> instrument
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %s is already registered as a %s" name
+               (kind_name existing)))
+      | None ->
+        let fresh = make () in
+        Hashtbl.replace t.table name fresh;
+        match match_existing fresh with
+        | Some instrument -> instrument
+        | None -> assert false)
+
+let counter ?(help = "") t name =
+  intern t name
+    (fun () -> Counter { c_name = name; c_help = help; c_value = Atomic.make 0 })
+    (function Counter c -> Some c | _ -> None)
+
+let incr c = Atomic.incr c.c_value
+
+let add c n = ignore (Atomic.fetch_and_add c.c_value n)
+
+let counter_value c = Atomic.get c.c_value
+
+let gauge ?(help = "") t name =
+  intern t name
+    (fun () -> Gauge { g_name = name; g_help = help; g_value = Atomic.make 0.0 })
+    (function Gauge g -> Some g | _ -> None)
+
+let set_gauge g v = Atomic.set g.g_value v
+
+let rec incr_gauge g delta =
+  let current = Atomic.get g.g_value in
+  if not (Atomic.compare_and_set g.g_value current (current +. delta)) then
+    incr_gauge g delta
+
+let gauge_value g = Atomic.get g.g_value
+
+let duration_buckets =
+  [ 0.001; 0.005; 0.01; 0.05; 0.1; 0.25; 0.5; 1.0; 2.5; 5.0; 10.0; 30.0; 60.0; 120.0 ]
+
+let histogram ?(help = "") ?(buckets = duration_buckets) t name =
+  if buckets = [] then invalid_arg "Metrics.histogram: empty bucket list";
+  let bounds = Array.of_list buckets in
+  Array.iteri
+    (fun i b ->
+      if i > 0 && bounds.(i - 1) >= b then
+        invalid_arg "Metrics.histogram: bucket bounds must be strictly increasing")
+    bounds;
+  intern t name
+    (fun () ->
+      Histogram
+        {
+          h_name = name;
+          h_help = help;
+          h_bounds = bounds;
+          h_counts = Array.make (Array.length bounds + 1) 0;
+          h_sum = 0.0;
+          h_count = 0;
+          h_mutex = Mutex.create ();
+        })
+    (function Histogram h -> Some h | _ -> None)
+
+let bucket_index h v =
+  (* First bound >= v; values above every bound land in the +Inf slot.
+     Linear scan: bucket lists are short and fixed. *)
+  let n = Array.length h.h_bounds in
+  let rec find i = if i >= n then n else if v <= h.h_bounds.(i) then i else find (i + 1) in
+  find 0
+
+let observe h v =
+  let i = bucket_index h v in
+  Mutex.lock h.h_mutex;
+  h.h_counts.(i) <- h.h_counts.(i) + 1;
+  h.h_sum <- h.h_sum +. v;
+  h.h_count <- h.h_count + 1;
+  Mutex.unlock h.h_mutex
+
+type histogram_snapshot = {
+  upper_bounds : float array;
+  cumulative : int array;
+  count : int;
+  sum : float;
+}
+
+let snapshot h =
+  Mutex.lock h.h_mutex;
+  let counts = Array.copy h.h_counts in
+  let count = h.h_count and sum = h.h_sum in
+  Mutex.unlock h.h_mutex;
+  let cumulative = Array.copy counts in
+  for i = 1 to Array.length cumulative - 1 do
+    cumulative.(i) <- cumulative.(i) + cumulative.(i - 1)
+  done;
+  { upper_bounds = Array.copy h.h_bounds; cumulative; count; sum }
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                               *)
+
+let instruments t =
+  Mutex.lock t.mutex;
+  let all = Hashtbl.fold (fun _ instrument acc -> instrument :: acc) t.table [] in
+  Mutex.unlock t.mutex;
+  List.sort
+    (fun a b ->
+      let name = function Counter c -> c.c_name | Gauge g -> g.g_name | Histogram h -> h.h_name in
+      compare (name a) (name b))
+    all
+
+let to_json t =
+  let counters = ref [] and gauges = ref [] and histograms = ref [] in
+  List.iter
+    (function
+      | Counter c ->
+        counters :=
+          Json.Obj
+            [ ("name", Json.String c.c_name); ("help", Json.String c.c_help);
+              ("value", Json.Int (counter_value c)) ]
+          :: !counters
+      | Gauge g ->
+        gauges :=
+          Json.Obj
+            [ ("name", Json.String g.g_name); ("help", Json.String g.g_help);
+              ("value", Json.Float (gauge_value g)) ]
+          :: !gauges
+      | Histogram h ->
+        let s = snapshot h in
+        let buckets =
+          List.init (Array.length s.cumulative) (fun i ->
+              let le =
+                if i < Array.length s.upper_bounds then Json.Float s.upper_bounds.(i)
+                else Json.String "+Inf"
+              in
+              Json.Obj [ ("le", le); ("count", Json.Int s.cumulative.(i)) ])
+        in
+        histograms :=
+          Json.Obj
+            [ ("name", Json.String h.h_name); ("help", Json.String h.h_help);
+              ("count", Json.Int s.count); ("sum", Json.Float s.sum);
+              ("buckets", Json.List buckets) ]
+          :: !histograms)
+    (instruments t);
+  Json.Obj
+    [
+      ("counters", Json.List (List.rev !counters));
+      ("gauges", Json.List (List.rev !gauges));
+      ("histograms", Json.List (List.rev !histograms));
+    ]
+
+let prom_name name =
+  String.map (fun c -> match c with '.' | '-' | ' ' -> '_' | c -> c) name
+
+let prom_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else
+    (* Shortest decimal that round-trips: plain "%.17g" turns 0.005
+       into 0.0050000000000000001 in every bucket label. *)
+    let rec shortest p =
+      if p >= 17 then Printf.sprintf "%.17g" v
+      else
+        let s = Printf.sprintf "%.*g" p v in
+        if float_of_string s = v then s else shortest (p + 1)
+    in
+    shortest 1
+
+let to_prometheus t =
+  let buf = Buffer.create 1024 in
+  let header name help kind =
+    if help <> "" then Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+  in
+  List.iter
+    (function
+      | Counter c ->
+        let name = prom_name c.c_name in
+        header name c.c_help "counter";
+        Buffer.add_string buf (Printf.sprintf "%s %d\n" name (counter_value c))
+      | Gauge g ->
+        let name = prom_name g.g_name in
+        header name g.g_help "gauge";
+        Buffer.add_string buf (Printf.sprintf "%s %s\n" name (prom_float (gauge_value g)))
+      | Histogram h ->
+        let name = prom_name h.h_name in
+        let s = snapshot h in
+        header name h.h_help "histogram";
+        Array.iteri
+          (fun i cum ->
+            let le =
+              if i < Array.length s.upper_bounds then prom_float s.upper_bounds.(i)
+              else "+Inf"
+            in
+            Buffer.add_string buf (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name le cum))
+          s.cumulative;
+        Buffer.add_string buf (Printf.sprintf "%s_sum %s\n" name (prom_float s.sum));
+        Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name s.count))
+    (instruments t);
+  Buffer.contents buf
+
+let write_file t path =
+  let text =
+    if Filename.check_suffix path ".prom" then to_prometheus t
+    else Json.to_string (to_json t)
+  in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc text;
+      if not (Filename.check_suffix path ".prom") then Out_channel.output_char oc '\n')
+
+let reset t =
+  List.iter
+    (function
+      | Counter c -> Atomic.set c.c_value 0
+      | Gauge g -> Atomic.set g.g_value 0.0
+      | Histogram h ->
+        Mutex.lock h.h_mutex;
+        Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
+        h.h_sum <- 0.0;
+        h.h_count <- 0;
+        Mutex.unlock h.h_mutex)
+    (instruments t)

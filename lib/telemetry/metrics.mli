@@ -1,0 +1,91 @@
+(** A metrics registry: counters, gauges and fixed-bucket histograms.
+
+    Instruments register themselves once (typically at module
+    initialization, before any domain spawns) and are then updated
+    lock-free (counters, gauges) or under a per-histogram mutex, so the
+    hot paths — STA recomputes, cache probes, pool bookkeeping — pay an
+    atomic increment, not a hashtable lookup.
+
+    Registration is idempotent: asking for an existing name returns the
+    existing instrument.  Exports render the whole registry as JSON or
+    Prometheus text exposition format. *)
+
+type t
+(** A registry. *)
+
+val create : unit -> t
+
+val default : t
+(** The process-global registry every subsystem feeds. *)
+
+(** {2 Counters} — monotonically increasing integers. *)
+
+type counter
+
+val counter : ?help:string -> t -> string -> counter
+(** @raise Invalid_argument if the name is registered as another kind. *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+
+val counter_value : counter -> int
+
+(** {2 Gauges} — instantaneous values that go both ways. *)
+
+type gauge
+
+val gauge : ?help:string -> t -> string -> gauge
+
+val set_gauge : gauge -> float -> unit
+
+val incr_gauge : gauge -> float -> unit
+(** Add a (possibly negative) delta. *)
+
+val gauge_value : gauge -> float
+
+(** {2 Histograms} — cumulative fixed-bucket distributions. *)
+
+type histogram
+
+val histogram : ?help:string -> ?buckets:float list -> t -> string -> histogram
+(** [buckets] are the finite upper bounds (strictly increasing; an
+    implicit [+Inf] bucket catches the rest).  Default:
+    {!duration_buckets}.
+    @raise Invalid_argument on an empty or non-increasing bucket list,
+    or a kind clash. *)
+
+val duration_buckets : float list
+(** 1 ms … 120 s, roughly logarithmic — wall times of optimizer runs
+    and batch jobs. *)
+
+val observe : histogram -> float -> unit
+
+type histogram_snapshot = {
+  upper_bounds : float array;  (** Finite bounds, ascending. *)
+  cumulative : int array;
+      (** [cumulative.(i)] = observations [<= upper_bounds.(i)]; one
+          extra final entry counts everything ([+Inf]). *)
+  count : int;
+  sum : float;
+}
+
+val snapshot : histogram -> histogram_snapshot
+
+(** {2 Export} *)
+
+val to_json : t -> Json.t
+(** [{"counters":[…],"gauges":[…],"histograms":[…]}], each instrument
+    with its name, help and current value(s); deterministic (sorted by
+    name). *)
+
+val to_prometheus : t -> string
+(** Text exposition format; dots and dashes in names map to
+    underscores. *)
+
+val write_file : t -> string -> unit
+(** JSON by default; a [.prom] suffix selects Prometheus text. *)
+
+val reset : t -> unit
+(** Zero every instrument (counts, sums, gauge values).  Registered
+    instruments survive — for tests. *)

@@ -1,0 +1,134 @@
+module Timer = Standby_util.Timer
+
+type field = string * Json.t
+
+(* An open span on some domain's stack.  [fields] is mutated by
+   [add_fields] only from the owning domain — no lock needed. *)
+type open_span = {
+  id : int;
+  name : string;
+  start_mono : float;
+  start_wall : float;
+  parent : int option;
+  mutable fields : field list;
+}
+
+(* Tracer state: the [active] flag is the lock-free fast path; the
+   channel is only touched under [mutex]. *)
+let active = Atomic.make false
+let mutex = Mutex.create ()
+let channel : out_channel option ref = ref None
+let next_id = Atomic.make 1
+
+let stack_key : open_span list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+let write_line json =
+  Mutex.lock mutex;
+  (match !channel with
+   | Some oc ->
+     output_string oc (Json.to_string json);
+     output_char oc '\n';
+     flush oc
+   | None -> ());
+  Mutex.unlock mutex
+
+let tracing () = Atomic.get active
+
+let close_trace () =
+  Mutex.lock mutex;
+  Atomic.set active false;
+  (match !channel with
+   | Some oc ->
+     channel := None;
+     close_out_noerr oc
+   | None -> ());
+  Mutex.unlock mutex
+
+let set_trace_file path =
+  close_trace ();
+  let oc = open_out path in
+  Mutex.lock mutex;
+  channel := Some oc;
+  Atomic.set active true;
+  Mutex.unlock mutex;
+  write_line
+    (Json.Obj
+       [
+         ("type", Json.String "meta");
+         ("version", Json.Int 1);
+         ("ts", Json.Float (Timer.wall_now ()));
+       ])
+
+let domain_id () = (Domain.self () :> int)
+
+let emit_span span dur_s =
+  write_line
+    (Json.Obj
+       [
+         ("type", Json.String "span");
+         ("name", Json.String span.name);
+         ("id", Json.Int span.id);
+         ("parent", match span.parent with Some p -> Json.Int p | None -> Json.Null);
+         ("domain", Json.Int (domain_id ()));
+         ("ts", Json.Float span.start_wall);
+         ("dur_s", Json.Float dur_s);
+         ("fields", Json.Obj (List.rev span.fields));
+       ])
+
+let span ?(fields = []) name f =
+  if not (tracing ()) then f ()
+  else begin
+    let stack = Domain.DLS.get stack_key in
+    let parent = match !stack with [] -> None | s :: _ -> Some s.id in
+    let span =
+      {
+        id = Atomic.fetch_and_add next_id 1;
+        name;
+        start_mono = Timer.now ();
+        start_wall = Timer.wall_now ();
+        parent;
+        fields = List.rev fields;
+      }
+    in
+    stack := span :: !stack;
+    let finish ~raised =
+      (match !stack with
+       | s :: rest when s.id = span.id -> stack := rest
+       | _ -> stack := List.filter (fun s -> s.id <> span.id) !stack);
+      if raised then span.fields <- ("raised", Json.Bool true) :: span.fields;
+      emit_span span (Timer.now () -. span.start_mono)
+    in
+    match f () with
+    | result ->
+      finish ~raised:false;
+      result
+    | exception e ->
+      finish ~raised:true;
+      raise e
+  end
+
+let add_fields fields =
+  if tracing () then begin
+    match !(Domain.DLS.get stack_key) with
+    | [] -> ()
+    | span :: _ -> span.fields <- List.rev_append fields span.fields
+  end
+
+let event ?(fields = []) name =
+  if tracing () then begin
+    let current = match !(Domain.DLS.get stack_key) with [] -> None | s :: _ -> Some s.id in
+    write_line
+      (Json.Obj
+         [
+           ("type", Json.String "event");
+           ("name", Json.String name);
+           ("span", match current with Some id -> Json.Int id | None -> Json.Null);
+           ("domain", Json.Int (domain_id ()));
+           ("ts", Json.Float (Timer.wall_now ()));
+           ("fields", Json.Obj fields);
+         ])
+  end
+
+let with_trace_file path f =
+  set_trace_file path;
+  Fun.protect ~finally:close_trace f

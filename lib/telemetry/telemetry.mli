@@ -1,0 +1,50 @@
+(** Span-based tracing.
+
+    One process-global tracer writes JSONL records to a trace file.
+    {!span} wraps a computation: the record carries the span's name, a
+    unique id, its parent span (per-domain stacks, so worker-pool
+    domains nest independently), the wall-clock start, the monotonic
+    duration and free-form fields.  {!event} marks an instant — e.g.
+    one incumbent improvement inside a search.
+
+    When no trace file is installed (the default) the cost of a [span]
+    call is one atomic load, so instrumentation stays on in production
+    code paths.
+
+    Record shapes (one JSON object per line):
+    {v
+    {"type":"meta","version":1,"ts":…}
+    {"type":"span","name":…,"id":7,"parent":3,"domain":0,
+     "ts":…,"dur_s":0.0123,"fields":{…}}
+    {"type":"event","name":…,"span":7,"domain":0,"ts":…,"fields":{…}}
+    v}
+
+    Spans are written when they {e close}, so children precede their
+    parents in the file; {!Trace} reorders. *)
+
+type field = string * Json.t
+
+val set_trace_file : string -> unit
+(** Open (truncate) a trace file and start recording.  Replaces any
+    previous trace file (which is closed first). *)
+
+val close_trace : unit -> unit
+(** Flush and close; subsequent spans are no-ops.  Idempotent. *)
+
+val tracing : unit -> bool
+
+val span : ?fields:field list -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f] inside a span.  The record is emitted when
+    [f] returns — also on exception, with a ["raised"] field, and the
+    exception is re-raised. *)
+
+val add_fields : field list -> unit
+(** Attach fields to the innermost open span of the calling domain —
+    for results only known at the end, e.g. search-statistics
+    snapshots.  No-op when not tracing or outside any span. *)
+
+val event : ?fields:field list -> string -> unit
+(** Emit an instantaneous event tied to the current span (if any). *)
+
+val with_trace_file : string -> (unit -> 'a) -> 'a
+(** [set_trace_file], run, [close_trace] — even on exception. *)

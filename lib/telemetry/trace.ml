@@ -1,0 +1,118 @@
+type record = {
+  kind : string;
+  name : string;
+  id : int option;
+  parent : int option;
+  domain : int option;
+  ts : float;
+  dur_s : float option;
+  fields : (string * Json.t) list;
+}
+
+let parse_line line =
+  match Json.of_string line with
+  | Error msg -> Error msg
+  | Ok json ->
+    let str key = Option.bind (Json.member key json) Json.to_string_opt in
+    let int key = Option.bind (Json.member key json) Json.to_int_opt in
+    let flt key = Option.bind (Json.member key json) Json.to_float_opt in
+    (match str "type" with
+     | None -> Error "record has no \"type\""
+     | Some kind ->
+       let parent =
+         match kind with "event" -> int "span" | _ -> int "parent"
+       in
+       Ok
+         {
+           kind;
+           name = Option.value (str "name") ~default:"";
+           id = int "id";
+           parent;
+           domain = int "domain";
+           ts = Option.value (flt "ts") ~default:0.0;
+           dur_s = flt "dur_s";
+           fields =
+             (match Option.bind (Json.member "fields" json) Json.to_obj_opt with
+              | Some members -> members
+              | None -> []);
+         })
+
+let read_file path =
+  let lines = In_channel.with_open_text path In_channel.input_lines in
+  let rec parse acc lineno = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      if String.trim line = "" then parse acc (lineno + 1) rest
+      else (
+        match parse_line line with
+        | Ok record -> parse (record :: acc) (lineno + 1) rest
+        | Error msg -> Error (Printf.sprintf "%s:%d: %s" path lineno msg))
+  in
+  parse [] 1 lines
+
+type span_row = {
+  span_name : string;
+  count : int;
+  total_s : float;
+  self_s : float;
+  min_s : float;
+  max_s : float;
+}
+
+let span_summary records =
+  let spans = List.filter (fun r -> r.kind = "span") records in
+  (* Direct-children time per parent id, for self-time accounting. *)
+  let child_time = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      match (r.parent, r.dur_s) with
+      | Some parent, Some dur ->
+        Hashtbl.replace child_time parent
+          (dur +. Option.value (Hashtbl.find_opt child_time parent) ~default:0.0)
+      | _ -> ())
+    spans;
+  let rows = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      let dur = Option.value r.dur_s ~default:0.0 in
+      let inside =
+        match r.id with
+        | Some id -> Option.value (Hashtbl.find_opt child_time id) ~default:0.0
+        | None -> 0.0
+      in
+      let self = Float.max 0.0 (dur -. inside) in
+      let row =
+        match Hashtbl.find_opt rows r.name with
+        | Some row ->
+          {
+            row with
+            count = row.count + 1;
+            total_s = row.total_s +. dur;
+            self_s = row.self_s +. self;
+            min_s = Float.min row.min_s dur;
+            max_s = Float.max row.max_s dur;
+          }
+        | None ->
+          { span_name = r.name; count = 1; total_s = dur; self_s = self; min_s = dur; max_s = dur }
+      in
+      Hashtbl.replace rows r.name row)
+    spans;
+  Hashtbl.fold (fun _ row acc -> row :: acc) rows []
+  |> List.sort (fun a b -> compare b.total_s a.total_s)
+
+type point = { t_rel_s : float; values : (string * Json.t) list }
+
+let events_named name records =
+  let t0 =
+    List.fold_left (fun acc r -> if r.ts > 0.0 then Float.min acc r.ts else acc) infinity
+      records
+  in
+  let t0 = if t0 = infinity then 0.0 else t0 in
+  List.filter_map
+    (fun r ->
+      if r.kind = "event" && r.name = name then
+        Some { t_rel_s = r.ts -. t0; values = r.fields }
+      else None)
+    records
+
+let field_float key point = Option.bind (List.assoc_opt key point.values) Json.to_float_opt

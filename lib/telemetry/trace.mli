@@ -1,0 +1,48 @@
+(** Reading trace files back: the model behind [standbyopt trace
+    summarize] and the telemetry tests.
+
+    A trace is the JSONL stream {!Telemetry} writes — [meta], [span] and
+    [event] records in span-close order.  This module parses it and
+    computes the two views the paper's search-behavior analysis needs:
+    per-span wall/self-time aggregates and the incumbent-improvement
+    trajectory. *)
+
+type record = {
+  kind : string;  (** ["meta"], ["span"] or ["event"]. *)
+  name : string;
+  id : int option;
+  parent : int option;  (** Enclosing span id (spans and events). *)
+  domain : int option;
+  ts : float;  (** Wall-clock start (spans) or instant (events). *)
+  dur_s : float option;  (** Spans only. *)
+  fields : (string * Json.t) list;
+}
+
+val parse_line : string -> (record, string) result
+
+val read_file : string -> (record list, string) result
+(** Every non-blank line must parse; the error names the first bad
+    line.  Records come back in file order. *)
+
+type span_row = {
+  span_name : string;
+  count : int;
+  total_s : float;  (** Summed wall time of all spans with this name. *)
+  self_s : float;  (** Total minus time inside direct children. *)
+  min_s : float;
+  max_s : float;
+}
+
+val span_summary : record list -> span_row list
+(** Aggregated per span name, widest total first.  Self-time attributes
+    each span's duration minus its direct children's durations. *)
+
+type point = {
+  t_rel_s : float;  (** Seconds since the first record in the trace. *)
+  values : (string * Json.t) list;  (** The event's fields. *)
+}
+
+val events_named : string -> record list -> point list
+(** All events with this name, in trace order. *)
+
+val field_float : string -> point -> float option

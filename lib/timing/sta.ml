@@ -1,5 +1,16 @@
 module Netlist = Standby_netlist.Netlist
 module Library = Standby_cells.Library
+module Telemetry = Standby_telemetry.Telemetry
+module Metrics = Standby_telemetry.Metrics
+
+(* Registered at module initialization; updated lock-free.  The
+   incremental recompute is the optimizer's hottest call, so it gets a
+   counter, not a span — full recomputes are rare enough to trace. *)
+let m_full_updates =
+  Metrics.counter Metrics.default "sta.full_updates" ~help:"Full timing recomputations"
+let m_incremental_updates =
+  Metrics.counter Metrics.default "sta.incremental_updates"
+    ~help:"Incremental (cone) timing recomputations"
 
 let epsilon = 1e-9
 
@@ -98,10 +109,13 @@ let backward t =
   done
 
 let update t =
-  forward t;
-  backward t
+  Metrics.incr m_full_updates;
+  Telemetry.span "sta.full_update" (fun () ->
+      forward t;
+      backward t)
 
 let update_from t start =
+  Metrics.incr m_incremental_updates;
   let n = Netlist.node_count t.net in
   let changed = Array.make n false in
   (match Netlist.node t.net start with

@@ -1,0 +1,16 @@
+/* Monotonic clock shim for Timer: clock_gettime(CLOCK_MONOTONIC) as
+   float seconds.  Deadlines and span durations must not jump when the
+   wall clock is stepped (NTP, suspend/resume); the origin is arbitrary
+   so only differences are meaningful. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value standby_mono_now(value unit)
+{
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) != 0)
+    clock_gettime(CLOCK_REALTIME, &ts); /* last resort: wall clock */
+  return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+}

@@ -1,6 +1,10 @@
+external mono_now : unit -> float = "standby_mono_now"
+
 type t = { started_at : float; limit_s : float }
 
-let now () = Unix.gettimeofday ()
+let now () = mono_now ()
+
+let wall_now () = Unix.gettimeofday ()
 
 let start ~limit_s = { started_at = now (); limit_s }
 

@@ -7,6 +7,16 @@
 type t
 (** A deadline. *)
 
+val now : unit -> float
+(** Monotonic seconds ([clock_gettime CLOCK_MONOTONIC] via a C shim).
+    The origin is arbitrary — only differences mean anything — but the
+    reading never jumps backwards when the wall clock is stepped, so
+    deadlines and span durations stay truthful. *)
+
+val wall_now : unit -> float
+(** Wall-clock seconds since the epoch ([Unix.gettimeofday]) — for
+    human-readable timestamps in logs and traces, never for budgets. *)
+
 val start : limit_s:float -> t
 (** [start ~limit_s] begins a budget of [limit_s] seconds from now.  A
     non-positive limit is an already-expired budget. *)

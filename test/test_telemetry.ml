@@ -1,0 +1,293 @@
+(* Tests for standby_telemetry: the JSON codec, log-level filtering,
+   histogram bucket boundaries, span nesting / self-time, and trace-file
+   well-formedness under concurrent writes from a domain pool. *)
+
+module Json = Standby_telemetry.Json
+module Log = Standby_telemetry.Log
+module Metrics = Standby_telemetry.Metrics
+module Telemetry = Standby_telemetry.Telemetry
+module Trace = Standby_telemetry.Trace
+module Pool = Standby_service.Pool
+
+let check = Alcotest.check
+
+let with_temp_file f =
+  let path = Filename.temp_file "standby_telemetry" ".jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+(* ------------------------------- JSON ------------------------------ *)
+
+let test_json_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("a", Json.Int 3);
+        ("b", Json.Float 1.5);
+        ("c", Json.String "x\"y\nz");
+        ("d", Json.List [ Json.Bool true; Json.Null ]);
+        ("nested", Json.Obj [ ("k", Json.String "v") ]);
+      ]
+  in
+  match Json.of_string (Json.to_string doc) with
+  | Error msg -> Alcotest.failf "reparse failed: %s" msg
+  | Ok parsed ->
+    check Alcotest.bool "round trips" true (parsed = doc);
+    check Alcotest.(option int) "member a"
+      (Some 3)
+      (Option.bind (Json.member "a" parsed) Json.to_int_opt)
+
+let test_json_nan_is_null () =
+  check Alcotest.string "nan" "null" (Json.to_string (Json.Float Float.nan));
+  check Alcotest.string "inf" "null" (Json.to_string (Json.Float Float.infinity))
+
+let test_json_rejects_garbage () =
+  (match Json.of_string "{\"a\":}" with
+   | Ok _ -> Alcotest.fail "accepted {\"a\":}"
+   | Error _ -> ());
+  match Json.of_string "{} trailing" with
+  | Ok _ -> Alcotest.fail "accepted trailing bytes"
+  | Error _ -> ()
+
+(* ------------------------------- Log ------------------------------- *)
+
+(* Capture records in memory; restore the default stderr configuration
+   afterwards so other tests keep their readable output. *)
+let with_captured_log level f =
+  let records = ref [] in
+  let sink lvl ~ts:_ ~msg ~fields = records := (lvl, msg, fields) :: !records in
+  let old_level = Log.get_level () in
+  Log.set_sinks [ sink ];
+  Log.set_level level;
+  Fun.protect
+    ~finally:(fun () ->
+      Log.set_sinks [ Log.stderr_sink ];
+      Log.set_level old_level)
+    (fun () ->
+      f ();
+      List.rev !records)
+
+let test_log_level_filtering () =
+  let records =
+    with_captured_log Log.Warn (fun () ->
+        Log.debug "dropped %d" 1;
+        Log.info "dropped too";
+        Log.warn "kept %s" "warn" ~fields:[ Log.int "n" 7 ];
+        Log.err "kept err")
+  in
+  check Alcotest.int "only warn and err pass" 2 (List.length records);
+  (match records with
+   | [ (Log.Warn, "kept warn", [ ("n", Json.Int 7) ]); (Log.Error, "kept err", []) ] -> ()
+   | _ -> Alcotest.fail "unexpected records");
+  check Alcotest.bool "enabled Error at Warn" true (Log.enabled Log.Error);
+  check Alcotest.bool "Info disabled at default" true (Log.enabled Log.Info)
+
+let test_log_level_of_string () =
+  check Alcotest.bool "warning alias" true (Log.level_of_string "WARNING" = Ok Log.Warn);
+  check Alcotest.bool "debug" true (Log.level_of_string "debug" = Ok Log.Debug);
+  match Log.level_of_string "loud" with
+  | Ok _ -> Alcotest.fail "accepted bogus level"
+  | Error _ -> ()
+
+let test_log_jsonl_sink () =
+  let path = Filename.temp_file "standby_log" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out path in
+      let old_level = Log.get_level () in
+      Log.set_sinks [ Log.jsonl_sink oc ];
+      Log.set_level Log.Info;
+      Fun.protect
+        ~finally:(fun () ->
+          Log.set_sinks [ Log.stderr_sink ];
+          Log.set_level old_level;
+          close_out_noerr oc)
+        (fun () -> Log.info "hello %d" 42 ~fields:[ Log.str "k" "v" ]);
+      let line = In_channel.with_open_text path In_channel.input_line in
+      match Option.map Json.of_string line with
+      | Some (Ok json) ->
+        check Alcotest.(option string) "msg" (Some "hello 42")
+          (Option.bind (Json.member "msg" json) Json.to_string_opt)
+      | _ -> Alcotest.fail "sink did not write one JSON line")
+
+(* ----------------------------- Metrics ----------------------------- *)
+
+let test_histogram_buckets () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg "t" ~buckets:[ 1.0; 2.0 ] in
+  List.iter (Metrics.observe h) [ 0.5; 1.0; 1.5; 2.0; 3.0 ];
+  let s = Metrics.snapshot h in
+  check Alcotest.(array (float 1e-9)) "bounds" [| 1.0; 2.0 |] s.Metrics.upper_bounds;
+  (* le is inclusive: 1.0 lands in the first bucket, 2.0 in the second. *)
+  check Alcotest.(array int) "cumulative" [| 2; 4; 5 |] s.Metrics.cumulative;
+  check Alcotest.int "count" 5 s.Metrics.count;
+  check (Alcotest.float 1e-9) "sum" 8.0 s.Metrics.sum
+
+let test_histogram_rejects_bad_buckets () =
+  let reg = Metrics.create () in
+  (match Metrics.histogram reg "bad" ~buckets:[] with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "accepted empty buckets");
+  match Metrics.histogram reg "bad2" ~buckets:[ 2.0; 1.0 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted non-increasing buckets"
+
+let test_registry_intern_and_kind_clash () =
+  let reg = Metrics.create () in
+  let a = Metrics.counter reg "x" in
+  let b = Metrics.counter reg "x" in
+  Metrics.incr a;
+  Metrics.incr b;
+  check Alcotest.int "same instrument" 2 (Metrics.counter_value a);
+  match Metrics.gauge reg "x" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind clash accepted"
+
+let test_metrics_exports () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "demo.count" ~help:"d" in
+  Metrics.incr c;
+  let g = Metrics.gauge reg "demo.level" in
+  Metrics.set_gauge g 2.5;
+  let h = Metrics.histogram reg "demo.wall-s" ~buckets:[ 1.0 ] in
+  Metrics.observe h 0.5;
+  (match Json.of_string (Json.to_string (Metrics.to_json reg)) with
+   | Ok _ -> ()
+   | Error msg -> Alcotest.failf "to_json not parseable: %s" msg);
+  let prom = Metrics.to_prometheus reg in
+  let contains sub =
+    let n = String.length sub and m = String.length prom in
+    let rec scan i = i + n <= m && (String.sub prom i n = sub || scan (i + 1)) in
+    scan 0
+  in
+  check Alcotest.bool "sanitized names" true (contains "demo_count 1");
+  check Alcotest.bool "histogram buckets" true (contains "demo_wall_s_bucket{le=\"+Inf\"} 1")
+
+(* ------------------------------ Spans ------------------------------ *)
+
+let test_span_nesting_and_self_time () =
+  with_temp_file (fun path ->
+      Telemetry.with_trace_file path (fun () ->
+          Telemetry.span "outer" (fun () ->
+              Telemetry.span "inner" (fun () -> Telemetry.event "tick");
+              Telemetry.span "inner" (fun () -> ()));
+          check Alcotest.bool "tracing on" true (Telemetry.tracing ()));
+      match Trace.read_file path with
+      | Error msg -> Alcotest.failf "trace unreadable: %s" msg
+      | Ok records ->
+        let spans = List.filter (fun (r : Trace.record) -> r.Trace.kind = "span") records in
+        check Alcotest.int "three spans" 3 (List.length spans);
+        let outer = List.find (fun (r : Trace.record) -> r.Trace.name = "outer") spans in
+        let inners = List.filter (fun (r : Trace.record) -> r.Trace.name = "inner") spans in
+        List.iter
+          (fun (r : Trace.record) ->
+            check Alcotest.(option int) "inner nests under outer" outer.Trace.id
+              r.Trace.parent)
+          inners;
+        let tick = List.find (fun (r : Trace.record) -> r.Trace.kind = "event") records in
+        check Alcotest.bool "event tied to first inner" true
+          (tick.Trace.parent = (List.hd inners).Trace.id);
+        let rows = Trace.span_summary records in
+        let outer_row = List.find (fun r -> r.Trace.span_name = "outer") rows in
+        let inner_row = List.find (fun r -> r.Trace.span_name = "inner") rows in
+        check Alcotest.int "inner count" 2 inner_row.Trace.count;
+        (* Self time excludes the children: outer's self is its total
+           minus both inner spans, and never negative. *)
+        check Alcotest.bool "outer self < outer total" true
+          (outer_row.Trace.self_s
+           <= outer_row.Trace.total_s -. inner_row.Trace.total_s +. 1e-9);
+        check Alcotest.bool "self non-negative" true (outer_row.Trace.self_s >= 0.0))
+
+let test_span_exception_records () =
+  with_temp_file (fun path ->
+      (try
+         Telemetry.with_trace_file path (fun () ->
+             Telemetry.span "boom" (fun () -> failwith "expected"))
+       with Failure _ -> ());
+      match Trace.read_file path with
+      | Error msg -> Alcotest.failf "trace unreadable: %s" msg
+      | Ok records ->
+        let span = List.find (fun (r : Trace.record) -> r.Trace.kind = "span") records in
+        check Alcotest.string "span closed" "boom" span.Trace.name;
+        check Alcotest.bool "raised marker" true
+          (List.mem_assoc "raised" span.Trace.fields))
+
+let test_span_noop_without_trace () =
+  (* No trace file: spans still run their body and return its value. *)
+  check Alcotest.int "value through span" 7 (Telemetry.span "idle" (fun () -> 7));
+  check Alcotest.bool "not tracing" false (Telemetry.tracing ())
+
+(* Concurrent well-formedness: many domains write spans and events
+   through one tracer; every line must still parse and every span close. *)
+let test_concurrent_trace_well_formed () =
+  with_temp_file (fun path ->
+      let tasks = 40 in
+      Telemetry.with_trace_file path (fun () ->
+          let pool = Pool.create ~workers:4 () in
+          Fun.protect
+            ~finally:(fun () -> Pool.shutdown pool)
+            (fun () ->
+              for i = 1 to tasks do
+                Pool.submit pool (fun () ->
+                    Telemetry.span "task"
+                      ~fields:[ ("i", Json.Int i) ]
+                      (fun () ->
+                        Telemetry.span "step" (fun () ->
+                            Telemetry.event "mark" ~fields:[ ("i", Json.Int i) ])))
+              done;
+              Pool.wait pool));
+      match Trace.read_file path with
+      | Error msg -> Alcotest.failf "corrupt trace: %s" msg
+      | Ok records ->
+        let count kind =
+          List.length (List.filter (fun (r : Trace.record) -> r.Trace.kind = kind) records)
+        in
+        check Alcotest.int "all spans closed" (2 * tasks) (count "span");
+        check Alcotest.int "all events present" tasks (count "event");
+        (* Parent links resolve within the same domain's stack. *)
+        let ids =
+          List.filter_map
+            (fun (r : Trace.record) -> if r.Trace.kind = "span" then r.Trace.id else None)
+            records
+        in
+        List.iter
+          (fun (r : Trace.record) ->
+            match (r.Trace.kind, r.Trace.name, r.Trace.parent) with
+            | "span", "step", Some p | "event", "mark", Some p ->
+              check Alcotest.bool "parent is a recorded span" true (List.mem p ids)
+            | _ -> ())
+          records)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "standby_telemetry"
+    [
+      ( "json",
+        [
+          quick "roundtrip" test_json_roundtrip;
+          quick "nan -> null" test_json_nan_is_null;
+          quick "rejects garbage" test_json_rejects_garbage;
+        ] );
+      ( "log",
+        [
+          quick "level filtering" test_log_level_filtering;
+          quick "level parsing" test_log_level_of_string;
+          quick "jsonl sink" test_log_jsonl_sink;
+        ] );
+      ( "metrics",
+        [
+          quick "histogram buckets" test_histogram_buckets;
+          quick "bad buckets" test_histogram_rejects_bad_buckets;
+          quick "intern and kind clash" test_registry_intern_and_kind_clash;
+          quick "exports" test_metrics_exports;
+        ] );
+      ( "trace",
+        [
+          quick "nesting and self time" test_span_nesting_and_self_time;
+          quick "exception closes span" test_span_exception_records;
+          quick "noop without trace" test_span_noop_without_trace;
+          quick "concurrent well-formed" test_concurrent_trace_well_formed;
+        ] );
+    ]

@@ -1,0 +1,41 @@
+(* CI helper: assert a file is valid JSON, optionally that it names
+   given instruments.
+
+     json_check FILE [NAME...]
+
+   Exit 0 iff FILE parses with Standby_telemetry.Json and every NAME
+   appears as a "name" field somewhere in the document — used by the
+   ci-smoke rule to check the --metrics export carries the cache and
+   job-histogram instruments. *)
+
+module Json = Standby_telemetry.Json
+
+let rec names acc = function
+  | Json.Obj members ->
+    let acc =
+      match List.assoc_opt "name" members with
+      | Some (Json.String n) -> n :: acc
+      | _ -> acc
+    in
+    List.fold_left (fun acc (_, v) -> names acc v) acc members
+  | Json.List items -> List.fold_left names acc items
+  | _ -> acc
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: path :: required ->
+    let text = In_channel.with_open_text path In_channel.input_all in
+    (match Json.of_string text with
+     | Error msg ->
+       Printf.eprintf "%s: invalid JSON: %s\n" path msg;
+       exit 1
+     | Ok doc ->
+       let present = names [] doc in
+       let missing = List.filter (fun n -> not (List.mem n present)) required in
+       if missing <> [] then begin
+         Printf.eprintf "%s: missing instrument(s): %s\n" path (String.concat ", " missing);
+         exit 1
+       end)
+  | _ ->
+    prerr_endline "usage: json_check FILE [NAME...]";
+    exit 2
