@@ -34,14 +34,19 @@ module Timer = Standby_util.Timer
 
 let results_path = "BENCH_results.json"
 
-(* The optimizer feeds these process-global counters; deltas around an
-   artifact isolate its share of the search work. *)
+(* The optimizer and its kernels feed these process-global counters;
+   deltas around an artifact isolate its share of the work.  The kernel
+   counters (sim.events and the sta ones) are what demonstrates that
+   incremental search cost scales with touched cones, not netlist
+   size. *)
 let search_counters =
   List.map
-    (fun name -> (name, Metrics.counter Metrics.default ("search." ^ name)))
+    (fun name -> (name, Metrics.counter Metrics.default name))
     [
-      "state_nodes"; "leaves"; "pruned"; "gate_changes"; "bound_evaluations";
-      "incumbent_updates"; "restarts";
+      "search.state_nodes"; "search.leaves"; "search.pruned"; "search.gate_changes";
+      "search.bound_evaluations"; "search.incumbent_updates"; "search.restarts";
+      "search.subtrees"; "search.subtree_prunes"; "sim.events";
+      "sta.full_updates"; "sta.incremental_updates"; "sta.worklist_pops";
     ]
 
 let counter_snapshot () = List.map (fun (_, c) -> Metrics.counter_value c) search_counters
@@ -81,12 +86,64 @@ let write_results ~quick entries =
   Printf.printf "wrote %s\n%!" results_path
 
 (* ------------------------------------------------------------------ *)
+(* Parallel search: jobs=1 vs jobs=N on the same workloads.              *)
+
+(* Wall time here is dominated by the fixed Heuristic-2 budget, so the
+   interesting columns are leaves explored (throughput) and the final
+   leakage (quality).  On a single-core host the jobs=N row will not
+   beat jobs=1 — OCaml domains then time-share one core and the minor-GC
+   stop-the-world barriers add overhead — but the result must stay
+   equal-or-better in leakage either way. *)
+let parallel_report ~quick () =
+  let process = Process.default in
+  let lib = Library.build process in
+  let jobs = max 2 (min 4 (Domain.recommended_domain_count ())) in
+  let buf = Buffer.create 256 in
+  let heu2_circuit = if quick then "c432" else "c880" in
+  let budget_s = if quick then 0.5 else 2.0 in
+  let net = Benchmarks.circuit heu2_circuit in
+  let run_heu2 jobs =
+    Optimizer.run ~jobs lib net ~penalty:0.05
+      (Optimizer.Heuristic_2 { time_limit_s = budget_s })
+  in
+  let describe label (r : Optimizer.result) =
+    Buffer.add_string buf
+      (Printf.sprintf "  %-8s %8d leaves  %10.4f uA  %6.2f s\n" label
+         r.Optimizer.stats.Standby_opt.Search_stats.leaves
+         (r.Optimizer.breakdown.Evaluate.total *. 1e6)
+         r.Optimizer.runtime_s)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "heu2 on %s, %.1f s budget (host has %d core(s)):\n"
+       heu2_circuit budget_s
+       (Domain.recommended_domain_count ()));
+  describe "jobs=1" (run_heu2 1);
+  describe (Printf.sprintf "jobs=%d" jobs) (run_heu2 jobs);
+  let tiny = Standby_circuits.Random_logic.generate ~seed:9 ~inputs:6 ~gates:10 () in
+  let exact jobs = Optimizer.run ~jobs lib tiny ~penalty:0.10 Optimizer.Exact in
+  Buffer.add_string buf "exact on random-6in-10g (must agree):\n";
+  let seq = exact 1 and par = exact jobs in
+  describe "jobs=1" seq;
+  describe (Printf.sprintf "jobs=%d" jobs) par;
+  let d =
+    abs_float
+      (seq.Optimizer.breakdown.Evaluate.total -. par.Optimizer.breakdown.Evaluate.total)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "  leakage agreement: %s (|delta| = %.3g A)\n"
+       (if d <= 1e-9 *. abs_float seq.Optimizer.breakdown.Evaluate.total then "OK"
+        else "MISMATCH")
+       d);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
 (* Experiment reproduction                                              *)
 
 let artifact_names =
   [
     "table1"; "table2"; "table3"; "table4"; "table5";
     "figure1"; "figure2"; "figure3"; "figure4"; "figure5"; "ablation";
+    "parallel";
   ]
 
 let run_experiments ~quick artifacts =
@@ -105,6 +162,7 @@ let run_experiments ~quick artifacts =
     | "figure4" -> Experiments.figure4 t
     | "figure5" -> Experiments.figure5 ~csv_path:"figure5.csv" t
     | "ablation" -> Experiments.ablation t
+    | "parallel" -> parallel_report ~quick ()
     | other -> Printf.sprintf "unknown artifact %S" other
   in
   let entries = ref [] in
@@ -150,6 +208,15 @@ let speed_tests () =
     Array.init (Netlist.input_count c880) (fun i ->
         if i mod 2 = 0 then Standby_sim.Logic.Unknown else Standby_sim.Logic.True)
   in
+  let ws880 = Simulator.Workspace.create c880 in
+  let sta880_inc = Sta.create lib c880 in
+  Sta.update sta880_inc;
+  let mid_gate880 =
+    let g = ref (-1) in
+    let half = Netlist.node_count c880 / 2 in
+    Netlist.iter_gates c880 (fun id _ _ -> if !g < 0 && id >= half then g := id);
+    !g
+  in
   [
     (* Table 1: characterizing one cell's versions. *)
     Test.make ~name:"table1/nand2-version-generation"
@@ -194,6 +261,16 @@ let speed_tests () =
       (Staged.stage (fun () -> ignore (Simulator.eval c880 vec880)));
     Test.make ~name:"kernel/sta-full-update-c880"
       (Staged.stage (fun () -> Sta.update sta880));
+    Test.make ~name:"kernel/sta-incremental-update-c880"
+      (Staged.stage (fun () -> Sta.update_from sta880_inc mid_gate880));
+    Test.make ~name:"kernel/workspace-assume-retract-c880"
+      (Staged.stage (fun () ->
+           for p = 0 to 4 do
+             Simulator.Workspace.assume ws880 p Standby_sim.Logic.True
+           done;
+           for _ = 1 to 5 do
+             Simulator.Workspace.retract ws880
+           done));
     Test.make ~name:"kernel/bound-partial-c880"
       (Staged.stage (fun () ->
            ignore (Bound.evaluate bound880 (Simulator.eval_partial c880 trits880))));

@@ -196,8 +196,15 @@ let timing_arg =
   let doc = "Also print the critical-path timing report of the solution." in
   Arg.(value & flag & info [ "timing" ] ~doc)
 
-let run_optimize telemetry circuit file mode method_ penalty heu2_limit vectors verbose
-    timing process_file simplify =
+let jobs_arg =
+  let doc =
+    "Worker domains for the state-tree search (tree-walking methods: heu2, exact).  1 \
+     disables parallelism."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let run_optimize telemetry circuit file mode method_ penalty heu2_limit jobs vectors
+    verbose timing process_file simplify =
   install_telemetry telemetry;
   match
     Result.bind (resolve_process process_file) (fun process ->
@@ -217,7 +224,7 @@ let run_optimize telemetry circuit file mode method_ penalty heu2_limit vectors 
       | `Exact -> Optimizer.Exact
     in
     let avg = Baselines.random_average ~vectors lib net in
-    let r = Optimizer.run lib net ~penalty m in
+    let r = Optimizer.run ~jobs lib net ~penalty m in
     let b = r.Optimizer.breakdown in
     Printf.printf "circuit        %s (%d inputs, %d gates, depth %d)\n"
       (Netlist.design_name net) (Netlist.input_count net) (Netlist.gate_count net)
@@ -271,8 +278,8 @@ let optimize_cmd =
   Cmd.v info
     Term.(
       const run_optimize $ telemetry_term $ circuit_arg $ bench_file_arg $ mode_arg
-      $ method_arg $ penalty_arg $ heu2_limit_arg $ vectors_arg $ verbose_arg $ timing_arg
-      $ process_file_arg $ simplify_arg)
+      $ method_arg $ penalty_arg $ heu2_limit_arg $ jobs_arg $ vectors_arg $ verbose_arg
+      $ timing_arg $ process_file_arg $ simplify_arg)
 
 (* ------------------------------------------------------------------ *)
 (* batch                                                                *)

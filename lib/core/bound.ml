@@ -65,6 +65,53 @@ let evaluate t values =
 
 let lower_bound t values = (evaluate t values).lower
 
+(* Incremental maintenance: per-gate (lower, estimate) contributions
+   plus running totals.  The event stream from
+   [Simulator.Workspace.assume]/[retract] names exactly the gates whose
+   fan-in values moved; [refresh] re-derives that one gate's
+   contribution and adjusts the totals by the difference, so a bound
+   query after an assumption costs O(cone touched), not O(gates). *)
+type incremental = {
+  bound : t;
+  values : Logic.trit array;
+  lower_c : float array;
+  est_c : float array;
+  mutable lower_total : float;
+  mutable est_total : float;
+}
+
+let incremental bound values =
+  let n = Netlist.node_count bound.net in
+  let inc =
+    {
+      bound;
+      values;
+      lower_c = Array.make n 0.0;
+      est_c = Array.make n 0.0;
+      lower_total = 0.0;
+      est_total = 0.0;
+    }
+  in
+  Netlist.iter_gates bound.net (fun id kind fanin ->
+      let low, mean = gate_bound bound kind fanin values in
+      inc.lower_c.(id) <- low;
+      inc.est_c.(id) <- mean;
+      inc.lower_total <- inc.lower_total +. low;
+      inc.est_total <- inc.est_total +. mean);
+  inc
+
+let refresh inc id =
+  match Netlist.node inc.bound.net id with
+  | Netlist.Primary_input -> ()
+  | Netlist.Cell { kind; fanin } ->
+    let low, mean = gate_bound inc.bound kind fanin inc.values in
+    inc.lower_total <- inc.lower_total +. (low -. inc.lower_c.(id));
+    inc.est_total <- inc.est_total +. (mean -. inc.est_c.(id));
+    inc.lower_c.(id) <- low;
+    inc.est_c.(id) <- mean
+
+let current inc = { lower = inc.lower_total; estimate = inc.est_total }
+
 let naive_lower_bound t =
   let total = ref 0.0 in
   Netlist.iter_gates t.net (fun _ kind _ -> total := !total +. t.min_any.(Gate_kind.index kind));

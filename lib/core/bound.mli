@@ -32,3 +32,22 @@ val lower_bound : t -> Standby_sim.Logic.trit array -> float
 val naive_lower_bound : t -> float
 (** The bound with every input unknown — also what a "no partial
     information" ablation uses at every node. *)
+
+type incremental
+(** Event-maintained bound: per-gate contributions plus running totals
+    over a live node-value array (a
+    {!Standby_sim.Simulator.Workspace}'s).  Feed the workspace's
+    [on_touch] events to {!refresh} and read {!current} in O(1). *)
+
+val incremental : t -> Standby_sim.Logic.trit array -> incremental
+(** Build contributions from the array's current contents.  The array
+    is referenced, not copied — it must be the one the simulation
+    workspace mutates. *)
+
+val refresh : incremental -> int -> unit
+(** Recompute node [id]'s contribution from the live values and adjust
+    the totals.  No-op for primary inputs. *)
+
+val current : incremental -> evaluation
+(** Totals of the per-gate contributions — equal (up to float
+    summation order) to [evaluate] on the same values. *)

@@ -58,8 +58,9 @@ type result = {
   degraded : bool;
 }
 
-let run ?config ?deadline_s ?on_incumbent lib net ~penalty method_ =
+let run ?config ?deadline_s ?on_incumbent ?(jobs = 1) lib net ~penalty method_ =
   if penalty < 0.0 then invalid_arg "Optimizer.run: negative delay penalty";
+  if jobs < 1 then invalid_arg "Optimizer.run: jobs must be at least 1";
  Telemetry.span "optimizer.run"
    ~fields:
      [
@@ -87,8 +88,14 @@ let run ?config ?deadline_s ?on_incumbent lib net ~penalty method_ =
     | Exact -> (Timer.unlimited (), None, true)
   in
   let outcome =
-    State_tree.search ?config ?on_incumbent ~stats ~timer:(with_deadline timer) ~max_leaves
-      ~exact_gate_tree bound lib sta
+    (* Parallel subtree search pays off when the whole tree is walked;
+       a single bound-guided descent (Heuristic 1) stays sequential. *)
+    if jobs > 1 && max_leaves = None then
+      State_tree.search_parallel ?config ?on_incumbent ~jobs ~stats
+        ~timer:(with_deadline timer) ~max_leaves ~exact_gate_tree bound lib sta
+    else
+      State_tree.search ?config ?on_incumbent ~stats ~timer:(with_deadline timer)
+        ~max_leaves ~exact_gate_tree bound lib sta
   in
   (* Degraded = the external deadline (not the method's own stopping
      rule) is what cut the search. *)

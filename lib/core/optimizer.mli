@@ -43,6 +43,7 @@ val run :
   ?config:State_tree.config ->
   ?deadline_s:float ->
   ?on_incumbent:(State_tree.leaf -> unit) ->
+  ?jobs:int ->
   Standby_cells.Library.t ->
   Standby_netlist.Netlist.t ->
   penalty:float ->
@@ -59,7 +60,12 @@ val run :
     least one full descent always completes, so even a zero deadline
     yields a valid, delay-feasible assignment.  [on_incumbent] is
     forwarded to {!State_tree.search}.
-    @raise Invalid_argument if [penalty < 0]. *)
+
+    [jobs] (default 1) runs the state search on that many worker domains
+    via {!State_tree.search_parallel}.  It only applies to methods that
+    walk the whole tree (Heuristic 2, exact); a single-descent method
+    stays sequential regardless.
+    @raise Invalid_argument if [penalty < 0] or [jobs < 1]. *)
 
 val reduction_factor : reference:float -> result -> float
 (** [reference /. leakage] — the "X" columns of Tables 3–5. *)

@@ -22,16 +22,8 @@ let hill_climb ?(max_rounds = 8) ?(order = Gate_tree.By_saving) ~stats ~timer li
    ~fields:[ ("max_rounds", Json.Int max_rounds) ]
    (fun () ->
   let net = Sta.netlist sta in
-  let n_inputs = Netlist.input_count net in
   (* Most influential inputs first: their flips move the most gates. *)
-  let positions =
-    let ids = Array.copy (Netlist.inputs net) in
-    let weight id = Netlist.fanout_count net id in
-    Array.sort (fun a b -> compare (weight b) (weight a)) ids;
-    let index_of = Hashtbl.create n_inputs in
-    Array.iteri (fun pos id -> Hashtbl.replace index_of id pos) (Netlist.inputs net);
-    Array.map (fun id -> Hashtbl.find index_of id) ids
-  in
+  let positions = State_tree.input_order net in
   let best = ref start in
   let vector = Array.copy start.State_tree.vector in
   let rounds = ref 0 in

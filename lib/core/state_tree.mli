@@ -41,6 +41,11 @@ val stop_reason_name : stop_reason -> string
 
 type outcome = { best : leaf; stop_reason : stop_reason }
 
+val input_order : Standby_netlist.Netlist.t -> int array
+(** Vector positions of the primary inputs ordered by descending
+    fan-out — the branching order of the state tree, also used by
+    {!Refine.hill_climb} to scan influential inputs first. *)
+
 val search :
   ?config:config ->
   ?on_incumbent:(leaf -> unit) ->
@@ -59,3 +64,29 @@ val search :
     the best leaf so far (including the first), letting callers snapshot
     the incumbent for deadline-degraded results; [interrupt] is polled
     at every node and leaf boundary for cooperative cancellation. *)
+
+val search_parallel :
+  ?config:config ->
+  ?on_incumbent:(leaf -> unit) ->
+  ?interrupt:(unit -> bool) ->
+  jobs:int ->
+  stats:Search_stats.t ->
+  timer:Standby_util.Timer.t ->
+  max_leaves:int option ->
+  exact_gate_tree:bool ->
+  Bound.t ->
+  Standby_cells.Library.t ->
+  Standby_timing.Sta.t ->
+  outcome
+(** [search] split across [jobs] worker domains: the top of the state
+    tree is divided into subtree tasks (about four per worker) executed
+    on a {!Standby_pool.Pool}, each worker owning a private simulation
+    workspace and STA while the incumbent leakage is shared through an
+    atomic so pruning bounds stay global.  Per-worker counters merge
+    into [stats] and subtree results merge in index order, so an
+    exhaustive run returns the same best leakage as the sequential
+    search (the witnessing vector may differ only on exact ties).
+    [on_incumbent] is serialized; [interrupt] must be safe to poll from
+    any domain.  [jobs <= 1] falls back to [search].  The caller's
+    [sta] is not touched — workers build their own (inheriting its
+    delay budget). *)

@@ -1,0 +1,115 @@
+module Metrics = Standby_telemetry.Metrics
+
+(* One set of gauges shared by every pool in the process (batch runs
+   create one pool at a time).  Registered at module initialization,
+   before any domain spawns. *)
+let m_workers = Metrics.gauge Metrics.default "pool.workers" ~help:"Worker domains"
+let m_queue_depth =
+  Metrics.gauge Metrics.default "pool.queue_depth" ~help:"Tasks waiting for a worker"
+let m_busy =
+  Metrics.gauge Metrics.default "pool.workers_busy" ~help:"Workers executing a task"
+let m_completed =
+  Metrics.counter Metrics.default "pool.tasks_completed" ~help:"Tasks run to completion"
+
+type t = {
+  mutex : Mutex.t;
+  work_available : Condition.t;  (* queue gained a task, or stopping *)
+  work_done : Condition.t;  (* queue drained and all workers idle *)
+  queue : (unit -> unit) Queue.t;
+  mutable active : int;  (* tasks currently executing *)
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let default_workers () = max 1 (Domain.recommended_domain_count () - 1)
+
+let worker t () =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.queue && not t.stopping do
+      Condition.wait t.work_available t.mutex
+    done;
+    if Queue.is_empty t.queue then Mutex.unlock t.mutex (* stopping, queue drained *)
+    else begin
+      let task = Queue.pop t.queue in
+      t.active <- t.active + 1;
+      Metrics.set_gauge m_queue_depth (float_of_int (Queue.length t.queue));
+      Metrics.set_gauge m_busy (float_of_int t.active);
+      Mutex.unlock t.mutex;
+      (try task () with _ -> ());
+      Metrics.incr m_completed;
+      Mutex.lock t.mutex;
+      t.active <- t.active - 1;
+      Metrics.set_gauge m_busy (float_of_int t.active);
+      if Queue.is_empty t.queue && t.active = 0 then Condition.broadcast t.work_done;
+      Mutex.unlock t.mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?workers () =
+  let n = max 1 (Option.value workers ~default:(default_workers ())) in
+  let t =
+    {
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      work_done = Condition.create ();
+      queue = Queue.create ();
+      active = 0;
+      stopping = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init n (fun _ -> Domain.spawn (worker t));
+  Metrics.set_gauge m_workers (float_of_int n);
+  t
+
+let workers t = List.length t.domains
+
+let submit t task =
+  Mutex.lock t.mutex;
+  if t.stopping then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.push task t.queue;
+  Metrics.set_gauge m_queue_depth (float_of_int (Queue.length t.queue));
+  Condition.signal t.work_available;
+  Mutex.unlock t.mutex
+
+let wait t =
+  Mutex.lock t.mutex;
+  while not (Queue.is_empty t.queue && t.active = 0) do
+    Condition.wait t.work_done t.mutex
+  done;
+  Mutex.unlock t.mutex
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stopping <- true;
+  Condition.broadcast t.work_available;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+let map ?workers f items =
+  let n = Array.length items in
+  let results = Array.make n None in
+  let pool = create ?workers () in
+  Fun.protect
+    ~finally:(fun () -> shutdown pool)
+    (fun () ->
+      Array.iteri
+        (fun i item ->
+          submit pool (fun () ->
+              results.(i) <-
+                Some (match f item with v -> Ok v | exception e -> Error e)))
+        items;
+      wait pool);
+  Array.map
+    (function
+      | Some (Ok v) -> v
+      | Some (Error e) -> raise e
+      | None -> assert false (* wait returned, every task settled *))
+    results

@@ -2,6 +2,7 @@ module Netlist = Standby_netlist.Netlist
 module Library = Standby_cells.Library
 module Telemetry = Standby_telemetry.Telemetry
 module Metrics = Standby_telemetry.Metrics
+module Int_heap = Standby_util.Int_heap
 
 (* Registered at module initialization; updated lock-free.  The
    incremental recompute is the optimizer's hottest call, so it gets a
@@ -11,6 +12,9 @@ let m_full_updates =
 let m_incremental_updates =
   Metrics.counter Metrics.default "sta.incremental_updates"
     ~help:"Incremental (cone) timing recomputations"
+let m_worklist_pops =
+  Metrics.counter Metrics.default "sta.worklist_pops"
+    ~help:"Nodes settled by incremental STA worklists"
 
 let epsilon = 1e-9
 
@@ -28,7 +32,21 @@ type t = {
   req_rise : float array;
   req_fall : float array;
   mutable budget : float;
+  (* Preallocated worklists and output membership for the incremental
+     update — the optimizer's hottest path must not allocate. *)
+  fheap : Int_heap.t;
+  bheap : Int_heap.t;
+  is_out : bool array;
+  (* Locally accumulated metric deltas.  The candidate loops call
+     [update_from] thousands of times per leaf from every worker
+     domain; per-call atomic increments on the shared counters
+     ping-pong their cache line hard enough to serialize the workers,
+     so deltas are flushed in batches instead. *)
+  mutable pend_updates : int;
+  mutable pend_pops : int;
 }
+
+let flush_batch = 1024
 
 let netlist t = t.net
 
@@ -108,37 +126,102 @@ let backward t =
         fanin
   done
 
+let flush_counters t =
+  if t.pend_updates > 0 then begin
+    Metrics.add m_incremental_updates t.pend_updates;
+    Metrics.add m_worklist_pops t.pend_pops;
+    t.pend_updates <- 0;
+    t.pend_pops <- 0
+  end
+
 let update t =
   Metrics.incr m_full_updates;
+  flush_counters t;
   Telemetry.span "sta.full_update" (fun () ->
       forward t;
       backward t)
 
+(* Required times of one node recomputed from scratch: the delay
+   budget if it drives a primary output, min-ed with the constraint
+   each consumer's current required time and pin delay imposes. *)
+let recompute_required t id =
+  let rr = ref infinity and rf = ref infinity in
+  if t.is_out.(id) then begin
+    rr := t.budget;
+    rf := t.budget
+  end;
+  Array.iter
+    (fun c ->
+      match Netlist.node t.net c with
+      | Netlist.Primary_input -> assert false
+      | Netlist.Cell { kind; fanin } ->
+        Array.iteri
+          (fun pin src ->
+            if src = id then begin
+              let d_rise, d_fall = gate_delays t c kind pin src in
+              if t.req_rise.(c) -. d_rise < !rf then rf := t.req_rise.(c) -. d_rise;
+              if t.req_fall.(c) -. d_fall < !rr then rr := t.req_fall.(c) -. d_fall
+            end)
+          fanin)
+    (Netlist.fanout t.net id);
+  t.req_rise.(id) <- !rr;
+  t.req_fall.(id) <- !rf
+
 let update_from t start =
-  Metrics.incr m_incremental_updates;
-  let n = Netlist.node_count t.net in
-  let changed = Array.make n false in
-  (match Netlist.node t.net start with
-   | Netlist.Primary_input -> ()
-   | Netlist.Cell { kind; fanin } -> recompute_arrival t start kind fanin);
-  changed.(start) <- true;
-  for id = start + 1 to n - 1 do
+  let pops = ref 0 in
+  (* Forward: fanout-driven worklist from [start].  Node ids are
+     topological, so the ascending heap settles each node exactly once
+     — cost scales with the affected cone, not the netlist. *)
+  Int_heap.push t.fheap start;
+  while not (Int_heap.is_empty t.fheap) do
+    let id = Int_heap.pop t.fheap in
+    incr pops;
     match Netlist.node t.net id with
-    | Netlist.Primary_input -> ()
+    | Netlist.Primary_input ->
+      (* Only reachable when [start] itself is an input: its arrival is
+         fixed, but its cone must still be rechecked. *)
+      Array.iter (fun g -> Int_heap.push t.fheap g) (Netlist.fanout t.net id)
     | Netlist.Cell { kind; fanin } ->
-      if Array.exists (fun src -> changed.(src)) fanin then begin
-        let old_rise = t.arr_rise.(id) and old_fall = t.arr_fall.(id) in
-        let old_srise = t.slew_rise.(id) and old_sfall = t.slew_fall.(id) in
-        recompute_arrival t id kind fanin;
-        if
-          abs_float (t.arr_rise.(id) -. old_rise) > epsilon
-          || abs_float (t.arr_fall.(id) -. old_fall) > epsilon
-          || abs_float (t.slew_rise.(id) -. old_srise) > epsilon
-          || abs_float (t.slew_fall.(id) -. old_sfall) > epsilon
-        then changed.(id) <- true
+      let old_rise = t.arr_rise.(id) and old_fall = t.arr_fall.(id) in
+      let old_srise = t.slew_rise.(id) and old_sfall = t.slew_fall.(id) in
+      recompute_arrival t id kind fanin;
+      if
+        id = start
+        || abs_float (t.arr_rise.(id) -. old_rise) > epsilon
+        || abs_float (t.arr_fall.(id) -. old_fall) > epsilon
+        || abs_float (t.slew_rise.(id) -. old_srise) > epsilon
+        || abs_float (t.slew_fall.(id) -. old_sfall) > epsilon
+      then begin
+        Int_heap.push t.bheap id;
+        Array.iter (fun g -> Int_heap.push t.fheap g) (Netlist.fanout t.net id)
       end
   done;
-  backward t
+  (* The assignment changed [start]'s pin delays, so its fanins'
+     required times can move even when no arrival does. *)
+  (match Netlist.node t.net start with
+   | Netlist.Primary_input -> ()
+   | Netlist.Cell { fanin; _ } -> Array.iter (fun s -> Int_heap.push t.bheap s) fanin);
+  (* Backward: descending pops settle every consumer before its
+     producers (in-loop pushes are always fanins, hence smaller), so
+     one scratch recompute per node suffices; a required-time move
+     wakes the node's own fanins. *)
+  while not (Int_heap.is_empty t.bheap) do
+    let id = Int_heap.pop t.bheap in
+    incr pops;
+    let old_rr = t.req_rise.(id) and old_rf = t.req_fall.(id) in
+    recompute_required t id;
+    if
+      abs_float (t.req_rise.(id) -. old_rr) > epsilon
+      || abs_float (t.req_fall.(id) -. old_rf) > epsilon
+    then
+      match Netlist.node t.net id with
+      | Netlist.Primary_input -> ()
+      | Netlist.Cell { fanin; _ } ->
+        Array.iter (fun s -> Int_heap.push t.bheap s) fanin
+  done;
+  t.pend_updates <- t.pend_updates + 1;
+  t.pend_pops <- t.pend_pops + !pops;
+  if t.pend_updates >= flush_batch then flush_counters t
 
 let circuit_delay t =
   Array.fold_left
@@ -170,6 +253,14 @@ let create lib net =
       req_rise = Array.make n infinity;
       req_fall = Array.make n infinity;
       budget = 0.0;
+      pend_updates = 0;
+      pend_pops = 0;
+      fheap = Int_heap.create n;
+      bheap = Int_heap.create ~descending:true n;
+      is_out =
+        (let out = Array.make n false in
+         Array.iter (fun o -> out.(o) <- true) (Netlist.outputs net);
+         out);
     }
   in
   forward t;

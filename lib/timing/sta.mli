@@ -49,9 +49,19 @@ val update : t -> unit
 (** Full arrival (forward) and required (backward) recomputation. *)
 
 val update_from : t -> int -> unit
-(** Propagate arrivals forward from one changed gate, then refresh
-    required times.  Equivalent to {!update} but touches only the
-    affected cone for arrivals. *)
+(** Propagate arrivals forward from one changed gate through its fanout
+    cone (worklist in topological id order), then refresh required
+    times backward over the nodes whose arrivals or slews actually
+    moved plus the changed gate's fanins.  Equivalent to {!update} up
+    to timing epsilon, but the cost scales with the affected cone and
+    the steady state allocates nothing. *)
+
+val flush_counters : t -> unit
+(** Publish locally batched [sta.incremental_updates] /
+    [sta.worklist_pops] metric deltas to the shared registry.  Called
+    automatically every 1024 incremental updates and on {!update};
+    search drivers call it once more when a run ends so the tail is
+    visible. *)
 
 val circuit_delay : t -> float
 (** Worst arrival over primary outputs (both transitions). *)

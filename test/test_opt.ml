@@ -282,6 +282,85 @@ let test_exact_insensitive_to_ordering_ablation =
       abs_float (total with_order -. total without)
       < 1e-15 +. (1e-9 *. total with_order))
 
+let test_incremental_bound_matches_evaluate =
+  (* The event-maintained bound must agree with a from-scratch
+     evaluation at any point of an assume/retract walk. *)
+  QCheck.Test.make ~count:30 ~name:"incremental bound equals evaluate"
+    QCheck.(make Gen.(pair (int_range 0 500) (int_range 0 1_000_000)))
+    (fun (seed, walk) ->
+      let net = medium seed in
+      let bound = Bound.create lib net in
+      let ws = Simulator.Workspace.create net in
+      let inc = Bound.incremental bound (Simulator.Workspace.values ws) in
+      let touch id = Bound.refresh inc id in
+      let rng = Standby_util.Prng.create ~seed:walk in
+      let n_inputs = Netlist.input_count net in
+      let assumed = ref [] in
+      let ok = ref true in
+      for _ = 1 to 40 do
+        if !ok then begin
+          let depth = List.length !assumed in
+          if depth > 0 && (depth = n_inputs || Standby_util.Prng.bool rng) then begin
+            assumed := List.tl !assumed;
+            Simulator.Workspace.retract ~on_touch:touch ws
+          end
+          else begin
+            let free = ref [] in
+            for p = n_inputs - 1 downto 0 do
+              if not (List.mem p !assumed) then free := p :: !free
+            done;
+            let free = Array.of_list !free in
+            let pos = free.(Standby_util.Prng.int rng ~bound:(Array.length free)) in
+            Simulator.Workspace.assume ~on_touch:touch ws pos
+              (Logic.of_bool (Standby_util.Prng.bool rng));
+            assumed := pos :: !assumed
+          end;
+          let got = Bound.current inc in
+          let want = Bound.evaluate bound (Simulator.Workspace.values ws) in
+          let close a b = abs_float (a -. b) < 1e-15 +. (1e-9 *. abs_float b) in
+          ok := close got.Bound.lower want.Bound.lower
+                && close got.Bound.estimate want.Bound.estimate
+        end
+      done;
+      !ok)
+
+let test_parallel_matches_sequential =
+  (* Exhaustive search split across domains returns the sequential
+     optimum. *)
+  QCheck.Test.make ~count:4 ~name:"parallel exact equals sequential exact"
+    QCheck.(make Gen.(int_range 0 100))
+    (fun seed ->
+      let net = small seed in
+      let run search =
+        let sta = Sta.create lib net in
+        Sta.set_budget sta (Sta.budget_for_penalty lib net ~penalty:0.25);
+        let bound = Bound.create lib net in
+        let stats = Search_stats.create () in
+        let timer = Standby_util.Timer.unlimited () in
+        search ~stats ~timer ~max_leaves:None ~exact_gate_tree:true bound lib sta
+      in
+      let seq = run (State_tree.search ?config:None ?on_incumbent:None ?interrupt:None) in
+      let par =
+        run
+          (State_tree.search_parallel ?config:None ?on_incumbent:None ?interrupt:None
+             ~jobs:3)
+      in
+      abs_float
+        (seq.State_tree.best.State_tree.leakage
+         -. par.State_tree.best.State_tree.leakage)
+      < 1e-15 +. (1e-9 *. seq.State_tree.best.State_tree.leakage))
+
+let test_optimizer_jobs () =
+  (* The optimizer front door: jobs > 1 must yield the exact optimum
+     too, and reject nonsense. *)
+  let net = small 11 in
+  let seq = Optimizer.run lib net ~penalty:0.25 Optimizer.Exact in
+  let par = Optimizer.run ~jobs:3 lib net ~penalty:0.25 Optimizer.Exact in
+  check (Alcotest.float 1e-12) "same optimum" (total seq) (total par);
+  Alcotest.check_raises "jobs = 0 rejected"
+    (Invalid_argument "Optimizer.run: jobs must be at least 1") (fun () ->
+      ignore (Optimizer.run ~jobs:0 lib net ~penalty:0.25 Optimizer.Exact))
+
 (* ------------------------------ Baselines -------------------------- *)
 
 let test_baseline_mode_checks () =
@@ -365,6 +444,9 @@ let () =
         [
           quick "config variants" test_state_tree_config_variants;
           QCheck_alcotest.to_alcotest test_exact_insensitive_to_ordering_ablation;
+          QCheck_alcotest.to_alcotest test_incremental_bound_matches_evaluate;
+          QCheck_alcotest.to_alcotest test_parallel_matches_sequential;
+          quick "parallel via optimizer" test_optimizer_jobs;
         ] );
       ( "baselines",
         [

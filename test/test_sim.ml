@@ -116,6 +116,105 @@ let test_partial_sound =
       done;
       !sound)
 
+(* --------------------------- Workspace ---------------------------- *)
+
+module Workspace = Simulator.Workspace
+
+(* Random assume/retract walk: after every step the workspace's node
+   values must equal a fresh eval_partial over the same partial input
+   assignment, and on full assignment they must match eval. *)
+let test_workspace_matches_oracle =
+  QCheck.Test.make ~count:40 ~name:"workspace assume/retract matches eval_partial"
+    QCheck.(make Gen.(pair (int_range 0 1000) (int_range 0 1_000_000)))
+    (fun (seed, walk) ->
+      let net = random_circuit seed in
+      let rng = Prng.create ~seed:walk in
+      let ws = Workspace.create net in
+      let trits = Array.make 8 Logic.Unknown in
+      let assumed = ref [] in
+      let depth () = List.length !assumed in
+      let agrees () =
+        let oracle = Simulator.eval_partial net trits in
+        Array.for_all2 Logic.equal oracle (Workspace.values ws)
+      in
+      let ok = ref (agrees ()) in
+      for _ = 1 to 60 do
+        if !ok then begin
+          if depth () > 0 && (depth () = 8 || Prng.bool rng) then begin
+            let pos = List.hd !assumed in
+            assumed := List.tl !assumed;
+            Workspace.retract ws;
+            trits.(pos) <- Logic.Unknown
+          end
+          else begin
+            let free =
+              Array.to_list (Array.init 8 Fun.id)
+              |> List.filter (fun p -> trits.(p) = Logic.Unknown)
+            in
+            let pos = List.nth free (Prng.int rng ~bound:(List.length free)) in
+            let v = Logic.of_bool (Prng.bool rng) in
+            Workspace.assume ws pos v;
+            trits.(pos) <- v;
+            assumed := pos :: !assumed
+          end;
+          ok := agrees () && Workspace.depth ws = depth ()
+        end
+      done;
+      !ok)
+
+let test_workspace_full_assignment_matches_eval =
+  QCheck.Test.make ~count:40 ~name:"fully assumed workspace equals eval"
+    QCheck.(make Gen.(pair (int_range 0 1000) (int_range 0 255)))
+    (fun (seed, v) ->
+      let net = random_circuit seed in
+      let ws = Workspace.create net in
+      let inputs = Array.init 8 (fun i -> (v lsr i) land 1 = 1) in
+      Array.iteri (fun pos b -> Workspace.assume ws pos (Logic.of_bool b)) inputs;
+      let full = Simulator.eval net inputs in
+      let ok =
+        Array.for_all2
+          (fun b t -> Logic.to_bool t = Some b)
+          full (Workspace.values ws)
+      in
+      (* Unwind and confirm the workspace is clean again. *)
+      for _ = 1 to 8 do
+        Workspace.retract ws
+      done;
+      ok
+      && Workspace.depth ws = 0
+      && Array.for_all (fun t -> t = Logic.Unknown) (Workspace.values ws))
+
+let test_workspace_touch_covers_changes () =
+  (* Every gate whose value changes during an assume must be reported
+     through on_touch (the bound-maintenance contract). *)
+  let net = random_circuit 7 in
+  let ws = Workspace.create net in
+  let touched = Hashtbl.create 16 in
+  let before = Array.copy (Workspace.values ws) in
+  Workspace.assume ~on_touch:(fun id -> Hashtbl.replace touched id ()) ws 0 Logic.True;
+  let after = Workspace.values ws in
+  Array.iteri
+    (fun id b ->
+      if not (Logic.equal b after.(id)) && not (Netlist.is_input net id) then
+        check Alcotest.bool (Printf.sprintf "gate %d touched" id) true
+          (Hashtbl.mem touched id))
+    before
+
+let test_workspace_rejects_misuse () =
+  let net = random_circuit 1 in
+  let ws = Workspace.create net in
+  Alcotest.check_raises "unknown value"
+    (Invalid_argument "Workspace.assume: value must be known") (fun () ->
+      Workspace.assume ws 0 Logic.Unknown);
+  Workspace.assume ws 0 Logic.True;
+  Alcotest.check_raises "double assignment"
+    (Invalid_argument "Workspace.assume: input already assigned") (fun () ->
+      Workspace.assume ws 0 Logic.False);
+  Workspace.retract ws;
+  Alcotest.check_raises "empty retract"
+    (Invalid_argument "Workspace.retract: nothing to retract") (fun () ->
+      Workspace.retract ws)
+
 let test_gate_states_convention () =
   (* gate_state packs fanin 0 as the MSB. *)
   let b = Netlist.Builder.create () in
@@ -159,5 +258,12 @@ let () =
           QCheck_alcotest.to_alcotest test_partial_sound;
           quick "gate states convention" test_gate_states_convention;
           quick "output vector" test_output_vector;
+        ] );
+      ( "workspace",
+        [
+          QCheck_alcotest.to_alcotest test_workspace_matches_oracle;
+          QCheck_alcotest.to_alcotest test_workspace_full_assignment_matches_eval;
+          quick "on_touch covers changes" test_workspace_touch_covers_changes;
+          quick "rejects misuse" test_workspace_rejects_misuse;
         ] );
     ]

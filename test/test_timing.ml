@@ -108,6 +108,52 @@ let test_update_from_equals_full_update =
       Sta.update sta;
       abs_float (incremental -. Sta.circuit_delay sta) < 1e-9)
 
+let test_update_from_sequence_matches_fresh =
+  (* A chain of random assignments, each followed by the worklist-based
+     incremental update, must leave every arrival, slew and required
+     time equal to a fresh STA given the same final assignment and one
+     full update. *)
+  QCheck.Test.make ~count:25 ~name:"incremental update sequence matches fresh STA"
+    QCheck.(make Gen.(pair (int_range 0 500) (int_range 0 1_000_000)))
+    (fun (seed, walk) ->
+      let net = random_circuit seed in
+      let rng = Prng.create ~seed:walk in
+      let sta = Sta.create lib net in
+      Sta.set_budget sta (Sta.budget_for_penalty lib net ~penalty:0.1);
+      let gates = ref [] in
+      Netlist.iter_gates net (fun id kind _ -> gates := (id, kind) :: !gates);
+      let arr = Array.of_list !gates in
+      for _ = 1 to 30 do
+        let id, kind = arr.(Prng.int rng ~bound:(Array.length arr)) in
+        let state = Prng.int rng ~bound:(Gate_kind.state_count kind) in
+        let opts = Library.options lib kind ~state in
+        let o = opts.(Prng.int rng ~bound:(Array.length opts)) in
+        Sta.assign sta id ~version:o.Version.version ~perm:o.Version.perm;
+        Sta.update_from sta id
+      done;
+      let fresh = Sta.create lib net in
+      Sta.set_budget fresh (Sta.budget sta);
+      Netlist.iter_gates net (fun id _ _ ->
+          Sta.assign fresh id ~version:(Sta.version_of sta id)
+            ~perm:(Array.copy (Sta.perm_of sta id)));
+      Sta.update fresh;
+      let close a b =
+        (a = b (* covers infinite required times *))
+        || abs_float (a -. b) < 1e-6
+      in
+      let ok = ref true in
+      for id = 0 to Netlist.node_count net - 1 do
+        let ar, af = Sta.arrival sta id and ar', af' = Sta.arrival fresh id in
+        let sr, sf = Sta.slew_of sta id and sr', sf' = Sta.slew_of fresh id in
+        let rr, rf = Sta.required sta id and rr', rf' = Sta.required fresh id in
+        if
+          not
+            (close ar ar' && close af af' && close sr sr' && close sf sf'
+             && close rr rr' && close rf rf')
+        then ok := false
+      done;
+      !ok)
+
 let test_candidate_feasible_necessary =
   (* Slowing a gate on an all-fast workspace only degrades timing, so a
      failed local check guarantees the installed candidate breaks the
@@ -255,6 +301,7 @@ let () =
           quick "budget interpolation" test_budget_interpolation;
           QCheck_alcotest.to_alcotest test_slowing_gates_monotone;
           QCheck_alcotest.to_alcotest test_update_from_equals_full_update;
+          QCheck_alcotest.to_alcotest test_update_from_sequence_matches_fresh;
           QCheck_alcotest.to_alcotest test_candidate_feasible_necessary;
           quick "reset fast" test_reset_fast_restores;
           quick "slacks nonnegative" test_slacks_nonnegative_within_budget;

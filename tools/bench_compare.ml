@@ -1,0 +1,115 @@
+(* CI helper: compare a fresh BENCH_results.json against a committed
+   baseline and fail on wall-time regressions.
+
+     bench_compare BASELINE CURRENT [--tolerance FRAC] [--min-seconds S]
+
+   For every artifact present in both files whose baseline wall time is
+   at least --min-seconds (default 0.05 s — anything faster is timer
+   noise), the run regresses if
+
+     current_wall > baseline_wall * (1 + tolerance)
+
+   with tolerance defaulting to 0.15.  Exit 0 when nothing regressed,
+   1 on any regression, 2 on usage or parse errors.  Artifacts missing
+   from either side are reported but never fail the check, so the
+   baseline does not have to be regenerated when an artifact is added
+   or retired. *)
+
+module Json = Standby_telemetry.Json
+
+let usage () =
+  prerr_endline
+    "usage: bench_compare BASELINE CURRENT [--tolerance FRAC] [--min-seconds S]";
+  exit 2
+
+let load path =
+  let text =
+    try In_channel.with_open_text path In_channel.input_all
+    with Sys_error msg ->
+      Printf.eprintf "bench_compare: %s\n" msg;
+      exit 2
+  in
+  match Json.of_string text with
+  | Error msg ->
+    Printf.eprintf "bench_compare: %s: invalid JSON: %s\n" path msg;
+    exit 2
+  | Ok doc -> doc
+
+(* artifact name -> wall seconds, in file order *)
+let artifacts doc =
+  match Option.bind (Json.member "artifacts" doc) Json.to_list_opt with
+  | None -> []
+  | Some items ->
+    List.filter_map
+      (fun item ->
+        match
+          ( Option.bind (Json.member "artifact" item) Json.to_string_opt,
+            Option.bind (Json.member "wall_s" item) Json.to_float_opt )
+        with
+        | Some name, Some wall -> Some (name, wall)
+        | _ -> None)
+      items
+
+let () =
+  let tolerance = ref 0.15 in
+  let min_seconds = ref 0.05 in
+  let positional = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--tolerance" :: v :: rest ->
+      (match float_of_string_opt v with
+       | Some f when f >= 0.0 -> tolerance := f
+       | _ -> usage ());
+      parse rest
+    | "--min-seconds" :: v :: rest ->
+      (match float_of_string_opt v with
+       | Some f when f >= 0.0 -> min_seconds := f
+       | _ -> usage ());
+      parse rest
+    | arg :: rest when String.length arg > 0 && arg.[0] <> '-' ->
+      positional := arg :: !positional;
+      parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let baseline_path, current_path =
+    match List.rev !positional with
+    | [ b; c ] -> (b, c)
+    | _ -> usage ()
+  in
+  let baseline = artifacts (load baseline_path) in
+  let current = artifacts (load current_path) in
+  if baseline = [] then begin
+    Printf.eprintf "bench_compare: %s lists no artifacts\n" baseline_path;
+    exit 2
+  end;
+  Printf.printf "%-12s %12s %12s %10s  %s\n" "artifact" "baseline(s)" "current(s)"
+    "delta" "verdict";
+  let regressions = ref 0 in
+  List.iter
+    (fun (name, base_wall) ->
+      match List.assoc_opt name current with
+      | None -> Printf.printf "%-12s %12.3f %12s %10s  missing from current\n" name base_wall "-" "-"
+      | Some cur_wall ->
+        let delta_pc = (cur_wall -. base_wall) /. base_wall *. 100.0 in
+        let verdict =
+          if base_wall < !min_seconds then "skip (below floor)"
+          else if cur_wall > base_wall *. (1.0 +. !tolerance) then begin
+            incr regressions;
+            "REGRESSION"
+          end
+          else "ok"
+        in
+        Printf.printf "%-12s %12.3f %12.3f %+9.1f%%  %s\n" name base_wall cur_wall
+          delta_pc verdict)
+    baseline;
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name baseline) then
+        Printf.printf "%-12s %12s %12s %10s  new (no baseline)\n" name "-" "-" "-")
+    current;
+  if !regressions > 0 then begin
+    Printf.eprintf "bench_compare: %d artifact(s) regressed more than %.0f%%\n"
+      !regressions (!tolerance *. 100.0);
+    exit 1
+  end
