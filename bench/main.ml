@@ -18,6 +18,7 @@ module Characterize = Standby_cells.Characterize
 module Version = Standby_cells.Version
 module Library = Standby_cells.Library
 module Simulator = Standby_sim.Simulator
+module Bitsim = Standby_sim.Bitsim
 module Sta = Standby_timing.Sta
 module Evaluate = Standby_power.Evaluate
 module Optimizer = Standby_opt.Optimizer
@@ -137,13 +138,76 @@ let parallel_report ~quick () =
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
+(* Packed simulation: the 63-lane Bitsim engine vs the scalar oracle.    *)
+
+(* Two parts: a correctness/speedup comparison against the scalar
+   reference on the same (seed, block) vector set, then a packed-only
+   guard run sized so this artifact's wall time is dominated by the
+   engine under test — that is the number bench_compare diffs against
+   the committed baseline.  The comparison part fails hard on
+   disagreement or lost jobs-determinism, so a plain `dune build`
+   catches a broken kernel, not just a slow one. *)
+let bitsim_report ~quick () =
+  let process = Process.default in
+  let lib = Library.build process in
+  let name = if quick then "c880" else "c7552" in
+  let vectors = if quick then 1_000 else 10_000 in
+  let seed = 0x5eed in
+  let net = Benchmarks.circuit name in
+  let buf = Buffer.create 256 in
+  let scalar, scalar_s =
+    Timer.time (fun () -> Evaluate.random_vector_average_scalar ~vectors ~seed lib net)
+  in
+  let packed, packed_s =
+    Timer.time (fun () -> Evaluate.random_vector_average ~vectors ~jobs:1 ~seed lib net)
+  in
+  let rel =
+    abs_float (packed.Evaluate.total -. scalar.Evaluate.total)
+    /. abs_float scalar.Evaluate.total
+  in
+  let jobs = max 2 (min 4 (Domain.recommended_domain_count ())) in
+  let par = Evaluate.random_vector_average ~vectors ~jobs ~seed lib net in
+  let deterministic =
+    par.Evaluate.total = packed.Evaluate.total
+    && par.Evaluate.isub = packed.Evaluate.isub
+    && par.Evaluate.igate = packed.Evaluate.igate
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "packed 63-lane engine on %s, %d vectors, seed %#x:\n" name vectors
+       seed);
+  Buffer.add_string buf
+    (Printf.sprintf "  scalar oracle  %10.4f uA  %8.3f s\n"
+       (scalar.Evaluate.total *. 1e6) scalar_s);
+  Buffer.add_string buf
+    (Printf.sprintf "  packed jobs=1  %10.4f uA  %8.3f s  (%.1fx)\n"
+       (packed.Evaluate.total *. 1e6) packed_s (scalar_s /. packed_s));
+  Buffer.add_string buf
+    (Printf.sprintf "  agreement: %s (relative delta %.3g)\n"
+       (if rel <= 1e-9 then "OK" else "MISMATCH") rel);
+  Buffer.add_string buf
+    (Printf.sprintf "  jobs=%d determinism: %s\n" jobs
+       (if deterministic then "bit-identical" else "MISMATCH"));
+  if rel > 1e-9 then failwith "bitsim: packed/scalar disagreement beyond 1e-9";
+  if not deterministic then failwith "bitsim: result depends on jobs";
+  let guard_vectors = if quick then 300_000 else 600_000 in
+  let guard, guard_s =
+    Timer.time (fun () ->
+        Evaluate.random_vector_average ~vectors:guard_vectors ~jobs:1 ~seed lib net)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "  guard: %d vectors packed in %.3f s (avg %.4f uA)\n" guard_vectors
+       guard_s
+       (guard.Evaluate.total *. 1e6));
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
 (* Experiment reproduction                                              *)
 
 let artifact_names =
   [
     "table1"; "table2"; "table3"; "table4"; "table5";
     "figure1"; "figure2"; "figure3"; "figure4"; "figure5"; "ablation";
-    "parallel";
+    "parallel"; "bitsim";
   ]
 
 let run_experiments ~quick artifacts =
@@ -163,6 +227,7 @@ let run_experiments ~quick artifacts =
     | "figure5" -> Experiments.figure5 ~csv_path:"figure5.csv" t
     | "ablation" -> Experiments.ablation t
     | "parallel" -> parallel_report ~quick ()
+    | "bitsim" -> bitsim_report ~quick ()
     | other -> Printf.sprintf "unknown artifact %S" other
   in
   let entries = ref [] in
@@ -209,6 +274,7 @@ let speed_tests () =
         if i mod 2 = 0 then Standby_sim.Logic.Unknown else Standby_sim.Logic.True)
   in
   let ws880 = Simulator.Workspace.create c880 in
+  let bitsim880 = Bitsim.create c880 in
   let sta880_inc = Sta.create lib c880 in
   Sta.update sta880_inc;
   let mid_gate880 =
@@ -277,6 +343,13 @@ let speed_tests () =
     Test.make ~name:"kernel/random-leakage-100vec-c880"
       (Staged.stage (fun () ->
            ignore (Evaluate.random_vector_average ~vectors:100 ~seed:7 lib c880)));
+    Test.make ~name:"kernel/random-leakage-scalar-100vec-c880"
+      (Staged.stage (fun () ->
+           ignore (Evaluate.random_vector_average_scalar ~vectors:100 ~seed:7 lib c880)));
+    Test.make ~name:"kernel/bitsim-block-c880"
+      (Staged.stage (fun () ->
+           Bitsim.load_block bitsim880 ~seed:1 ~block:0;
+           Bitsim.eval bitsim880));
   ]
 
 let run_speed () =

@@ -3,6 +3,7 @@
 
    Subcommands:
      optimize   run a method on a benchmark or .bench netlist
+     baseline   packed random-vector leakage baselines (63 vectors/word)
      batch      run a manifest of jobs on a domain pool with a result cache
      report     regenerate the paper's tables and figures
      library    inspect the characterized cell library
@@ -223,7 +224,7 @@ let run_optimize telemetry circuit file mode method_ penalty heu2_limit jobs vec
       | `Hill_climb -> Optimizer.Hill_climb { time_limit_s = heu2_limit; max_rounds = 8 }
       | `Exact -> Optimizer.Exact
     in
-    let avg = Baselines.random_average ~vectors lib net in
+    let avg = Baselines.random_average ~vectors ~jobs lib net in
     let r = Optimizer.run ~jobs lib net ~penalty m in
     let b = r.Optimizer.breakdown in
     Printf.printf "circuit        %s (%d inputs, %d gates, depth %d)\n"
@@ -280,6 +281,86 @@ let optimize_cmd =
       const run_optimize $ telemetry_term $ circuit_arg $ bench_file_arg $ mode_arg
       $ method_arg $ penalty_arg $ heu2_limit_arg $ jobs_arg $ vectors_arg $ verbose_arg
       $ timing_arg $ process_file_arg $ simplify_arg)
+
+(* ------------------------------------------------------------------ *)
+(* baseline                                                             *)
+
+let seed_arg =
+  let doc = "PRNG seed for the random-vector baseline." in
+  Arg.(value & opt int 0x5eed & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let baseline_jobs_arg =
+  let doc =
+    "Worker domains for the packed simulation (vector blocks are split across domains; \
+     the result is bit-identical for any value)."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let check_arg =
+  let doc =
+    "Also run the scalar one-vector-at-a-time oracle on the same vector set and report \
+     the agreement and speedup of the packed engine."
+  in
+  Arg.(value & flag & info [ "check" ] ~doc)
+
+let run_baseline telemetry circuit file mode vectors jobs seed check process_file simplify =
+  install_telemetry telemetry;
+  match
+    Result.bind (resolve_process process_file) (fun process ->
+        Result.map (fun net -> (process, net)) (load_netlist circuit file))
+  with
+  | Error msg ->
+    Log.err "%s" msg;
+    1
+  | Ok (process, net) ->
+    let net = maybe_simplify simplify net in
+    let lib = Library.build ~mode process in
+    let avg, packed_s =
+      Standby_util.Timer.time (fun () ->
+          Evaluate.random_vector_average ~vectors ~jobs ~seed lib net)
+    in
+    let slow = Evaluate.slowest_random_average ~vectors ~jobs ~seed lib net in
+    Printf.printf "circuit        %s (%d inputs, %d gates, depth %d)\n"
+      (Netlist.design_name net) (Netlist.input_count net) (Netlist.gate_count net)
+      (Netlist.depth net);
+    Printf.printf "library        %s (%d cell versions)\n"
+      (Version.mode_name (Library.mode lib))
+      (Library.total_version_count lib);
+    Printf.printf "vectors        %d (seed %#x, %d 63-lane blocks, jobs %d)\n" vectors seed
+      ((vectors + 62) / 63) jobs;
+    Printf.printf "avg leakage    %.4f uA  (isub %.4f + igate %.4f)\n"
+      (avg.Evaluate.total *. 1e6) (avg.Evaluate.isub *. 1e6) (avg.Evaluate.igate *. 1e6);
+    Printf.printf "all-slow avg   %.4f uA  (100%%-penalty fallback reference)\n"
+      (slow.Evaluate.total *. 1e6);
+    Printf.printf "packed wall    %.4f s\n" packed_s;
+    if check then begin
+      let scalar, scalar_s =
+        Standby_util.Timer.time (fun () ->
+            Evaluate.random_vector_average_scalar ~vectors ~seed lib net)
+      in
+      let rel =
+        abs_float (scalar.Evaluate.total -. avg.Evaluate.total)
+        /. abs_float scalar.Evaluate.total
+      in
+      Printf.printf "scalar wall    %.4f s  (%.1fx speedup)\n" scalar_s (scalar_s /. packed_s);
+      Printf.printf "agreement      %.3g relative  [%s]\n" rel
+        (if rel <= 1e-9 then "OK" else "MISMATCH");
+      if rel > 1e-9 then exit 1
+    end;
+    0
+
+let baseline_cmd =
+  let info =
+    Cmd.info "baseline"
+      ~doc:
+        "Random-vector leakage baselines on the packed 63-lane simulation engine (the \
+         paper's \"no technique\" reference and the all-slow fallback average)"
+  in
+  Cmd.v info
+    Term.(
+      const run_baseline $ telemetry_term $ circuit_arg $ bench_file_arg $ mode_arg
+      $ vectors_arg $ baseline_jobs_arg $ seed_arg $ check_arg $ process_file_arg
+      $ simplify_arg)
 
 (* ------------------------------------------------------------------ *)
 (* batch                                                                *)
@@ -368,9 +449,24 @@ let quick_arg =
   let doc = "Use the trimmed configuration (small suite, few vectors)." in
   Arg.(value & flag & info [ "quick" ] ~doc)
 
-let run_report telemetry quick artifacts =
+let report_vectors_arg =
+  let doc = "Override the random-vector count of the configuration." in
+  Arg.(value & opt (some int) None & info [ "vectors" ] ~docv:"N" ~doc)
+
+let report_jobs_arg =
+  let doc = "Worker domains for the packed random-vector baselines." in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let run_report telemetry quick vectors jobs artifacts =
   install_telemetry telemetry;
   let config = if quick then Experiments.quick_config else Experiments.default_config in
+  let config =
+    {
+      config with
+      Experiments.vectors = Option.value vectors ~default:config.Experiments.vectors;
+      Experiments.jobs = jobs;
+    }
+  in
   let t = Experiments.create ~config () in
   let wanted name = List.mem "all" artifacts || List.mem name artifacts in
   let known = ref false in
@@ -402,7 +498,10 @@ let run_report telemetry quick artifacts =
 
 let report_cmd =
   let info = Cmd.info "report" ~doc:"Regenerate the paper's tables and figures" in
-  Cmd.v info Term.(const run_report $ telemetry_term $ quick_arg $ artifacts_arg)
+  Cmd.v info
+    Term.(
+      const run_report $ telemetry_term $ quick_arg $ report_vectors_arg $ report_jobs_arg
+      $ artifacts_arg)
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                                *)
@@ -563,8 +662,8 @@ let main_cmd =
   let info = Cmd.info "standbyopt" ~version:"1.0.0" ~doc in
   Cmd.group info
     [
-      optimize_cmd; batch_cmd; report_cmd; library_cmd; circuits_cmd; export_cmd;
-      analyze_cmd; export_lib_cmd; export_process_cmd; trace_cmd;
+      optimize_cmd; baseline_cmd; batch_cmd; report_cmd; library_cmd; circuits_cmd;
+      export_cmd; analyze_cmd; export_lib_cmd; export_process_cmd; trace_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,8 +1,8 @@
 module Library = Standby_cells.Library
 module Version = Standby_cells.Version
 
-let random_average ?(vectors = 10_000) ?(seed = 0x5eed) lib net =
-  Standby_power.Evaluate.random_vector_average ~vectors ~seed lib net
+let random_average ?(vectors = 10_000) ?(seed = 0x5eed) ?(jobs = 1) lib net =
+  Standby_power.Evaluate.random_vector_average ~vectors ~jobs ~seed lib net
 
 let check_mode lib expected context =
   if Library.mode lib <> expected then

@@ -11,11 +11,14 @@
 val random_average :
   ?vectors:int ->
   ?seed:int ->
+  ?jobs:int ->
   Standby_cells.Library.t ->
   Standby_netlist.Netlist.t ->
   Standby_power.Evaluate.breakdown
 (** Average fast-cell leakage over random vectors (defaults: 10 000
-    vectors, a fixed seed) — the reference every "X" factor divides. *)
+    vectors, a fixed seed) — the reference every "X" factor divides.
+    Runs on the packed 63-lane engine; [jobs] > 1 spreads vector blocks
+    over worker domains without changing the result. *)
 
 val state_only :
   Standby_cells.Library.t -> Standby_netlist.Netlist.t -> Optimizer.result

@@ -10,17 +10,22 @@ type result = { choices : int array; leakage : float }
 type order = By_saving | Topological
 
 (* Gate ids with their kind and state, plus the fast and minimum leakage
-   of the state — the shared preamble of both searches. *)
+   of the state — the shared preamble of both searches.  Filled straight
+   into an array sized from the gate count; iter_gates order is the id
+   order the searches expect. *)
 let gate_rows lib sta states =
   let net = Sta.netlist sta in
-  let rows = ref [] in
+  let rows =
+    Array.make (Netlist.gate_count net) (0, Standby_netlist.Gate_kind.Inv, 0, 0.0, 0.0)
+  in
+  let next = ref 0 in
   Netlist.iter_gates net (fun id kind _ ->
       let state = states.(id) in
       let info = Library.info lib kind in
-      rows :=
-        (id, kind, state, info.Library.fast_leakage.(state), info.Library.min_leakage.(state))
-        :: !rows);
-  Array.of_list (List.rev !rows)
+      rows.(!next) <-
+        (id, kind, state, info.Library.fast_leakage.(state), info.Library.min_leakage.(state));
+      incr next);
+  rows
 
 let fast_choices lib net states =
   let choices = Array.make (Netlist.node_count net) 0 in
@@ -37,9 +42,10 @@ let greedy ?(order = By_saving) ~stats lib sta ~states =
    | Topological -> ()
    | By_saving ->
      (* Biggest potential saving first, so high-leakage gates grab slack
-        before it is spent on small fry. *)
+        before it is spent on small fry.  Float.compare: NaN-safe, no
+        polymorphic-compare dispatch inside the sort. *)
      let saving (_, _, _, fast, best) = fast -. best in
-     Array.sort (fun a b -> compare (saving b) (saving a)) rows);
+     Array.sort (fun a b -> Float.compare (saving b) (saving a)) rows);
   let choices = fast_choices lib net states in
   let total = ref 0.0 in
   Array.iter (fun (_, _, _, fast, _) -> total := !total +. fast) rows;

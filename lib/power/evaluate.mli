@@ -3,7 +3,16 @@
     Sums the pre-characterized per-cell leakage over all gates for a
     given solution; also provides the baselines' figures of merit — the
     fast-library leakage of a vector and the average over random vectors
-    (the paper's "no technique" reference column). *)
+    (the paper's "no technique" reference column).
+
+    The random-vector averages run on {!Standby_sim.Bitsim}: vectors are
+    simulated 63 per pass as bit lanes of a native [int], and the
+    leakage sum is taken per gate as
+    [Σ_state popcount(mask_state) × table.(state)] instead of a scalar
+    walk per vector.  Vectors come in fixed 63-lane blocks, each block
+    drawing from its own PRNG stream ([seed + block]); per-block partial
+    sums are reduced in block order, so results are bit-identical for
+    any [jobs] value. *)
 
 type breakdown = {
   total : float;  (** Amperes. *)
@@ -22,15 +31,43 @@ val fast_vector :
 
 val random_vector_average :
   ?vectors:int ->
+  ?jobs:int ->
   seed:int ->
   Standby_cells.Library.t ->
   Standby_netlist.Netlist.t ->
   breakdown
 (** Mean fast-library leakage over random input vectors (default
-    10_000, the paper's setting). *)
+    10_000, the paper's setting), on the packed engine.  [jobs] > 1
+    spreads the vector blocks over that many worker domains; the result
+    is bit-identical to [jobs = 1].
+    @raise Invalid_argument if [vectors <= 0]. *)
+
+val random_vector_average_scalar :
+  ?vectors:int ->
+  seed:int ->
+  Standby_cells.Library.t ->
+  Standby_netlist.Netlist.t ->
+  breakdown
+(** The scalar reference path: the exact same vector set as
+    {!random_vector_average} for the same [seed], evaluated one vector
+    at a time through {!Standby_sim.Simulator.eval}.  Kept as the oracle
+    the packed engine is tested and benchmarked against; agreement is
+    within float-summation reassociation (≤ 1e-9 relative). *)
+
+val slowest_random_average :
+  ?vectors:int ->
+  ?jobs:int ->
+  seed:int ->
+  Standby_cells.Library.t ->
+  Standby_netlist.Netlist.t ->
+  breakdown
+(** Mean leakage over random vectors with every gate replaced by its
+    all-high-Vt/all-thick fallback (the Figure 5 100 %-penalty
+    reference), on the packed engine.  The breakdown reports the total
+    only ([isub]/[igate] are 0). *)
 
 val slowest_vector :
   Standby_cells.Library.t -> Standby_netlist.Netlist.t -> bool array -> breakdown
-(** Leakage with every gate replaced by its all-high-Vt/all-thick
-    fallback — the 100 % delay-penalty reference of Figure 5.  The
-    breakdown reports the total only ([isub]/[igate] are 0). *)
+(** Leakage of one vector with every gate replaced by its
+    all-high-Vt/all-thick fallback.  The breakdown reports the total
+    only ([isub]/[igate] are 0). *)

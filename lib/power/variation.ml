@@ -43,7 +43,9 @@ let monte_carlo ?(samples = 2000) ?(sigma_vt = 0.020) ~seed lib net assignment =
           (fun acc (isub, igate) -> acc +. (isub *. exp (log_sigma *. gaussian rng)) +. igate)
           0.0 components)
   in
-  Array.sort compare totals;
+  (* Float.compare, not polymorphic compare: NaN-safe total order and
+     no generic-comparison dispatch on a hot million-sample sort. *)
+  Array.sort Float.compare totals;
   let stats = Standby_util.Stats.create () in
   Array.iter (Standby_util.Stats.add stats) totals;
   let p95_index = min (samples - 1) (int_of_float (ceil (0.95 *. float_of_int samples)) - 1) in

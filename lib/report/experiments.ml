@@ -14,13 +14,19 @@ module Gate_tree = Standby_opt.Gate_tree
 module Search_stats = Standby_opt.Search_stats
 module Benchmarks = Standby_circuits.Benchmarks
 
-type config = { vectors : int; heu2_limit_s : float; suite : string list; seed : int }
+type config = {
+  vectors : int;
+  heu2_limit_s : float;
+  suite : string list;
+  seed : int;
+  jobs : int;
+}
 
 let default_config =
-  { vectors = 10_000; heu2_limit_s = 2.0; suite = Benchmarks.names; seed = 0x5eed }
+  { vectors = 10_000; heu2_limit_s = 2.0; suite = Benchmarks.names; seed = 0x5eed; jobs = 1 }
 
 let quick_config =
-  { vectors = 500; heu2_limit_s = 0.2; suite = Benchmarks.small_suite; seed = 0x5eed }
+  { vectors = 500; heu2_limit_s = 0.2; suite = Benchmarks.small_suite; seed = 0x5eed; jobs = 1 }
 
 type t = {
   cfg : config;
@@ -70,8 +76,8 @@ let average t name =
   | Some b -> b
   | None ->
     let b =
-      Baselines.random_average ~vectors:t.cfg.vectors ~seed:t.cfg.seed (library t)
-        (circuit t name)
+      Baselines.random_average ~vectors:t.cfg.vectors ~seed:t.cfg.seed ~jobs:t.cfg.jobs
+        (library t) (circuit t name)
     in
     Hashtbl.replace t.averages name b;
     b

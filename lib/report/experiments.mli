@@ -11,6 +11,10 @@ type config = {
   heu2_limit_s : float;  (** Heuristic 2 time budget per run. *)
   suite : string list;  (** Benchmark names (subset of {!Standby_circuits.Benchmarks.names}). *)
   seed : int;  (** Seed for the random-vector reference. *)
+  jobs : int;
+      (** Worker domains for the packed random-vector baseline (the
+          result is identical for any value; see
+          {!Standby_power.Evaluate.random_vector_average}). *)
 }
 
 val default_config : config

@@ -1,14 +1,36 @@
 module Netlist = Standby_netlist.Netlist
 module Gate_kind = Standby_netlist.Gate_kind
 
+(* Two-valued evaluation of one gate straight out of the node-value
+   array — no per-gate input array is materialized, so a full [eval]
+   pass allocates nothing beyond its result. *)
+let eval_gate (values : bool array) kind (fanin : int array) =
+  match kind with
+  | Gate_kind.Inv -> not values.(fanin.(0))
+  | Gate_kind.Nand2 -> not (values.(fanin.(0)) && values.(fanin.(1)))
+  | Gate_kind.Nand3 ->
+    not (values.(fanin.(0)) && values.(fanin.(1)) && values.(fanin.(2)))
+  | Gate_kind.Nand4 ->
+    not
+      (values.(fanin.(0)) && values.(fanin.(1)) && values.(fanin.(2))
+       && values.(fanin.(3)))
+  | Gate_kind.Nor2 -> not (values.(fanin.(0)) || values.(fanin.(1)))
+  | Gate_kind.Nor3 ->
+    not (values.(fanin.(0)) || values.(fanin.(1)) || values.(fanin.(2)))
+  | Gate_kind.Nor4 ->
+    not
+      (values.(fanin.(0)) || values.(fanin.(1)) || values.(fanin.(2))
+       || values.(fanin.(3)))
+  | Gate_kind.Aoi21 -> not ((values.(fanin.(0)) && values.(fanin.(1))) || values.(fanin.(2)))
+  | Gate_kind.Oai21 -> not ((values.(fanin.(0)) || values.(fanin.(1))) && values.(fanin.(2)))
+
 let eval net input_values =
   let input_ids = Netlist.inputs net in
   if Array.length input_values <> Array.length input_ids then
     invalid_arg "Simulator.eval: input count mismatch";
   let values = Array.make (Netlist.node_count net) false in
   Array.iteri (fun i id -> values.(id) <- input_values.(i)) input_ids;
-  Netlist.iter_gates net (fun id kind fanin ->
-      values.(id) <- Gate_kind.eval kind (Array.map (fun src -> values.(src)) fanin));
+  Netlist.iter_gates net (fun id kind fanin -> values.(id) <- eval_gate values kind fanin);
   values
 
 (* Three-valued evaluation of one gate from a value array — the

@@ -5,8 +5,13 @@
 
 val eval : Standby_netlist.Netlist.t -> bool array -> bool array
 (** [eval net input_values] — inputs in primary-input declaration order.
-    Returns a value per node id.
+    Returns a value per node id.  Allocation-free beyond the result
+    array; the scalar oracle {!Bitsim} is validated against.
     @raise Invalid_argument on an input-count mismatch. *)
+
+val eval_gate : bool array -> Standby_netlist.Gate_kind.t -> int array -> bool
+(** [eval_gate values kind fanin] — two-valued value of one gate read
+    straight out of a node-value array.  Allocation-free. *)
 
 val eval_partial : Standby_netlist.Netlist.t -> Logic.trit array -> Logic.trit array
 (** Three-valued counterpart for partial input assignments. *)

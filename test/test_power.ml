@@ -7,15 +7,13 @@ module Version = Standby_cells.Version
 module Library = Standby_cells.Library
 module Assignment = Standby_power.Assignment
 module Evaluate = Standby_power.Evaluate
-module Prng = Standby_util.Prng
+module Bitsim = Standby_sim.Bitsim
 
 let check = Alcotest.check
 
 let lib = Library.build Process.default
 
 let random_circuit seed = Standby_circuits.Random_logic.generate ~seed ~inputs:8 ~gates:40 ()
-
-let random_vector rng n = Array.init n (fun _ -> Prng.bool rng)
 
 let test_all_fast_consistency =
   QCheck.Test.make ~count:40 ~name:"all_fast assignment evaluates like fast_vector"
@@ -60,19 +58,67 @@ let test_random_average_deterministic () =
     (abs_float (a.Evaluate.total -. c.Evaluate.total) > 0.0)
 
 let test_random_average_within_state_bounds () =
-  (* The average over vectors must sit between the best and worst single
-     vector observed. *)
+  (* The average must sit between the best and worst vector of the exact
+     set it averaged — re-derived lane by lane from the packed engine's
+     canonical (seed, block) streams. *)
   let net = random_circuit 6 in
-  let avg = (Evaluate.random_vector_average ~vectors:200 ~seed:7 lib net).Evaluate.total in
-  let rng = Prng.create ~seed:7 in
+  let vectors = 200 in
+  let avg = (Evaluate.random_vector_average ~vectors ~seed:7 lib net).Evaluate.total in
+  let bsim = Bitsim.create net in
   let lo = ref infinity and hi = ref neg_infinity in
-  for _ = 1 to 200 do
-    let v = random_vector rng 8 in
-    let t = (Evaluate.fast_vector lib net v).Evaluate.total in
-    lo := min !lo t;
-    hi := max !hi t
+  for block = 0 to Bitsim.block_count ~vectors - 1 do
+    Bitsim.load_block bsim ~seed:7 ~block;
+    for lane = 0 to Bitsim.lanes_in_block ~vectors ~block - 1 do
+      let t = (Evaluate.fast_vector lib net (Bitsim.lane_vector bsim ~lane)).Evaluate.total in
+      lo := min !lo t;
+      hi := max !hi t
+    done
   done;
   check Alcotest.bool "avg within [min,max]" true (avg >= !lo && avg <= !hi)
+
+(* ------------------------- Packed vs scalar ------------------------ *)
+
+let close_rel x y = abs_float (x -. y) <= 1e-18 +. (1e-9 *. abs_float y)
+
+let test_packed_matches_scalar_oracle =
+  (* The acceptance property of the packed engine: same vector set as the
+     scalar oracle, totals within float-reassociation noise.  The vector
+     count ranges over partial, exact and multi-block geometries. *)
+  QCheck.Test.make ~count:20 ~name:"packed average equals scalar oracle within 1e-9"
+    QCheck.(make Gen.(pair (int_range 0 300) (int_range 1 200)))
+    (fun (seed, vectors) ->
+      let net = random_circuit seed in
+      let p = Evaluate.random_vector_average ~vectors ~seed:11 lib net in
+      let s = Evaluate.random_vector_average_scalar ~vectors ~seed:11 lib net in
+      close_rel p.Evaluate.total s.Evaluate.total
+      && close_rel p.Evaluate.isub s.Evaluate.isub
+      && close_rel p.Evaluate.igate s.Evaluate.igate)
+
+let test_packed_partial_tail_block () =
+  (* 100 vectors = one full 63-lane block plus a 37-lane tail whose
+     garbage lanes must be masked out of the histograms. *)
+  let net = random_circuit 12 in
+  let p = Evaluate.random_vector_average ~vectors:100 ~seed:3 lib net in
+  let s = Evaluate.random_vector_average_scalar ~vectors:100 ~seed:3 lib net in
+  check Alcotest.bool "tail lanes masked" true (close_rel p.Evaluate.total s.Evaluate.total)
+
+let test_packed_jobs_deterministic () =
+  let net = random_circuit 13 in
+  let a = Evaluate.random_vector_average ~vectors:500 ~jobs:1 ~seed:9 lib net in
+  let b = Evaluate.random_vector_average ~vectors:500 ~jobs:4 ~seed:9 lib net in
+  check Alcotest.bool "jobs=1 and jobs=4 bit-identical" true
+    (a.Evaluate.total = b.Evaluate.total
+    && a.Evaluate.isub = b.Evaluate.isub
+    && a.Evaluate.igate = b.Evaluate.igate)
+
+let test_slowest_average_below_fast () =
+  let net = random_circuit 14 in
+  let slow = Evaluate.slowest_random_average ~vectors:200 ~seed:5 lib net in
+  let fast = Evaluate.random_vector_average ~vectors:200 ~seed:5 lib net in
+  check Alcotest.bool "all-slow average leaks less" true
+    (slow.Evaluate.total < fast.Evaluate.total);
+  check (Alcotest.float 0.0) "isub reported as zero" 0.0 slow.Evaluate.isub;
+  check (Alcotest.float 0.0) "igate reported as zero" 0.0 slow.Evaluate.igate
 
 let test_slowest_vector_below_fast =
   QCheck.Test.make ~count:30 ~name:"all-slow cells leak less than fast cells"
@@ -232,6 +278,13 @@ let () =
           quick "average within bounds" test_random_average_within_state_bounds;
           QCheck_alcotest.to_alcotest test_slowest_vector_below_fast;
           quick "min options beat fast" test_min_choice_reduces_leakage;
+        ] );
+      ( "packed-engine",
+        [
+          QCheck_alcotest.to_alcotest test_packed_matches_scalar_oracle;
+          quick "partial tail block" test_packed_partial_tail_block;
+          quick "jobs determinism" test_packed_jobs_deterministic;
+          quick "slowest average" test_slowest_average_below_fast;
         ] );
       ( "overhead",
         [

@@ -81,6 +81,7 @@ let tiny_config =
     Experiments.heu2_limit_s = 0.05;
     Experiments.suite = [ "c432" ];
     Experiments.seed = 1;
+    Experiments.jobs = 1;
   }
 
 let context = lazy (Experiments.create ~config:tiny_config ())

@@ -239,6 +239,118 @@ let test_output_vector () =
     (fun i o -> check Alcotest.bool "output matches values" values.(o) out.(i))
     (Netlist.outputs net)
 
+(* ----------------------------- Bitsim ----------------------------- *)
+
+module Bitsim = Standby_sim.Bitsim
+
+let test_popcount () =
+  check Alcotest.int "zero" 0 (Bitsim.popcount 0);
+  check Alcotest.int "one" 1 (Bitsim.popcount 1);
+  check Alcotest.int "sign bit counts" 63 (Bitsim.popcount (-1));
+  check Alcotest.int "alternating" 31 (Bitsim.popcount (max_int land 0x2AAAAAAAAAAAAAAA));
+  let naive x =
+    let n = ref 0 in
+    for b = 0 to 62 do
+      if (x lsr b) land 1 = 1 then incr n
+    done;
+    !n
+  in
+  let rng = Prng.create ~seed:11 in
+  for _ = 1 to 1000 do
+    let x = Int64.to_int (Prng.next_int64 rng) in
+    check Alcotest.int "matches naive" (naive x) (Bitsim.popcount x)
+  done
+
+let test_block_geometry () =
+  check Alcotest.int "lanes" 63 Bitsim.lanes;
+  check Alcotest.int "one block" 1 (Bitsim.block_count ~vectors:63);
+  check Alcotest.int "partial tail" 2 (Bitsim.block_count ~vectors:64);
+  check Alcotest.int "full block lanes" 63 (Bitsim.lanes_in_block ~vectors:126 ~block:0);
+  check Alcotest.int "tail lanes" 1 (Bitsim.lanes_in_block ~vectors:64 ~block:1);
+  check Alcotest.int "full mask" (-1) (Bitsim.lane_mask ~lanes:63);
+  check Alcotest.int "partial mask" 7 (Bitsim.lane_mask ~lanes:3);
+  Alcotest.check_raises "vectors must be positive"
+    (Invalid_argument "Bitsim.block_count: vectors must be positive") (fun () ->
+      ignore (Bitsim.block_count ~vectors:0))
+
+(* The packed engine's lanes must be exactly the scalar simulator's
+   results on the lane's own input vector — the central correctness
+   property of the whole bit-parallel path. *)
+let lanes_match_scalar net seed block =
+  let bsim = Bitsim.create net in
+  Bitsim.load_block bsim ~seed ~block;
+  Bitsim.eval bsim;
+  let ok = ref true in
+  for lane = 0 to Bitsim.lanes - 1 do
+    let scalar = Simulator.eval net (Bitsim.lane_vector bsim ~lane) in
+    if not (Array.for_all2 ( = ) scalar (Bitsim.lane_values bsim ~lane)) then ok := false
+  done;
+  !ok
+
+let test_bitsim_matches_scalar_random =
+  QCheck.Test.make ~count:50 ~name:"bitsim lanes equal scalar eval (random netlists)"
+    QCheck.(make Gen.(pair (int_range 0 1000) (int_range 0 50)))
+    (fun (seed, block) -> lanes_match_scalar (random_circuit seed) 0x5eed block)
+
+let test_bitsim_matches_scalar_iscas () =
+  List.iter
+    (fun name ->
+      check Alcotest.bool name true
+        (lanes_match_scalar (Standby_circuits.Benchmarks.circuit name) 0x5eed 0))
+    Standby_circuits.Benchmarks.names
+
+let test_bitsim_state_counts =
+  (* iter_state_counts histograms vs a scalar per-lane gate_states walk,
+     including partial final lanes. *)
+  QCheck.Test.make ~count:50 ~name:"state counts equal scalar histogram"
+    QCheck.(make Gen.(triple (int_range 0 1000) (int_range 0 20) (int_range 1 63)))
+    (fun (seed, block, valid) ->
+      let net = random_circuit seed in
+      let bsim = Bitsim.create net in
+      Bitsim.load_block bsim ~seed:7 ~block;
+      Bitsim.eval bsim;
+      (* Scalar reference: histogram of gate states over the valid lanes. *)
+      let expected = Hashtbl.create 64 in
+      for lane = 0 to valid - 1 do
+        let values = Simulator.eval net (Bitsim.lane_vector bsim ~lane) in
+        let states = Simulator.gate_states net values in
+        Netlist.iter_gates net (fun id _ _ ->
+            let key = (id, states.(id)) in
+            Hashtbl.replace expected key
+              (1 + Option.value ~default:0 (Hashtbl.find_opt expected key)))
+      done;
+      let ok = ref true in
+      Bitsim.iter_state_counts bsim ~lanes:valid (fun id kind counts ->
+          for s = 0 to Gate_kind.state_count kind - 1 do
+            let want = Option.value ~default:0 (Hashtbl.find_opt expected (id, s)) in
+            if counts.(s) <> want then ok := false
+          done);
+      !ok)
+
+let test_bitsim_deterministic_load () =
+  (* Lanes are a pure function of (seed, block): reloading reproduces the
+     input words, and different blocks differ. *)
+  let net = random_circuit 5 in
+  let bsim = Bitsim.create net in
+  Bitsim.load_block bsim ~seed:42 ~block:3;
+  let w0 = Array.init (Netlist.input_count net) (Bitsim.input_word bsim) in
+  Bitsim.load_block bsim ~seed:42 ~block:4;
+  let w1 = Array.init (Netlist.input_count net) (Bitsim.input_word bsim) in
+  Bitsim.load_block bsim ~seed:42 ~block:3;
+  let w2 = Array.init (Netlist.input_count net) (Bitsim.input_word bsim) in
+  check Alcotest.bool "reload reproduces" true (w0 = w2);
+  check Alcotest.bool "blocks differ" true (w0 <> w1)
+
+let test_bitsim_words_evaluated () =
+  let net = random_circuit 2 in
+  let bsim = Bitsim.create net in
+  check Alcotest.int "starts at zero" 0 (Bitsim.words_evaluated bsim);
+  Bitsim.load_block bsim ~seed:1 ~block:0;
+  Bitsim.eval bsim;
+  Bitsim.eval bsim;
+  check Alcotest.int "counts gate words" (2 * Netlist.gate_count net)
+    (Bitsim.words_evaluated bsim)
+
 let () =
   let quick name f = Alcotest.test_case name `Quick f in
   Alcotest.run "standby_sim"
@@ -265,5 +377,15 @@ let () =
           QCheck_alcotest.to_alcotest test_workspace_full_assignment_matches_eval;
           quick "on_touch covers changes" test_workspace_touch_covers_changes;
           quick "rejects misuse" test_workspace_rejects_misuse;
+        ] );
+      ( "bitsim",
+        [
+          quick "popcount" test_popcount;
+          quick "block geometry" test_block_geometry;
+          QCheck_alcotest.to_alcotest test_bitsim_matches_scalar_random;
+          quick "lanes match scalar on ISCAS" test_bitsim_matches_scalar_iscas;
+          QCheck_alcotest.to_alcotest test_bitsim_state_counts;
+          quick "deterministic load" test_bitsim_deterministic_load;
+          quick "words evaluated" test_bitsim_words_evaluated;
         ] );
     ]
