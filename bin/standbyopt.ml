@@ -5,6 +5,8 @@
      optimize   run a method on a benchmark or .bench netlist
      baseline   packed random-vector leakage baselines (63 vectors/word)
      batch      run a manifest of jobs on a domain pool with a result cache
+     serve      long-running optimization daemon (standbyd)
+     submit     send optimization requests to a running daemon
      report     regenerate the paper's tables and figures
      library    inspect the characterized cell library
      circuits   list the built-in benchmark suite
@@ -40,6 +42,10 @@ module Telemetry = Standby_telemetry.Telemetry
 module Metrics = Standby_telemetry.Metrics
 module Trace = Standby_telemetry.Trace
 module Trace_view = Standby_report.Trace_view
+module Json = Standby_telemetry.Json
+module Server = Standby_server.Server
+module Client = Standby_server.Client
+module Wire = Standby_server.Protocol
 
 (* ------------------------------------------------------------------ *)
 (* Telemetry flags — shared by the commands that run the optimizer      *)
@@ -384,6 +390,14 @@ let no_cache_arg =
   let doc = "Disable the persistent result cache for this run." in
   Arg.(value & flag & info [ "no-cache" ] ~doc)
 
+let cache_max_arg =
+  let doc =
+    "Cap the result cache at N entries; every write past the cap evicts \
+     least-recently-used entries (counted on cache.evictions).  Unset, the cache grows \
+     without bound."
+  in
+  Arg.(value & opt (some int) None & info [ "cache-max-entries" ] ~docv:"N" ~doc)
+
 let csv_arg =
   let doc = "Also write the per-job results as CSV." in
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
@@ -395,7 +409,7 @@ let quiet_arg =
   in
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
 
-let run_batch telemetry manifest workers cache_dir no_cache csv quiet =
+let run_batch telemetry manifest workers cache_dir no_cache cache_max csv quiet =
   install_telemetry ~quiet telemetry;
   match Manifest.load_file manifest with
   | Error msg ->
@@ -406,7 +420,7 @@ let run_batch telemetry manifest workers cache_dir no_cache csv quiet =
       if no_cache then Ok None
       else
         let dir = Option.value cache_dir ~default:(Result_store.default_dir ()) in
-        match Result_store.create ~dir with
+        match Result_store.create ?max_entries:cache_max ~dir () with
         | store -> Ok (Some store)
         | exception Sys_error msg -> Error msg
     with
@@ -436,7 +450,264 @@ let batch_cmd =
   Cmd.v info
     Term.(
       const run_batch $ telemetry_term $ manifest_arg $ workers_arg $ cache_dir_arg
-      $ no_cache_arg $ csv_arg $ quiet_arg)
+      $ no_cache_arg $ cache_max_arg $ csv_arg $ quiet_arg)
+
+(* ------------------------------------------------------------------ *)
+(* serve / submit                                                       *)
+
+let address_conv =
+  Arg.conv
+    ( (fun s -> Result.map_error (fun msg -> `Msg msg) (Wire.address_of_string s)),
+      fun fmt a -> Format.pp_print_string fmt (Wire.address_to_string a) )
+
+let listen_arg =
+  let doc =
+    "Listen address: unix:PATH, HOST:PORT, or a bare path (taken as a Unix socket)."
+  in
+  Arg.(
+    value
+    & opt address_conv (Wire.Unix_socket "standbyopt.sock")
+    & info [ "l"; "listen" ] ~docv:"ADDR" ~doc)
+
+let capacity_arg =
+  let doc =
+    "Admission-queue capacity: at most N optimize requests in flight; further requests \
+     are rejected with a retry-after hint."
+  in
+  Arg.(value & opt int 64 & info [ "capacity" ] ~docv:"N" ~doc)
+
+let make_store cache_dir no_cache cache_max =
+  if no_cache then Ok None
+  else
+    let dir = Option.value cache_dir ~default:(Result_store.default_dir ()) in
+    match Result_store.create ?max_entries:cache_max ~dir () with
+    | store -> Ok (Some store)
+    | exception Sys_error msg -> Error msg
+
+let run_serve telemetry listen capacity workers cache_dir no_cache cache_max =
+  install_telemetry telemetry;
+  match make_store cache_dir no_cache cache_max with
+  | Error msg ->
+    Log.err "%s" msg;
+    1
+  | Ok store -> (
+    let config =
+      { (Server.default_config listen) with Server.capacity; workers; store }
+    in
+    match Server.create config with
+    | Error msg ->
+      Log.err "%s" msg;
+      1
+    | Ok server ->
+      Server.install_signal_handlers server;
+      Server.run server;
+      0)
+
+let serve_cmd =
+  let info =
+    Cmd.info "serve"
+      ~doc:
+        "Run standbyd: a daemon answering optimization requests over newline-delimited \
+         JSON, with bounded admission, per-request deadlines and graceful SIGTERM drain"
+  in
+  Cmd.v info
+    Term.(
+      const run_serve $ telemetry_term $ listen_arg $ capacity_arg $ workers_arg
+      $ cache_dir_arg $ no_cache_arg $ cache_max_arg)
+
+let connect_arg =
+  let doc = "Daemon address: unix:PATH, HOST:PORT, or a bare Unix-socket path." in
+  Arg.(
+    value
+    & opt address_conv (Wire.Unix_socket "standbyopt.sock")
+    & info [ "s"; "connect" ] ~docv:"ADDR" ~doc)
+
+let submit_circuits_arg =
+  let doc = "Built-in benchmark to submit (repeatable)." in
+  Arg.(value & opt_all string [] & info [ "c"; "circuit" ] ~docv:"NAME" ~doc)
+
+let submit_files_arg =
+  let doc =
+    "Netlist file to submit (repeatable; .bench or gate-level .v).  The netlist is \
+     parsed locally and shipped inline — the daemon never reads this filesystem."
+  in
+  Arg.(value & opt_all file [] & info [ "f"; "file" ] ~docv:"FILE" ~doc)
+
+let deadline_arg =
+  let doc =
+    "Per-request wall-clock deadline; a blown deadline returns the best incumbent \
+     marked degraded."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+
+let status_flag_arg =
+  let doc = "Also request the daemon's admission/liveness snapshot." in
+  Arg.(value & flag & info [ "status" ] ~doc)
+
+let metrics_flag_arg =
+  let doc = "Also scrape the daemon's metrics (Prometheus text)." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+(* submit is a thin client — its --metrics scrapes the daemon, so it
+   takes a telemetry term without the registry-file option. *)
+let client_telemetry_term =
+  let combine level trace = { level; trace; metrics = None } in
+  Term.(const combine $ log_level_arg $ trace_file_arg)
+
+let json_flag_arg =
+  let doc = "Print raw JSON response records instead of the human-readable rendering." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+(* Build the optimize requests: built-in circuits by name, files parsed
+   locally and re-rendered as canonical .bench text. *)
+let submit_requests circuits files mode method_ penalty deadline_s =
+  let of_file path =
+    Result.map
+      (fun net ->
+        Wire.Bench
+          { name = Filename.remove_extension (Filename.basename path);
+            text = Bench_io.to_string net })
+      (read_netlist_file path)
+  in
+  let rec sources acc = function
+    | [] -> Ok (List.rev acc)
+    | path :: rest -> (
+      match of_file path with
+      | Ok s -> sources (s :: acc) rest
+      | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+  in
+  Result.map
+    (fun file_sources ->
+      let all = List.map (fun c -> Wire.Circuit c) circuits @ file_sources in
+      List.mapi
+        (fun i source ->
+          let name =
+            match source with Wire.Circuit c -> c | Wire.Bench { name; _ } -> name
+          in
+          Wire.Optimize
+            {
+              Wire.id = Printf.sprintf "%s#%d" name i;
+              source;
+              mode;
+              method_;
+              penalty;
+              deadline_s;
+            })
+        all)
+    (sources [] files)
+
+let print_status (s : Wire.status_payload) =
+  Printf.printf "draining       %b\n" s.Wire.draining;
+  Printf.printf "accepted       %d\n" s.Wire.accepted;
+  Printf.printf "rejected       %d\n" s.Wire.rejected;
+  Printf.printf "in flight      %d / %d\n" s.Wire.in_flight s.Wire.capacity;
+  Printf.printf "workers        %d\n" s.Wire.workers;
+  Printf.printf "uptime         %.1f s\n" s.Wire.uptime_s
+
+let print_result (p : Wire.result_payload) =
+  Printf.printf "%-12s %-9s %-18s leak %10.4f uA  delay %6.2f / %6.2f  %6.2f s\n"
+    p.Wire.id p.Wire.status p.Wire.method_name
+    (p.Wire.leakage_a *. 1e6)
+    p.Wire.delay p.Wire.budget p.Wire.wall_s
+
+(* Returns true when the response is a success. *)
+let render_response ~json response =
+  if json then begin
+    print_endline (Json.to_string (Wire.response_to_json response));
+    match response with
+    | Wire.Result _ | Wire.Status_reply _ | Wire.Metrics_reply _ -> true
+    | Wire.Rejected _ | Wire.Error_response _ -> false
+  end
+  else
+    match response with
+    | Wire.Result p ->
+      print_result p;
+      true
+    | Wire.Status_reply s ->
+      print_status s;
+      true
+    | Wire.Metrics_reply { body; _ } ->
+      print_string body;
+      true
+    | Wire.Rejected { id; reason; retry_after_s } ->
+      Printf.eprintf "%s: rejected (%s), retry after %.1f s\n" id reason retry_after_s;
+      false
+    | Wire.Error_response { id; message } ->
+      Printf.eprintf "%s: error: %s\n" (Option.value id ~default:"-") message;
+      false
+
+let run_submit telemetry connect circuits files mode method_ heu2_limit penalty deadline
+    status metrics json =
+  install_telemetry telemetry;
+  let m =
+    match method_ with
+    | `Heu1 -> Optimizer.Heuristic_1
+    | `Heu2 -> Optimizer.Heuristic_2 { time_limit_s = heu2_limit }
+    | `Hill_climb -> Optimizer.Hill_climb { time_limit_s = heu2_limit; max_rounds = 8 }
+    | `Exact -> Optimizer.Exact
+  in
+  match submit_requests circuits files mode m penalty deadline with
+  | Error msg ->
+    Log.err "%s" msg;
+    1
+  | Ok optimizes -> (
+    let requests =
+      optimizes
+      @ (if status then [ Wire.Status ] else [])
+      @ if metrics then [ Wire.Metrics ] else []
+    in
+    if requests = [] then begin
+      Log.err "nothing to submit: pass --circuit, --file, --status or --metrics";
+      1
+    end
+    else
+      match Client.connect connect with
+      | Error msg ->
+        Log.err "%s" msg;
+        1
+      | Ok client ->
+        Fun.protect
+          ~finally:(fun () -> Client.close client)
+          (fun () ->
+            (* Pipeline every request on the one connection, then drain
+               the same number of responses (they arrive in completion
+               order, each tagged with its request id). *)
+            let rec send_all = function
+              | [] -> Ok ()
+              | r :: rest -> Result.bind (Client.send client r) (fun () -> send_all rest)
+            in
+            match send_all requests with
+            | Error msg ->
+              Log.err "send failed: %s" msg;
+              1
+            | Ok () ->
+              let failures = ref 0 in
+              let rec drain n =
+                if n = 0 then ()
+                else
+                  match Client.recv client with
+                  | Error msg ->
+                    Log.err "recv failed: %s" msg;
+                    failures := !failures + n
+                  | Ok response ->
+                    if not (render_response ~json response) then incr failures;
+                    drain (n - 1)
+              in
+              drain (List.length requests);
+              if !failures > 0 then 1 else 0))
+
+let submit_cmd =
+  let info =
+    Cmd.info "submit"
+      ~doc:
+        "Submit optimization requests to a running standbyd daemon (pipelined on one \
+         connection), or scrape its status and metrics"
+  in
+  Cmd.v info
+    Term.(
+      const run_submit $ client_telemetry_term $ connect_arg $ submit_circuits_arg
+      $ submit_files_arg $ mode_arg $ method_arg $ heu2_limit_arg $ penalty_arg
+      $ deadline_arg $ status_flag_arg $ metrics_flag_arg $ json_flag_arg)
 
 (* ------------------------------------------------------------------ *)
 (* report                                                               *)
@@ -662,8 +933,9 @@ let main_cmd =
   let info = Cmd.info "standbyopt" ~version:"1.0.0" ~doc in
   Cmd.group info
     [
-      optimize_cmd; baseline_cmd; batch_cmd; report_cmd; library_cmd; circuits_cmd;
-      export_cmd; analyze_cmd; export_lib_cmd; export_process_cmd; trace_cmd;
+      optimize_cmd; baseline_cmd; batch_cmd; serve_cmd; submit_cmd; report_cmd;
+      library_cmd; circuits_cmd; export_cmd; analyze_cmd; export_lib_cmd;
+      export_process_cmd; trace_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -58,7 +58,7 @@ type result = {
   degraded : bool;
 }
 
-let run ?config ?deadline_s ?on_incumbent ?(jobs = 1) lib net ~penalty method_ =
+let run ?config ?deadline_s ?interrupt ?on_incumbent ?(jobs = 1) lib net ~penalty method_ =
   if penalty < 0.0 then invalid_arg "Optimizer.run: negative delay penalty";
   if jobs < 1 then invalid_arg "Optimizer.run: jobs must be at least 1";
  Telemetry.span "optimizer.run"
@@ -91,15 +91,21 @@ let run ?config ?deadline_s ?on_incumbent ?(jobs = 1) lib net ~penalty method_ =
     (* Parallel subtree search pays off when the whole tree is walked;
        a single bound-guided descent (Heuristic 1) stays sequential. *)
     if jobs > 1 && max_leaves = None then
-      State_tree.search_parallel ?config ?on_incumbent ~jobs ~stats
+      State_tree.search_parallel ?config ?on_incumbent ?interrupt ~jobs ~stats
         ~timer:(with_deadline timer) ~max_leaves ~exact_gate_tree bound lib sta
     else
-      State_tree.search ?config ?on_incumbent ~stats ~timer:(with_deadline timer)
+      State_tree.search ?config ?on_incumbent ?interrupt ~stats ~timer:(with_deadline timer)
         ~max_leaves ~exact_gate_tree bound lib sta
   in
-  (* Degraded = the external deadline (not the method's own stopping
-     rule) is what cut the search. *)
+  (* Degraded = something external — the deadline or the caller's
+     [interrupt] — cut the search short of the method's own stopping
+     rule. *)
+  let interrupted =
+    outcome.State_tree.stop_reason = State_tree.Interrupted && interrupt <> None
+  in
   let degraded =
+    interrupted
+    ||
     match (deadline, outcome.State_tree.stop_reason) with
     | Some d, (State_tree.Timed_out | State_tree.Interrupted) -> Timer.expired d
     | _ -> false
@@ -107,10 +113,12 @@ let run ?config ?deadline_s ?on_incumbent ?(jobs = 1) lib net ~penalty method_ =
   let leaf = outcome.State_tree.best in
   let leaf =
     match method_ with
-    | Hill_climb { time_limit_s; max_rounds } ->
+    (* A cancelled run skips refinement: the caller asked for the search
+       to stop, not for up to [time_limit_s] more hill climbing. *)
+    | Hill_climb { time_limit_s; max_rounds } when not interrupted ->
       let refine_timer = with_deadline (Timer.start ~limit_s:time_limit_s) in
       Refine.hill_climb ~max_rounds ~stats ~timer:refine_timer lib sta ~start:leaf
-    | Heuristic_1 | Heuristic_2 _ | Exact -> leaf
+    | Hill_climb _ | Heuristic_1 | Heuristic_2 _ | Exact -> leaf
   in
   let assignment =
     Assignment.of_choices lib net ~vector:leaf.State_tree.vector

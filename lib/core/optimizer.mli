@@ -42,6 +42,7 @@ type result = {
 val run :
   ?config:State_tree.config ->
   ?deadline_s:float ->
+  ?interrupt:(unit -> bool) ->
   ?on_incumbent:(State_tree.leaf -> unit) ->
   ?jobs:int ->
   Standby_cells.Library.t ->
@@ -60,6 +61,12 @@ val run :
     least one full descent always completes, so even a zero deadline
     yields a valid, delay-feasible assignment.  [on_incumbent] is
     forwarded to {!State_tree.search}.
+
+    [interrupt] is polled cooperatively at every search node for
+    external cancellation (e.g. a serving client that disconnected).  A
+    true poll stops the search after the current descent; the result is
+    marked {!field-degraded} and the hill-climbing refinement step is
+    skipped.  Must be safe to call from any domain when [jobs > 1].
 
     [jobs] (default 1) runs the state search on that many worker domains
     via {!State_tree.search_parallel}.  It only applies to methods that

@@ -1,0 +1,58 @@
+module Json = Standby_telemetry.Json
+
+type t = {
+  fd : Unix.file_descr;
+  reader : Protocol.Frame.reader;
+  mutable closed : bool;
+}
+
+let connect ?max_frame_bytes address =
+  let sockaddr, domain =
+    match address with
+    | Protocol.Unix_socket path -> (Unix.ADDR_UNIX path, Unix.PF_UNIX)
+    | Protocol.Tcp (host, port) -> (
+      match
+        try Some (Unix.inet_addr_of_string host)
+        with Failure _ -> (
+          match Unix.gethostbyname host with
+          | { Unix.h_addr_list = [||]; _ } -> None
+          | entry -> Some entry.Unix.h_addr_list.(0)
+          | exception Not_found -> None)
+      with
+      | Some addr -> (Unix.ADDR_INET (addr, port), Unix.PF_INET)
+      | None -> (Unix.ADDR_UNIX "", Unix.PF_UNIX) (* unreachable marker below *))
+  in
+  match sockaddr with
+  | Unix.ADDR_UNIX "" -> Error (Printf.sprintf "cannot resolve %s" (Protocol.address_to_string address))
+  | _ -> (
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd sockaddr with
+    | () -> Ok { fd; reader = Protocol.Frame.reader ?max_bytes:max_frame_bytes fd; closed = false }
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "cannot connect to %s: %s"
+           (Protocol.address_to_string address)
+           (Unix.error_message e)))
+
+let send t request =
+  if t.closed then Error "client is closed"
+  else Protocol.Frame.write t.fd (Json.to_string (Protocol.request_to_json request))
+
+let recv t =
+  if t.closed then Error "client is closed"
+  else
+    match Protocol.Frame.read t.reader with
+    | Ok line -> Result.bind (Json.of_string line) Protocol.response_of_json
+    | Error `Eof -> Error "connection closed by server"
+    | Error `Oversized -> Error "oversized response frame"
+    | Error (`Error msg) -> Error msg
+
+let rpc t request = Result.bind (send t request) (fun () -> recv t)
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end

@@ -1,0 +1,22 @@
+(** A blocking standbyd client: one connection, pipelined requests.
+
+    Thin by design — the CLI [submit] subcommand and the test suites
+    drive it; requests go out in call order, and responses come back in
+    the order the daemon finishes them (match them up by [id]). *)
+
+type t
+
+val connect : ?max_frame_bytes:int -> Protocol.address -> (t, string) result
+
+val send : t -> Protocol.request -> (unit, string) result
+
+val recv : t -> (Protocol.response, string) result
+(** Next response frame.  Protocol-level errors (a malformed or
+    unversioned frame from the peer) are [Error]; a clean peer close is
+    [Error "connection closed by server"]. *)
+
+val rpc : t -> Protocol.request -> (Protocol.response, string) result
+(** [send] then [recv] — only safe when nothing else is pipelined. *)
+
+val close : t -> unit
+(** Idempotent. *)

@@ -1,0 +1,441 @@
+module Json = Standby_telemetry.Json
+module Version = Standby_cells.Version
+module Optimizer = Standby_opt.Optimizer
+module Manifest = Standby_service.Manifest
+
+let version = 1
+
+(* ------------------------------------------------------------------ *)
+(* Addresses                                                            *)
+
+type address = Unix_socket of string | Tcp of string * int
+
+let address_of_string s =
+  if s = "" then Error "empty address"
+  else
+    match String.index_opt s ':' with
+    | None -> Ok (Unix_socket s)
+    | Some i when String.sub s 0 i = "unix" ->
+      let path = String.sub s (i + 1) (String.length s - i - 1) in
+      if path = "" then Error "unix: address needs a socket path" else Ok (Unix_socket path)
+    | Some i -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p > 0 && p < 65536 && host <> "" -> Ok (Tcp (host, p))
+      | _ -> Error (Printf.sprintf "malformed TCP address %S (want HOST:PORT)" s))
+
+let address_to_string = function
+  | Unix_socket path -> "unix:" ^ path
+  | Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+
+(* ------------------------------------------------------------------ *)
+(* Records                                                              *)
+
+type source = Circuit of string | Bench of { name : string; text : string }
+
+type optimize = {
+  id : string;
+  source : source;
+  mode : Version.mode;
+  method_ : Optimizer.method_;
+  penalty : float;
+  deadline_s : float option;
+}
+
+type request = Optimize of optimize | Status | Metrics
+
+type result_payload = {
+  id : string;
+  status : string;
+  method_name : string;
+  library_mode : string;
+  key : string;
+  leakage_a : float;
+  isub_a : float;
+  igate_a : float;
+  delay : float;
+  budget : float;
+  delay_fast : float;
+  delay_slow : float;
+  penalty : float;
+  runtime_s : float;
+  wall_s : float;
+  inputs : int;
+  gates : int;
+  assignment : string;
+}
+
+type status_payload = {
+  draining : bool;
+  accepted : int;
+  rejected : int;
+  in_flight : int;
+  capacity : int;
+  workers : int;
+  uptime_s : float;
+}
+
+type response =
+  | Result of result_payload
+  | Rejected of { id : string; reason : string; retry_after_s : float }
+  | Error_response of { id : string option; message : string }
+  | Status_reply of status_payload
+  | Metrics_reply of { content_type : string; body : string }
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                             *)
+
+let method_to_json = function
+  | Optimizer.Heuristic_1 -> Json.Obj [ ("name", Json.String "heu1") ]
+  | Optimizer.Heuristic_2 { time_limit_s } ->
+    Json.Obj [ ("name", Json.String "heu2"); ("time_limit_s", Json.Float time_limit_s) ]
+  | Optimizer.Hill_climb { time_limit_s; max_rounds } ->
+    Json.Obj
+      [
+        ("name", Json.String "hc");
+        ("time_limit_s", Json.Float time_limit_s);
+        ("rounds", Json.Int max_rounds);
+      ]
+  | Optimizer.Exact -> Json.Obj [ ("name", Json.String "exact") ]
+
+let request_to_json = function
+  | Status -> Json.Obj [ ("v", Json.Int version); ("type", Json.String "status") ]
+  | Metrics -> Json.Obj [ ("v", Json.Int version); ("type", Json.String "metrics") ]
+  | Optimize o ->
+    let source_members =
+      match o.source with
+      | Circuit name -> [ ("circuit", Json.String name) ]
+      | Bench { name; text } ->
+        [ ("name", Json.String name); ("bench", Json.String text) ]
+    in
+    Json.Obj
+      ([
+         ("v", Json.Int version);
+         ("type", Json.String "optimize");
+         ("id", Json.String o.id);
+       ]
+      @ source_members
+      @ [
+          ("library", Json.String (Manifest.mode_token o.mode));
+          ("method", method_to_json o.method_);
+          ("penalty", Json.Float o.penalty);
+        ]
+      @
+      match o.deadline_s with
+      | None -> []
+      | Some d -> [ ("deadline_s", Json.Float d) ])
+
+let response_to_json = function
+  | Result r ->
+    Json.Obj
+      [
+        ("v", Json.Int version);
+        ("type", Json.String "result");
+        ("id", Json.String r.id);
+        ("status", Json.String r.status);
+        ("method", Json.String r.method_name);
+        ("library", Json.String r.library_mode);
+        ("key", Json.String r.key);
+        ("leakage_A", Json.Float r.leakage_a);
+        ("isub_A", Json.Float r.isub_a);
+        ("igate_A", Json.Float r.igate_a);
+        ("delay", Json.Float r.delay);
+        ("budget", Json.Float r.budget);
+        ("delay_fast", Json.Float r.delay_fast);
+        ("delay_slow", Json.Float r.delay_slow);
+        ("penalty", Json.Float r.penalty);
+        ("runtime_s", Json.Float r.runtime_s);
+        ("wall_s", Json.Float r.wall_s);
+        ("inputs", Json.Int r.inputs);
+        ("gates", Json.Int r.gates);
+        ("assignment", Json.String r.assignment);
+      ]
+  | Rejected { id; reason; retry_after_s } ->
+    Json.Obj
+      [
+        ("v", Json.Int version);
+        ("type", Json.String "rejected");
+        ("id", Json.String id);
+        ("reason", Json.String reason);
+        ("retry_after_s", Json.Float retry_after_s);
+      ]
+  | Error_response { id; message } ->
+    Json.Obj
+      ([ ("v", Json.Int version); ("type", Json.String "error") ]
+      @ (match id with None -> [] | Some id -> [ ("id", Json.String id) ])
+      @ [ ("message", Json.String message) ])
+  | Status_reply s ->
+    Json.Obj
+      [
+        ("v", Json.Int version);
+        ("type", Json.String "status");
+        ("draining", Json.Bool s.draining);
+        ("accepted", Json.Int s.accepted);
+        ("rejected", Json.Int s.rejected);
+        ("in_flight", Json.Int s.in_flight);
+        ("capacity", Json.Int s.capacity);
+        ("workers", Json.Int s.workers);
+        ("uptime_s", Json.Float s.uptime_s);
+      ]
+  | Metrics_reply { content_type; body } ->
+    Json.Obj
+      [
+        ("v", Json.Int version);
+        ("type", Json.String "metrics");
+        ("content_type", Json.String content_type);
+        ("body", Json.String body);
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                             *)
+
+let ( let* ) = Result.bind
+
+let str_member name json =
+  match Option.bind (Json.member name json) Json.to_string_opt with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "missing or non-string %S field" name)
+
+let float_member name json =
+  match Option.bind (Json.member name json) Json.to_float_opt with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "missing or non-numeric %S field" name)
+
+let int_member name json =
+  match Option.bind (Json.member name json) Json.to_int_opt with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "missing or non-integer %S field" name)
+
+let check_version json =
+  match Option.bind (Json.member "v" json) Json.to_int_opt with
+  | Some v when v = version -> Ok ()
+  | Some v -> Error (Printf.sprintf "unsupported protocol version %d (this server speaks %d)" v version)
+  | None -> Error "missing protocol version field \"v\""
+
+let method_of_json json =
+  let time_limit default =
+    match Option.bind (Json.member "time_limit_s" json) Json.to_float_opt with
+    | Some t when t > 0.0 -> Ok t
+    | Some _ -> Error "time_limit_s must be positive"
+    | None -> Ok default
+  in
+  let* name = str_member "name" json in
+  match name with
+  | "heu1" -> Ok Optimizer.Heuristic_1
+  | "exact" -> Ok Optimizer.Exact
+  | "heu2" ->
+    let* time_limit_s = time_limit 2.0 in
+    Ok (Optimizer.Heuristic_2 { time_limit_s })
+  | "hc" ->
+    let* time_limit_s = time_limit 2.0 in
+    let* max_rounds =
+      match Option.bind (Json.member "rounds" json) Json.to_int_opt with
+      | Some r when r > 0 -> Ok r
+      | Some _ -> Error "rounds must be positive"
+      | None -> Ok 8
+    in
+    Ok (Optimizer.Hill_climb { time_limit_s; max_rounds })
+  | other -> Error (Printf.sprintf "unknown method %S (heu1|heu2|hc|exact)" other)
+
+let source_of_json json =
+  match (Json.member "circuit" json, Json.member "bench" json) with
+  | Some _, Some _ -> Error "request sets both \"circuit\" and \"bench\""
+  | Some c, None -> (
+    match Json.to_string_opt c with
+    | Some name when name <> "" -> Ok (Circuit name)
+    | _ -> Error "\"circuit\" must be a non-empty string")
+  | None, Some b -> (
+    match Json.to_string_opt b with
+    | Some text when text <> "" ->
+      let name =
+        match Option.bind (Json.member "name" json) Json.to_string_opt with
+        | Some n when n <> "" -> n
+        | _ -> "inline"
+      in
+      Ok (Bench { name; text })
+    | _ -> Error "\"bench\" must be a non-empty string")
+  | None, None -> Error "optimize request needs \"circuit\" or \"bench\""
+
+let optimize_of_json json =
+  let* id = str_member "id" json in
+  let* source = source_of_json json in
+  let* mode =
+    match Option.bind (Json.member "library" json) Json.to_string_opt with
+    | None -> Ok Version.default_mode
+    | Some s -> Manifest.mode_of_string s
+  in
+  let* method_ =
+    match Json.member "method" json with
+    | None -> Ok Optimizer.Heuristic_1
+    | Some (Json.String name) -> method_of_json (Json.Obj [ ("name", Json.String name) ])
+    | Some (Json.Obj _ as m) -> method_of_json m
+    | Some _ -> Error "\"method\" must be a string or an object"
+  in
+  let* penalty =
+    match Json.member "penalty" json with
+    | None -> Ok 0.05
+    | Some p -> (
+      match Json.to_float_opt p with
+      | Some f when f >= 0.0 -> Ok f
+      | _ -> Error "\"penalty\" must be a non-negative number")
+  in
+  let* deadline_s =
+    match Json.member "deadline_s" json with
+    | None -> Ok None
+    | Some d -> (
+      match Json.to_float_opt d with
+      | Some f when f >= 0.0 -> Ok (Some f)
+      | _ -> Error "\"deadline_s\" must be a non-negative number")
+  in
+  Ok (Optimize { id; source; mode; method_; penalty; deadline_s })
+
+let request_of_json json =
+  let* () = check_version json in
+  let* type_ = str_member "type" json in
+  match type_ with
+  | "status" -> Ok Status
+  | "metrics" -> Ok Metrics
+  | "optimize" -> optimize_of_json json
+  | other -> Error (Printf.sprintf "unknown request type %S" other)
+
+let result_of_json json =
+  let* id = str_member "id" json in
+  let* status = str_member "status" json in
+  let* method_name = str_member "method" json in
+  let* library_mode = str_member "library" json in
+  let* key = str_member "key" json in
+  let* leakage_a = float_member "leakage_A" json in
+  let* isub_a = float_member "isub_A" json in
+  let* igate_a = float_member "igate_A" json in
+  let* delay = float_member "delay" json in
+  let* budget = float_member "budget" json in
+  let* delay_fast = float_member "delay_fast" json in
+  let* delay_slow = float_member "delay_slow" json in
+  let* penalty = float_member "penalty" json in
+  let* runtime_s = float_member "runtime_s" json in
+  let* wall_s = float_member "wall_s" json in
+  let* inputs = int_member "inputs" json in
+  let* gates = int_member "gates" json in
+  let* assignment = str_member "assignment" json in
+  Ok
+    (Result
+       {
+         id; status; method_name; library_mode; key; leakage_a; isub_a; igate_a; delay;
+         budget; delay_fast; delay_slow; penalty; runtime_s; wall_s; inputs; gates;
+         assignment;
+       })
+
+let status_of_json json =
+  let* accepted = int_member "accepted" json in
+  let* rejected = int_member "rejected" json in
+  let* in_flight = int_member "in_flight" json in
+  let* capacity = int_member "capacity" json in
+  let* workers = int_member "workers" json in
+  let* uptime_s = float_member "uptime_s" json in
+  let draining =
+    match Json.member "draining" json with Some (Json.Bool b) -> b | _ -> false
+  in
+  Ok (Status_reply { draining; accepted; rejected; in_flight; capacity; workers; uptime_s })
+
+let response_of_json json =
+  let* () = check_version json in
+  let* type_ = str_member "type" json in
+  match type_ with
+  | "result" -> result_of_json json
+  | "status" -> status_of_json json
+  | "rejected" ->
+    let* id = str_member "id" json in
+    let* reason = str_member "reason" json in
+    let* retry_after_s = float_member "retry_after_s" json in
+    Ok (Rejected { id; reason; retry_after_s })
+  | "error" ->
+    let* message = str_member "message" json in
+    let id = Option.bind (Json.member "id" json) Json.to_string_opt in
+    Ok (Error_response { id; message })
+  | "metrics" ->
+    let* content_type = str_member "content_type" json in
+    let* body = str_member "body" json in
+    Ok (Metrics_reply { content_type; body })
+  | other -> Error (Printf.sprintf "unknown response type %S" other)
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                              *)
+
+module Frame = struct
+  let default_max_bytes = 4 * 1024 * 1024
+
+  type reader = {
+    fd : Unix.file_descr;
+    max_bytes : int;
+    chunk : Bytes.t;
+    pending : Buffer.t;  (* bytes read but not yet returned *)
+    mutable eof : bool;
+    mutable poisoned : bool;  (* an oversized line sank the stream *)
+  }
+
+  let reader ?(max_bytes = default_max_bytes) fd =
+    {
+      fd;
+      max_bytes;
+      chunk = Bytes.create 65536;
+      pending = Buffer.create 4096;
+      eof = false;
+      poisoned = false;
+    }
+
+  (* Pop the first complete line out of [pending], if any. *)
+  let take_line r =
+    let s = Buffer.contents r.pending in
+    match String.index_opt s '\n' with
+    | None -> None
+    | Some i ->
+      Buffer.clear r.pending;
+      Buffer.add_substring r.pending s (i + 1) (String.length s - i - 1);
+      (* Tolerate CRLF peers. *)
+      let line = if i > 0 && s.[i - 1] = '\r' then String.sub s 0 (i - 1) else String.sub s 0 i in
+      Some line
+
+  let rec read r =
+    if r.poisoned then Error (`Error "stream poisoned by an earlier oversized frame")
+    else
+      match take_line r with
+      | Some line when String.length line > r.max_bytes ->
+        (* A complete line can blow the cap too, when it arrives in one
+           gulp — same verdict as one that never terminated. *)
+        r.poisoned <- true;
+        Error `Oversized
+      | Some line -> Ok line
+      | None ->
+        if Buffer.length r.pending > r.max_bytes then begin
+          r.poisoned <- true;
+          Error `Oversized
+        end
+        else if r.eof then Error `Eof
+        else begin
+          match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+          | 0 ->
+            r.eof <- true;
+            read r
+          | n ->
+            Buffer.add_subbytes r.pending r.chunk 0 n;
+            read r
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> read r
+          | exception Unix.Unix_error (e, _, _) -> Error (`Error (Unix.error_message e))
+        end
+
+  let write fd payload =
+    if String.contains payload '\n' then
+      invalid_arg "Frame.write: payload contains a newline";
+    let data = Bytes.of_string (payload ^ "\n") in
+    let total = Bytes.length data in
+    let rec push off =
+      if off >= total then Ok ()
+      else
+        match Unix.write fd data off (total - off) with
+        | n -> push (off + n)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> push off
+        | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+    in
+    push 0
+end

@@ -1,0 +1,120 @@
+(** The standbyd wire protocol: versioned request/response records over
+    newline-delimited JSON, with length-guarded framing.
+
+    One JSON object per line in each direction.  Every record carries
+    [{"v":1,"type":…}]; a record with a different [v] is rejected with
+    a structured error (the connection survives), so a future version
+    bump degrades to an explicit "unsupported version" answer instead of
+    a parse failure.  The codec is {!Standby_telemetry.Json} — the
+    writer emits no raw newlines, so one record is always one line.
+
+    Optimize requests name a built-in benchmark or carry the netlist
+    inline as ISCAS [.bench] text: the daemon never reads the client's
+    filesystem.  Responses either answer the request ([result],
+    [status], [metrics]), reject it with a retry hint ([rejected] — the
+    admission queue is full or the server is draining), or report a
+    request-level failure ([error]). *)
+
+type address =
+  | Unix_socket of string  (** Socket file path. *)
+  | Tcp of string * int  (** Host (name or dotted quad) and port. *)
+
+val address_of_string : string -> (address, string) result
+(** ["unix:PATH"], ["HOST:PORT"], or a bare path (anything without a
+    colon) as a Unix socket. *)
+
+val address_to_string : address -> string
+
+val version : int
+(** The protocol version this build speaks (1). *)
+
+type source =
+  | Circuit of string  (** A {!Standby_circuits.Benchmarks} name. *)
+  | Bench of { name : string; text : string }  (** Inline [.bench] netlist. *)
+
+type optimize = {
+  id : string;  (** Client-chosen; echoed on the response. *)
+  source : source;
+  mode : Standby_cells.Version.mode;
+  method_ : Standby_opt.Optimizer.method_;
+  penalty : float;
+  deadline_s : float option;
+      (** Wall-clock budget; a blown deadline returns the best incumbent
+          marked [degraded], never an error. *)
+}
+
+type request =
+  | Optimize of optimize
+  | Status  (** Liveness + admission snapshot (the [/healthz] analogue). *)
+  | Metrics  (** Prometheus text exposition of the metrics registry. *)
+
+type result_payload = {
+  id : string;
+  status : string;  (** computed | cached | degraded. *)
+  method_name : string;
+  library_mode : string;
+  key : string;  (** {!Standby_service.Cache_key.digest}. *)
+  leakage_a : float;
+  isub_a : float;
+  igate_a : float;
+  delay : float;
+  budget : float;
+  delay_fast : float;
+  delay_slow : float;
+  penalty : float;
+  runtime_s : float;
+  wall_s : float;
+  inputs : int;
+  gates : int;
+  assignment : string;  (** {!Standby_power.Assignment.to_string} payload. *)
+}
+
+type status_payload = {
+  draining : bool;
+  accepted : int;
+  rejected : int;
+  in_flight : int;  (** Admitted optimize requests not yet answered. *)
+  capacity : int;
+  workers : int;
+  uptime_s : float;
+}
+
+type response =
+  | Result of result_payload
+  | Rejected of { id : string; reason : string; retry_after_s : float }
+  | Error_response of { id : string option; message : string }
+  | Status_reply of status_payload
+  | Metrics_reply of { content_type : string; body : string }
+
+val request_to_json : request -> Standby_telemetry.Json.t
+
+val request_of_json : Standby_telemetry.Json.t -> (request, string) result
+(** Rejects unknown [v] values and unknown [type]s with messages fit to
+    send back verbatim in an [error] response. *)
+
+val response_to_json : response -> Standby_telemetry.Json.t
+
+val response_of_json : Standby_telemetry.Json.t -> (response, string) result
+
+(** Length-guarded newline framing over a file descriptor.  The reader
+    owns a buffer, tolerates partial reads (a record split across any
+    number of [read] calls) and rejects any line longer than
+    [max_bytes] before buffering more of it — an oversized or garbage
+    peer cannot balloon the daemon's memory. *)
+module Frame : sig
+  type reader
+
+  val default_max_bytes : int
+  (** 4 MiB — comfortably above any inline ISCAS netlist. *)
+
+  val reader : ?max_bytes:int -> Unix.file_descr -> reader
+
+  val read : reader -> (string, [ `Eof | `Oversized | `Error of string ]) result
+  (** Next complete line, without its terminator.  [`Eof] once the peer
+      closes (a final unterminated fragment is discarded); [`Oversized]
+      as soon as the line under construction exceeds [max_bytes]. *)
+
+  val write : Unix.file_descr -> string -> (unit, string) result
+  (** [payload ^ "\n"], looping over short writes.
+      @raise Invalid_argument if [payload] contains a newline. *)
+end

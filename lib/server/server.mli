@@ -1,0 +1,67 @@
+(** standbyd: the long-running optimization daemon.
+
+    One listener (TCP or Unix-domain socket), one reader thread per
+    connection, one {!Standby_pool.Pool} of worker domains executing
+    admitted jobs through {!Standby_service.Engine.execute} — so a
+    served request returns bit-identical results to the same job run
+    through [standbyopt batch], including the content-addressed
+    {!Standby_service.Result_store} probe.
+
+    {b Admission.}  At most [capacity] optimize requests may be in
+    flight (admitted but unanswered).  Requests beyond that are answered
+    immediately with a [rejected] record carrying a [retry_after_s]
+    hint derived from the observed mean job wall time — bounded queue,
+    explicit backpressure, no silent buffering.
+
+    {b Deadlines.}  A request's [deadline_s] rides the engine's
+    deadline-aware degradation: the search is cooperatively cancelled at
+    the deadline and the best delay-feasible incumbent comes back with
+    status ["degraded"] instead of an error.
+
+    {b Cancellation.}  A client that disconnects mid-job cancels it:
+    the per-connection liveness flag is the optimizer's [interrupt]
+    poll, the result is discarded, and the worker moves on.  The server
+    itself never goes down with a connection.
+
+    {b Drain.}  {!request_drain} (wired to SIGTERM/SIGINT by
+    {!install_signal_handlers}) stops the accept loop, answers new
+    optimize requests with [rejected ("draining")], lets every admitted
+    job finish and its response flush, then shuts the pool down and
+    returns from {!run} — the CLI then exits 0.  No admitted job is
+    lost. *)
+
+type config = {
+  address : Protocol.address;
+  capacity : int;  (** Max in-flight optimize requests; at least 1. *)
+  workers : int option;  (** Pool size; [None] = pool default. *)
+  store : Standby_service.Result_store.t option;  (** [None] disables caching. *)
+  max_frame_bytes : int;  (** Per-line request size guard. *)
+}
+
+val default_config : Protocol.address -> config
+(** capacity 64, default workers, no store,
+    {!Protocol.Frame.default_max_bytes}. *)
+
+type t
+
+val create :
+  ?libraries:Standby_service.Job.Library_cache.t -> config -> (t, string) result
+(** Binds and listens (a stale Unix socket file is replaced).  Pass
+    [libraries] to share characterized libraries with an embedding
+    process (tests); by default the daemon owns a fresh cache. *)
+
+val run : t -> unit
+(** The accept loop.  Blocks until a drain completes; the listener is
+    closed and every worker joined when it returns.  Call at most
+    once. *)
+
+val request_drain : t -> unit
+(** Signal-safe: flips an atomic the accept loop polls. *)
+
+val draining : t -> bool
+
+val install_signal_handlers : t -> unit
+(** SIGTERM and SIGINT request a drain; SIGPIPE is ignored (a client
+    hanging up mid-write must not kill the daemon). *)
+
+val address : t -> Protocol.address

@@ -1,3 +1,4 @@
+module Pool = Standby_pool.Pool
 module Netlist = Standby_netlist.Netlist
 module Version = Standby_cells.Version
 module Library = Standby_cells.Library
@@ -49,6 +50,11 @@ let status_name = function
   | Cached -> "cached"
   | Degraded -> "degraded"
   | Failed _ -> "FAILED"
+
+let average_job_wall_s () =
+  let snap = Metrics.snapshot m_job_wall in
+  if snap.Metrics.count = 0 then None
+  else Some (snap.Metrics.sum /. float_of_int snap.Metrics.count)
 
 (* ------------------------------------------------------------------ *)
 (* Cache round trip                                                     *)
@@ -105,6 +111,80 @@ let count_status = function
   | Degraded -> Metrics.incr m_degraded
   | Failed _ -> Metrics.incr m_failed
 
+let count_outcome (outcome : outcome) =
+  Metrics.observe m_job_wall outcome.wall_s;
+  count_status outcome.status
+
+(* One resolved job, end to end: cache probe, optimize under the job's
+   deadline (and the caller's cancellation poll), write-back of
+   full-quality results.  Shared by the batch run below and the serving
+   daemon, so both produce identical outcomes for identical jobs. *)
+let execute ?store ?interrupt ~libraries (r : Job.resolved) =
+  let job = r.Job.job in
+  let wall = Timer.unlimited () in
+  let key = Job.key r in
+  let outcome =
+    try
+      let lib =
+        Job.Library_cache.get libraries ~mode:job.Manifest.mode ~process:r.Job.process
+      in
+      let from_cache =
+        match store with
+        | None -> None
+        | Some s -> (
+          match Result_store.find s ~key with
+          | None -> None
+          | Some entry -> (
+            match result_of_entry lib r.Job.net entry with
+            | Some result -> Some result
+            | None ->
+              (* The entry decoded but contradicts the live library —
+                 count it with the store's corruption metric and
+                 recompute. *)
+              Result_store.note_corrupt ();
+              Log.warn "cache entry rejected, recomputing"
+                ~fields:[ Log.str "job" job.Manifest.id; Log.str "key" key ];
+              None))
+      in
+      let status, result =
+        match from_cache with
+        | Some result -> (Cached, Some result)
+        | None ->
+          let result =
+            Optimizer.run ?deadline_s:job.Manifest.deadline_s ?interrupt lib r.Job.net
+              ~penalty:job.Manifest.penalty job.Manifest.method_
+          in
+          if result.Optimizer.degraded then (Degraded, Some result)
+          else begin
+            (match store with
+             | Some s -> Result_store.store s ~key (entry_of_result result)
+             | None -> ());
+            (Computed, Some result)
+          end
+      in
+      {
+        job;
+        key = Some key;
+        status;
+        result;
+        inputs = Netlist.input_count r.Job.net;
+        gates = Netlist.gate_count r.Job.net;
+        wall_s = Timer.elapsed_s wall;
+      }
+    with e ->
+      {
+        job;
+        key = Some key;
+        status = Failed (Printexc.to_string e);
+        result = None;
+        inputs = Netlist.input_count r.Job.net;
+        gates = Netlist.gate_count r.Job.net;
+        wall_s = Timer.elapsed_s wall;
+      }
+  in
+  count_outcome outcome;
+  outcome
+
 let run ?workers ?store jobs =
  Telemetry.span "engine.run"
    ~fields:[ ("jobs", Json.Int (List.length jobs)) ]
@@ -137,57 +217,6 @@ let run ?workers ?store jobs =
             ~fields:[ Log.str "library" (Version.mode_name mode); Log.float "build_s" build_s ])
     resolved;
   let outcomes = Array.make total None in
-  let run_one (r : Job.resolved) =
-    let job = r.Job.job in
-    let wall = Timer.unlimited () in
-    let key = Job.key r in
-    let lib =
-      Job.Library_cache.get libraries ~mode:job.Manifest.mode ~process:r.Job.process
-    in
-    let from_cache =
-      match store with
-      | None -> None
-      | Some s -> (
-        match Result_store.find s ~key with
-        | None -> None
-        | Some entry -> (
-          match result_of_entry lib r.Job.net entry with
-          | Some result -> Some result
-          | None ->
-            (* The entry decoded but contradicts the live library —
-               count it with the store's corruption metric and
-               recompute. *)
-            Result_store.note_corrupt ();
-            Log.warn "cache entry rejected, recomputing"
-              ~fields:[ Log.str "job" job.Manifest.id; Log.str "key" key ];
-            None))
-    in
-    let status, result =
-      match from_cache with
-      | Some result -> (Cached, Some result)
-      | None ->
-        let result =
-          Optimizer.run ?deadline_s:job.Manifest.deadline_s lib r.Job.net
-            ~penalty:job.Manifest.penalty job.Manifest.method_
-        in
-        if result.Optimizer.degraded then (Degraded, Some result)
-        else begin
-          (match store with
-           | Some s -> Result_store.store s ~key (entry_of_result result)
-           | None -> ());
-          (Computed, Some result)
-        end
-    in
-    {
-      job;
-      key = Some key;
-      status;
-      result;
-      inputs = Netlist.input_count r.Job.net;
-      gates = Netlist.gate_count r.Job.net;
-      wall_s = Timer.elapsed_s wall;
-    }
-  in
   let pool = Pool.create ?workers () in
   Fun.protect
     ~finally:(fun () -> Pool.shutdown pool)
@@ -206,27 +235,20 @@ let run ?workers ?store jobs =
                     let outcome =
                       match resolution with
                       | Error msg ->
-                        {
-                          job = jobs.(i);
-                          key = None;
-                          status = Failed msg;
-                          result = None;
-                          inputs = 0;
-                          gates = 0;
-                          wall_s = 0.0;
-                        }
-                      | Ok r -> (
-                        try run_one r
-                        with e ->
+                        let outcome =
                           {
                             job = jobs.(i);
-                            key = Some (Job.key r);
-                            status = Failed (Printexc.to_string e);
+                            key = None;
+                            status = Failed msg;
                             result = None;
-                            inputs = Netlist.input_count r.Job.net;
-                            gates = Netlist.gate_count r.Job.net;
+                            inputs = 0;
+                            gates = 0;
                             wall_s = 0.0;
-                          })
+                          }
+                        in
+                        count_outcome outcome;
+                        outcome
+                      | Ok r -> execute ?store ~libraries r
                     in
                     Telemetry.add_fields
                       [
@@ -236,8 +258,6 @@ let run ?workers ?store jobs =
                     outcome)
               in
               outcomes.(i) <- Some outcome;
-              Metrics.observe m_job_wall outcome.wall_s;
-              count_status outcome.status;
               let n =
                 Mutex.lock finish_mutex;
                 incr finished;

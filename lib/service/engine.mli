@@ -1,8 +1,9 @@
 (** The batch optimization engine.
 
     Takes a manifest, resolves every job, deduplicates the expensive
-    library characterizations, and runs the jobs on a {!Pool} of
-    domains.  Each job first probes the {!Result_store} by
+    library characterizations, and runs the jobs on a
+    {!Standby_pool.Pool} of domains.  Each job first probes the
+    {!Result_store} by
     {!Cache_key.digest}; hits are decoded, re-evaluated against the
     live library (a stale or cross-version entry falls back to a miss)
     and reported as [Cached].  Misses run the optimizer under the job's
@@ -38,13 +39,37 @@ type summary = {
           be lost when the domains join. *)
 }
 
+val status_name : status -> string
+(** Stable lowercase names ("computed", "cached", "degraded", "FAILED")
+    — used in reports, logs and the serving protocol. *)
+
+val execute :
+  ?store:Result_store.t ->
+  ?interrupt:(unit -> bool) ->
+  libraries:Job.Library_cache.t ->
+  Job.resolved ->
+  outcome
+(** One resolved job, end to end: cache probe, optimize under the job's
+    deadline, write-back of full-quality results.  Never raises — an
+    escaping exception becomes a [Failed] outcome.  [interrupt] is
+    polled cooperatively by the optimizer (see
+    {!Standby_opt.Optimizer.run}); a cancelled run comes back
+    [Degraded].  Feeds the [engine.jobs_*] counters and the
+    [engine.job_wall_s] histogram.  This is the exact code path of a
+    batch job, so a daemon calling it returns results bit-identical to
+    {!run} on the same job. *)
+
+val average_job_wall_s : unit -> float option
+(** Mean of the [engine.job_wall_s] histogram so far ([None] before the
+    first job) — the serving layer's retry-after estimate. *)
+
 val run :
   ?workers:int ->
   ?store:Result_store.t ->
   Manifest.job list ->
   summary
-(** [workers] defaults to {!Pool.default_workers}; omit [store] to
-    disable caching.  Progress is reported through
+(** [workers] defaults to {!Standby_pool.Pool.default_workers}; omit
+    [store] to disable caching.  Progress is reported through
     {!Standby_telemetry.Log} (one [info] line per finished job, [err] on
     failure); each job runs under an [engine.job] trace span and feeds
     the [engine.*] counters and the [engine.job_wall_s] histogram. *)

@@ -28,6 +28,15 @@ let mode_of_string = function
     Error
       (Printf.sprintf "unknown library mode %S (known: %s)" s (String.concat ", " mode_names))
 
+let mode_token mode =
+  match
+    List.find_opt
+      (fun name -> mode_of_string name = Ok mode)
+      mode_names
+  with
+  | Some name -> name
+  | None -> Version.mode_name mode
+
 (* Per-job settings accumulated while scanning a section; [None] falls
    back to the defaults section, then to built-in defaults. *)
 type settings = {

@@ -50,6 +50,11 @@ val mode_of_string : string -> (Standby_cells.Version.mode, string) result
 
 val mode_names : string list
 
+val mode_token : Standby_cells.Version.mode -> string
+(** The inverse of {!mode_of_string} — the manifest/CLI name of a mode,
+    suitable for round-tripping through configuration and wire
+    formats. *)
+
 val parse : ?dir:string -> string -> (job list, string) result
 (** Parse manifest text.  Errors carry a line number.  [dir] anchors
     relative [file]/[process] paths (default ["."]). *)

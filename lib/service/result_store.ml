@@ -6,10 +6,13 @@ let m_misses =
 let m_corrupt =
   Metrics.counter Metrics.default "result_store.corrupt"
     ~help:"Entries rejected as unreadable or inconsistent"
+let m_evictions =
+  Metrics.counter Metrics.default "cache.evictions"
+    ~help:"Entries evicted to keep the store under its size cap"
 
 let note_corrupt () = Metrics.incr m_corrupt
 
-type t = { dir : string }
+type t = { dir : string; max_entries : int option; store_mutex : Mutex.t }
 
 type entry = {
   method_name : string;
@@ -33,11 +36,16 @@ let rec mkdir_p dir =
     try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
-let create ~dir =
+let create ?max_entries ~dir () =
+  (match max_entries with
+   | Some n when n < 1 -> invalid_arg "Result_store.create: max_entries must be positive"
+   | _ -> ());
   mkdir_p dir;
   if not (Sys.is_directory dir) then
     raise (Sys_error (Printf.sprintf "cache path %s is not a directory" dir));
-  { dir }
+  { dir; max_entries; store_mutex = Mutex.create () }
+
+let max_entries t = t.max_entries
 
 let dir t = t.dir
 
@@ -138,6 +146,10 @@ let find t ~key =
       match of_text text with
       | Some entry ->
         Metrics.incr m_hits;
+        (* Freshen the file so LRU eviction tracks access order, not
+           just write order.  Best-effort: a raced eviction only costs a
+           future recompute. *)
+        (try Unix.utimes file 0.0 0.0 with Unix.Unix_error _ -> ());
         Some entry
       | None ->
         (* The file exists but does not decode: corruption, not a
@@ -148,6 +160,42 @@ let find t ~key =
       Metrics.incr m_misses;
       None
 
+(* Entries (name, mtime) oldest-first; ties break on the name so the
+   order is total. *)
+let entries_by_age t =
+  let names = try Sys.readdir t.dir with Sys_error _ -> [||] in
+  let aged =
+    Array.to_list names
+    |> List.filter_map (fun name ->
+           if not (Filename.check_suffix name ".result") then None
+           else
+             match Unix.stat (Filename.concat t.dir name) with
+             | st -> Some (name, st.Unix.st_mtime)
+             | exception Unix.Unix_error _ -> None)
+  in
+  List.sort
+    (fun (na, ta) (nb, tb) ->
+      match Float.compare ta tb with 0 -> String.compare na nb | c -> c)
+    aged
+
+(* Drop least-recently-used entries until the store fits its cap.
+   Called after every write; the directory scan is O(entries), which a
+   long-lived daemon amortizes against an optimizer run per store. *)
+let evict_over_cap t =
+  match t.max_entries with
+  | None -> ()
+  | Some cap ->
+    let aged = entries_by_age t in
+    let excess = List.length aged - cap in
+    if excess > 0 then
+      List.iteri
+        (fun i (name, _) ->
+          if i < excess then begin
+            (try Sys.remove (Filename.concat t.dir name) with Sys_error _ -> ());
+            Metrics.incr m_evictions
+          end)
+        aged
+
 let store t ~key entry =
   if not (valid_key key) then invalid_arg "Result_store.store: malformed key";
   let file = path t ~key in
@@ -156,7 +204,12 @@ let store t ~key entry =
      newline, and [of_text] folds everything after the fixed fields back
      into it — write and read must be exact inverses. *)
   Out_channel.with_open_text tmp (fun oc -> Out_channel.output_string oc (to_text entry));
-  Sys.rename tmp file
+  Sys.rename tmp file;
+  (* Serialize the scan-and-evict step across worker domains; without
+     the lock two concurrent stores could each count the other's fresh
+     file as excess. *)
+  Mutex.lock t.store_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.store_mutex) (fun () -> evict_over_cap t)
 
 let clear t =
   let removed = ref 0 in

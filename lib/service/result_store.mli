@@ -27,11 +27,20 @@ type entry = {
   assignment : string;  (** {!Standby_power.Assignment.to_string} payload. *)
 }
 
-val create : dir:string -> t
-(** Creates [dir] (and parents) if needed.
-    @raise Sys_error if the directory cannot be created. *)
+val create : ?max_entries:int -> dir:string -> unit -> t
+(** Creates [dir] (and parents) if needed.  [max_entries] caps the
+    number of entries on disk: every {!store} that pushes the directory
+    over the cap evicts least-recently-used entries (by file mtime,
+    which {!find} freshens on a hit) until it fits again, counting each
+    removal on the [cache.evictions] counter.  Omitted, the store grows
+    without bound — fine for one-shot batch runs, not for a long-lived
+    daemon.
+    @raise Sys_error if the directory cannot be created.
+    @raise Invalid_argument if [max_entries < 1]. *)
 
 val dir : t -> string
+
+val max_entries : t -> int option
 
 val default_dir : unit -> string
 (** [$STANDBYOPT_CACHE_DIR], else [$XDG_CACHE_HOME/standbyopt], else

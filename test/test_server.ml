@@ -1,0 +1,501 @@
+(* standbyd end to end: an in-process server on a Unix socket driven
+   through the real wire protocol — served results vs the offline
+   engine, admission backpressure, deadline degradation, protocol
+   robustness (malformed/oversized/partial/unknown-version frames),
+   client-disconnect cancellation and graceful draining. *)
+
+module Process = Standby_device.Process
+module Version = Standby_cells.Version
+module Optimizer = Standby_opt.Optimizer
+module Assignment = Standby_power.Assignment
+module Evaluate = Standby_power.Evaluate
+module Benchmarks = Standby_circuits.Benchmarks
+module Job = Standby_service.Job
+module Json = Standby_telemetry.Json
+module Protocol = Standby_server.Protocol
+module Server = Standby_server.Server
+module Client = Standby_server.Client
+
+let check = Alcotest.check
+let quick name f = Alcotest.test_case name `Quick f
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let ok = function Ok v -> v | Error msg -> Alcotest.failf "unexpected error: %s" msg
+
+(* One characterized-library cache shared by every server in this
+   binary — characterization is the expensive setup. *)
+let libraries = Job.Library_cache.create ()
+
+let fresh_socket () =
+  let file = Filename.temp_file "standbyd" ".sock" in
+  Sys.remove file;
+  file
+
+type harness = { server : Server.t; thread : Thread.t; address : Protocol.address }
+
+let start ?(capacity = 4) ?(workers = 2) ?max_frame_bytes ?store () =
+  let address = Protocol.Unix_socket (fresh_socket ()) in
+  let config = Server.default_config address in
+  let config =
+    {
+      config with
+      Server.capacity;
+      workers = Some workers;
+      store;
+      max_frame_bytes =
+        Option.value max_frame_bytes ~default:config.Server.max_frame_bytes;
+    }
+  in
+  match Server.create ~libraries config with
+  | Error msg -> Alcotest.failf "server create: %s" msg
+  | Ok server -> { server; thread = Thread.create Server.run server; address }
+
+let stop h =
+  Server.request_drain h.server;
+  Thread.join h.thread
+
+let with_server ?capacity ?workers ?max_frame_bytes ?store f =
+  let h = start ?capacity ?workers ?max_frame_bytes ?store () in
+  Fun.protect ~finally:(fun () -> stop h) (fun () -> f h)
+
+let connect h =
+  match Client.connect h.address with
+  | Ok c -> c
+  | Error msg -> Alcotest.failf "connect: %s" msg
+
+let with_client h f =
+  let c = connect h in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let optimize ?(id = "job") ?(source = Protocol.Circuit "c432")
+    ?(mode = Version.default_mode) ?(method_ = Optimizer.Heuristic_1)
+    ?(penalty = 0.05) ?deadline_s () =
+  Protocol.Optimize { Protocol.id; source; mode; method_; penalty; deadline_s }
+
+let show_response r = Json.to_string (Protocol.response_to_json r)
+
+let expect_result = function
+  | Protocol.Result p -> p
+  | r -> Alcotest.failf "expected a result, got %s" (show_response r)
+
+let expect_status = function
+  | Protocol.Status_reply s -> s
+  | r -> Alcotest.failf "expected a status reply, got %s" (show_response r)
+
+(* Poll the daemon's status until [pred] holds (fresh connection per
+   probe, so probes never interleave with a pipelined client). *)
+let wait_status ?(timeout_s = 20.0) h pred =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    let s = with_client h (fun c -> expect_status (ok (Client.rpc c Protocol.Status))) in
+    if pred s then s
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.failf "status condition not reached within %.0f s" timeout_s
+    else begin
+      Thread.delay 0.02;
+      go ()
+    end
+  in
+  go ()
+
+let metric_value h name =
+  let body =
+    with_client h (fun c ->
+        match ok (Client.rpc c Protocol.Metrics) with
+        | Protocol.Metrics_reply { body; _ } -> body
+        | r -> Alcotest.failf "expected metrics, got %s" (show_response r))
+  in
+  let value = ref None in
+  String.split_on_char '\n' body
+  |> List.iter (fun line ->
+         match String.index_opt line ' ' with
+         | Some i when String.sub line 0 i = name ->
+           value :=
+             float_of_string_opt
+               (String.sub line (i + 1) (String.length line - i - 1))
+         | _ -> ());
+  match !value with
+  | Some v -> v
+  | None -> Alcotest.failf "metric %s not in exposition" name
+
+(* Raw-socket access for the robustness tests: drive the wire format by
+   hand, below the typed client. *)
+let raw_connect h =
+  let path =
+    match h.address with Protocol.Unix_socket p -> p | _ -> assert false
+  in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  fd
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let rec go off =
+    if off < Bytes.length b then
+      go (off + Unix.write fd b off (Bytes.length b - off))
+  in
+  go 0
+
+let read_response reader =
+  match Protocol.Frame.read reader with
+  | Ok line -> ok (Result.bind (Json.of_string line) Protocol.response_of_json)
+  | Error `Eof -> Alcotest.fail "unexpected EOF from server"
+  | Error `Oversized -> Alcotest.fail "oversized server response"
+  | Error (`Error msg) -> Alcotest.failf "read: %s" msg
+
+let expect_error ~sub = function
+  | Protocol.Error_response { message; _ } ->
+    if not (contains ~sub message) then
+      Alcotest.failf "error %S does not mention %S" message sub
+  | r -> Alcotest.failf "expected an error response, got %s" (show_response r)
+
+let status_line = Json.to_string (Protocol.request_to_json Protocol.Status) ^ "\n"
+
+(* ------------------------------------------------------------------ *)
+(* Protocol codec (pure)                                                *)
+
+let roundtrip_request r =
+  match Protocol.request_of_json (Protocol.request_to_json r) with
+  | Ok r' -> check Alcotest.bool "request survives the round trip" true (r = r')
+  | Error msg -> Alcotest.failf "request round trip: %s" msg
+
+let roundtrip_response r =
+  match Protocol.response_of_json (Protocol.response_to_json r) with
+  | Ok r' -> check Alcotest.bool "response survives the round trip" true (r = r')
+  | Error msg -> Alcotest.failf "response round trip: %s" msg
+
+let test_codec_roundtrip () =
+  roundtrip_request (optimize ());
+  roundtrip_request
+    (optimize ~id:"x/1"
+       ~source:(Protocol.Bench { name = "tiny"; text = "INPUT(a)\nOUTPUT(a)\n" })
+       ~mode:Version.state_only_mode
+       ~method_:(Optimizer.Heuristic_2 { time_limit_s = 1.5 })
+       ~penalty:0.25 ~deadline_s:3.0 ());
+  roundtrip_request
+    (optimize ~method_:(Optimizer.Hill_climb { time_limit_s = 0.5; max_rounds = 3 }) ());
+  roundtrip_request (optimize ~method_:Optimizer.Exact ());
+  roundtrip_request Protocol.Status;
+  roundtrip_request Protocol.Metrics;
+  roundtrip_response
+    (Protocol.Rejected { id = "j"; reason = "queue full"; retry_after_s = 1.25 });
+  roundtrip_response (Protocol.Error_response { id = None; message = "nope" });
+  roundtrip_response (Protocol.Error_response { id = Some "j"; message = "nope" });
+  roundtrip_response
+    (Protocol.Status_reply
+       {
+         Protocol.draining = false;
+         accepted = 3;
+         rejected = 1;
+         in_flight = 2;
+         capacity = 64;
+         workers = 4;
+         uptime_s = 1.5;
+       });
+  roundtrip_response
+    (Protocol.Metrics_reply { content_type = "text/plain"; body = "a 1" })
+
+let test_codec_rejects () =
+  let req s = Result.bind (Json.of_string s) Protocol.request_of_json in
+  let expect ~sub name = function
+    | Ok _ -> Alcotest.failf "%s: expected an error mentioning %S" name sub
+    | Error msg ->
+      if not (contains ~sub msg) then
+        Alcotest.failf "%s: error %S does not mention %S" name msg sub
+  in
+  expect ~sub:"version" "future version" (req {|{"v":99,"type":"status"}|});
+  expect ~sub:"type" "unknown type" (req {|{"v":1,"type":"frobnicate"}|});
+  expect ~sub:"circuit" "no source" (req {|{"v":1,"type":"optimize","id":"x"}|});
+  expect ~sub:"method" "bad method"
+    (req {|{"v":1,"type":"optimize","id":"x","circuit":"c432","method":"annealing"}|})
+
+let test_addresses () =
+  check Alcotest.bool "unix: prefix" true
+    (Protocol.address_of_string "unix:/tmp/s.sock"
+    = Ok (Protocol.Unix_socket "/tmp/s.sock"));
+  check Alcotest.bool "bare path" true
+    (Protocol.address_of_string "standbyopt.sock"
+    = Ok (Protocol.Unix_socket "standbyopt.sock"));
+  check Alcotest.bool "host:port" true
+    (Protocol.address_of_string "127.0.0.1:7171"
+    = Ok (Protocol.Tcp ("127.0.0.1", 7171)));
+  check Alcotest.bool "bad port is an error" true
+    (Result.is_error (Protocol.address_of_string "host:notaport"));
+  check Alcotest.bool "empty is an error" true
+    (Result.is_error (Protocol.address_of_string ""))
+
+(* ------------------------------------------------------------------ *)
+(* Served results vs the offline engine                                 *)
+
+let offline ~penalty method_ =
+  let lib =
+    Job.Library_cache.get libraries ~mode:Version.default_mode
+      ~process:Process.default
+  in
+  Optimizer.run lib (Benchmarks.circuit "c432") ~penalty method_
+
+let check_matches_offline name (p : Protocol.result_payload) ~penalty method_ =
+  let o = offline ~penalty method_ in
+  check (Alcotest.float 0.0)
+    (name ^ ": leakage bit-identical")
+    o.Optimizer.breakdown.Evaluate.total p.Protocol.leakage_a;
+  check Alcotest.string
+    (name ^ ": assignment bit-identical")
+    (Assignment.to_string o.Optimizer.assignment)
+    p.Protocol.assignment;
+  check (Alcotest.float 0.0) (name ^ ": delay") o.Optimizer.delay p.Protocol.delay
+
+let test_serve_matches_offline () =
+  with_server (fun h ->
+      with_client h (fun c ->
+          let p = expect_result (ok (Client.rpc c (optimize ~id:"one" ()))) in
+          check Alcotest.string "id echoed" "one" p.Protocol.id;
+          check Alcotest.string "computed" "computed" p.Protocol.status;
+          check_matches_offline "serve" p ~penalty:0.05 Optimizer.Heuristic_1))
+
+let test_concurrent_submits () =
+  let penalties = [ 0.02; 0.05; 0.08; 0.1; 0.15; 0.25 ] in
+  with_server ~capacity:8 ~workers:3 (fun h ->
+      with_client h (fun c ->
+          List.iteri
+            (fun i penalty ->
+              ok
+                (Client.send c
+                   (optimize ~id:(Printf.sprintf "p%d" i) ~penalty ())))
+            penalties;
+          let got = Hashtbl.create 8 in
+          List.iter
+            (fun _ ->
+              let p = expect_result (ok (Client.recv c)) in
+              Hashtbl.replace got p.Protocol.id p)
+            penalties;
+          (* Responses arrive in completion order; every request must be
+             answered and each must match its own offline run. *)
+          List.iteri
+            (fun i penalty ->
+              let id = Printf.sprintf "p%d" i in
+              match Hashtbl.find_opt got id with
+              | None -> Alcotest.failf "no response for %s" id
+              | Some p ->
+                check_matches_offline id p ~penalty Optimizer.Heuristic_1)
+            penalties))
+
+let test_inline_bench_source () =
+  (* The .bench rendering lowers rich gates onto NAND/NOR/NOT, so the
+     reference is an offline run on the same re-parsed text — not on the
+     built-in original. *)
+  let text = Standby_netlist.Bench_io.to_string (Benchmarks.circuit "c432") in
+  let net = ok (Standby_netlist.Bench_io.of_string ~name:"c432-wire" text) in
+  let lib =
+    Job.Library_cache.get libraries ~mode:Version.default_mode
+      ~process:Process.default
+  in
+  let o = Optimizer.run lib net ~penalty:0.05 Optimizer.Heuristic_1 in
+  with_server (fun h ->
+      with_client h (fun c ->
+          let p =
+            expect_result
+              (ok
+                 (Client.rpc c
+                    (optimize ~id:"inline"
+                       ~source:(Protocol.Bench { name = "c432-wire"; text })
+                       ())))
+          in
+          check (Alcotest.float 0.0) "inline: leakage bit-identical"
+            o.Optimizer.breakdown.Evaluate.total p.Protocol.leakage_a;
+          check Alcotest.string "inline: assignment bit-identical"
+            (Assignment.to_string o.Optimizer.assignment)
+            p.Protocol.assignment))
+
+(* ------------------------------------------------------------------ *)
+(* Admission, deadlines, draining                                       *)
+
+let test_deadline_degrades () =
+  with_server (fun h ->
+      with_client h (fun c ->
+          let p =
+            expect_result
+              (ok
+                 (Client.rpc c
+                    (optimize ~id:"tight"
+                       ~method_:(Optimizer.Heuristic_2 { time_limit_s = 30.0 })
+                       ~deadline_s:0.001 ())))
+          in
+          check Alcotest.string "blown deadline degrades, not errors" "degraded"
+            p.Protocol.status;
+          check Alcotest.bool "still a valid assignment" true
+            (String.length p.Protocol.assignment > 0)))
+
+let test_queue_full_backpressure () =
+  with_server ~capacity:1 ~workers:1 (fun h ->
+      with_client h (fun c ->
+          (* Frames on one connection are admitted in order: the slow job
+             fills the only slot, so the second is rejected. *)
+          ok
+            (Client.send c
+               (optimize ~id:"slow"
+                  ~method_:(Optimizer.Heuristic_2 { time_limit_s = 1.0 })
+                  ()));
+          ok (Client.send c (optimize ~id:"bounced" ()));
+          (match ok (Client.recv c) with
+           | Protocol.Rejected { id; reason; retry_after_s } ->
+             check Alcotest.string "rejected id" "bounced" id;
+             check Alcotest.bool "reason names the queue" true
+               (contains ~sub:"queue full" reason);
+             check Alcotest.bool "retry hint is positive" true (retry_after_s > 0.0)
+           | r -> Alcotest.failf "expected a rejection, got %s" (show_response r));
+          let p = expect_result (ok (Client.recv c)) in
+          check Alcotest.string "slow job still completes" "slow" p.Protocol.id))
+
+let test_drain_finishes_in_flight () =
+  let h = start ~workers:1 () in
+  let slow = connect h in
+  ok
+    (Client.send slow
+       (optimize ~id:"inflight"
+          ~method_:(Optimizer.Heuristic_2 { time_limit_s = 1.0 })
+          ()));
+  ignore (wait_status h (fun s -> s.Protocol.in_flight >= 1));
+  Server.request_drain h.server;
+  (* Still in drain-wait: new work is turned away with a structured
+     rejection, status still answers... *)
+  with_client h (fun c ->
+      (match ok (Client.rpc c (optimize ~id:"late" ())) with
+       | Protocol.Rejected { reason; _ } ->
+         check Alcotest.bool "rejection names the drain" true
+           (contains ~sub:"drain" reason)
+       | r -> Alcotest.failf "expected a drain rejection, got %s" (show_response r)));
+  (* ... and the admitted job is never lost: its response arrives before
+     the server exits. *)
+  let p = expect_result (ok (Client.recv slow)) in
+  check Alcotest.string "in-flight job answered during drain" "inflight"
+    p.Protocol.id;
+  Client.close slow;
+  Thread.join h.thread;
+  check Alcotest.bool "socket removed after drain" false
+    (Sys.file_exists
+       (match h.address with Protocol.Unix_socket p -> p | _ -> assert false))
+
+let test_disconnect_cancels_job () =
+  with_server ~workers:1 (fun h ->
+      let before = metric_value h "server_cancelled" in
+      let c = connect h in
+      ok
+        (Client.send c
+           (optimize ~id:"doomed"
+              ~method_:(Optimizer.Heuristic_2 { time_limit_s = 60.0 })
+              ()));
+      ignore (wait_status h (fun s -> s.Protocol.in_flight >= 1));
+      (* Hang up mid-job: the worker must notice within moments — far
+         inside the 60 s search budget — and the daemon must stay up. *)
+      Client.close c;
+      ignore (wait_status ~timeout_s:15.0 h (fun s -> s.Protocol.in_flight = 0));
+      check Alcotest.bool "cancellation counted" true
+        (metric_value h "server_cancelled" >= before +. 1.0);
+      (* Still serving. *)
+      with_client h (fun c2 ->
+          let p = expect_result (ok (Client.rpc c2 (optimize ~id:"after" ()))) in
+          check Alcotest.string "server survives the disconnect" "after"
+            p.Protocol.id))
+
+(* ------------------------------------------------------------------ *)
+(* Wire robustness                                                      *)
+
+let test_malformed_json_keeps_connection () =
+  with_server (fun h ->
+      let fd = raw_connect h in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let reader = Protocol.Frame.reader fd in
+          write_all fd "this is not json\n";
+          expect_error ~sub:"" (read_response reader);
+          (* The same connection still works. *)
+          write_all fd status_line;
+          ignore (expect_status (read_response reader))))
+
+let test_unknown_version () =
+  with_server (fun h ->
+      let fd = raw_connect h in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let reader = Protocol.Frame.reader fd in
+          write_all fd "{\"v\":99,\"type\":\"status\"}\n";
+          expect_error ~sub:"version" (read_response reader);
+          write_all fd status_line;
+          ignore (expect_status (read_response reader))))
+
+let test_oversized_frame_drops_connection () =
+  with_server ~max_frame_bytes:256 (fun h ->
+      let fd = raw_connect h in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let reader = Protocol.Frame.reader fd in
+          write_all fd (String.make 1024 'a' ^ "\n");
+          expect_error ~sub:"" (read_response reader);
+          (* The poisoned connection is dropped... *)
+          match Protocol.Frame.read reader with
+          | Error `Eof -> ()
+          | Ok line -> Alcotest.failf "expected EOF, got %s" line
+          | Error _ -> ());
+      (* ... but the daemon keeps serving fresh connections. *)
+      with_client h (fun c ->
+          ignore (expect_status (ok (Client.rpc c Protocol.Status)))))
+
+let test_partial_writes_reassemble () =
+  with_server (fun h ->
+      let fd = raw_connect h in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let reader = Protocol.Frame.reader fd in
+          (* Dribble the request a few bytes at a time: the framing layer
+             must reassemble it across reads. *)
+          let n = String.length status_line in
+          let rec dribble off =
+            if off < n then begin
+              let len = min 3 (n - off) in
+              write_all fd (String.sub status_line off len);
+              Thread.delay 0.002;
+              dribble (off + len)
+            end
+          in
+          dribble 0;
+          ignore (expect_status (read_response reader))))
+
+let () =
+  Alcotest.run "standby.server"
+    [
+      ( "protocol",
+        [
+          quick "codec round trips" test_codec_roundtrip;
+          quick "codec rejects" test_codec_rejects;
+          quick "addresses" test_addresses;
+        ] );
+      ( "serving",
+        [
+          quick "matches the offline engine" test_serve_matches_offline;
+          quick "concurrent submits" test_concurrent_submits;
+          quick "inline bench source" test_inline_bench_source;
+        ] );
+      ( "admission",
+        [
+          quick "deadline degrades" test_deadline_degrades;
+          quick "queue-full backpressure" test_queue_full_backpressure;
+          quick "drain finishes in-flight work" test_drain_finishes_in_flight;
+          quick "disconnect cancels the job" test_disconnect_cancels_job;
+        ] );
+      ( "wire",
+        [
+          quick "malformed json keeps the connection" test_malformed_json_keeps_connection;
+          quick "unknown version is answered" test_unknown_version;
+          quick "oversized frame drops the connection" test_oversized_frame_drops_connection;
+          quick "partial writes reassemble" test_partial_writes_reassemble;
+        ] );
+    ]

@@ -13,7 +13,7 @@ module Benchmarks = Standby_circuits.Benchmarks
 module Manifest = Standby_service.Manifest
 module Cache_key = Standby_service.Cache_key
 module Result_store = Standby_service.Result_store
-module Pool = Standby_service.Pool
+module Pool = Standby_pool.Pool
 module Engine = Standby_service.Engine
 
 let check = Alcotest.check
@@ -213,7 +213,7 @@ let sample_entry =
   }
 
 let test_store_roundtrip () =
-  let store = Result_store.create ~dir:(fresh_dir "standbyopt-store") in
+  let store = Result_store.create ~dir:(fresh_dir "standbyopt-store") () in
   let key = String.make 32 'a' in
   check Alcotest.bool "missing key is a miss" true (Result_store.find store ~key = None);
   Result_store.store store ~key sample_entry;
@@ -231,6 +231,28 @@ let test_store_roundtrip () =
   Result_store.store store ~key:(String.make 32 'b') sample_entry;
   check Alcotest.int "clear removes every entry" 2 (Result_store.clear store);
   check Alcotest.bool "cleared store is empty" true (Result_store.find store ~key = None)
+
+
+(* The cap is LRU: a [find] freshens its entry, so the evictee is the
+   least recently *used* entry, not merely the oldest write. *)
+let test_store_lru () =
+  let store =
+    Result_store.create ~max_entries:2 ~dir:(fresh_dir "standbyopt-lru") ()
+  in
+  check Alcotest.(option int) "cap recorded" (Some 2) (Result_store.max_entries store);
+  let key c = String.make 32 c in
+  let present c = Result_store.find store ~key:(key c) <> None in
+  Result_store.store store ~key:(key 'a') sample_entry;
+  Unix.sleepf 0.02;
+  Result_store.store store ~key:(key 'b') sample_entry;
+  Unix.sleepf 0.02;
+  (* Touch 'a' so 'b' becomes the least recently used entry. *)
+  check Alcotest.bool "freshening hit" true (present 'a');
+  Unix.sleepf 0.02;
+  Result_store.store store ~key:(key 'c') sample_entry;
+  check Alcotest.bool "recently used entry survives the cap" true (present 'a');
+  check Alcotest.bool "least recently used entry is evicted" false (present 'b');
+  check Alcotest.bool "new entry is present" true (present 'c')
 
 (* ------------------------------------------------------------------ *)
 (* Pool                                                                 *)
@@ -337,7 +359,7 @@ let test_engine_cache_flow () =
         (Manifest.Builtin "c880");
     ]
   in
-  let store = Result_store.create ~dir:(fresh_dir "standbyopt-cache") in
+  let store = Result_store.create ~dir:(fresh_dir "standbyopt-cache") () in
   let cold = Engine.run ~workers:2 ~store jobs in
   check Alcotest.int "cold run computes" 3 cold.Engine.computed;
   check Alcotest.int "cold run has no hits" 0 cold.Engine.cached;
@@ -404,7 +426,11 @@ let () =
           quick "canonical invariance" test_canonical_invariance;
           quick "digest sensitivity" test_digest_sensitivity;
         ] );
-      ("result-store", [ quick "roundtrip, corruption, clear" test_store_roundtrip ]);
+      ( "result-store",
+        [
+          quick "roundtrip, corruption, clear" test_store_roundtrip;
+          quick "lru eviction under a cap" test_store_lru;
+        ] );
       ( "pool",
         [ quick "map" test_pool_map; quick "submit and wait" test_pool_submit_wait ] );
       ( "assignment-io",

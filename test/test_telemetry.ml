@@ -7,7 +7,7 @@ module Log = Standby_telemetry.Log
 module Metrics = Standby_telemetry.Metrics
 module Telemetry = Standby_telemetry.Telemetry
 module Trace = Standby_telemetry.Trace
-module Pool = Standby_service.Pool
+module Pool = Standby_pool.Pool
 
 let check = Alcotest.check
 

@@ -1,0 +1,204 @@
+(* CI helper: end-to-end smoke of `standbyopt serve`.
+
+     serve_check STANDBYOPT BENCH_FILE BATCH_CSV
+
+   Spawns the daemon on a fresh Unix socket and drives the wire
+   protocol with a hand-rolled client (Json + Unix only — deliberately
+   independent of the server library, so a codec regression cannot hide
+   on both sides).  Asserts:
+
+     - an optimize round trip over the socket returns the same leakage
+       the offline `standbyopt batch` run wrote to BATCH_CSV for the
+       same job (1e-5 relative: the CSV renders %.6g),
+     - STATUS answers with the admission snapshot,
+     - METRICS exposes the server counters as Prometheus text,
+     - SIGTERM with a job in flight still answers it and exits 0. *)
+
+module Json = Standby_telemetry.Json
+
+let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("serve_check: " ^ msg); exit 1) fmt
+
+let read_file path = In_channel.with_open_text path In_channel.input_all
+
+(* The batch CSV is unquoted for these columns; a plain split will do. *)
+let csv_leakage csv_path ~job =
+  let lines = String.split_on_char '\n' (read_file csv_path) in
+  let split line = String.split_on_char ',' line in
+  match lines with
+  | header :: rows -> (
+    let columns = split header in
+    let col name =
+      match List.find_index (String.equal name) columns with
+      | Some i -> i
+      | None -> fail "%s: no %s column" csv_path name
+    in
+    let job_col = col "job" and leak_col = col "leakage_A" in
+    match
+      List.find_map
+        (fun row ->
+          let fields = split row in
+          if List.nth_opt fields job_col = Some job then
+            Option.bind (List.nth_opt fields leak_col) float_of_string_opt
+          else None)
+        rows
+    with
+    | Some v -> v
+    | None -> fail "%s: no parsable row for job %s" csv_path job)
+  | [] -> fail "%s: empty CSV" csv_path
+
+(* ------------------------------------------------------------------ *)
+(* A minimal line-framed JSON client                                    *)
+
+let write_line fd payload =
+  let data = Bytes.of_string (payload ^ "\n") in
+  let total = Bytes.length data in
+  let rec push off =
+    if off < total then push (off + Unix.write fd data off (total - off))
+  in
+  push 0
+
+type line_reader = { fd : Unix.file_descr; buf : Buffer.t; chunk : Bytes.t }
+
+let line_reader fd = { fd; buf = Buffer.create 4096; chunk = Bytes.create 65536 }
+
+let rec read_line r =
+  let s = Buffer.contents r.buf in
+  match String.index_opt s '\n' with
+  | Some i ->
+    Buffer.clear r.buf;
+    Buffer.add_substring r.buf s (i + 1) (String.length s - i - 1);
+    String.sub s 0 i
+  | None -> (
+    match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+    | 0 -> fail "server closed the connection mid-response"
+    | n ->
+      Buffer.add_subbytes r.buf r.chunk 0 n;
+      read_line r
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_line r)
+
+let recv r =
+  match Json.of_string (read_line r) with
+  | Ok json -> json
+  | Error msg -> fail "unparsable response: %s" msg
+
+let str name json =
+  match Option.bind (Json.member name json) Json.to_string_opt with
+  | Some s -> s
+  | None -> fail "response lacks string field %S in %s" name (Json.to_string json)
+
+let num name json =
+  match Option.bind (Json.member name json) Json.to_float_opt with
+  | Some f -> f
+  | None -> fail "response lacks numeric field %S in %s" name (Json.to_string json)
+
+let connect_with_retry path =
+  let deadline = Unix.gettimeofday () +. 20.0 in
+  let rec go () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> fd
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      if Unix.gettimeofday () > deadline then fail "daemon socket never came up";
+      Unix.sleepf 0.1;
+      go ()
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let standbyopt, bench_file, csv_file =
+    match Sys.argv with
+    | [| _; a; b; c |] -> (a, b, c)
+    | _ -> fail "usage: serve_check STANDBYOPT BENCH_FILE BATCH_CSV"
+  in
+  let expected = csv_leakage csv_file ~job:"c17-tight" in
+  let bench_text = read_file bench_file in
+  let socket = Filename.temp_file "standbyd-ci" ".sock" in
+  Sys.remove socket;
+  let pid =
+    Unix.create_process standbyopt
+      [|
+        standbyopt; "serve"; "--listen"; "unix:" ^ socket; "--no-cache"; "--workers";
+        "2"; "--log-level"; "info";
+      |]
+      Unix.stdin Unix.stdout Unix.stderr
+  in
+  let fd = connect_with_retry socket in
+  let reader = line_reader fd in
+  let send json = write_line fd (Json.to_string json) in
+
+  (* 1. Optimize round trip vs the offline batch CSV. *)
+  send
+    (Json.Obj
+       [
+         ("v", Json.Int 1);
+         ("type", Json.String "optimize");
+         ("id", Json.String "ci");
+         ("name", Json.String "c17");
+         ("bench", Json.String bench_text);
+         ("penalty", Json.Float 0.02);
+       ]);
+  let r = recv reader in
+  if str "type" r <> "result" then fail "expected a result, got %s" (Json.to_string r);
+  if str "id" r <> "ci" then fail "wrong id on result";
+  if str "status" r <> "computed" then fail "expected computed, got %s" (str "status" r);
+  let leakage = num "leakage_A" r in
+  let rel = abs_float (leakage -. expected) /. abs_float expected in
+  if rel > 1e-5 then
+    fail "served leakage %.9g disagrees with batch CSV %.9g (rel %.2g)" leakage expected
+      rel;
+  Printf.printf "serve_check: optimize OK (leakage %.6g A, rel %.2g vs batch)\n%!" leakage
+    rel;
+
+  (* 2. STATUS snapshot. *)
+  send (Json.Obj [ ("v", Json.Int 1); ("type", Json.String "status") ]);
+  let s = recv reader in
+  if str "type" s <> "status" then fail "expected status, got %s" (Json.to_string s);
+  if num "accepted" s < 1.0 then fail "status accepted < 1";
+  if num "capacity" s <= 0.0 then fail "status capacity <= 0";
+  Printf.printf "serve_check: status OK (accepted %.0f, workers %.0f)\n%!"
+    (num "accepted" s) (num "workers" s);
+
+  (* 3. METRICS exposition. *)
+  send (Json.Obj [ ("v", Json.Int 1); ("type", Json.String "metrics") ]);
+  let m = recv reader in
+  if str "type" m <> "metrics" then fail "expected metrics, got %s" (Json.to_string m);
+  let body = str "body" m in
+  List.iter
+    (fun counter ->
+      let sub = counter ^ " " in
+      let present =
+        String.split_on_char '\n' body
+        |> List.exists (fun line ->
+               String.length line >= String.length sub
+               && String.sub line 0 (String.length sub) = sub)
+      in
+      if not present then fail "metrics exposition lacks %s" counter)
+    [ "server_accepted"; "server_rejected"; "server_queue_depth"; "server_deadline_degraded" ];
+  Printf.printf "serve_check: metrics OK\n%!";
+
+  (* 4. SIGTERM drain with a job in flight: the admitted job must still
+     be answered and the daemon must exit 0. *)
+  send
+    (Json.Obj
+       [
+         ("v", Json.Int 1);
+         ("type", Json.String "optimize");
+         ("id", Json.String "draining");
+         ("name", Json.String "c17");
+         ("bench", Json.String bench_text);
+         ("method", Json.Obj [ ("name", Json.String "heu2"); ("time_limit_s", Json.Float 0.5) ]);
+       ]);
+  Unix.sleepf 0.1;
+  Unix.kill pid Sys.sigterm;
+  let d = recv reader in
+  if str "type" d <> "result" || str "id" d <> "draining" then
+    fail "in-flight job lost across SIGTERM: %s" (Json.to_string d);
+  (match Unix.waitpid [] pid with
+   | _, Unix.WEXITED 0 -> ()
+   | _, Unix.WEXITED n -> fail "daemon exited %d after SIGTERM" n
+   | _, (Unix.WSIGNALED n | Unix.WSTOPPED n) -> fail "daemon killed by signal %d" n);
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Printf.printf "serve_check: SIGTERM drain OK (exit 0, no job lost)\n%!"
