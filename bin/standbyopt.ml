@@ -7,6 +7,8 @@
      batch      run a manifest of jobs on a domain pool with a result cache
      serve      long-running optimization daemon (standbyd)
      submit     send optimization requests to a running daemon
+     route      cluster coordinator: digest-hash routing over standbyd backends
+     drain      administratively drain a daemon, router or one backend
      report     regenerate the paper's tables and figures
      library    inspect the characterized cell library
      circuits   list the built-in benchmark suite
@@ -46,6 +48,8 @@ module Json = Standby_telemetry.Json
 module Server = Standby_server.Server
 module Client = Standby_server.Client
 module Wire = Standby_server.Protocol
+module Router = Standby_cluster.Router
+module Cache_tier = Standby_cluster.Cache_tier
 
 (* ------------------------------------------------------------------ *)
 (* Telemetry flags — shared by the commands that run the optimizer      *)
@@ -484,36 +488,53 @@ let make_store cache_dir no_cache cache_max =
     | store -> Ok (Some store)
     | exception Sys_error msg -> Error msg
 
-let run_serve telemetry listen capacity workers cache_dir no_cache cache_max =
+let peers_arg =
+  let doc =
+    "Peer standbyd address for the shared cache tier (repeatable).  A local cache miss \
+     consults each peer in turn and writes a hit back locally; fresh local results are \
+     offered to every peer.  Requires the result cache (conflicts with --no-cache)."
+  in
+  Arg.(value & opt_all address_conv [] & info [ "peer" ] ~docv:"ADDR" ~doc)
+
+let run_serve telemetry listen capacity workers cache_dir no_cache cache_max peers =
   install_telemetry telemetry;
   match make_store cache_dir no_cache cache_max with
   | Error msg ->
     Log.err "%s" msg;
     1
   | Ok store -> (
-    let config =
-      { (Server.default_config listen) with Server.capacity; workers; store }
-    in
-    match Server.create config with
-    | Error msg ->
-      Log.err "%s" msg;
+    match (store, peers) with
+    | None, _ :: _ ->
+      Log.err "--peer needs the result cache; drop --no-cache";
       1
-    | Ok server ->
-      Server.install_signal_handlers server;
-      Server.run server;
-      0)
+    | _ ->
+      (match store with
+       | Some store -> Cache_tier.attach ~store ~peers ()
+       | None -> ());
+      let config =
+        { (Server.default_config listen) with Server.capacity; workers; store }
+      in
+      (match Server.create config with
+       | Error msg ->
+         Log.err "%s" msg;
+         1
+       | Ok server ->
+         Server.install_signal_handlers server;
+         Server.run server;
+         0))
 
 let serve_cmd =
   let info =
     Cmd.info "serve"
       ~doc:
         "Run standbyd: a daemon answering optimization requests over newline-delimited \
-         JSON, with bounded admission, per-request deadlines and graceful SIGTERM drain"
+         JSON, with bounded admission, per-request deadlines, a shared peer cache tier \
+         and graceful SIGTERM drain"
   in
   Cmd.v info
     Term.(
       const run_serve $ telemetry_term $ listen_arg $ capacity_arg $ workers_arg
-      $ cache_dir_arg $ no_cache_arg $ cache_max_arg)
+      $ cache_dir_arg $ no_cache_arg $ cache_max_arg $ peers_arg)
 
 let connect_arg =
   let doc = "Daemon address: unix:PATH, HOST:PORT, or a bare Unix-socket path." in
@@ -600,9 +621,23 @@ let print_status (s : Wire.status_payload) =
   Printf.printf "draining       %b\n" s.Wire.draining;
   Printf.printf "accepted       %d\n" s.Wire.accepted;
   Printf.printf "rejected       %d\n" s.Wire.rejected;
-  Printf.printf "in flight      %d / %d\n" s.Wire.in_flight s.Wire.capacity;
+  (if s.Wire.capacity > 0 then
+     Printf.printf "in flight      %d / %d\n" s.Wire.in_flight s.Wire.capacity
+   else Printf.printf "in flight      %d\n" s.Wire.in_flight);
+  Printf.printf "queue depth    %d\n" s.Wire.queue_depth;
   Printf.printf "workers        %d\n" s.Wire.workers;
-  Printf.printf "uptime         %.1f s\n" s.Wire.uptime_s
+  Printf.printf "uptime         %.1f s\n" s.Wire.uptime_s;
+  match s.Wire.backends with
+  | [] -> ()
+  | backends ->
+    Printf.printf "backends       %d\n" (List.length backends);
+    List.iter
+      (fun (b : Wire.backend_status) ->
+        Printf.printf "  %-24s %-9s in-flight %-4d failures %-3d %s\n" b.Wire.backend
+          b.Wire.health b.Wire.backend_in_flight b.Wire.consecutive_failures
+          (if b.Wire.last_probe_s < 0.0 then "never probed"
+           else Printf.sprintf "probed %.1f s ago" b.Wire.last_probe_s))
+      backends
 
 let print_result (p : Wire.result_payload) =
   Printf.printf "%-12s %-9s %-18s leak %10.4f uA  delay %6.2f / %6.2f  %6.2f s\n"
@@ -615,7 +650,8 @@ let render_response ~json response =
   if json then begin
     print_endline (Json.to_string (Wire.response_to_json response));
     match response with
-    | Wire.Result _ | Wire.Status_reply _ | Wire.Metrics_reply _ -> true
+    | Wire.Result _ | Wire.Status_reply _ | Wire.Metrics_reply _ | Wire.Cache_found _
+    | Wire.Cache_missing _ | Wire.Cache_ack _ -> true
     | Wire.Rejected _ | Wire.Error_response _ -> false
   end
   else
@@ -629,6 +665,17 @@ let render_response ~json response =
     | Wire.Metrics_reply { body; _ } ->
       print_string body;
       true
+    | Wire.Cache_found { key; entry } ->
+      Printf.printf "%s: cached %s (leak %.4f uA)\n" key
+        entry.Result_store.method_name
+        (entry.Result_store.total *. 1e6);
+      true
+    | Wire.Cache_missing { key } ->
+      Printf.printf "%s: not cached\n" key;
+      true
+    | Wire.Cache_ack { key; stored } ->
+      Printf.printf "%s: %s\n" key (if stored then "stored" else "not stored");
+      true
     | Wire.Rejected { id; reason; retry_after_s } ->
       Printf.eprintf "%s: rejected (%s), retry after %.1f s\n" id reason retry_after_s;
       false
@@ -636,8 +683,55 @@ let render_response ~json response =
       Printf.eprintf "%s: error: %s\n" (Option.value id ~default:"-") message;
       false
 
-let run_submit telemetry connect circuits files mode method_ heu2_limit penalty deadline
-    status metrics json =
+let upstream_arg =
+  let doc =
+    "Fallback address (repeatable): when the --connect target is unavailable — and only \
+     then — each upstream is tried in order.  A daemon that answered but misbehaved is \
+     never silently retried elsewhere."
+  in
+  Arg.(value & opt_all address_conv [] & info [ "upstream" ] ~docv:"ADDR" ~doc)
+
+(* One pipelined session against one address.  [`Unavailable] escapes
+   only while nothing has been received yet — optimize requests are
+   deterministic and content-addressed, so resubmitting the whole batch
+   to a fallback cannot change any answer, but a half-drained session is
+   reported, not replayed. *)
+let submit_session ~json requests address =
+  match Client.connect address with
+  | Error (Client.Unavailable msg) -> `Unavailable msg
+  | Error e -> `Failed (Client.error_message e)
+  | Ok client ->
+    Fun.protect
+      ~finally:(fun () -> Client.close client)
+      (fun () ->
+        (* Pipeline every request on the one connection, then drain the
+           same number of responses (they arrive in completion order,
+           each tagged with its request id). *)
+        let rec send_all = function
+          | [] -> Ok ()
+          | r :: rest -> Result.bind (Client.send client r) (fun () -> send_all rest)
+        in
+        match send_all requests with
+        | Error (Client.Unavailable msg) -> `Unavailable msg
+        | Error e -> `Failed (Client.error_message e)
+        | Ok () ->
+          let failures = ref 0 in
+          let rec drain received n =
+            if n = 0 then `Done !failures
+            else
+              match Client.recv client with
+              | Error (Client.Unavailable msg) when received = 0 -> `Unavailable msg
+              | Error e ->
+                Log.err "recv failed: %s" (Client.error_message e);
+                `Done (!failures + n)
+              | Ok response ->
+                if not (render_response ~json response) then incr failures;
+                drain (received + 1) (n - 1)
+          in
+          drain 0 (List.length requests))
+
+let run_submit telemetry connect upstreams circuits files mode method_ heu2_limit penalty
+    deadline status metrics json =
   install_telemetry telemetry;
   let m =
     match method_ with
@@ -650,7 +744,7 @@ let run_submit telemetry connect circuits files mode method_ heu2_limit penalty 
   | Error msg ->
     Log.err "%s" msg;
     1
-  | Ok optimizes -> (
+  | Ok optimizes ->
     let requests =
       optimizes
       @ (if status then [ Wire.Status ] else [])
@@ -660,54 +754,141 @@ let run_submit telemetry connect circuits files mode method_ heu2_limit penalty 
       Log.err "nothing to submit: pass --circuit, --file, --status or --metrics";
       1
     end
-    else
-      match Client.connect connect with
-      | Error msg ->
-        Log.err "%s" msg;
-        1
-      | Ok client ->
-        Fun.protect
-          ~finally:(fun () -> Client.close client)
-          (fun () ->
-            (* Pipeline every request on the one connection, then drain
-               the same number of responses (they arrive in completion
-               order, each tagged with its request id). *)
-            let rec send_all = function
-              | [] -> Ok ()
-              | r :: rest -> Result.bind (Client.send client r) (fun () -> send_all rest)
-            in
-            match send_all requests with
-            | Error msg ->
-              Log.err "send failed: %s" msg;
+    else begin
+      let rec attempt = function
+        | [] ->
+          Log.err "no daemon reachable";
+          1
+        | address :: rest -> (
+          match submit_session ~json requests address with
+          | `Done 0 -> 0
+          | `Done _ -> 1
+          | `Failed msg ->
+            Log.err "%s" msg;
+            1
+          | `Unavailable msg ->
+            if rest = [] then begin
+              Log.err "%s" msg;
               1
-            | Ok () ->
-              let failures = ref 0 in
-              let rec drain n =
-                if n = 0 then ()
-                else
-                  match Client.recv client with
-                  | Error msg ->
-                    Log.err "recv failed: %s" msg;
-                    failures := !failures + n
-                  | Ok response ->
-                    if not (render_response ~json response) then incr failures;
-                    drain (n - 1)
-              in
-              drain (List.length requests);
-              if !failures > 0 then 1 else 0))
+            end
+            else begin
+              Log.warn "%s unavailable (%s), trying next upstream"
+                (Wire.address_to_string address) msg;
+              attempt rest
+            end)
+      in
+      attempt (connect :: upstreams)
+    end
 
 let submit_cmd =
   let info =
     Cmd.info "submit"
       ~doc:
-        "Submit optimization requests to a running standbyd daemon (pipelined on one \
-         connection), or scrape its status and metrics"
+        "Submit optimization requests to a running standbyd daemon or router (pipelined \
+         on one connection, with optional fallback upstreams), or scrape its status and \
+         metrics"
   in
   Cmd.v info
     Term.(
-      const run_submit $ client_telemetry_term $ connect_arg $ submit_circuits_arg
-      $ submit_files_arg $ mode_arg $ method_arg $ heu2_limit_arg $ penalty_arg
-      $ deadline_arg $ status_flag_arg $ metrics_flag_arg $ json_flag_arg)
+      const run_submit $ client_telemetry_term $ connect_arg $ upstream_arg
+      $ submit_circuits_arg $ submit_files_arg $ mode_arg $ method_arg $ heu2_limit_arg
+      $ penalty_arg $ deadline_arg $ status_flag_arg $ metrics_flag_arg $ json_flag_arg)
+
+(* ------------------------------------------------------------------ *)
+(* route / drain                                                        *)
+
+let route_listen_arg =
+  let doc = "Front-side listen address for the router." in
+  Arg.(
+    value
+    & opt address_conv (Wire.Unix_socket "standbyopt-router.sock")
+    & info [ "l"; "listen" ] ~docv:"ADDR" ~doc)
+
+let backend_arg =
+  let doc = "standbyd backend address (repeatable; at least one required)." in
+  Arg.(non_empty & opt_all address_conv [] & info [ "b"; "backend" ] ~docv:"ADDR" ~doc)
+
+let vnodes_arg =
+  let doc =
+    "Virtual nodes per backend on the consistent-hash ring.  More points mean better \
+     balance and a slightly larger ring."
+  in
+  Arg.(value & opt int Standby_cluster.Ring.default_vnodes & info [ "vnodes" ] ~docv:"N" ~doc)
+
+let probe_interval_arg =
+  let doc = "Seconds between health probes of a healthy backend (failures back off)." in
+  Arg.(value & opt float 2.0 & info [ "probe-interval" ] ~docv:"SECONDS" ~doc)
+
+let connect_timeout_arg =
+  let doc = "Downstream connect timeout before a backend counts as unavailable." in
+  Arg.(value & opt float 5.0 & info [ "connect-timeout" ] ~docv:"SECONDS" ~doc)
+
+let run_route telemetry listen backends vnodes probe_interval connect_timeout =
+  install_telemetry telemetry;
+  let config =
+    {
+      (Router.default_config ~listen ~backends) with
+      Router.vnodes;
+      probe_interval_s = probe_interval;
+      connect_timeout_s = connect_timeout;
+    }
+  in
+  match Router.create config with
+  | Error msg ->
+    Log.err "%s" msg;
+    1
+  | Ok router ->
+    Router.install_signal_handlers router;
+    Router.run router;
+    0
+
+let route_cmd =
+  let info =
+    Cmd.info "route"
+      ~doc:
+        "Run the cluster coordinator: requests are consistent-hashed by their content \
+         digest onto standbyd backends, with health probing, retry-aware failover and \
+         administrative backend draining"
+  in
+  Cmd.v info
+    Term.(
+      const run_route $ telemetry_term $ route_listen_arg $ backend_arg $ vnodes_arg
+      $ probe_interval_arg $ connect_timeout_arg)
+
+let drain_backend_arg =
+  let doc =
+    "Backend address to drain (router targets only).  Omitted, the daemon or router \
+     itself drains."
+  in
+  Arg.(value & opt (some string) None & info [ "b"; "backend" ] ~docv:"ADDR" ~doc)
+
+let run_drain telemetry connect backend json =
+  install_telemetry telemetry;
+  match Client.connect connect with
+  | Error e ->
+    Log.err "%s" (Client.error_message e);
+    1
+  | Ok client ->
+    Fun.protect
+      ~finally:(fun () -> Client.close client)
+      (fun () ->
+        match Client.rpc client (Wire.Drain { backend }) with
+        | Error e ->
+          Log.err "%s" (Client.error_message e);
+          1
+        | Ok response -> if render_response ~json response then 0 else 1)
+
+let drain_cmd =
+  let info =
+    Cmd.info "drain"
+      ~doc:
+        "Ask a daemon or router to drain — finish in-flight work and take no more — or, \
+         with --backend, drain one backend out of a router's rotation"
+  in
+  Cmd.v info
+    Term.(
+      const run_drain $ client_telemetry_term $ connect_arg $ drain_backend_arg
+      $ json_flag_arg)
 
 (* ------------------------------------------------------------------ *)
 (* report                                                               *)
@@ -933,8 +1114,8 @@ let main_cmd =
   let info = Cmd.info "standbyopt" ~version:"1.0.0" ~doc in
   Cmd.group info
     [
-      optimize_cmd; baseline_cmd; batch_cmd; serve_cmd; submit_cmd; report_cmd;
-      library_cmd; circuits_cmd; export_cmd; analyze_cmd; export_lib_cmd;
+      optimize_cmd; baseline_cmd; batch_cmd; serve_cmd; submit_cmd; route_cmd; drain_cmd;
+      report_cmd; library_cmd; circuits_cmd; export_cmd; analyze_cmd; export_lib_cmd;
       export_process_cmd; trace_cmd;
     ]
 

@@ -1,0 +1,85 @@
+(* MD5 keeps point placement stable across runs, builds and machines —
+   a hash seeded per-process (Hashtbl.hash with randomization, or
+   anything salted) would silently re-own every key on restart and
+   defeat the warm-cache argument for consistent hashing. *)
+let hash s = String.get_int64_be (Digest.string s) 0
+
+let default_vnodes = 128
+
+type t = {
+  points : (int64 * string) array;  (* sorted by (hash, backend) *)
+  backends : string list;  (* distinct, sorted *)
+  vnodes : int;
+}
+
+let compare_points (ha, ba) (hb, bb) =
+  (* Ties (two vnode labels colliding on a hash) break on the backend
+     name so the order — and therefore ownership — is total and
+     deterministic. *)
+  match Int64.unsigned_compare ha hb with 0 -> String.compare ba bb | c -> c
+
+let create ?(vnodes = default_vnodes) names =
+  if vnodes < 1 then invalid_arg "Ring.create: vnodes must be positive";
+  let backends = List.sort_uniq String.compare names in
+  let points =
+    List.concat_map
+      (fun name ->
+        List.init vnodes (fun i -> (hash (Printf.sprintf "%s#%d" name i), name)))
+      backends
+    |> Array.of_list
+  in
+  Array.sort compare_points points;
+  { points; backends; vnodes }
+
+let backends t = t.backends
+
+let vnodes t = t.vnodes
+
+(* Index of the first point at or clockwise of [h], wrapping at the top
+   of the ring. *)
+let successor t h =
+  let n = Array.length t.points in
+  if n = 0 then None
+  else begin
+    let lo = ref 0 and hi = ref n in
+    (* Invariant: points.(i) < h for i < lo; points.(i) >= h for i >= hi. *)
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      let ph, _ = t.points.(mid) in
+      if Int64.unsigned_compare ph h < 0 then lo := mid + 1 else hi := mid
+    done;
+    Some (if !lo = n then 0 else !lo)
+  end
+
+let lookup t ~key =
+  match successor t (hash key) with
+  | None -> None
+  | Some i -> Some (snd t.points.(i))
+
+let replicas t ~key =
+  match successor t (hash key) with
+  | None -> []
+  | Some start ->
+    let n = Array.length t.points in
+    let want = List.length t.backends in
+    let seen = Hashtbl.create want in
+    let order = ref [] in
+    let i = ref 0 in
+    while Hashtbl.length seen < want && !i < n do
+      let _, b = t.points.((start + !i) mod n) in
+      if not (Hashtbl.mem seen b) then begin
+        Hashtbl.add seen b ();
+        order := b :: !order
+      end;
+      incr i
+    done;
+    List.rev !order
+
+let remove t name =
+  if not (List.mem name t.backends) then t
+  else
+    {
+      points = Array.of_seq (Seq.filter (fun (_, b) -> b <> name) (Array.to_seq t.points));
+      backends = List.filter (fun b -> b <> name) t.backends;
+      vnodes = t.vnodes;
+    }

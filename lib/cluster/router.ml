@@ -1,0 +1,590 @@
+module Protocol = Standby_server.Protocol
+module Client = Standby_server.Client
+module Server = Standby_server.Server
+module Cache_key = Standby_service.Cache_key
+module Bench_io = Standby_netlist.Bench_io
+module Process = Standby_device.Process
+module Benchmarks = Standby_circuits.Benchmarks
+module Timer = Standby_util.Timer
+module Telemetry = Standby_telemetry.Telemetry
+module Metrics = Standby_telemetry.Metrics
+module Log = Standby_telemetry.Log
+module Json = Standby_telemetry.Json
+
+let m_routes =
+  Metrics.counter Metrics.default "cluster.routes" ~help:"Optimize requests routed"
+let m_failovers =
+  Metrics.counter Metrics.default "cluster.failovers"
+    ~help:"Routing attempts retried on another ring replica"
+let m_rejected =
+  Metrics.counter Metrics.default "cluster.rejected"
+    ~help:"Requests answered with an aggregated fleet-wide rejection"
+let m_unroutable =
+  Metrics.counter Metrics.default "cluster.unroutable"
+    ~help:"Requests with no backend left to try"
+let m_probes =
+  Metrics.counter Metrics.default "cluster.probes" ~help:"Health probes sent"
+let m_probe_failures =
+  Metrics.counter Metrics.default "cluster.probe_failures" ~help:"Health probes failed"
+let m_cache_proxied =
+  Metrics.counter Metrics.default "cluster.cache_proxied"
+    ~help:"Cache verbs proxied to their digest owner"
+let g_live_backends =
+  Metrics.gauge Metrics.default "cluster.live_backends"
+    ~help:"Backends currently assignable and not down"
+
+type config = {
+  listen : Protocol.address;
+  backends : Protocol.address list;
+  vnodes : int;
+  probe_interval_s : float;
+  connect_timeout_s : float;
+  max_frame_bytes : int;
+}
+
+let default_config ~listen ~backends =
+  {
+    listen;
+    backends;
+    vnodes = Ring.default_vnodes;
+    probe_interval_s = 2.0;
+    connect_timeout_s = 5.0;
+    max_frame_bytes = Protocol.Frame.default_max_bytes;
+  }
+
+(* Per-client-connection state, mirroring the daemon's: several routing
+   threads can finish concurrently, so response writes serialize on the
+   connection's mutex. *)
+type conn = {
+  fd : Unix.file_descr;
+  alive : bool Atomic.t;
+  closed : bool Atomic.t;
+  write_mutex : Mutex.t;
+  peer : string;
+}
+
+type t = {
+  config : config;
+  listen_fd : Unix.file_descr;
+  ring : Ring.t;  (* static over the configured fleet; health filters it *)
+  fleet : (string * Health.t) list;  (* address string -> health, fixed order *)
+  fleet_mutex : Mutex.t;  (* guards every Health.t mutation *)
+  draining_flag : bool Atomic.t;
+  mutex : Mutex.t;  (* accept-side: counters, conns, idle *)
+  idle : Condition.t;
+  mutable in_flight : int;
+  mutable accepted : int;
+  mutable rejected : int;
+  mutable conns : conn list;
+  started : Timer.t;
+}
+
+let draining t = Atomic.get t.draining_flag
+let request_drain t = Atomic.set t.draining_flag true
+
+let create config =
+  if config.backends = [] then Error "router needs at least one --backend"
+  else if config.vnodes < 1 then Error "vnodes must be positive"
+  else
+    let names = List.map Protocol.address_to_string config.backends in
+    let distinct = List.sort_uniq String.compare names in
+    if List.length distinct <> List.length names then
+      Error "duplicate backend address"
+    else
+      match Server.listen config.listen with
+      | Error _ as e -> e
+      | Ok listen_fd ->
+        Ok
+          {
+            config;
+            listen_fd;
+            ring = Ring.create ~vnodes:config.vnodes names;
+            fleet =
+              List.map2
+                (fun name address ->
+                  (name, Health.create ~probe_interval_s:config.probe_interval_s ~name address))
+                names config.backends;
+            fleet_mutex = Mutex.create ();
+            draining_flag = Atomic.make false;
+            mutex = Mutex.create ();
+            idle = Condition.create ();
+            in_flight = 0;
+            accepted = 0;
+            rejected = 0;
+            conns = [];
+            started = Timer.unlimited ();
+          }
+
+let install_signal_handlers t =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let drain _ = request_drain t in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle drain);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle drain)
+
+let with_fleet t f =
+  Mutex.lock t.fleet_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.fleet_mutex) f
+
+let live_backends t =
+  with_fleet t (fun () ->
+      List.length
+        (List.filter
+           (fun (_, h) -> Health.assignable h && Health.state h <> Health.Down)
+           t.fleet))
+
+let status t =
+  let now = Unix.gettimeofday () in
+  let backends =
+    with_fleet t (fun () -> List.map (fun (_, h) -> Health.status_view h ~now) t.fleet)
+  in
+  let live =
+    List.length
+      (List.filter
+         (fun (b : Protocol.backend_status) ->
+           b.health = "healthy" || b.health = "suspect")
+         backends)
+  in
+  Mutex.lock t.mutex;
+  let payload =
+    {
+      Protocol.draining = draining t;
+      accepted = t.accepted;
+      rejected = t.rejected;
+      in_flight = t.in_flight;
+      queue_depth = t.in_flight;
+      (* The router itself does not bound admission — backends do, and
+         their rejections propagate. *)
+      capacity = 0;
+      workers = live;
+      uptime_s = Timer.elapsed_s t.started;
+      backends;
+    }
+  in
+  Mutex.unlock t.mutex;
+  payload
+
+let drain_backend t name =
+  with_fleet t (fun () ->
+      match List.assoc_opt name t.fleet with
+      | None ->
+        Error
+          (Printf.sprintf "unknown backend %S (backends: %s)" name
+             (String.concat ", " (List.map fst t.fleet)))
+      | Some h ->
+        Health.mark_draining h;
+        Log.info "backend draining" ~fields:[ Log.str "backend" name ];
+        Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Responses to the client                                              *)
+
+let send conn response =
+  Mutex.lock conn.write_mutex;
+  let outcome =
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock conn.write_mutex)
+      (fun () ->
+        if Atomic.get conn.alive then
+          Protocol.Frame.write conn.fd (Json.to_string (Protocol.response_to_json response))
+        else Error "connection closed")
+  in
+  match outcome with
+  | Ok () -> true
+  | Error msg ->
+    if Atomic.get conn.alive then begin
+      Atomic.set conn.alive false;
+      Log.debug "client write failed"
+        ~fields:[ Log.str "peer" conn.peer; Log.str "error" msg ]
+    end;
+    false
+
+(* ------------------------------------------------------------------ *)
+(* Routing                                                              *)
+
+(* The routing key is the same content digest the result stores use, so
+   the ring sends every repetition of a job to the backend whose cache
+   already holds it. *)
+let digest_of_optimize (o : Protocol.optimize) =
+  match
+    match o.Protocol.source with
+    | Protocol.Circuit name -> (
+      try Ok (Benchmarks.circuit name)
+      with Not_found ->
+        Error
+          (Printf.sprintf "unknown benchmark %S (known: %s)" name
+             (String.concat ", " Benchmarks.names)))
+    | Protocol.Bench { name; text } -> Bench_io.of_string ~name text
+  with
+  | Error _ as e -> e
+  | Ok net ->
+    Ok
+      (Cache_key.digest ~net ~process:Process.default ~mode:o.Protocol.mode
+         ~penalty:o.Protocol.penalty ~method_:o.Protocol.method_)
+
+(* Replica walk for [key]: assignable backends in ring order, the ones
+   worth trying first (up, not backpressured) ahead of the last resorts
+   (down or backpressured — the verdict may be stale, and a desperate
+   attempt beats an unconditional refusal). *)
+let candidates t ~key =
+  let now = Unix.gettimeofday () in
+  with_fleet t (fun () ->
+      let order =
+        List.filter_map (fun name -> List.assoc_opt name t.fleet) (Ring.replicas t.ring ~key)
+      in
+      let eligible = List.filter Health.assignable order in
+      let preferred, last_resort = List.partition (Health.routable ~now) eligible in
+      preferred @ last_resort)
+
+type attempt =
+  | Answered of Protocol.response
+  | Rejected_by of { reason : string; retry_after_s : float }
+  | Unavailable of string
+  | Fatal of string
+
+(* One request, one downstream connection: the first response on the
+   wire is necessarily ours, and a backend death mid-request surfaces
+   as [Unavailable] on this dial alone. *)
+let attempt_on t request backend =
+  match
+    Client.connect ~connect_timeout_s:t.config.connect_timeout_s
+      ~max_frame_bytes:t.config.max_frame_bytes (Health.address backend)
+  with
+  | Error (Client.Unavailable msg) -> Unavailable msg
+  | Error e -> Fatal (Client.error_message e)
+  | Ok client ->
+    Fun.protect
+      ~finally:(fun () -> Client.close client)
+      (fun () ->
+        match Client.rpc client request with
+        | Ok (Protocol.Rejected { reason; retry_after_s; _ }) ->
+          Rejected_by { reason; retry_after_s }
+        | Ok response -> Answered response
+        | Error (Client.Unavailable msg) -> Unavailable msg
+        | Error e -> Fatal (Client.error_message e))
+
+(* Walk the replica order until a backend answers.  Returns the final
+   verdict; health bookkeeping happens as each attempt resolves. *)
+let route_request t ~key request =
+  let backends = candidates t ~key in
+  Metrics.set_gauge g_live_backends (float_of_int (live_backends t));
+  let rec walk tried rejection = function
+    | [] ->
+      if tried = 0 then `No_backend
+      else (match rejection with Some r -> `All_rejected r | None -> `All_failed tried)
+    | backend :: rest -> (
+      if tried > 0 then Metrics.incr m_failovers;
+      with_fleet t (fun () -> Health.begin_request backend);
+      let outcome =
+        Fun.protect
+          ~finally:(fun () -> with_fleet t (fun () -> Health.end_request backend))
+          (fun () -> attempt_on t request backend)
+      in
+      let now = Unix.gettimeofday () in
+      match outcome with
+      | Answered response ->
+        with_fleet t (fun () -> Health.note_success backend ~now ());
+        `Answered (response, Health.name backend)
+      | Rejected_by { reason; retry_after_s } ->
+        with_fleet t (fun () -> Health.note_backpressure backend ~now ~retry_after_s);
+        Log.debug "backend rejected, trying next replica"
+          ~fields:
+            [
+              Log.str "backend" (Health.name backend);
+              Log.str "reason" reason;
+              Log.float "retry_after_s" retry_after_s;
+            ];
+        (* Keep the minimum hint: the fleet frees up when its
+           least-loaded member does. *)
+        let rejection =
+          match rejection with
+          | Some (_, best) when best <= retry_after_s -> rejection
+          | _ -> Some (reason, retry_after_s)
+        in
+        walk (tried + 1) rejection rest
+      | Unavailable msg ->
+        with_fleet t (fun () -> Health.note_failure backend ~now);
+        Log.info "backend unavailable, failing over"
+          ~fields:[ Log.str "backend" (Health.name backend); Log.str "error" msg ];
+        walk (tried + 1) rejection rest
+      | Fatal msg -> `Fatal (msg, Health.name backend))
+  in
+  walk 0 None backends
+
+let route_optimize t conn (o : Protocol.optimize) =
+  let finish () =
+    Mutex.lock t.mutex;
+    t.in_flight <- t.in_flight - 1;
+    if t.in_flight = 0 then Condition.broadcast t.idle;
+    Mutex.unlock t.mutex
+  in
+  Fun.protect ~finally:finish (fun () ->
+      Telemetry.span "cluster.route"
+        ~fields:[ ("id", Json.String o.Protocol.id) ]
+        (fun () ->
+          match digest_of_optimize o with
+          | Error message ->
+            Telemetry.add_fields [ ("error", Json.String message) ];
+            ignore
+              (send conn (Protocol.Error_response { id = Some o.Protocol.id; message }))
+          | Ok key -> (
+            Telemetry.add_fields [ ("key", Json.String key) ];
+            Metrics.incr m_routes;
+            match route_request t ~key (Protocol.Optimize o) with
+            | `Answered (response, backend) ->
+              Telemetry.add_fields [ ("backend", Json.String backend) ];
+              (* Forward verbatim: the router adds routing, never
+                 rewrites results. *)
+              ignore (send conn response)
+            | `Fatal (message, backend) ->
+              Telemetry.add_fields
+                [ ("error", Json.String message); ("backend", Json.String backend) ];
+              ignore
+                (send conn
+                   (Protocol.Error_response
+                      {
+                        id = Some o.Protocol.id;
+                        message = Printf.sprintf "backend %s: %s" backend message;
+                      }))
+            | `All_rejected (reason, retry_after_s) ->
+              Metrics.incr m_rejected;
+              Mutex.lock t.mutex;
+              t.rejected <- t.rejected + 1;
+              Mutex.unlock t.mutex;
+              ignore
+                (send conn
+                   (Protocol.Rejected { id = o.Protocol.id; reason; retry_after_s }))
+            | `No_backend | `All_failed _ ->
+              Metrics.incr m_unroutable;
+              Mutex.lock t.mutex;
+              t.rejected <- t.rejected + 1;
+              Mutex.unlock t.mutex;
+              ignore
+                (send conn
+                   (Protocol.Error_response
+                      {
+                        id = Some o.Protocol.id;
+                        message = "no backend available for request";
+                      })))))
+
+(* Cache verbs are proxied along the same walk.  A fleet that cannot be
+   reached degrades to a miss / unstored ack — the cache tier never
+   fails harder than having no cache. *)
+let route_cache t conn ~key request ~on_unreachable =
+  Metrics.incr m_cache_proxied;
+  match route_request t ~key request with
+  | `Answered (response, _) -> ignore (send conn response)
+  | `Fatal (message, backend) ->
+    ignore
+      (send conn
+         (Protocol.Error_response
+            { id = None; message = Printf.sprintf "backend %s: %s" backend message }))
+  | `No_backend | `All_failed _ | `All_rejected _ -> ignore (send conn on_unreachable)
+
+(* ------------------------------------------------------------------ *)
+(* Front-side connections                                               *)
+
+let handle_frame t conn line =
+  match Result.bind (Json.of_string line) Protocol.request_of_json with
+  | Error message ->
+    ignore (send conn (Protocol.Error_response { id = None; message }))
+  | Ok Protocol.Status -> ignore (send conn (Protocol.Status_reply (status t)))
+  | Ok Protocol.Metrics ->
+    ignore
+      (send conn
+         (Protocol.Metrics_reply
+            {
+              content_type = "text/plain; version=0.0.4";
+              body = Metrics.to_prometheus Metrics.default;
+            }))
+  | Ok (Protocol.Drain { backend = None }) ->
+    Log.info "router drain requested over the wire" ~fields:[ Log.str "peer" conn.peer ];
+    request_drain t;
+    ignore (send conn (Protocol.Status_reply (status t)))
+  | Ok (Protocol.Drain { backend = Some name }) -> (
+    match drain_backend t name with
+    | Ok () -> ignore (send conn (Protocol.Status_reply (status t)))
+    | Error message -> ignore (send conn (Protocol.Error_response { id = None; message })))
+  | Ok (Protocol.Cache_get { key } as request) ->
+    route_cache t conn ~key request ~on_unreachable:(Protocol.Cache_missing { key })
+  | Ok (Protocol.Cache_put { key; _ } as request) ->
+    route_cache t conn ~key request
+      ~on_unreachable:(Protocol.Cache_ack { key; stored = false })
+  | Ok (Protocol.Optimize o) ->
+    let admitted =
+      Mutex.lock t.mutex;
+      let ok = not (draining t) in
+      if ok then begin
+        t.in_flight <- t.in_flight + 1;
+        t.accepted <- t.accepted + 1
+      end
+      else t.rejected <- t.rejected + 1;
+      Mutex.unlock t.mutex;
+      ok
+    in
+    if admitted then ignore (Thread.create (fun () -> route_optimize t conn o) ())
+    else
+      ignore
+        (send conn
+           (Protocol.Rejected
+              { id = o.Protocol.id; reason = "router draining"; retry_after_s = 5.0 }))
+
+let close_conn t conn =
+  Atomic.set conn.alive false;
+  Mutex.lock t.mutex;
+  t.conns <- List.filter (fun c -> c != conn) t.conns;
+  Mutex.unlock t.mutex;
+  if not (Atomic.exchange conn.closed true) then begin
+    (try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    try Unix.close conn.fd with Unix.Unix_error _ -> ()
+  end
+
+let handle_conn t conn () =
+  let reader = Protocol.Frame.reader ~max_bytes:t.config.max_frame_bytes conn.fd in
+  let rec loop () =
+    match Protocol.Frame.read reader with
+    | Ok line ->
+      if line <> "" then handle_frame t conn line;
+      loop ()
+    | Error `Eof -> ()
+    | Error `Oversized ->
+      ignore
+        (send conn
+           (Protocol.Error_response
+              {
+                id = None;
+                message = Printf.sprintf "frame exceeds %d bytes" t.config.max_frame_bytes;
+              }))
+    | Error (`Error msg) ->
+      Log.debug "client read failed"
+        ~fields:[ Log.str "peer" conn.peer; Log.str "error" msg ]
+  in
+  Fun.protect ~finally:(fun () -> close_conn t conn) loop
+
+let peer_name fd =
+  match Unix.getpeername fd with
+  | Unix.ADDR_UNIX _ -> "unix"
+  | Unix.ADDR_INET (addr, port) ->
+    Printf.sprintf "%s:%d" (Unix.string_of_inet_addr addr) port
+  | exception Unix.Unix_error _ -> "unknown"
+
+(* ------------------------------------------------------------------ *)
+(* Prober                                                               *)
+
+let probe_round t =
+  let now = Unix.gettimeofday () in
+  let due =
+    with_fleet t (fun () -> List.filter (fun (_, h) -> Health.probe_due h ~now) t.fleet)
+  in
+  List.iter
+    (fun (name, h) ->
+      Metrics.incr m_probes;
+      let verdict =
+        (* Probe dials stay short even when routing tolerates slower
+           backends — a probe that waits is a probe that lies about
+           freshness. *)
+        match
+          Client.connect
+            ~connect_timeout_s:(Float.min 2.0 t.config.connect_timeout_s)
+            (Health.address h)
+        with
+        | Error e -> Error (Client.error_message e)
+        | Ok client ->
+          Fun.protect
+            ~finally:(fun () -> Client.close client)
+            (fun () ->
+              match Client.rpc client Protocol.Status with
+              | Ok (Protocol.Status_reply s) -> Ok s
+              | Ok _ -> Error "unexpected response to status probe"
+              | Error e -> Error (Client.error_message e))
+      in
+      let now = Unix.gettimeofday () in
+      with_fleet t (fun () ->
+          match verdict with
+          | Ok s ->
+            Health.note_success h ~now ~in_flight:s.Protocol.queue_depth ();
+            (* A backend draining on its own (direct SIGTERM) is treated
+               like an administrative drain: no new assignments. *)
+            if s.Protocol.draining then Health.mark_draining h;
+            if Health.observe_drained h then
+              Log.info "backend drained" ~fields:[ Log.str "backend" name ]
+          | Error msg ->
+            Metrics.incr m_probe_failures;
+            Health.note_failure h ~now;
+            Log.debug "probe failed"
+              ~fields:[ Log.str "backend" name; Log.str "error" msg ]))
+    due;
+  Metrics.set_gauge g_live_backends (float_of_int (live_backends t))
+
+let prober t () =
+  while not (draining t) do
+    probe_round t;
+    (* Short fixed sleep, drain-responsive; per-backend cadence lives in
+       [Health.probe_due]. *)
+    Thread.delay 0.2
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Main loop                                                            *)
+
+let accept_one t =
+  match Unix.accept t.listen_fd with
+  | fd, _ ->
+    let conn =
+      {
+        fd;
+        alive = Atomic.make true;
+        closed = Atomic.make false;
+        write_mutex = Mutex.create ();
+        peer = peer_name fd;
+      }
+    in
+    Mutex.lock t.mutex;
+    t.conns <- conn :: t.conns;
+    Mutex.unlock t.mutex;
+    ignore (Thread.create (handle_conn t conn) ())
+  | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+
+let run t =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Log.info "standbyd router listening"
+    ~fields:
+      [
+        Log.str "address" (Protocol.address_to_string t.config.listen);
+        Log.int "backends" (List.length t.fleet);
+        Log.int "vnodes" (Ring.vnodes t.ring);
+      ];
+  let prober_thread = Thread.create (prober t) () in
+  while not (draining t) do
+    match Unix.select [ t.listen_fd ] [] [] 0.2 with
+    | [ _ ], _, _ -> accept_one t
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (match t.config.listen with
+   | Protocol.Unix_socket path -> (
+     try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+   | Protocol.Tcp _ -> ());
+  Mutex.lock t.mutex;
+  let backlog = t.in_flight in
+  Mutex.unlock t.mutex;
+  Log.info "router draining" ~fields:[ Log.int "in_flight" backlog ];
+  Mutex.lock t.mutex;
+  while t.in_flight > 0 do
+    Condition.wait t.idle t.mutex
+  done;
+  Mutex.unlock t.mutex;
+  Thread.join prober_thread;
+  let conns =
+    Mutex.lock t.mutex;
+    let cs = t.conns in
+    Mutex.unlock t.mutex;
+    cs
+  in
+  List.iter (fun conn -> close_conn t conn) conns;
+  Log.info "router drain complete"
+    ~fields:
+      [
+        Log.int "served" (Metrics.counter_value m_routes);
+        Log.float "uptime_s" (Timer.elapsed_s t.started);
+      ]

@@ -1,52 +1,117 @@
 module Json = Standby_telemetry.Json
 
+type error =
+  | Unavailable of string
+  | Protocol_error of string
+  | Closed
+
+let error_message = function
+  | Unavailable msg -> Printf.sprintf "backend unavailable: %s" msg
+  | Protocol_error msg -> Printf.sprintf "protocol error: %s" msg
+  | Closed -> "client is closed"
+
 type t = {
   fd : Unix.file_descr;
   reader : Protocol.Frame.reader;
   mutable closed : bool;
 }
 
-let connect ?max_frame_bytes address =
-  let sockaddr, domain =
-    match address with
-    | Protocol.Unix_socket path -> (Unix.ADDR_UNIX path, Unix.PF_UNIX)
-    | Protocol.Tcp (host, port) -> (
-      match
-        try Some (Unix.inet_addr_of_string host)
-        with Failure _ -> (
-          match Unix.gethostbyname host with
-          | { Unix.h_addr_list = [||]; _ } -> None
-          | entry -> Some entry.Unix.h_addr_list.(0)
-          | exception Not_found -> None)
-      with
-      | Some addr -> (Unix.ADDR_INET (addr, port), Unix.PF_INET)
-      | None -> (Unix.ADDR_UNIX "", Unix.PF_UNIX) (* unreachable marker below *))
-  in
-  match sockaddr with
-  | Unix.ADDR_UNIX "" -> Error (Printf.sprintf "cannot resolve %s" (Protocol.address_to_string address))
-  | _ -> (
+(* Transport-level failures — the peer is dead, unreachable or hanging
+   up — are [Unavailable]; anything that reached us as bytes but failed
+   to parse or validate is [Protocol_error].  Router failover keys off
+   exactly this split: a dead backend is retried on the next ring
+   replica, a protocol error is not hidden by rerouting. *)
+let unavailable_of_unix e = Unavailable (Unix.error_message e)
+
+let resolve address =
+  match address with
+  | Protocol.Unix_socket path -> Ok (Unix.ADDR_UNIX path, Unix.PF_UNIX)
+  | Protocol.Tcp (host, port) -> (
+    match
+      try Some (Unix.inet_addr_of_string host)
+      with Failure _ -> (
+        match Unix.gethostbyname host with
+        | { Unix.h_addr_list = [||]; _ } -> None
+        | entry -> Some entry.Unix.h_addr_list.(0)
+        | exception Not_found -> None)
+    with
+    | Some addr -> Ok (Unix.ADDR_INET (addr, port), Unix.PF_INET)
+    | None ->
+      Error
+        (Unavailable
+           (Printf.sprintf "cannot resolve %s" (Protocol.address_to_string address))))
+
+(* Non-blocking connect bounded by [connect_timeout_s], so a dead TCP
+   backend costs a bounded wait instead of the kernel's multi-minute
+   SYN retry — health probes and failover depend on this bound. *)
+let connect_fd fd sockaddr ~timeout_s =
+  Unix.set_nonblock fd;
+  let finish () = Unix.clear_nonblock fd in
+  match Unix.connect fd sockaddr with
+  | () ->
+    finish ();
+    Ok ()
+  | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK | Unix.EAGAIN), _, _)
+    -> (
+    let deadline = Unix.gettimeofday () +. timeout_s in
+    let rec await () =
+      let remaining = deadline -. Unix.gettimeofday () in
+      if remaining <= 0.0 then
+        Error
+          (Unavailable (Printf.sprintf "connect timed out after %.1f s" timeout_s))
+      else
+        match Unix.select [] [ fd ] [] remaining with
+        | _, [ _ ], _ -> (
+          match Unix.getsockopt_error fd with
+          | None ->
+            finish ();
+            Ok ()
+          | Some e -> Error (unavailable_of_unix e))
+        | _ ->
+          Error
+            (Unavailable (Printf.sprintf "connect timed out after %.1f s" timeout_s))
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> await ()
+    in
+    await ())
+  | exception Unix.Unix_error (e, _, _) -> Error (unavailable_of_unix e)
+
+let connect ?(connect_timeout_s = 10.0) ?max_frame_bytes address =
+  match resolve address with
+  | Error _ as e -> e
+  | Ok (sockaddr, domain) -> (
     let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
-    match Unix.connect fd sockaddr with
-    | () -> Ok { fd; reader = Protocol.Frame.reader ?max_bytes:max_frame_bytes fd; closed = false }
-    | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.set_close_on_exec fd with Unix.Unix_error _ -> ());
+    match connect_fd fd sockaddr ~timeout_s:connect_timeout_s with
+    | Ok () ->
+      Ok { fd; reader = Protocol.Frame.reader ?max_bytes:max_frame_bytes fd; closed = false }
+    | Error e ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
       Error
-        (Printf.sprintf "cannot connect to %s: %s"
-           (Protocol.address_to_string address)
-           (Unix.error_message e)))
+        (match e with
+         | Unavailable msg ->
+           Unavailable
+             (Printf.sprintf "cannot connect to %s: %s"
+                (Protocol.address_to_string address) msg)
+         | other -> other))
 
 let send t request =
-  if t.closed then Error "client is closed"
-  else Protocol.Frame.write t.fd (Json.to_string (Protocol.request_to_json request))
+  if t.closed then Error Closed
+  else
+    match Protocol.Frame.write t.fd (Json.to_string (Protocol.request_to_json request)) with
+    | Ok () -> Ok ()
+    | Error msg -> Error (Unavailable msg)
 
 let recv t =
-  if t.closed then Error "client is closed"
+  if t.closed then Error Closed
   else
     match Protocol.Frame.read t.reader with
-    | Ok line -> Result.bind (Json.of_string line) Protocol.response_of_json
-    | Error `Eof -> Error "connection closed by server"
-    | Error `Oversized -> Error "oversized response frame"
-    | Error (`Error msg) -> Error msg
+    | Ok line -> (
+      match Result.bind (Json.of_string line) Protocol.response_of_json with
+      | Ok response -> Ok response
+      | Error msg -> Error (Protocol_error msg))
+    | Error `Eof -> Error (Unavailable "connection closed by server")
+    | Error `Oversized -> Error (Protocol_error "oversized response frame")
+    | Error (`Error msg) -> Error (Unavailable msg)
 
 let rpc t request = Result.bind (send t request) (fun () -> recv t)
 

@@ -1,21 +1,44 @@
 (** A blocking standbyd client: one connection, pipelined requests.
 
-    Thin by design — the CLI [submit] subcommand and the test suites
-    drive it; requests go out in call order, and responses come back in
-    the order the daemon finishes them (match them up by [id]). *)
+    Thin by design — the CLI [submit] subcommand, the cluster router and
+    the test suites drive it; requests go out in call order, and
+    responses come back in the order the daemon finishes them (match
+    them up by [id]).
+
+    Failures are typed so callers can tell a dead backend from a
+    confused one: {!Unavailable} covers connection refusal, resolution
+    failure, connect timeout, resets, EPIPE and a peer that closed the
+    stream — everything a router should answer by failing over to the
+    next ring replica.  {!Protocol_error} covers bytes that arrived but
+    did not parse or validate — failing over would only mask the bug. *)
+
+type error =
+  | Unavailable of string
+      (** Dead or unreachable backend (ECONNREFUSED, EPIPE, reset,
+          timeout, EOF…) — safe to retry elsewhere. *)
+  | Protocol_error of string
+      (** The peer answered with an unparsable or oversized frame. *)
+  | Closed  (** This client handle was already {!close}d. *)
+
+val error_message : error -> string
 
 type t
 
-val connect : ?max_frame_bytes:int -> Protocol.address -> (t, string) result
+val connect :
+  ?connect_timeout_s:float ->
+  ?max_frame_bytes:int ->
+  Protocol.address ->
+  (t, error) result
+(** Non-blocking connect bounded by [connect_timeout_s] (default 10 s),
+    so a black-holed TCP backend costs a bounded wait. *)
 
-val send : t -> Protocol.request -> (unit, string) result
+val send : t -> Protocol.request -> (unit, error) result
 
-val recv : t -> (Protocol.response, string) result
-(** Next response frame.  Protocol-level errors (a malformed or
-    unversioned frame from the peer) are [Error]; a clean peer close is
-    [Error "connection closed by server"]. *)
+val recv : t -> (Protocol.response, error) result
+(** Next response frame.  A clean peer close surfaces as
+    [Unavailable "connection closed by server"]. *)
 
-val rpc : t -> Protocol.request -> (Protocol.response, string) result
+val rpc : t -> Protocol.request -> (Protocol.response, error) result
 (** [send] then [recv] — only safe when nothing else is pipelined. *)
 
 val close : t -> unit

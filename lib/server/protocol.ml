@@ -2,6 +2,7 @@ module Json = Standby_telemetry.Json
 module Version = Standby_cells.Version
 module Optimizer = Standby_opt.Optimizer
 module Manifest = Standby_service.Manifest
+module Result_store = Standby_service.Result_store
 
 let version = 1
 
@@ -43,7 +44,13 @@ type optimize = {
   deadline_s : float option;
 }
 
-type request = Optimize of optimize | Status | Metrics
+type request =
+  | Optimize of optimize
+  | Status
+  | Metrics
+  | Cache_get of { key : string }
+  | Cache_put of { key : string; entry : Result_store.entry }
+  | Drain of { backend : string option }
 
 type result_payload = {
   id : string;
@@ -66,14 +73,24 @@ type result_payload = {
   assignment : string;
 }
 
+type backend_status = {
+  backend : string;
+  health : string;
+  backend_in_flight : int;
+  consecutive_failures : int;
+  last_probe_s : float;
+}
+
 type status_payload = {
   draining : bool;
   accepted : int;
   rejected : int;
   in_flight : int;
+  queue_depth : int;
   capacity : int;
   workers : int;
   uptime_s : float;
+  backends : backend_status list;
 }
 
 type response =
@@ -82,6 +99,9 @@ type response =
   | Error_response of { id : string option; message : string }
   | Status_reply of status_payload
   | Metrics_reply of { content_type : string; body : string }
+  | Cache_found of { key : string; entry : Result_store.entry }
+  | Cache_missing of { key : string }
+  | Cache_ack of { key : string; stored : bool }
 
 (* ------------------------------------------------------------------ *)
 (* Encoding                                                             *)
@@ -99,9 +119,38 @@ let method_to_json = function
       ]
   | Optimizer.Exact -> Json.Obj [ ("name", Json.String "exact") ]
 
+(* A cached result on the wire: the same fields the on-disk store keeps,
+   at full float precision (the codec prints %.17g) so a shared-tier hit
+   is bit-identical to the entry the peer computed. *)
+let entry_members (e : Result_store.entry) =
+  [
+    ("method", Json.String e.Result_store.method_name);
+    ("penalty", Json.Float e.Result_store.penalty);
+    ("budget", Json.Float e.Result_store.budget);
+    ("delay", Json.Float e.Result_store.delay);
+    ("delay_fast", Json.Float e.Result_store.delay_fast);
+    ("delay_slow", Json.Float e.Result_store.delay_slow);
+    ("total", Json.Float e.Result_store.total);
+    ("isub", Json.Float e.Result_store.isub);
+    ("igate", Json.Float e.Result_store.igate);
+    ("runtime_s", Json.Float e.Result_store.runtime_s);
+    ("assignment", Json.String e.Result_store.assignment);
+  ]
+
 let request_to_json = function
   | Status -> Json.Obj [ ("v", Json.Int version); ("type", Json.String "status") ]
   | Metrics -> Json.Obj [ ("v", Json.Int version); ("type", Json.String "metrics") ]
+  | Cache_get { key } ->
+    Json.Obj
+      [ ("v", Json.Int version); ("type", Json.String "cache-get"); ("key", Json.String key) ]
+  | Cache_put { key; entry } ->
+    Json.Obj
+      ([ ("v", Json.Int version); ("type", Json.String "cache-put"); ("key", Json.String key) ]
+      @ entry_members entry)
+  | Drain { backend } ->
+    Json.Obj
+      ([ ("v", Json.Int version); ("type", Json.String "drain") ]
+      @ match backend with None -> [] | Some b -> [ ("backend", Json.String b) ])
   | Optimize o ->
     let source_members =
       match o.source with
@@ -166,18 +215,33 @@ let response_to_json = function
       @ (match id with None -> [] | Some id -> [ ("id", Json.String id) ])
       @ [ ("message", Json.String message) ])
   | Status_reply s ->
+    let backend_to_json b =
+      Json.Obj
+        [
+          ("backend", Json.String b.backend);
+          ("health", Json.String b.health);
+          ("in_flight", Json.Int b.backend_in_flight);
+          ("consecutive_failures", Json.Int b.consecutive_failures);
+          ("last_probe_s", Json.Float b.last_probe_s);
+        ]
+    in
     Json.Obj
-      [
-        ("v", Json.Int version);
-        ("type", Json.String "status");
-        ("draining", Json.Bool s.draining);
-        ("accepted", Json.Int s.accepted);
-        ("rejected", Json.Int s.rejected);
-        ("in_flight", Json.Int s.in_flight);
-        ("capacity", Json.Int s.capacity);
-        ("workers", Json.Int s.workers);
-        ("uptime_s", Json.Float s.uptime_s);
-      ]
+      ([
+         ("v", Json.Int version);
+         ("type", Json.String "status");
+         ("draining", Json.Bool s.draining);
+         ("accepted", Json.Int s.accepted);
+         ("rejected", Json.Int s.rejected);
+         ("in_flight", Json.Int s.in_flight);
+         ("queue_depth", Json.Int s.queue_depth);
+         ("capacity", Json.Int s.capacity);
+         ("workers", Json.Int s.workers);
+         ("uptime_s", Json.Float s.uptime_s);
+       ]
+      @
+      match s.backends with
+      | [] -> []
+      | bs -> [ ("backends", Json.List (List.map backend_to_json bs)) ])
   | Metrics_reply { content_type; body } ->
     Json.Obj
       [
@@ -185,6 +249,21 @@ let response_to_json = function
         ("type", Json.String "metrics");
         ("content_type", Json.String content_type);
         ("body", Json.String body);
+      ]
+  | Cache_found { key; entry } ->
+    Json.Obj
+      ([ ("v", Json.Int version); ("type", Json.String "cache-found"); ("key", Json.String key) ]
+      @ entry_members entry)
+  | Cache_missing { key } ->
+    Json.Obj
+      [ ("v", Json.Int version); ("type", Json.String "cache-miss"); ("key", Json.String key) ]
+  | Cache_ack { key; stored } ->
+    Json.Obj
+      [
+        ("v", Json.Int version);
+        ("type", Json.String "cache-ack");
+        ("key", Json.String key);
+        ("stored", Json.Bool stored);
       ]
 
 (* ------------------------------------------------------------------ *)
@@ -290,6 +369,28 @@ let optimize_of_json json =
   in
   Ok (Optimize { id; source; mode; method_; penalty; deadline_s })
 
+let entry_of_json json =
+  let* method_name = str_member "method" json in
+  let* penalty = float_member "penalty" json in
+  let* budget = float_member "budget" json in
+  let* delay = float_member "delay" json in
+  let* delay_fast = float_member "delay_fast" json in
+  let* delay_slow = float_member "delay_slow" json in
+  let* total = float_member "total" json in
+  let* isub = float_member "isub" json in
+  let* igate = float_member "igate" json in
+  let* runtime_s = float_member "runtime_s" json in
+  let* assignment = str_member "assignment" json in
+  Ok
+    {
+      Result_store.method_name; penalty; budget; delay; delay_fast; delay_slow; total;
+      isub; igate; runtime_s; assignment;
+    }
+
+let key_member json =
+  let* key = str_member "key" json in
+  if key = "" then Error "\"key\" must be a non-empty digest" else Ok key
+
 let request_of_json json =
   let* () = check_version json in
   let* type_ = str_member "type" json in
@@ -297,6 +398,16 @@ let request_of_json json =
   | "status" -> Ok Status
   | "metrics" -> Ok Metrics
   | "optimize" -> optimize_of_json json
+  | "cache-get" ->
+    let* key = key_member json in
+    Ok (Cache_get { key })
+  | "cache-put" ->
+    let* key = key_member json in
+    let* entry = entry_of_json json in
+    Ok (Cache_put { key; entry })
+  | "drain" ->
+    let backend = Option.bind (Json.member "backend" json) Json.to_string_opt in
+    Ok (Drain { backend })
   | other -> Error (Printf.sprintf "unknown request type %S" other)
 
 let result_of_json json =
@@ -326,6 +437,14 @@ let result_of_json json =
          assignment;
        })
 
+let backend_status_of_json json =
+  let* backend = str_member "backend" json in
+  let* health = str_member "health" json in
+  let* backend_in_flight = int_member "in_flight" json in
+  let* consecutive_failures = int_member "consecutive_failures" json in
+  let* last_probe_s = float_member "last_probe_s" json in
+  Ok { backend; health; backend_in_flight; consecutive_failures; last_probe_s }
+
 let status_of_json json =
   let* accepted = int_member "accepted" json in
   let* rejected = int_member "rejected" json in
@@ -336,7 +455,32 @@ let status_of_json json =
   let draining =
     match Json.member "draining" json with Some (Json.Bool b) -> b | _ -> false
   in
-  Ok (Status_reply { draining; accepted; rejected; in_flight; capacity; workers; uptime_s })
+  (* Absent on pre-cluster peers: queue_depth falls back to the in-flight
+     count and the backend list to empty, so a v1 STATUS still parses. *)
+  let queue_depth =
+    match Option.bind (Json.member "queue_depth" json) Json.to_int_opt with
+    | Some d -> d
+    | None -> in_flight
+  in
+  let* backends =
+    match Json.member "backends" json with
+    | None -> Ok []
+    | Some j -> (
+      match Json.to_list_opt j with
+      | None -> Error "\"backends\" must be a list"
+      | Some items ->
+        List.fold_left
+          (fun acc item -> Result.bind acc (fun acc ->
+               Result.map (fun b -> b :: acc) (backend_status_of_json item)))
+          (Ok []) items
+        |> Result.map List.rev)
+  in
+  Ok
+    (Status_reply
+       {
+         draining; accepted; rejected; in_flight; queue_depth; capacity; workers;
+         uptime_s; backends;
+       })
 
 let response_of_json json =
   let* () = check_version json in
@@ -357,6 +501,21 @@ let response_of_json json =
     let* content_type = str_member "content_type" json in
     let* body = str_member "body" json in
     Ok (Metrics_reply { content_type; body })
+  | "cache-found" ->
+    let* key = key_member json in
+    let* entry = entry_of_json json in
+    Ok (Cache_found { key; entry })
+  | "cache-miss" ->
+    let* key = key_member json in
+    Ok (Cache_missing { key })
+  | "cache-ack" ->
+    let* key = key_member json in
+    let* stored =
+      match Json.member "stored" json with
+      | Some (Json.Bool b) -> Ok b
+      | _ -> Error "missing or non-boolean \"stored\" field"
+    in
+    Ok (Cache_ack { key; stored })
   | other -> Error (Printf.sprintf "unknown response type %S" other)
 
 (* ------------------------------------------------------------------ *)

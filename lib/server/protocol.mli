@@ -47,6 +47,19 @@ type request =
   | Optimize of optimize
   | Status  (** Liveness + admission snapshot (the [/healthz] analogue). *)
   | Metrics  (** Prometheus text exposition of the metrics registry. *)
+  | Cache_get of { key : string }
+      (** Shared-tier probe: look [key] up in the peer's local
+          {!Standby_service.Result_store} (never recursing into the
+          peer's own remote tier). *)
+  | Cache_put of { key : string; entry : Standby_service.Result_store.entry }
+      (** Shared-tier write-back: persist [entry] under [key] in the
+          peer's local store. *)
+  | Drain of { backend : string option }
+      (** Administrative drain.  On a backend daemon [backend] must be
+          [None]: stop accepting, answer in-flight work, exit.  On a
+          coordinator, [Some addr] marks that backend draining (no new
+          assignments, removed once empty); [None] drains the
+          coordinator itself. *)
 
 type result_payload = {
   id : string;
@@ -69,14 +82,29 @@ type result_payload = {
   assignment : string;  (** {!Standby_power.Assignment.to_string} payload. *)
 }
 
+type backend_status = {
+  backend : string;  (** The backend's address string. *)
+  health : string;  (** healthy | suspect | down | draining | drained. *)
+  backend_in_flight : int;  (** From the last successful probe. *)
+  consecutive_failures : int;
+  last_probe_s : float;
+      (** Seconds since the last successful probe; negative = never. *)
+}
+
 type status_payload = {
   draining : bool;
   accepted : int;
   rejected : int;
   in_flight : int;  (** Admitted optimize requests not yet answered. *)
+  queue_depth : int;
+      (** Mirror of the [server.queue_depth] gauge, so one STATUS round
+          trip is a complete health probe.  Decoding a pre-cluster peer
+          falls back to [in_flight]. *)
   capacity : int;
   workers : int;
-  uptime_s : float;
+  uptime_s : float;  (** Monotonic daemon uptime. *)
+  backends : backend_status list;
+      (** Per-backend fleet health — non-empty only on a coordinator. *)
 }
 
 type response =
@@ -85,6 +113,10 @@ type response =
   | Error_response of { id : string option; message : string }
   | Status_reply of status_payload
   | Metrics_reply of { content_type : string; body : string }
+  | Cache_found of { key : string; entry : Standby_service.Result_store.entry }
+  | Cache_missing of { key : string }
+  | Cache_ack of { key : string; stored : bool }
+      (** [stored = false] when the peer has no store configured. *)
 
 val request_to_json : request -> Standby_telemetry.Json.t
 

@@ -37,6 +37,12 @@ let m_connections =
 let m_protocol_errors =
   Metrics.counter Metrics.default "server.protocol_errors"
     ~help:"Frames that failed to parse or validate"
+let m_cache_gets =
+  Metrics.counter Metrics.default "server.cache_gets"
+    ~help:"Shared-tier cache-get probes served"
+let m_cache_puts =
+  Metrics.counter Metrics.default "server.cache_puts"
+    ~help:"Shared-tier cache-put write-backs served"
 
 type config = {
   address : Protocol.address;
@@ -89,46 +95,63 @@ let request_drain t = Atomic.set t.draining_flag true
 (* ------------------------------------------------------------------ *)
 (* Setup                                                                *)
 
-let bind_listener = function
-  | Protocol.Unix_socket path ->
-    (* Replace a stale socket file from a previous (crashed) daemon;
-       refuse to clobber anything that is not a socket. *)
-    (match Unix.lstat path with
-     | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
-     | _ -> raise (Sys_error (Printf.sprintf "%s exists and is not a socket" path))
-     | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
-    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    Unix.bind fd (Unix.ADDR_UNIX path);
-    Unix.listen fd 128;
-    fd
-  | Protocol.Tcp (host, port) ->
-    let addr =
-      try Unix.inet_addr_of_string host
-      with Failure _ -> (
-        match Unix.gethostbyname host with
-        | { Unix.h_addr_list = [||]; _ } ->
-          raise (Sys_error (Printf.sprintf "cannot resolve host %s" host))
-        | entry -> entry.Unix.h_addr_list.(0)
-        | exception Not_found ->
-          raise (Sys_error (Printf.sprintf "cannot resolve host %s" host)))
-    in
-    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-    Unix.setsockopt fd Unix.SO_REUSEADDR true;
-    Unix.bind fd (Unix.ADDR_INET (addr, port));
-    Unix.listen fd 128;
-    fd
+let bind_listener address =
+  let fd, sockaddr =
+    match address with
+    | Protocol.Unix_socket path ->
+      (* Replace a stale socket file from a previous (crashed) daemon;
+         refuse to clobber anything that is not a socket. *)
+      (match Unix.lstat path with
+       | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+       | _ -> raise (Sys_error (Printf.sprintf "%s exists and is not a socket" path))
+       | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+      (Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0, Unix.ADDR_UNIX path)
+    | Protocol.Tcp (host, port) ->
+      let addr =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match Unix.gethostbyname host with
+          | { Unix.h_addr_list = [||]; _ } ->
+            raise (Sys_error (Printf.sprintf "cannot resolve host %s" host))
+          | entry -> entry.Unix.h_addr_list.(0)
+          | exception Not_found ->
+            raise (Sys_error (Printf.sprintf "cannot resolve host %s" host)))
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (* Without SO_REUSEADDR a restarted daemon would fight the TIME_WAIT
+         remnants of its predecessor's connections and lose with
+         EADDRINUSE for up to two MSLs. *)
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      (fd, Unix.ADDR_INET (addr, port))
+  in
+  (* The socket exists but is not yet listening: any failure from here on
+     must release the descriptor, or a retrying caller leaks one fd per
+     attempt. *)
+  (try
+     Unix.set_close_on_exec fd;
+     Unix.bind fd sockaddr;
+     Unix.listen fd 128
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  fd
+
+let listen address =
+  match bind_listener address with
+  | fd -> Ok fd
+  | exception Sys_error msg -> Error msg
+  | exception Unix.Unix_error (e, _, _) ->
+    Error
+      (Printf.sprintf "cannot listen on %s: %s"
+         (Protocol.address_to_string address)
+         (Unix.error_message e))
 
 let create ?libraries config =
   if config.capacity < 1 then Error "server capacity must be at least 1"
   else
-    match bind_listener config.address with
-    | exception Sys_error msg -> Error msg
-    | exception Unix.Unix_error (e, _, _) ->
-      Error
-        (Printf.sprintf "cannot listen on %s: %s"
-           (Protocol.address_to_string config.address)
-           (Unix.error_message e))
-    | listen_fd ->
+    match listen config.address with
+    | Error _ as e -> e
+    | Ok listen_fd ->
       Ok
         {
           config;
@@ -192,9 +215,11 @@ let status_payload t =
       accepted = t.accepted;
       rejected = t.rejected;
       in_flight = t.in_flight;
+      queue_depth = t.in_flight;
       capacity = t.config.capacity;
       workers = Pool.workers t.pool;
       uptime_s = Timer.elapsed_s t.started;
+      backends = [];
     }
   in
   Mutex.unlock t.mutex;
@@ -381,6 +406,54 @@ let handle_frame t conn line =
               {
                 content_type = "text/plain; version=0.0.4";
                 body = Metrics.to_prometheus Metrics.default;
+              }))
+    | Ok (Protocol.Cache_get { key }) ->
+      Metrics.incr m_cache_gets;
+      (* Serve from the local store only: peers never chain through each
+         other's remote tiers, so mutually-peered daemons cannot loop. *)
+      let response =
+        match t.config.store with
+        | None -> Protocol.Cache_missing { key }
+        | Some store -> (
+          match Result_store.find_local store ~key with
+          | Some entry -> Protocol.Cache_found { key; entry }
+          | None -> Protocol.Cache_missing { key })
+      in
+      ignore (send conn response)
+    | Ok (Protocol.Cache_put { key; entry }) ->
+      Metrics.incr m_cache_puts;
+      let response =
+        match t.config.store with
+        | None -> Protocol.Cache_ack { key; stored = false }
+        | Some store -> (
+          match Result_store.store_local store ~key entry with
+          | () -> Protocol.Cache_ack { key; stored = true }
+          | exception Invalid_argument message ->
+            Metrics.incr m_protocol_errors;
+            Protocol.Error_response { id = None; message }
+          | exception Sys_error msg ->
+            (* Local disk trouble is this daemon's problem, not the
+               peer's: acknowledge without storing. *)
+            Log.warn "cache-put failed"
+              ~fields:[ Log.str "key" key; Log.str "error" msg ];
+            Protocol.Cache_ack { key; stored = false })
+      in
+      ignore (send conn response)
+    | Ok (Protocol.Drain { backend = None }) ->
+      Log.info "drain requested over the wire" ~fields:[ Log.str "peer" conn.peer ];
+      request_drain t;
+      ignore (send conn (Protocol.Status_reply (status_payload t)))
+    | Ok (Protocol.Drain { backend = Some b }) ->
+      ignore
+        (send conn
+           (Protocol.Error_response
+              {
+                id = None;
+                message =
+                  Printf.sprintf
+                    "this daemon has no backends (cannot drain %S); omit the backend \
+                     to drain the daemon itself"
+                    b;
               }))
     | Ok (Protocol.Optimize o) -> handle_optimize t conn o)
 

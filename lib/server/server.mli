@@ -50,6 +50,12 @@ val create :
     [libraries] to share characterized libraries with an embedding
     process (tests); by default the daemon owns a fresh cache. *)
 
+val listen : Protocol.address -> (Unix.file_descr, string) result
+(** Bind-and-listen as {!create} does (stale Unix socket replaced, TCP
+    with [SO_REUSEADDR] so a rapid restart never fights TIME_WAIT for
+    the port, close-on-exec, no descriptor leaked when bind or listen
+    fails) — shared with the cluster router's front listener. *)
+
 val run : t -> unit
 (** The accept loop.  Blocks until a drain completes; the listener is
     closed and every worker joined when it returns.  Call at most

@@ -9,10 +9,17 @@ let m_corrupt =
 let m_evictions =
   Metrics.counter Metrics.default "cache.evictions"
     ~help:"Entries evicted to keep the store under its size cap"
+let m_remote_hits =
+  Metrics.counter Metrics.default "cache.remote_hits"
+    ~help:"Local misses answered by a peer store (shared tier)"
+let m_remote_misses =
+  Metrics.counter Metrics.default "cache.remote_misses"
+    ~help:"Local misses the shared tier could not answer either"
+let m_publishes =
+  Metrics.counter Metrics.default "cache.publishes"
+    ~help:"Fresh entries offered to peer stores"
 
 let note_corrupt () = Metrics.incr m_corrupt
-
-type t = { dir : string; max_entries : int option; store_mutex : Mutex.t }
 
 type entry = {
   method_name : string;
@@ -26,6 +33,22 @@ type entry = {
   igate : float;
   runtime_s : float;
   assignment : string;
+}
+
+(* The shared tier is injected as plain closures: the store lives below
+   the wire-protocol layer in the dependency order, so the peer client
+   (standby.cluster's [Cache_tier]) hands fetch/publish down instead of
+   being linked up. *)
+type remote = {
+  fetch : key:string -> entry option;
+  publish : (key:string -> entry -> unit) option;
+}
+
+type t = {
+  dir : string;
+  max_entries : int option;
+  store_mutex : Mutex.t;
+  mutable remote : remote option;
 }
 
 let magic = "standbyopt-result 1"
@@ -43,11 +66,14 @@ let create ?max_entries ~dir () =
   mkdir_p dir;
   if not (Sys.is_directory dir) then
     raise (Sys_error (Printf.sprintf "cache path %s is not a directory" dir));
-  { dir; max_entries; store_mutex = Mutex.create () }
+  { dir; max_entries; store_mutex = Mutex.create (); remote = None }
 
 let max_entries t = t.max_entries
 
 let dir t = t.dir
+
+(* Install before serving starts; worker domains only read it. *)
+let set_remote t remote = t.remote <- remote
 
 let default_dir () =
   match Sys.getenv_opt "STANDBYOPT_CACHE_DIR" with
@@ -137,7 +163,7 @@ let of_text text =
     | _ -> None)
   | _ -> None
 
-let find t ~key =
+let find_local t ~key =
   if not (valid_key key) then None
   else
     let file = path t ~key in
@@ -196,7 +222,7 @@ let evict_over_cap t =
           end)
         aged
 
-let store t ~key entry =
+let store_local t ~key entry =
   if not (valid_key key) then invalid_arg "Result_store.store: malformed key";
   let file = path t ~key in
   let tmp = Printf.sprintf "%s.tmp.%d" file (Unix.getpid ()) in
@@ -210,6 +236,36 @@ let store t ~key entry =
      file as excess. *)
   Mutex.lock t.store_mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.store_mutex) (fun () -> evict_over_cap t)
+
+(* Read-through: a local miss consults the shared tier and writes the
+   peer's entry back locally, so a circuit optimized anywhere becomes a
+   local hit everywhere it is asked for twice.  Remote failures (dead
+   peer, timeout) degrade to a miss — the shared tier can never make a
+   lookup fail harder than no tier at all. *)
+let find t ~key =
+  match find_local t ~key with
+  | Some _ as hit -> hit
+  | None -> (
+    match t.remote with
+    | None -> None
+    | Some remote -> (
+      match (try remote.fetch ~key with _ -> None) with
+      | None ->
+        Metrics.incr m_remote_misses;
+        None
+      | Some entry ->
+        Metrics.incr m_remote_hits;
+        (try store_local t ~key entry with Sys_error _ | Invalid_argument _ -> ());
+        Some entry))
+
+let store t ~key entry =
+  store_local t ~key entry;
+  match t.remote with
+  | None -> ()
+  | Some { publish = None; _ } -> ()
+  | Some { publish = Some publish; _ } ->
+    Metrics.incr m_publishes;
+    (try publish ~key entry with _ -> ())
 
 let clear t =
   let removed = ref 0 in

@@ -27,6 +27,16 @@ type entry = {
   assignment : string;  (** {!Standby_power.Assignment.to_string} payload. *)
 }
 
+(** The shared tier, as injected closures (the peer client lives in a
+    higher layer).  [fetch] answers a digest lookup from a peer store or
+    [None] — it must swallow its own transport failures; exceptions are
+    treated as misses.  [publish] (optional) offers a freshly computed
+    entry to peers, best-effort. *)
+type remote = {
+  fetch : key:string -> entry option;
+  publish : (key:string -> entry -> unit) option;
+}
+
 val create : ?max_entries:int -> dir:string -> unit -> t
 (** Creates [dir] (and parents) if needed.  [max_entries] caps the
     number of entries on disk: every {!store} that pushes the directory
@@ -47,16 +57,35 @@ val default_dir : unit -> string
     [~/.cache/standbyopt], else [_standbyopt_cache] in the working
     directory. *)
 
+val set_remote : t -> remote option -> unit
+(** Attach (or detach) the shared tier.  Install before serving starts;
+    worker domains only ever read the hook. *)
+
 val find : t -> key:string -> entry option
-(** Feeds the [result_store.hits] / [result_store.misses] /
-    [result_store.corrupt] counters in {!Standby_telemetry.Metrics}:
-    a present-but-undecodable file counts as corrupt, not a miss. *)
+(** Read-through lookup: local store first, then the shared tier on a
+    local miss — a remote hit is written back locally (and counted on
+    [cache.remote_hits]) so it is a local hit next time.  Feeds the
+    [result_store.hits] / [result_store.misses] / [result_store.corrupt]
+    counters in {!Standby_telemetry.Metrics}: a present-but-undecodable
+    file counts as corrupt, not a miss. *)
+
+val find_local : t -> key:string -> entry option
+(** {!find} without the shared-tier consult.  This is what a daemon
+    serves a peer's [cache-get] from — peers never chain through each
+    other's remote tiers, so two daemons peered at each other cannot
+    loop. *)
 
 val note_corrupt : unit -> unit
 (** Count a corruption the caller detected after {!find} — e.g. an
     entry whose re-evaluated leakage contradicts its stored total. *)
 
 val store : t -> key:string -> entry -> unit
+(** Persist locally, then offer to the shared tier's [publish] hook (if
+    any, best-effort, counted on [cache.publishes]). *)
+
+val store_local : t -> key:string -> entry -> unit
+(** {!store} without the publish — what a daemon applies on a peer's
+    [cache-put]. *)
 
 val clear : t -> int
 (** Remove all entries; returns how many were removed. *)

@@ -11,6 +11,7 @@ module Assignment = Standby_power.Assignment
 module Evaluate = Standby_power.Evaluate
 module Benchmarks = Standby_circuits.Benchmarks
 module Job = Standby_service.Job
+module Result_store = Standby_service.Result_store
 module Json = Standby_telemetry.Json
 module Protocol = Standby_server.Protocol
 module Server = Standby_server.Server
@@ -25,6 +26,11 @@ let contains ~sub s =
   m = 0 || go 0
 
 let ok = function Ok v -> v | Error msg -> Alcotest.failf "unexpected error: %s" msg
+
+(* Client calls fail with typed errors; render them for the report. *)
+let cok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected client error: %s" (Client.error_message e)
 
 (* One characterized-library cache shared by every server in this
    binary — characterization is the expensive setup. *)
@@ -65,7 +71,7 @@ let with_server ?capacity ?workers ?max_frame_bytes ?store f =
 let connect h =
   match Client.connect h.address with
   | Ok c -> c
-  | Error msg -> Alcotest.failf "connect: %s" msg
+  | Error e -> Alcotest.failf "connect: %s" (Client.error_message e)
 
 let with_client h f =
   let c = connect h in
@@ -77,6 +83,23 @@ let optimize ?(id = "job") ?(source = Protocol.Circuit "c432")
   Protocol.Optimize { Protocol.id; source; mode; method_; penalty; deadline_s }
 
 let show_response r = Json.to_string (Protocol.response_to_json r)
+
+(* Awkward floats on purpose: the wire codec must round-trip entries at
+   full precision for the shared cache tier's bit-identity claim. *)
+let sample_entry =
+  {
+    Result_store.method_name = "heu1";
+    penalty = 0.05;
+    budget = 6.2912600027129457;
+    delay = 6.1979138612693045;
+    delay_fast = 6.17;
+    delay_slow = 6.9;
+    total = 4.0582109633403818e-07;
+    isub = 2.6e-07;
+    igate = 1.45e-07;
+    runtime_s = 0.125;
+    assignment = "vector 10110\ngate 0 0 1\n";
+  }
 
 let expect_result = function
   | Protocol.Result p -> p
@@ -91,7 +114,7 @@ let expect_status = function
 let wait_status ?(timeout_s = 20.0) h pred =
   let deadline = Unix.gettimeofday () +. timeout_s in
   let rec go () =
-    let s = with_client h (fun c -> expect_status (ok (Client.rpc c Protocol.Status))) in
+    let s = with_client h (fun c -> expect_status (cok (Client.rpc c Protocol.Status))) in
     if pred s then s
     else if Unix.gettimeofday () > deadline then
       Alcotest.failf "status condition not reached within %.0f s" timeout_s
@@ -105,7 +128,7 @@ let wait_status ?(timeout_s = 20.0) h pred =
 let metric_value h name =
   let body =
     with_client h (fun c ->
-        match ok (Client.rpc c Protocol.Metrics) with
+        match cok (Client.rpc c Protocol.Metrics) with
         | Protocol.Metrics_reply { body; _ } -> body
         | r -> Alcotest.failf "expected metrics, got %s" (show_response r))
   in
@@ -181,6 +204,10 @@ let test_codec_roundtrip () =
   roundtrip_request (optimize ~method_:Optimizer.Exact ());
   roundtrip_request Protocol.Status;
   roundtrip_request Protocol.Metrics;
+  roundtrip_request (Protocol.Cache_get { key = "0123456789abcdef" });
+  roundtrip_request (Protocol.Cache_put { key = "0123456789abcdef"; entry = sample_entry });
+  roundtrip_request (Protocol.Drain { backend = None });
+  roundtrip_request (Protocol.Drain { backend = Some "unix:/tmp/b1.sock" });
   roundtrip_response
     (Protocol.Rejected { id = "j"; reason = "queue full"; retry_after_s = 1.25 });
   roundtrip_response (Protocol.Error_response { id = None; message = "nope" });
@@ -192,12 +219,60 @@ let test_codec_roundtrip () =
          accepted = 3;
          rejected = 1;
          in_flight = 2;
+         queue_depth = 2;
          capacity = 64;
          workers = 4;
          uptime_s = 1.5;
+         backends = [];
        });
   roundtrip_response
+    (Protocol.Status_reply
+       {
+         Protocol.draining = true;
+         accepted = 10;
+         rejected = 0;
+         in_flight = 1;
+         queue_depth = 1;
+         capacity = 0;
+         workers = 2;
+         uptime_s = 99.25;
+         backends =
+           [
+             {
+               Protocol.backend = "unix:/tmp/b1.sock";
+               health = "healthy";
+               backend_in_flight = 3;
+               consecutive_failures = 0;
+               last_probe_s = 0.5;
+             };
+             {
+               Protocol.backend = "127.0.0.1:7171";
+               health = "down";
+               backend_in_flight = 0;
+               consecutive_failures = 4;
+               last_probe_s = -1.0;
+             };
+           ];
+       });
+  roundtrip_response (Protocol.Cache_found { key = "ff00"; entry = sample_entry });
+  roundtrip_response (Protocol.Cache_missing { key = "ff00" });
+  roundtrip_response (Protocol.Cache_ack { key = "ff00"; stored = true });
+  roundtrip_response (Protocol.Cache_ack { key = "ff00"; stored = false });
+  roundtrip_response
     (Protocol.Metrics_reply { content_type = "text/plain"; body = "a 1" })
+
+(* A pre-cluster v1 status record (no queue_depth, no backends) must
+   still decode — additive protocol extension, no version bump. *)
+let test_status_decodes_precluster () =
+  let old =
+    {|{"v":1,"type":"status","draining":false,"accepted":3,"rejected":1,"in_flight":2,"capacity":64,"workers":4,"uptime_s":1.5}|}
+  in
+  match Result.bind (Json.of_string old) Protocol.response_of_json with
+  | Ok (Protocol.Status_reply s) ->
+    check Alcotest.int "queue_depth falls back to in_flight" 2 s.Protocol.queue_depth;
+    check Alcotest.bool "backends default to empty" true (s.Protocol.backends = [])
+  | Ok r -> Alcotest.failf "expected a status reply, got %s" (show_response r)
+  | Error msg -> Alcotest.failf "pre-cluster status: %s" msg
 
 let test_codec_rejects () =
   let req s = Result.bind (Json.of_string s) Protocol.request_of_json in
@@ -252,7 +327,7 @@ let check_matches_offline name (p : Protocol.result_payload) ~penalty method_ =
 let test_serve_matches_offline () =
   with_server (fun h ->
       with_client h (fun c ->
-          let p = expect_result (ok (Client.rpc c (optimize ~id:"one" ()))) in
+          let p = expect_result (cok (Client.rpc c (optimize ~id:"one" ()))) in
           check Alcotest.string "id echoed" "one" p.Protocol.id;
           check Alcotest.string "computed" "computed" p.Protocol.status;
           check_matches_offline "serve" p ~penalty:0.05 Optimizer.Heuristic_1))
@@ -263,14 +338,14 @@ let test_concurrent_submits () =
       with_client h (fun c ->
           List.iteri
             (fun i penalty ->
-              ok
+              cok
                 (Client.send c
                    (optimize ~id:(Printf.sprintf "p%d" i) ~penalty ())))
             penalties;
           let got = Hashtbl.create 8 in
           List.iter
             (fun _ ->
-              let p = expect_result (ok (Client.recv c)) in
+              let p = expect_result (cok (Client.recv c)) in
               Hashtbl.replace got p.Protocol.id p)
             penalties;
           (* Responses arrive in completion order; every request must be
@@ -299,7 +374,7 @@ let test_inline_bench_source () =
       with_client h (fun c ->
           let p =
             expect_result
-              (ok
+              (cok
                  (Client.rpc c
                     (optimize ~id:"inline"
                        ~source:(Protocol.Bench { name = "c432-wire"; text })
@@ -319,7 +394,7 @@ let test_deadline_degrades () =
       with_client h (fun c ->
           let p =
             expect_result
-              (ok
+              (cok
                  (Client.rpc c
                     (optimize ~id:"tight"
                        ~method_:(Optimizer.Heuristic_2 { time_limit_s = 30.0 })
@@ -335,26 +410,26 @@ let test_queue_full_backpressure () =
       with_client h (fun c ->
           (* Frames on one connection are admitted in order: the slow job
              fills the only slot, so the second is rejected. *)
-          ok
+          cok
             (Client.send c
                (optimize ~id:"slow"
                   ~method_:(Optimizer.Heuristic_2 { time_limit_s = 1.0 })
                   ()));
-          ok (Client.send c (optimize ~id:"bounced" ()));
-          (match ok (Client.recv c) with
+          cok (Client.send c (optimize ~id:"bounced" ()));
+          (match cok (Client.recv c) with
            | Protocol.Rejected { id; reason; retry_after_s } ->
              check Alcotest.string "rejected id" "bounced" id;
              check Alcotest.bool "reason names the queue" true
                (contains ~sub:"queue full" reason);
              check Alcotest.bool "retry hint is positive" true (retry_after_s > 0.0)
            | r -> Alcotest.failf "expected a rejection, got %s" (show_response r));
-          let p = expect_result (ok (Client.recv c)) in
+          let p = expect_result (cok (Client.recv c)) in
           check Alcotest.string "slow job still completes" "slow" p.Protocol.id))
 
 let test_drain_finishes_in_flight () =
   let h = start ~workers:1 () in
   let slow = connect h in
-  ok
+  cok
     (Client.send slow
        (optimize ~id:"inflight"
           ~method_:(Optimizer.Heuristic_2 { time_limit_s = 1.0 })
@@ -364,14 +439,14 @@ let test_drain_finishes_in_flight () =
   (* Still in drain-wait: new work is turned away with a structured
      rejection, status still answers... *)
   with_client h (fun c ->
-      (match ok (Client.rpc c (optimize ~id:"late" ())) with
+      (match cok (Client.rpc c (optimize ~id:"late" ())) with
        | Protocol.Rejected { reason; _ } ->
          check Alcotest.bool "rejection names the drain" true
            (contains ~sub:"drain" reason)
        | r -> Alcotest.failf "expected a drain rejection, got %s" (show_response r)));
   (* ... and the admitted job is never lost: its response arrives before
      the server exits. *)
-  let p = expect_result (ok (Client.recv slow)) in
+  let p = expect_result (cok (Client.recv slow)) in
   check Alcotest.string "in-flight job answered during drain" "inflight"
     p.Protocol.id;
   Client.close slow;
@@ -384,7 +459,7 @@ let test_disconnect_cancels_job () =
   with_server ~workers:1 (fun h ->
       let before = metric_value h "server_cancelled" in
       let c = connect h in
-      ok
+      cok
         (Client.send c
            (optimize ~id:"doomed"
               ~method_:(Optimizer.Heuristic_2 { time_limit_s = 60.0 })
@@ -398,7 +473,7 @@ let test_disconnect_cancels_job () =
         (metric_value h "server_cancelled" >= before +. 1.0);
       (* Still serving. *)
       with_client h (fun c2 ->
-          let p = expect_result (ok (Client.rpc c2 (optimize ~id:"after" ()))) in
+          let p = expect_result (cok (Client.rpc c2 (optimize ~id:"after" ()))) in
           check Alcotest.string "server survives the disconnect" "after"
             p.Protocol.id))
 
@@ -446,7 +521,7 @@ let test_oversized_frame_drops_connection () =
           | Error _ -> ());
       (* ... but the daemon keeps serving fresh connections. *)
       with_client h (fun c ->
-          ignore (expect_status (ok (Client.rpc c Protocol.Status)))))
+          ignore (expect_status (cok (Client.rpc c Protocol.Status)))))
 
 let test_partial_writes_reassemble () =
   with_server (fun h ->
@@ -469,6 +544,136 @@ let test_partial_writes_reassemble () =
           dribble 0;
           ignore (expect_status (read_response reader))))
 
+(* ------------------------------------------------------------------ *)
+(* Cache verbs, status fields, wire drain, listener reuse               *)
+
+let with_store f =
+  let dir = Filename.temp_file "standbyd-store" "" in
+  Sys.remove dir;
+  let store = Result_store.create ~dir () in
+  Fun.protect
+    ~finally:(fun () -> ignore (Result_store.clear store); try Unix.rmdir dir with _ -> ())
+    (fun () -> f store)
+
+let test_cache_verbs_roundtrip () =
+  with_store (fun store ->
+      with_server ~store (fun h ->
+          with_client h (fun c ->
+              let key = "00112233445566778899aabbccddeeff" in
+              (match cok (Client.rpc c (Protocol.Cache_get { key })) with
+               | Protocol.Cache_missing { key = k } ->
+                 check Alcotest.string "miss echoes the key" key k
+               | r -> Alcotest.failf "expected a miss, got %s" (show_response r));
+              (match cok (Client.rpc c (Protocol.Cache_put { key; entry = sample_entry })) with
+               | Protocol.Cache_ack { stored; _ } ->
+                 check Alcotest.bool "put stores" true stored
+               | r -> Alcotest.failf "expected an ack, got %s" (show_response r));
+              (match cok (Client.rpc c (Protocol.Cache_get { key })) with
+               | Protocol.Cache_found { entry; _ } ->
+                 check Alcotest.bool "entry survives the wire bit-exactly" true
+                   (entry = sample_entry)
+               | r -> Alcotest.failf "expected a hit, got %s" (show_response r)))))
+
+let test_cache_get_after_optimize () =
+  (* A served result must be retrievable through the cache verbs under
+     the key the response itself names — that key is what the router
+     hashes and what a peer's read-through asks for. *)
+  with_store (fun store ->
+      with_server ~store (fun h ->
+          with_client h (fun c ->
+              let p = expect_result (cok (Client.rpc c (optimize ~id:"seed" ()))) in
+              check Alcotest.bool "response names its cache key" true
+                (String.length p.Protocol.key > 0);
+              match cok (Client.rpc c (Protocol.Cache_get { key = p.Protocol.key })) with
+              | Protocol.Cache_found { entry; _ } ->
+                check (Alcotest.float 0.0) "stored leakage matches the response"
+                  p.Protocol.leakage_a entry.Result_store.total;
+                check Alcotest.string "stored assignment matches the response"
+                  p.Protocol.assignment entry.Result_store.assignment
+              | r -> Alcotest.failf "expected a hit, got %s" (show_response r))))
+
+let test_cache_put_without_store () =
+  with_server (fun h ->
+      with_client h (fun c ->
+          match cok (Client.rpc c (Protocol.Cache_put { key = "ab"; entry = sample_entry })) with
+          | Protocol.Cache_ack { stored; _ } ->
+            check Alcotest.bool "no store means stored=false" false stored
+          | r -> Alcotest.failf "expected an ack, got %s" (show_response r)))
+
+let test_status_fields () =
+  with_server (fun h ->
+      with_client h (fun c ->
+          let s1 = expect_status (cok (Client.rpc c Protocol.Status)) in
+          check Alcotest.int "queue_depth mirrors in_flight" s1.Protocol.in_flight
+            s1.Protocol.queue_depth;
+          check Alcotest.bool "a daemon has no backends" true (s1.Protocol.backends = []);
+          check Alcotest.bool "uptime is non-negative" true (s1.Protocol.uptime_s >= 0.0);
+          let accepted_before = s1.Protocol.accepted in
+          ignore (expect_result (cok (Client.rpc c (optimize ~id:"count-me" ()))));
+          Thread.delay 0.05;
+          let s2 = expect_status (cok (Client.rpc c Protocol.Status)) in
+          check Alcotest.int "accepted counts the request" (accepted_before + 1)
+            s2.Protocol.accepted;
+          check Alcotest.bool "uptime is monotonic" true
+            (s2.Protocol.uptime_s >= s1.Protocol.uptime_s)))
+
+let test_drain_verb () =
+  let h = start () in
+  with_client h (fun c ->
+      (* Naming a backend is a coordinator-only operation. *)
+      (match cok (Client.rpc c (Protocol.Drain { backend = Some "unix:/x" })) with
+       | Protocol.Error_response { message; _ } ->
+         check Alcotest.bool "backend drain refused by a daemon" true
+           (contains ~sub:"backend" message)
+       | r -> Alcotest.failf "expected an error, got %s" (show_response r));
+      match cok (Client.rpc c (Protocol.Drain { backend = None })) with
+      | Protocol.Status_reply s ->
+        check Alcotest.bool "drain acknowledged as draining" true s.Protocol.draining
+      | r -> Alcotest.failf "expected a status reply, got %s" (show_response r));
+  Thread.join h.thread
+
+let free_tcp_port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, port) -> port
+    | _ -> assert false
+  in
+  Unix.close fd;
+  port
+
+let test_rapid_tcp_restart () =
+  (* Serve on a TCP port, handle a connection, drain, and immediately
+     rebind the same port: SO_REUSEADDR semantics must win over the old
+     connection's TIME_WAIT or the restart dies with EADDRINUSE. *)
+  let port = free_tcp_port () in
+  let address = Protocol.Tcp ("127.0.0.1", port) in
+  for round = 1 to 3 do
+    let config = { (Server.default_config address) with Server.workers = Some 1 } in
+    match Server.create ~libraries config with
+    | Error msg -> Alcotest.failf "restart round %d: %s" round msg
+    | Ok server ->
+      let thread = Thread.create Server.run server in
+      let c = cok (Client.connect address) in
+      ignore (expect_status (cok (Client.rpc c Protocol.Status)));
+      Client.close c;
+      Server.request_drain server;
+      Thread.join thread
+  done
+
+let test_listen_failure_leaks_no_fd () =
+  (* Binding an impossible address must fail cleanly and release the
+     socket; repeated failures would otherwise exhaust descriptors. *)
+  for _ = 1 to 64 do
+    match Server.listen (Protocol.Tcp ("127.0.0.1", 1)) with
+    | Ok fd ->
+      (* Running as root, low ports bind fine — just release and move on. *)
+      Unix.close fd
+    | Error msg ->
+      check Alcotest.bool "bind failure is descriptive" true (String.length msg > 0)
+  done
+
 let () =
   Alcotest.run "standby.server"
     [
@@ -476,6 +681,7 @@ let () =
         [
           quick "codec round trips" test_codec_roundtrip;
           quick "codec rejects" test_codec_rejects;
+          quick "pre-cluster status decodes" test_status_decodes_precluster;
           quick "addresses" test_addresses;
         ] );
       ( "serving",
@@ -497,5 +703,15 @@ let () =
           quick "unknown version is answered" test_unknown_version;
           quick "oversized frame drops the connection" test_oversized_frame_drops_connection;
           quick "partial writes reassemble" test_partial_writes_reassemble;
+        ] );
+      ( "cluster-verbs",
+        [
+          quick "cache verbs round trip" test_cache_verbs_roundtrip;
+          quick "cache-get finds a served result" test_cache_get_after_optimize;
+          quick "cache-put without a store" test_cache_put_without_store;
+          quick "status fields" test_status_fields;
+          quick "drain over the wire" test_drain_verb;
+          quick "rapid TCP restart" test_rapid_tcp_restart;
+          quick "listen failure leaks no fd" test_listen_failure_leaks_no_fd;
         ] );
     ]
