@@ -9,6 +9,7 @@
      submit     send optimization requests to a running daemon
      route      cluster coordinator: digest-hash routing over standbyd backends
      drain      administratively drain a daemon, router or one backend
+     top        live fleet dashboard over STATUS + aggregated stats
      report     regenerate the paper's tables and figures
      library    inspect the characterized cell library
      circuits   list the built-in benchmark suite
@@ -83,8 +84,11 @@ let telemetry_term =
 
 (* Call first thing in a command's run function, before any work that
    should be observed.  The metrics file is written at exit so it also
-   captures counters from error paths. *)
-let install_telemetry ?(quiet = false) t =
+   captures counters from error paths.  [role] tags every span/event
+   this process emits, so merged multi-process traces read
+   client/router/server instead of bare pids. *)
+let install_telemetry ?role ?(quiet = false) t =
+  (match role with Some r -> Telemetry.set_role r | None -> ());
   (match t.level with
    | Some l -> Log.set_level l
    | None -> if quiet then Log.set_level Log.Warn);
@@ -216,7 +220,7 @@ let jobs_arg =
 
 let run_optimize telemetry circuit file mode method_ penalty heu2_limit jobs vectors
     verbose timing process_file simplify =
-  install_telemetry telemetry;
+  install_telemetry ~role:"batch" telemetry;
   match
     Result.bind (resolve_process process_file) (fun process ->
         Result.map (fun net -> (process, net)) (load_netlist circuit file))
@@ -414,7 +418,7 @@ let quiet_arg =
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
 
 let run_batch telemetry manifest workers cache_dir no_cache cache_max csv quiet =
-  install_telemetry ~quiet telemetry;
+  install_telemetry ~role:"batch" ~quiet telemetry;
   match Manifest.load_file manifest with
   | Error msg ->
     Log.err "%s: %s" manifest msg;
@@ -497,7 +501,7 @@ let peers_arg =
   Arg.(value & opt_all address_conv [] & info [ "peer" ] ~docv:"ADDR" ~doc)
 
 let run_serve telemetry listen capacity workers cache_dir no_cache cache_max peers =
-  install_telemetry telemetry;
+  install_telemetry ~role:"server" telemetry;
   match make_store cache_dir no_cache cache_max with
   | Error msg ->
     Log.err "%s" msg;
@@ -561,6 +565,14 @@ let deadline_arg =
   in
   Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
 
+let progress_flag_arg =
+  let doc =
+    "Stream live progress: the daemon pushes one frame per incumbent improvement of a \
+     fresh computation (cache hits improve nothing), so the leakage trajectory prints \
+     as it happens."
+  in
+  Arg.(value & flag & info [ "progress" ] ~doc)
+
 let status_flag_arg =
   let doc = "Also request the daemon's admission/liveness snapshot." in
   Arg.(value & flag & info [ "status" ] ~doc)
@@ -568,6 +580,13 @@ let status_flag_arg =
 let metrics_flag_arg =
   let doc = "Also scrape the daemon's metrics (Prometheus text)." in
   Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let stats_flag_arg =
+  let doc =
+    "Also request the structured metrics snapshot — asked of a router, the bucket-wise \
+     sum over every live backend."
+  in
+  Arg.(value & flag & info [ "stats" ] ~doc)
 
 (* submit is a thin client — its --metrics scrapes the daemon, so it
    takes a telemetry term without the registry-file option. *)
@@ -581,7 +600,7 @@ let json_flag_arg =
 
 (* Build the optimize requests: built-in circuits by name, files parsed
    locally and re-rendered as canonical .bench text. *)
-let submit_requests circuits files mode method_ penalty deadline_s =
+let submit_requests circuits files mode method_ penalty deadline_s progress =
   let of_file path =
     Result.map
       (fun net ->
@@ -613,6 +632,7 @@ let submit_requests circuits files mode method_ penalty deadline_s =
               method_;
               penalty;
               deadline_s;
+              progress;
             })
         all)
     (sources [] files)
@@ -645,19 +665,50 @@ let print_result (p : Wire.result_payload) =
     (p.Wire.leakage_a *. 1e6)
     p.Wire.delay p.Wire.budget p.Wire.wall_s
 
+let print_progress (p : Wire.progress_payload) =
+  Printf.printf "%-12s improve #%-3d               leak %10.4f uA  at %6.2f s\n"
+    p.Wire.progress_id p.Wire.improvement
+    (p.Wire.progress_leakage_a *. 1e6)
+    p.Wire.progress_elapsed_s
+
+let print_stats (snap : Metrics.registry_snapshot) =
+  List.iter
+    (fun (name, v) -> Printf.printf "%-32s %d\n" name v)
+    snap.Metrics.counters;
+  List.iter
+    (fun (name, v) -> Printf.printf "%-32s %g\n" name v)
+    snap.Metrics.gauges;
+  List.iter
+    (fun (name, (h : Metrics.histogram_snapshot)) ->
+      let pct q =
+        match Metrics.percentile h q with
+        | Some v -> Printf.sprintf "%.4f" v
+        | None -> "-"
+      in
+      Printf.printf "%-32s count %-6d sum %-10.4f p50 %s  p90 %s  p99 %s\n" name
+        h.Metrics.count h.Metrics.sum (pct 0.5) (pct 0.9) (pct 0.99))
+    snap.Metrics.histograms
+
 (* Returns true when the response is a success. *)
 let render_response ~json response =
   if json then begin
     print_endline (Json.to_string (Wire.response_to_json response));
     match response with
     | Wire.Result _ | Wire.Status_reply _ | Wire.Metrics_reply _ | Wire.Cache_found _
-    | Wire.Cache_missing _ | Wire.Cache_ack _ -> true
+    | Wire.Cache_missing _ | Wire.Cache_ack _ | Wire.Stats_reply _ | Wire.Progress _ ->
+      true
     | Wire.Rejected _ | Wire.Error_response _ -> false
   end
   else
     match response with
     | Wire.Result p ->
       print_result p;
+      true
+    | Wire.Progress p ->
+      print_progress p;
+      true
+    | Wire.Stats_reply snap ->
+      print_stats snap;
       true
     | Wire.Status_reply s ->
       print_status s;
@@ -695,7 +746,10 @@ let upstream_arg =
    only while nothing has been received yet — optimize requests are
    deterministic and content-addressed, so resubmitting the whole batch
    to a fallback cannot change any answer, but a half-drained session is
-   reported, not replayed. *)
+   reported, not replayed.  Every frame carries the current trace
+   context (the [client.submit] span minted by [run_submit]), so the
+   peer's spans — and, through a router, the backend's — join one
+   cross-process trace. *)
 let submit_session ~json requests address =
   match Client.connect address with
   | Error (Client.Unavailable msg) -> `Unavailable msg
@@ -705,11 +759,16 @@ let submit_session ~json requests address =
       ~finally:(fun () -> Client.close client)
       (fun () ->
         (* Pipeline every request on the one connection, then drain the
-           same number of responses (they arrive in completion order,
-           each tagged with its request id). *)
+           same number of terminal responses (they arrive in completion
+           order, each tagged with its request id).  Non-terminal
+           [Progress] frames are printed as they land and do not count
+           against the expected total. *)
         let rec send_all = function
           | [] -> Ok ()
-          | r :: rest -> Result.bind (Client.send client r) (fun () -> send_all rest)
+          | r :: rest ->
+            Result.bind
+              (Client.send ?trace:(Telemetry.current_context ()) client r)
+              (fun () -> send_all rest)
         in
         match send_all requests with
         | Error (Client.Unavailable msg) -> `Unavailable msg
@@ -726,13 +785,14 @@ let submit_session ~json requests address =
                 `Done (!failures + n)
               | Ok response ->
                 if not (render_response ~json response) then incr failures;
-                drain (received + 1) (n - 1)
+                if Wire.is_terminal response then drain (received + 1) (n - 1)
+                else drain (received + 1) n
           in
           drain 0 (List.length requests))
 
 let run_submit telemetry connect upstreams circuits files mode method_ heu2_limit penalty
-    deadline status metrics json =
-  install_telemetry telemetry;
+    deadline progress status stats metrics json =
+  install_telemetry ~role:"client" telemetry;
   let m =
     match method_ with
     | `Heu1 -> Optimizer.Heuristic_1
@@ -740,7 +800,7 @@ let run_submit telemetry connect upstreams circuits files mode method_ heu2_limi
     | `Hill_climb -> Optimizer.Hill_climb { time_limit_s = heu2_limit; max_rounds = 8 }
     | `Exact -> Optimizer.Exact
   in
-  match submit_requests circuits files mode m penalty deadline with
+  match submit_requests circuits files mode m penalty deadline progress with
   | Error msg ->
     Log.err "%s" msg;
     1
@@ -748,13 +808,20 @@ let run_submit telemetry connect upstreams circuits files mode method_ heu2_limi
     let requests =
       optimizes
       @ (if status then [ Wire.Status ] else [])
+      @ (if stats then [ Wire.Stats ] else [])
       @ if metrics then [ Wire.Metrics ] else []
     in
     if requests = [] then begin
-      Log.err "nothing to submit: pass --circuit, --file, --status or --metrics";
+      Log.err "nothing to submit: pass --circuit, --file, --status, --stats or --metrics";
       1
     end
     else begin
+      (* Mint the trace at the edge: every frame of this session carries
+         this id, so the daemon's (and router's) spans merge with ours
+         under one root even when this process writes no trace file. *)
+      let ctx =
+        { Telemetry.trace_id = Telemetry.mint_trace_id (); parent = None }
+      in
       let rec attempt = function
         | [] ->
           Log.err "no daemon reachable";
@@ -777,7 +844,10 @@ let run_submit telemetry connect upstreams circuits files mode method_ heu2_limi
               attempt rest
             end)
       in
-      attempt (connect :: upstreams)
+      Telemetry.with_context ctx (fun () ->
+          Telemetry.span "client.submit"
+            ~fields:[ ("requests", Json.Int (List.length requests)) ]
+            (fun () -> attempt (connect :: upstreams)))
     end
 
 let submit_cmd =
@@ -792,7 +862,8 @@ let submit_cmd =
     Term.(
       const run_submit $ client_telemetry_term $ connect_arg $ upstream_arg
       $ submit_circuits_arg $ submit_files_arg $ mode_arg $ method_arg $ heu2_limit_arg
-      $ penalty_arg $ deadline_arg $ status_flag_arg $ metrics_flag_arg $ json_flag_arg)
+      $ penalty_arg $ deadline_arg $ progress_flag_arg $ status_flag_arg
+      $ stats_flag_arg $ metrics_flag_arg $ json_flag_arg)
 
 (* ------------------------------------------------------------------ *)
 (* route / drain                                                        *)
@@ -824,7 +895,7 @@ let connect_timeout_arg =
   Arg.(value & opt float 5.0 & info [ "connect-timeout" ] ~docv:"SECONDS" ~doc)
 
 let run_route telemetry listen backends vnodes probe_interval connect_timeout =
-  install_telemetry telemetry;
+  install_telemetry ~role:"router" telemetry;
   let config =
     {
       (Router.default_config ~listen ~backends) with
@@ -863,7 +934,7 @@ let drain_backend_arg =
   Arg.(value & opt (some string) None & info [ "b"; "backend" ] ~docv:"ADDR" ~doc)
 
 let run_drain telemetry connect backend json =
-  install_telemetry telemetry;
+  install_telemetry ~role:"client" telemetry;
   match Client.connect connect with
   | Error e ->
     Log.err "%s" (Client.error_message e);
@@ -959,28 +1030,168 @@ let report_cmd =
 (* trace                                                                *)
 
 let trace_pos_arg =
-  let doc = "Trace file written by --trace." in
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  let doc = "Trace file(s) written by --trace — one per process of a routed request." in
+  Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc)
 
-let run_trace_summarize file =
-  match Trace.read_file file with
+let merge_flag_arg =
+  let doc =
+    "Render the cross-process span tree: spans link to their (possibly remote) parents \
+     by propagated trace id, one tree per trace, with per-hop wall/self time and \
+     role/pid.  Implied when several files are given."
+  in
+  Arg.(value & flag & info [ "merge" ] ~doc)
+
+let run_trace_summarize merge files =
+  match Trace.read_files files with
   | Error msg ->
     Printf.eprintf "error: %s\n" msg;
     1
   | Ok records ->
-    print_string (Trace_view.render records);
+    let merged = merge || List.length files > 1 in
+    print_string
+      (if merged then Trace_view.render_merged records else Trace_view.render records);
     0
 
 let trace_cmd =
   let summarize =
     let info =
       Cmd.info "summarize"
-        ~doc:"Per-span wall/self-time table and incumbent trajectory of a trace"
+        ~doc:
+          "Per-span wall/self-time table and incumbent trajectory of a trace; several \
+           files (or --merge) join into one cross-process tree keyed by propagated \
+           trace ids"
     in
-    Cmd.v info Term.(const run_trace_summarize $ trace_pos_arg)
+    Cmd.v info Term.(const run_trace_summarize $ merge_flag_arg $ trace_pos_arg)
   in
   let info = Cmd.info "trace" ~doc:"Inspect trace files written via --trace" in
   Cmd.group info [ summarize ]
+
+(* ------------------------------------------------------------------ *)
+(* top                                                                  *)
+
+let interval_arg =
+  let doc = "Seconds between refreshes." in
+  Arg.(value & opt float 2.0 & info [ "interval" ] ~docv:"SECONDS" ~doc)
+
+let frames_arg =
+  let doc = "Stop after N refreshes (default: run until interrupted)." in
+  Arg.(value & opt (some int) None & info [ "frames" ] ~docv:"N" ~doc)
+
+let plain_arg =
+  let doc = "No terminal control: print one dashboard per refresh instead of redrawing." in
+  Arg.(value & flag & info [ "plain" ] ~doc)
+
+let render_top address (s : Wire.status_payload) (snap : Metrics.registry_snapshot) =
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "standbyopt top — %s%s   up %.1f s\n"
+    (Wire.address_to_string address)
+    (if s.Wire.draining then "  [draining]" else "")
+    s.Wire.uptime_s;
+  add "fleet      accepted %-7d rejected %-7d in-flight %-5d workers %d\n"
+    s.Wire.accepted s.Wire.rejected s.Wire.in_flight s.Wire.workers;
+  let c name = Option.value (Metrics.find_counter snap name) ~default:0 in
+  let hits = c "result_store.hits" and misses = c "result_store.misses" in
+  let ratio =
+    if hits + misses = 0 then "-"
+    else Printf.sprintf "%.1f%%" (100.0 *. float_of_int hits /. float_of_int (hits + misses))
+  in
+  add "cache      hits %-11d misses %-9d hit ratio %-7s remote hits %d\n" hits misses
+    ratio (c "cache.remote_hits");
+  add "engine     computed %-7d cached %-9d degraded %-6d failed %d\n"
+    (c "engine.jobs_computed") (c "engine.jobs_cached") (c "engine.jobs_degraded")
+    (c "engine.jobs_failed");
+  (match Metrics.find_histogram snap "engine.job_wall_s" with
+   | Some h when h.Metrics.count > 0 ->
+     let pct q =
+       match Metrics.percentile h q with
+       | Some v -> Printf.sprintf "%.3f s" v
+       | None -> "-"
+     in
+     add "latency    p50 %-10s p90 %-10s p99 %-10s (%d jobs)\n" (pct 0.5) (pct 0.9)
+       (pct 0.99) h.Metrics.count
+   | _ -> add "latency    no jobs completed yet\n");
+  (match s.Wire.incumbent_a with
+   | Some a -> add "incumbent  %.4f uA  (best across fleet)\n" (a *. 1e6)
+   | None -> ());
+  (match s.Wire.backends with
+   | [] -> ()
+   | backends ->
+     add "\n%-26s %-9s %9s %9s %13s  %s\n" "backend" "health" "in-flight" "failures"
+       "incumbent uA" "probed";
+     List.iter
+       (fun (bk : Wire.backend_status) ->
+         add "%-26s %-9s %9d %9d %13s  %s\n" bk.Wire.backend bk.Wire.health
+           bk.Wire.backend_in_flight bk.Wire.consecutive_failures
+           (match bk.Wire.backend_incumbent_a with
+            | Some a -> Printf.sprintf "%.4f" (a *. 1e6)
+            | None -> "-")
+           (if bk.Wire.last_probe_s < 0.0 then "never probed"
+            else Printf.sprintf "%.1f s ago" bk.Wire.last_probe_s))
+       backends);
+  Buffer.contents b
+
+(* One fresh dial per tick: a hung or restarted target shows up as an
+   error line on the next frame instead of wedging the dashboard. *)
+let top_poll connect =
+  match Client.connect connect with
+  | Error e -> Error (Client.error_message e)
+  | Ok client ->
+    Fun.protect
+      ~finally:(fun () -> Client.close client)
+      (fun () ->
+        match Client.rpc client Wire.Status with
+        | Error e -> Error (Client.error_message e)
+        | Ok (Wire.Status_reply s) -> (
+          match Client.rpc client Wire.Stats with
+          | Error e -> Error (Client.error_message e)
+          | Ok (Wire.Stats_reply snap) -> Ok (s, snap)
+          | Ok _ -> Error "unexpected response to stats request")
+        | Ok _ -> Error "unexpected response to status request")
+
+let run_top telemetry connect interval frames plain =
+  install_telemetry ~role:"client" telemetry;
+  let interval = Float.max 0.05 interval in
+  let tick () =
+    let body =
+      match top_poll connect with
+      | Ok (s, snap) -> render_top connect s snap
+      | Error msg ->
+        Printf.sprintf "standbyopt top — %s: %s\n" (Wire.address_to_string connect) msg
+    in
+    if plain then print_string body
+    else begin
+      (* Clear + home, then the frame: one write, no flicker. *)
+      print_string "\027[2J\027[H";
+      print_string body
+    end;
+    flush stdout
+  in
+  (match frames with
+   | Some k ->
+     for i = 1 to k do
+       tick ();
+       if i < k then Thread.delay interval
+     done
+   | None ->
+     while true do
+       tick ();
+       Thread.delay interval
+     done);
+  0
+
+let top_cmd =
+  let info =
+    Cmd.info "top"
+      ~doc:
+        "Live fleet dashboard: poll a daemon or router for status and aggregated stats \
+         and redraw per-backend health, cache hit ratio, request-latency percentiles \
+         and the live incumbent leakage"
+  in
+  Cmd.v info
+    Term.(
+      const run_top $ client_telemetry_term $ connect_arg $ interval_arg $ frames_arg
+      $ plain_arg)
 
 (* ------------------------------------------------------------------ *)
 (* library                                                              *)
@@ -1115,8 +1326,8 @@ let main_cmd =
   Cmd.group info
     [
       optimize_cmd; baseline_cmd; batch_cmd; serve_cmd; submit_cmd; route_cmd; drain_cmd;
-      report_cmd; library_cmd; circuits_cmd; export_cmd; analyze_cmd; export_lib_cmd;
-      export_process_cmd; trace_cmd;
+      top_cmd; report_cmd; library_cmd; circuits_cmd; export_cmd; analyze_cmd;
+      export_lib_cmd; export_process_cmd; trace_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -14,6 +14,7 @@ type t = {
   mutable next_probe : float;  (* earliest time the prober may dial again *)
   mutable backpressure_until : float;
   mutable last_in_flight : int;  (* from the last STATUS observation *)
+  mutable last_incumbent_a : float option;  (* ditto: backend's live incumbent *)
   mutable is_draining : bool;
   mutable is_drained : bool;
   mutable outstanding : int;  (* requests this router has open on it *)
@@ -32,6 +33,7 @@ let create ?(probe_interval_s = 2.0) ~name address =
     next_probe = 0.0;  (* due immediately *)
     backpressure_until = 0.0;
     last_in_flight = 0;
+    last_incumbent_a = None;
     is_draining = false;
     is_drained = false;
     outstanding = 0;
@@ -48,10 +50,11 @@ let state t =
 let draining t = t.is_draining
 let drained t = t.is_drained
 
-let note_success t ~now ?in_flight () =
+let note_success t ~now ?in_flight ?incumbent_a () =
   t.consecutive_failures <- 0;
   t.last_success <- Some now;
   t.next_probe <- now +. t.probe_interval_s;
+  (match incumbent_a with None -> () | Some _ -> t.last_incumbent_a <- incumbent_a);
   match in_flight with None -> () | Some n -> t.last_in_flight <- n
 
 let note_failure t ~now =
@@ -100,6 +103,7 @@ let status_view t ~now =
     Protocol.backend = t.name;
     health = health_name t;
     backend_in_flight = t.last_in_flight;
+    backend_incumbent_a = t.last_incumbent_a;
     consecutive_failures = t.consecutive_failures;
     last_probe_s = (match t.last_success with None -> -1.0 | Some s -> now -. s);
   }

@@ -39,11 +39,12 @@ val state : t -> state
 val draining : t -> bool
 val drained : t -> bool
 
-val note_success : t -> now:float -> ?in_flight:int -> unit -> unit
+val note_success : t -> now:float -> ?in_flight:int -> ?incumbent_a:float -> unit -> unit
 (** Any successful exchange: resets failures, schedules the next routine
-    probe.  [in_flight] is the backend's own queue depth when the
-    exchange was a STATUS probe; omitted (a routed request) the last
-    observation stands. *)
+    probe.  [in_flight] is the backend's own queue depth and
+    [incumbent_a] its live incumbent leakage when the exchange was a
+    STATUS probe; omitted (a routed request) the last observations
+    stand. *)
 
 val note_failure : t -> now:float -> unit
 (** A refused/timed-out/torn connection — routed or probed; bumps the

@@ -29,6 +29,12 @@ let m_probe_failures =
 let m_cache_proxied =
   Metrics.counter Metrics.default "cluster.cache_proxied"
     ~help:"Cache verbs proxied to their digest owner"
+let m_stats_scrapes =
+  Metrics.counter Metrics.default "cluster.stats_scrapes"
+    ~help:"Fleet-wide stats aggregations served"
+let m_progress_forwarded =
+  Metrics.counter Metrics.default "cluster.progress_forwarded"
+    ~help:"Progress frames relayed from a backend to the requesting client"
 let g_live_backends =
   Metrics.gauge Metrics.default "cluster.live_backends"
     ~help:"Backends currently assignable and not down"
@@ -144,6 +150,17 @@ let status t =
            b.health = "healthy" || b.health = "suspect")
          backends)
   in
+  (* Fleet-best incumbent: the lowest leakage any backend has reported.
+     Backends work on different jobs, so this is a dashboard headline,
+     not a per-job trajectory — [top] shows the per-backend column. *)
+  let incumbent_a =
+    List.fold_left
+      (fun acc (b : Protocol.backend_status) ->
+        match (acc, b.backend_incumbent_a) with
+        | None, v | v, None -> v
+        | Some a, Some b -> Some (Float.min a b))
+      None backends
+  in
   Mutex.lock t.mutex;
   let payload =
     {
@@ -152,6 +169,7 @@ let status t =
       rejected = t.rejected;
       in_flight = t.in_flight;
       queue_depth = t.in_flight;
+      incumbent_a;
       (* The router itself does not bound admission — backends do, and
          their rejections propagate. *)
       capacity = 0;
@@ -241,10 +259,15 @@ type attempt =
   | Unavailable of string
   | Fatal of string
 
-(* One request, one downstream connection: the first response on the
-   wire is necessarily ours, and a backend death mid-request surfaces
-   as [Unavailable] on this dial alone. *)
-let attempt_on t request backend =
+(* One request, one downstream connection: the first terminal response
+   on the wire is necessarily ours, and a backend death mid-request
+   surfaces as [Unavailable] on this dial alone.  Non-terminal
+   [Progress] frames are relayed to the requesting client as they
+   arrive (a failover after relayed progress is harmless — progress is
+   advisory and the retry's frames simply continue the stream).  The
+   caller's trace context rides downstream on the frame so the
+   backend's spans join the same trace. *)
+let attempt_on t conn request backend =
   match
     Client.connect ~connect_timeout_s:t.config.connect_timeout_s
       ~max_frame_bytes:t.config.max_frame_bytes (Health.address backend)
@@ -255,16 +278,29 @@ let attempt_on t request backend =
     Fun.protect
       ~finally:(fun () -> Client.close client)
       (fun () ->
-        match Client.rpc client request with
-        | Ok (Protocol.Rejected { reason; retry_after_s; _ }) ->
-          Rejected_by { reason; retry_after_s }
-        | Ok response -> Answered response
+        match Client.send ?trace:(Telemetry.current_context ()) client request with
         | Error (Client.Unavailable msg) -> Unavailable msg
-        | Error e -> Fatal (Client.error_message e))
+        | Error e -> Fatal (Client.error_message e)
+        | Ok () ->
+          let rec await () =
+            match Client.recv client with
+            | Ok (Protocol.Progress _ as frame) ->
+              Metrics.incr m_progress_forwarded;
+              (* A client that went away mid-stream does not abort the
+                 backend run; [send] just stops delivering. *)
+              ignore (send conn frame);
+              await ()
+            | Ok (Protocol.Rejected { reason; retry_after_s; _ }) ->
+              Rejected_by { reason; retry_after_s }
+            | Ok response -> Answered response
+            | Error (Client.Unavailable msg) -> Unavailable msg
+            | Error e -> Fatal (Client.error_message e)
+          in
+          await ())
 
 (* Walk the replica order until a backend answers.  Returns the final
    verdict; health bookkeeping happens as each attempt resolves. *)
-let route_request t ~key request =
+let route_request t conn ~key request =
   let backends = candidates t ~key in
   Metrics.set_gauge g_live_backends (float_of_int (live_backends t));
   let rec walk tried rejection = function
@@ -277,7 +313,7 @@ let route_request t ~key request =
       let outcome =
         Fun.protect
           ~finally:(fun () -> with_fleet t (fun () -> Health.end_request backend))
-          (fun () -> attempt_on t request backend)
+          (fun () -> attempt_on t conn request backend)
       in
       let now = Unix.gettimeofday () in
       match outcome with
@@ -310,14 +346,21 @@ let route_request t ~key request =
   in
   walk 0 None backends
 
-let route_optimize t conn (o : Protocol.optimize) =
+let route_optimize t conn trace (o : Protocol.optimize) =
   let finish () =
     Mutex.lock t.mutex;
     t.in_flight <- t.in_flight - 1;
     if t.in_flight = 0 then Condition.broadcast t.idle;
     Mutex.unlock t.mutex
   in
+  (* Join the client's trace when the frame carried one: the
+     [cluster.route] span below parents to the client's span, and
+     [attempt_on] forwards the freshened context to the backend. *)
+  let in_context f =
+    match trace with None -> f () | Some ctx -> Telemetry.with_context ctx f
+  in
   Fun.protect ~finally:finish (fun () ->
+      in_context @@ fun () ->
       Telemetry.span "cluster.route"
         ~fields:[ ("id", Json.String o.Protocol.id) ]
         (fun () ->
@@ -329,7 +372,7 @@ let route_optimize t conn (o : Protocol.optimize) =
           | Ok key -> (
             Telemetry.add_fields [ ("key", Json.String key) ];
             Metrics.incr m_routes;
-            match route_request t ~key (Protocol.Optimize o) with
+            match route_request t conn ~key (Protocol.Optimize o) with
             | `Answered (response, backend) ->
               Telemetry.add_fields [ ("backend", Json.String backend) ];
               (* Forward verbatim: the router adds routing, never
@@ -371,7 +414,7 @@ let route_optimize t conn (o : Protocol.optimize) =
    fails harder than having no cache. *)
 let route_cache t conn ~key request ~on_unreachable =
   Metrics.incr m_cache_proxied;
-  match route_request t ~key request with
+  match route_request t conn ~key request with
   | `Answered (response, _) -> ignore (send conn response)
   | `Fatal (message, backend) ->
     ignore
@@ -381,13 +424,58 @@ let route_cache t conn ~key request ~on_unreachable =
   | `No_backend | `All_failed _ | `All_rejected _ -> ignore (send conn on_unreachable)
 
 (* ------------------------------------------------------------------ *)
+(* Fleet-wide stats                                                     *)
+
+(* One scrape per backend, merged bucket-wise: the reply is the sum of
+   what each backend's own [stats] verb returns, nothing router-local —
+   so a client can check the aggregate against per-backend scrapes.
+   Unreachable backends contribute nothing (their health record already
+   tells that story). *)
+let fleet_stats t =
+  Metrics.incr m_stats_scrapes;
+  let targets =
+    with_fleet t (fun () -> List.map (fun (name, h) -> (name, Health.address h)) t.fleet)
+  in
+  let snapshots =
+    List.filter_map
+      (fun (name, address) ->
+        match
+          Client.connect
+            ~connect_timeout_s:(Float.min 2.0 t.config.connect_timeout_s)
+            ~max_frame_bytes:t.config.max_frame_bytes address
+        with
+        | Error e ->
+          Log.debug "stats scrape failed"
+            ~fields:[ Log.str "backend" name; Log.str "error" (Client.error_message e) ];
+          None
+        | Ok client ->
+          Fun.protect
+            ~finally:(fun () -> Client.close client)
+            (fun () ->
+              match Client.rpc client Protocol.Stats with
+              | Ok (Protocol.Stats_reply snapshot) -> Some snapshot
+              | Ok _ ->
+                Log.debug "unexpected response to stats scrape"
+                  ~fields:[ Log.str "backend" name ];
+                None
+              | Error e ->
+                Log.debug "stats scrape failed"
+                  ~fields:
+                    [ Log.str "backend" name; Log.str "error" (Client.error_message e) ];
+                None))
+      targets
+  in
+  Metrics.merge_snapshots snapshots
+
+(* ------------------------------------------------------------------ *)
 (* Front-side connections                                               *)
 
-let handle_frame t conn line =
-  match Result.bind (Json.of_string line) Protocol.request_of_json with
+let handle_request t conn json =
+  match Protocol.request_of_json json with
   | Error message ->
     ignore (send conn (Protocol.Error_response { id = None; message }))
   | Ok Protocol.Status -> ignore (send conn (Protocol.Status_reply (status t)))
+  | Ok Protocol.Stats -> ignore (send conn (Protocol.Stats_reply (fleet_stats t)))
   | Ok Protocol.Metrics ->
     ignore
       (send conn
@@ -421,12 +509,20 @@ let handle_frame t conn line =
       Mutex.unlock t.mutex;
       ok
     in
-    if admitted then ignore (Thread.create (fun () -> route_optimize t conn o) ())
+    if admitted then
+      let trace = Protocol.trace_of_json json in
+      ignore (Thread.create (fun () -> route_optimize t conn trace o) ())
     else
       ignore
         (send conn
            (Protocol.Rejected
               { id = o.Protocol.id; reason = "router draining"; retry_after_s = 5.0 }))
+
+let handle_frame t conn line =
+  match Json.of_string line with
+  | Error message ->
+    ignore (send conn (Protocol.Error_response { id = None; message }))
+  | Ok json -> handle_request t conn json
 
 let close_conn t conn =
   Atomic.set conn.alive false;
@@ -501,7 +597,8 @@ let probe_round t =
       with_fleet t (fun () ->
           match verdict with
           | Ok s ->
-            Health.note_success h ~now ~in_flight:s.Protocol.queue_depth ();
+            Health.note_success h ~now ~in_flight:s.Protocol.queue_depth
+              ?incumbent_a:s.Protocol.incumbent_a ();
             (* A backend draining on its own (direct SIGTERM) is treated
                like an administrative drain: no new assignments. *)
             if s.Protocol.draining then Health.mark_draining h;

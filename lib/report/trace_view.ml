@@ -58,16 +58,59 @@ let incumbent_table records =
     in
     Ascii_table.render ~title:"incumbent trajectory" ~columns (List.mapi row points)
 
-let render records =
+(* Per-hop view of a merged trace: one line per span, children indented
+   under their (possibly remote) parent, each hop labelled with the
+   emitting process's role and pid.  A fully-propagated routed request
+   renders as one tree — client span at the root, router and backend
+   hops nested beneath it. *)
+let tree_view trees =
+  let b = Buffer.create 1024 in
+  let rec walk depth (n : Trace.node) =
+    let r = n.Trace.span in
+    let name = String.make (2 * depth) ' ' ^ r.Trace.name in
+    let who =
+      match (r.Trace.role, r.Trace.pid) with
+      | Some role, Some pid -> Printf.sprintf "%s/%d" role pid
+      | Some role, None -> role
+      | None, Some pid -> string_of_int pid
+      | None, None -> "?"
+    in
+    let wall = match r.Trace.dur_s with Some d -> d | None -> 0.0 in
+    Buffer.add_string b
+      (Printf.sprintf "%-46s %10.4f %10.4f  %s\n" name wall (Trace.node_self_s n) who);
+    List.iter (walk (depth + 1)) n.Trace.children
+  in
+  List.iter
+    (fun (t : Trace.tree) ->
+      let id =
+        match t.Trace.tree_trace_id with Some id -> id | None -> "(untraced)"
+      in
+      Buffer.add_string b (Printf.sprintf "trace %s\n" id);
+      Buffer.add_string b
+        (Printf.sprintf "%-46s %10s %10s  %s\n" "  span" "wall s" "self s" "role/pid");
+      List.iter (walk 1) t.Trace.roots;
+      Buffer.add_char b '\n')
+    trees;
+  Buffer.contents b
+
+let census records =
   let count kind =
     List.length (List.filter (fun (r : Trace.record) -> r.Trace.kind = kind) records)
   in
-  let census =
-    Printf.sprintf "%d record(s): %d span(s), %d event(s)\n" (List.length records)
-      (count "span") (count "event")
-  in
+  Printf.sprintf "%d record(s): %d span(s), %d event(s)\n" (List.length records)
+    (count "span") (count "event")
+
+let render records =
   let incumbents = incumbent_table records in
   String.concat "\n"
     (List.filter
        (fun s -> s <> "")
-       [ span_table records; (if incumbents = "" then "" else incumbents); census ])
+       [ span_table records; incumbents; census records ])
+
+let render_merged records =
+  let incumbents = incumbent_table records in
+  String.concat "\n"
+    (List.filter
+       (fun s -> s <> "")
+       [ tree_view (Trace.assemble records); span_table records; incumbents;
+         census records ])

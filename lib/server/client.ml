@@ -94,10 +94,12 @@ let connect ?(connect_timeout_s = 10.0) ?max_frame_bytes address =
                 (Protocol.address_to_string address) msg)
          | other -> other))
 
-let send t request =
+let send ?trace t request =
   if t.closed then Error Closed
   else
-    match Protocol.Frame.write t.fd (Json.to_string (Protocol.request_to_json request)) with
+    match
+      Protocol.Frame.write t.fd (Json.to_string (Protocol.request_to_json ?trace request))
+    with
     | Ok () -> Ok ()
     | Error msg -> Error (Unavailable msg)
 
@@ -113,7 +115,7 @@ let recv t =
     | Error `Oversized -> Error (Protocol_error "oversized response frame")
     | Error (`Error msg) -> Error (Unavailable msg)
 
-let rpc t request = Result.bind (send t request) (fun () -> recv t)
+let rpc ?trace t request = Result.bind (send ?trace t request) (fun () -> recv t)
 
 let close t =
   if not t.closed then begin

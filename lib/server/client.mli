@@ -32,13 +32,24 @@ val connect :
 (** Non-blocking connect bounded by [connect_timeout_s] (default 10 s),
     so a black-holed TCP backend costs a bounded wait. *)
 
-val send : t -> Protocol.request -> (unit, error) result
+val send :
+  ?trace:Standby_telemetry.Telemetry.context -> t -> Protocol.request -> (unit, error) result
+(** [?trace] rides along as the frame's optional ["trace"] field (see
+    {!Protocol.request_to_json}) so the peer's spans join the caller's
+    trace. *)
 
 val recv : t -> (Protocol.response, error) result
 (** Next response frame.  A clean peer close surfaces as
-    [Unavailable "connection closed by server"]. *)
+    [Unavailable "connection closed by server"].  Note that a
+    progress-requesting optimize job receives zero or more
+    {!Protocol.Progress} frames before its terminal one
+    ({!Protocol.is_terminal}). *)
 
-val rpc : t -> Protocol.request -> (Protocol.response, error) result
+val rpc :
+  ?trace:Standby_telemetry.Telemetry.context ->
+  t ->
+  Protocol.request ->
+  (Protocol.response, error) result
 (** [send] then [recv] — only safe when nothing else is pipelined. *)
 
 val close : t -> unit

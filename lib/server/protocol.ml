@@ -1,10 +1,18 @@
 module Json = Standby_telemetry.Json
+module Metrics = Standby_telemetry.Metrics
+module Telemetry = Standby_telemetry.Telemetry
 module Version = Standby_cells.Version
 module Optimizer = Standby_opt.Optimizer
 module Manifest = Standby_service.Manifest
 module Result_store = Standby_service.Result_store
 
-let version = 1
+(* v2 adds the optional "trace" field (carried on every verb, ignored
+   by v1 peers, so frames that only add it still say v:1), the "stats"
+   verb and the mid-job "progress" push.  Encoders stamp each frame
+   with the lowest version whose peers can handle it; decoders accept
+   the whole [min_version]..[version] range. *)
+let version = 2
+let min_version = 1
 
 (* ------------------------------------------------------------------ *)
 (* Addresses                                                            *)
@@ -42,12 +50,14 @@ type optimize = {
   method_ : Optimizer.method_;
   penalty : float;
   deadline_s : float option;
+  progress : bool;
 }
 
 type request =
   | Optimize of optimize
   | Status
   | Metrics
+  | Stats
   | Cache_get of { key : string }
   | Cache_put of { key : string; entry : Result_store.entry }
   | Drain of { backend : string option }
@@ -79,6 +89,7 @@ type backend_status = {
   backend_in_flight : int;
   consecutive_failures : int;
   last_probe_s : float;
+  backend_incumbent_a : float option;
 }
 
 type status_payload = {
@@ -90,7 +101,15 @@ type status_payload = {
   capacity : int;
   workers : int;
   uptime_s : float;
+  incumbent_a : float option;
   backends : backend_status list;
+}
+
+type progress_payload = {
+  progress_id : string;
+  progress_leakage_a : float;
+  progress_elapsed_s : float;
+  improvement : int;
 }
 
 type response =
@@ -99,9 +118,13 @@ type response =
   | Error_response of { id : string option; message : string }
   | Status_reply of status_payload
   | Metrics_reply of { content_type : string; body : string }
+  | Stats_reply of Metrics.registry_snapshot
+  | Progress of progress_payload
   | Cache_found of { key : string; entry : Result_store.entry }
   | Cache_missing of { key : string }
   | Cache_ack of { key : string; stored : bool }
+
+let is_terminal = function Progress _ -> false | _ -> true
 
 (* ------------------------------------------------------------------ *)
 (* Encoding                                                             *)
@@ -137,19 +160,60 @@ let entry_members (e : Result_store.entry) =
     ("assignment", Json.String e.Result_store.assignment);
   ]
 
-let request_to_json = function
-  | Status -> Json.Obj [ ("v", Json.Int version); ("type", Json.String "status") ]
-  | Metrics -> Json.Obj [ ("v", Json.Int version); ("type", Json.String "metrics") ]
+(* The optional cross-process trace context, carried verbatim on any
+   request verb.  v1 decoders ignore unknown fields, so its presence
+   does not bump the frame version. *)
+let trace_members = function
+  | None -> []
+  | Some (ctx : Telemetry.context) ->
+    [
+      ("trace",
+       Json.Obj
+         (("id", Json.String ctx.Telemetry.trace_id)
+         ::
+         (match ctx.Telemetry.parent with
+          | None -> []
+          | Some r ->
+            [
+              ("parent_pid", Json.Int r.Telemetry.pid);
+              ("parent_span", Json.Int r.Telemetry.span);
+            ])));
+    ]
+
+let trace_of_json json =
+  match Json.member "trace" json with
+  | None -> None
+  | Some t -> (
+    match Option.bind (Json.member "id" t) Json.to_string_opt with
+    | None | Some "" -> None
+    | Some trace_id ->
+      let parent =
+        match
+          ( Option.bind (Json.member "parent_pid" t) Json.to_int_opt,
+            Option.bind (Json.member "parent_span" t) Json.to_int_opt )
+        with
+        | Some pid, Some span -> Some { Telemetry.pid; span }
+        | _ -> None
+      in
+      Some { Telemetry.trace_id; parent })
+
+let request_to_json ?trace request =
+  let frame ?(v = min_version) members =
+    Json.Obj ((("v", Json.Int v) :: members) @ trace_members trace)
+  in
+  match request with
+  | Status -> frame [ ("type", Json.String "status") ]
+  | Metrics -> frame [ ("type", Json.String "metrics") ]
+  | Stats -> frame ~v:2 [ ("type", Json.String "stats") ]
   | Cache_get { key } ->
-    Json.Obj
-      [ ("v", Json.Int version); ("type", Json.String "cache-get"); ("key", Json.String key) ]
+    frame [ ("type", Json.String "cache-get"); ("key", Json.String key) ]
   | Cache_put { key; entry } ->
-    Json.Obj
-      ([ ("v", Json.Int version); ("type", Json.String "cache-put"); ("key", Json.String key) ]
+    frame
+      ([ ("type", Json.String "cache-put"); ("key", Json.String key) ]
       @ entry_members entry)
   | Drain { backend } ->
-    Json.Obj
-      ([ ("v", Json.Int version); ("type", Json.String "drain") ]
+    frame
+      ([ ("type", Json.String "drain") ]
       @ match backend with None -> [] | Some b -> [ ("backend", Json.String b) ])
   | Optimize o ->
     let source_members =
@@ -158,28 +222,46 @@ let request_to_json = function
       | Bench { name; text } ->
         [ ("name", Json.String name); ("bench", Json.String text) ]
     in
-    Json.Obj
-      ([
-         ("v", Json.Int version);
-         ("type", Json.String "optimize");
-         ("id", Json.String o.id);
-       ]
+    (* A v1 server would accept-and-never-push a progress-requesting
+       job; stamping v:2 makes it reject loudly instead. *)
+    frame
+      ~v:(if o.progress then 2 else min_version)
+      ([ ("type", Json.String "optimize"); ("id", Json.String o.id) ]
       @ source_members
       @ [
           ("library", Json.String (Manifest.mode_token o.mode));
           ("method", method_to_json o.method_);
           ("penalty", Json.Float o.penalty);
         ]
+      @ (if o.progress then [ ("progress", Json.Bool true) ] else [])
       @
       match o.deadline_s with
       | None -> []
       | Some d -> [ ("deadline_s", Json.Float d) ])
 
+(* Snapshot of a metrics registry on the wire (the "stats" reply). *)
+let snapshot_to_members (s : Metrics.registry_snapshot) =
+  let histogram_to_json (name, (h : Metrics.histogram_snapshot)) =
+    Json.Obj
+      [
+        ("name", Json.String name);
+        ("bounds", Json.List (List.map (fun b -> Json.Float b) (Array.to_list h.upper_bounds)));
+        ("cumulative", Json.List (List.map (fun c -> Json.Int c) (Array.to_list h.cumulative)));
+        ("count", Json.Int h.count);
+        ("sum", Json.Float h.sum);
+      ]
+  in
+  [
+    ("counters", Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) s.counters));
+    ("gauges", Json.Obj (List.map (fun (n, v) -> (n, Json.Float v)) s.gauges));
+    ("histograms", Json.List (List.map histogram_to_json s.histograms));
+  ]
+
 let response_to_json = function
   | Result r ->
     Json.Obj
       [
-        ("v", Json.Int version);
+        ("v", Json.Int min_version);
         ("type", Json.String "result");
         ("id", Json.String r.id);
         ("status", Json.String r.status);
@@ -203,7 +285,7 @@ let response_to_json = function
   | Rejected { id; reason; retry_after_s } ->
     Json.Obj
       [
-        ("v", Json.Int version);
+        ("v", Json.Int min_version);
         ("type", Json.String "rejected");
         ("id", Json.String id);
         ("reason", Json.String reason);
@@ -211,23 +293,27 @@ let response_to_json = function
       ]
   | Error_response { id; message } ->
     Json.Obj
-      ([ ("v", Json.Int version); ("type", Json.String "error") ]
+      ([ ("v", Json.Int min_version); ("type", Json.String "error") ]
       @ (match id with None -> [] | Some id -> [ ("id", Json.String id) ])
       @ [ ("message", Json.String message) ])
   | Status_reply s ->
     let backend_to_json b =
       Json.Obj
-        [
-          ("backend", Json.String b.backend);
-          ("health", Json.String b.health);
-          ("in_flight", Json.Int b.backend_in_flight);
-          ("consecutive_failures", Json.Int b.consecutive_failures);
-          ("last_probe_s", Json.Float b.last_probe_s);
-        ]
+        ([
+           ("backend", Json.String b.backend);
+           ("health", Json.String b.health);
+           ("in_flight", Json.Int b.backend_in_flight);
+           ("consecutive_failures", Json.Int b.consecutive_failures);
+           ("last_probe_s", Json.Float b.last_probe_s);
+         ]
+        @
+        match b.backend_incumbent_a with
+        | None -> []
+        | Some v -> [ ("incumbent_A", Json.Float v) ])
     in
     Json.Obj
       ([
-         ("v", Json.Int version);
+         ("v", Json.Int min_version);
          ("type", Json.String "status");
          ("draining", Json.Bool s.draining);
          ("accepted", Json.Int s.accepted);
@@ -238,6 +324,9 @@ let response_to_json = function
          ("workers", Json.Int s.workers);
          ("uptime_s", Json.Float s.uptime_s);
        ]
+      @ (match s.incumbent_a with
+         | None -> []
+         | Some v -> [ ("incumbent_A", Json.Float v) ])
       @
       match s.backends with
       | [] -> []
@@ -245,22 +334,35 @@ let response_to_json = function
   | Metrics_reply { content_type; body } ->
     Json.Obj
       [
-        ("v", Json.Int version);
+        ("v", Json.Int min_version);
         ("type", Json.String "metrics");
         ("content_type", Json.String content_type);
         ("body", Json.String body);
       ]
+  | Stats_reply snapshot ->
+    Json.Obj
+      ([ ("v", Json.Int 2); ("type", Json.String "stats") ] @ snapshot_to_members snapshot)
+  | Progress p ->
+    Json.Obj
+      [
+        ("v", Json.Int 2);
+        ("type", Json.String "progress");
+        ("id", Json.String p.progress_id);
+        ("leakage_A", Json.Float p.progress_leakage_a);
+        ("elapsed_s", Json.Float p.progress_elapsed_s);
+        ("improvement", Json.Int p.improvement);
+      ]
   | Cache_found { key; entry } ->
     Json.Obj
-      ([ ("v", Json.Int version); ("type", Json.String "cache-found"); ("key", Json.String key) ]
+      ([ ("v", Json.Int min_version); ("type", Json.String "cache-found"); ("key", Json.String key) ]
       @ entry_members entry)
   | Cache_missing { key } ->
     Json.Obj
-      [ ("v", Json.Int version); ("type", Json.String "cache-miss"); ("key", Json.String key) ]
+      [ ("v", Json.Int min_version); ("type", Json.String "cache-miss"); ("key", Json.String key) ]
   | Cache_ack { key; stored } ->
     Json.Obj
       [
-        ("v", Json.Int version);
+        ("v", Json.Int min_version);
         ("type", Json.String "cache-ack");
         ("key", Json.String key);
         ("stored", Json.Bool stored);
@@ -288,8 +390,11 @@ let int_member name json =
 
 let check_version json =
   match Option.bind (Json.member "v" json) Json.to_int_opt with
-  | Some v when v = version -> Ok ()
-  | Some v -> Error (Printf.sprintf "unsupported protocol version %d (this server speaks %d)" v version)
+  | Some v when v >= min_version && v <= version -> Ok ()
+  | Some v ->
+    Error
+      (Printf.sprintf "unsupported protocol version %d (this server speaks %d-%d)" v
+         min_version version)
   | None -> Error "missing protocol version field \"v\""
 
 let method_of_json json =
@@ -367,7 +472,10 @@ let optimize_of_json json =
       | Some f when f >= 0.0 -> Ok (Some f)
       | _ -> Error "\"deadline_s\" must be a non-negative number")
   in
-  Ok (Optimize { id; source; mode; method_; penalty; deadline_s })
+  let progress =
+    match Json.member "progress" json with Some (Json.Bool b) -> b | _ -> false
+  in
+  Ok (Optimize { id; source; mode; method_; penalty; deadline_s; progress })
 
 let entry_of_json json =
   let* method_name = str_member "method" json in
@@ -397,6 +505,7 @@ let request_of_json json =
   match type_ with
   | "status" -> Ok Status
   | "metrics" -> Ok Metrics
+  | "stats" -> Ok Stats
   | "optimize" -> optimize_of_json json
   | "cache-get" ->
     let* key = key_member json in
@@ -443,7 +552,14 @@ let backend_status_of_json json =
   let* backend_in_flight = int_member "in_flight" json in
   let* consecutive_failures = int_member "consecutive_failures" json in
   let* last_probe_s = float_member "last_probe_s" json in
-  Ok { backend; health; backend_in_flight; consecutive_failures; last_probe_s }
+  let backend_incumbent_a =
+    Option.bind (Json.member "incumbent_A" json) Json.to_float_opt
+  in
+  Ok
+    {
+      backend; health; backend_in_flight; consecutive_failures; last_probe_s;
+      backend_incumbent_a;
+    }
 
 let status_of_json json =
   let* accepted = int_member "accepted" json in
@@ -475,12 +591,72 @@ let status_of_json json =
           (Ok []) items
         |> Result.map List.rev)
   in
+  let incumbent_a = Option.bind (Json.member "incumbent_A" json) Json.to_float_opt in
   Ok
     (Status_reply
        {
          draining; accepted; rejected; in_flight; queue_depth; capacity; workers;
-         uptime_s; backends;
+         uptime_s; incumbent_a; backends;
        })
+
+let snapshot_of_json json =
+  let assoc kind conv name =
+    match Option.bind (Json.member name json) Json.to_obj_opt with
+    | None -> Ok []
+    | Some members ->
+      List.fold_left
+        (fun acc (key, v) ->
+          Result.bind acc (fun acc ->
+              match conv v with
+              | Some v -> Ok ((key, v) :: acc)
+              | None -> Error (Printf.sprintf "non-%s %S entry %S" kind name key)))
+        (Ok []) members
+      |> Result.map List.rev
+  in
+  let* counters = assoc "integer" Json.to_int_opt "counters" in
+  let* gauges = assoc "numeric" Json.to_float_opt "gauges" in
+  let histogram_of_json j =
+    let* name = str_member "name" j in
+    let floats k =
+      match Option.bind (Json.member k j) Json.to_list_opt with
+      | None -> Error (Printf.sprintf "histogram %S: missing %S" name k)
+      | Some items -> (
+        let vs = List.filter_map Json.to_float_opt items in
+        if List.length vs = List.length items then Ok (Array.of_list vs)
+        else Error (Printf.sprintf "histogram %S: non-numeric %S" name k))
+    in
+    let ints k =
+      match Option.bind (Json.member k j) Json.to_list_opt with
+      | None -> Error (Printf.sprintf "histogram %S: missing %S" name k)
+      | Some items -> (
+        let vs = List.filter_map Json.to_int_opt items in
+        if List.length vs = List.length items then Ok (Array.of_list vs)
+        else Error (Printf.sprintf "histogram %S: non-integer %S" name k))
+    in
+    let* upper_bounds = floats "bounds" in
+    let* cumulative = ints "cumulative" in
+    let* count = int_member "count" j in
+    let* sum = float_member "sum" j in
+    if Array.length cumulative <> Array.length upper_bounds + 1 then
+      Error (Printf.sprintf "histogram %S: %d cumulative buckets for %d bounds" name
+               (Array.length cumulative) (Array.length upper_bounds))
+    else Ok (name, { Metrics.upper_bounds; cumulative; count; sum })
+  in
+  let* histograms =
+    match Json.member "histograms" json with
+    | None -> Ok []
+    | Some j -> (
+      match Json.to_list_opt j with
+      | None -> Error "\"histograms\" must be a list"
+      | Some items ->
+        List.fold_left
+          (fun acc item ->
+            Result.bind acc (fun acc ->
+                Result.map (fun h -> h :: acc) (histogram_of_json item)))
+          (Ok []) items
+        |> Result.map List.rev)
+  in
+  Ok { Metrics.counters; gauges; histograms }
 
 let response_of_json json =
   let* () = check_version json in
@@ -488,6 +664,15 @@ let response_of_json json =
   match type_ with
   | "result" -> result_of_json json
   | "status" -> status_of_json json
+  | "stats" ->
+    let* snapshot = snapshot_of_json json in
+    Ok (Stats_reply snapshot)
+  | "progress" ->
+    let* progress_id = str_member "id" json in
+    let* progress_leakage_a = float_member "leakage_A" json in
+    let* progress_elapsed_s = float_member "elapsed_s" json in
+    let* improvement = int_member "improvement" json in
+    Ok (Progress { progress_id; progress_leakage_a; progress_elapsed_s; improvement })
   | "rejected" ->
     let* id = str_member "id" json in
     let* reason = str_member "reason" json in

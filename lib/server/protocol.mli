@@ -2,11 +2,18 @@
     newline-delimited JSON, with length-guarded framing.
 
     One JSON object per line in each direction.  Every record carries
-    [{"v":1,"type":…}]; a record with a different [v] is rejected with
-    a structured error (the connection survives), so a future version
-    bump degrades to an explicit "unsupported version" answer instead of
-    a parse failure.  The codec is {!Standby_telemetry.Json} — the
-    writer emits no raw newlines, so one record is always one line.
+    [{"v":…,"type":…}]; a record whose [v] falls outside
+    [min_version..version] is rejected with a structured error (the
+    connection survives), so a future version bump degrades to an
+    explicit "unsupported version" answer instead of a parse failure.
+    Encoders stamp each frame with the {e lowest} version whose peers
+    can handle it: a plain v1 verb stays [v:1] even when it carries the
+    optional [trace] field (v1 decoders ignore unknown fields), while
+    the v2-only surfaces — the [stats] verb, [progress] pushes, and
+    progress-requesting optimize jobs — say [v:2] so a v1 peer rejects
+    them loudly instead of mishandling them silently.  The codec is
+    {!Standby_telemetry.Json} — the writer emits no raw newlines, so
+    one record is always one line.
 
     Optimize requests name a built-in benchmark or carry the netlist
     inline as ISCAS [.bench] text: the daemon never reads the client's
@@ -26,7 +33,10 @@ val address_of_string : string -> (address, string) result
 val address_to_string : address -> string
 
 val version : int
-(** The protocol version this build speaks (1). *)
+(** The newest protocol version this build speaks (2). *)
+
+val min_version : int
+(** The oldest version still accepted (1). *)
 
 type source =
   | Circuit of string  (** A {!Standby_circuits.Benchmarks} name. *)
@@ -41,12 +51,19 @@ type optimize = {
   deadline_s : float option;
       (** Wall-clock budget; a blown deadline returns the best incumbent
           marked [degraded], never an error. *)
+  progress : bool;
+      (** Push a [progress] frame on this connection for every incumbent
+          improvement while the job runs (v2). *)
 }
 
 type request =
   | Optimize of optimize
   | Status  (** Liveness + admission snapshot (the [/healthz] analogue). *)
   | Metrics  (** Prometheus text exposition of the metrics registry. *)
+  | Stats
+      (** Structured snapshot of the metrics registry (v2).  A
+          coordinator answers with the {e sum} over its backends'
+          snapshots, so one round trip reads the whole fleet. *)
   | Cache_get of { key : string }
       (** Shared-tier probe: look [key] up in the peer's local
           {!Standby_service.Result_store} (never recursing into the
@@ -89,6 +106,10 @@ type backend_status = {
   consecutive_failures : int;
   last_probe_s : float;
       (** Seconds since the last successful probe; negative = never. *)
+  backend_incumbent_a : float option;
+      (** The backend's latest incumbent leakage, relayed from its last
+          probe — the live convergence column of [standbyopt top].
+          [None] from pre-v2 peers or before any job ran. *)
 }
 
 type status_payload = {
@@ -103,8 +124,18 @@ type status_payload = {
   capacity : int;
   workers : int;
   uptime_s : float;  (** Monotonic daemon uptime. *)
+  incumbent_a : float option;
+      (** Latest incumbent leakage seen by any job on this daemon;
+          absent before the first improvement (and from v1 peers). *)
   backends : backend_status list;
       (** Per-backend fleet health — non-empty only on a coordinator. *)
+}
+
+type progress_payload = {
+  progress_id : string;  (** The optimize request being improved. *)
+  progress_leakage_a : float;  (** New incumbent total leakage. *)
+  progress_elapsed_s : float;  (** Since the job was admitted. *)
+  improvement : int;  (** 1-based improvement ordinal within the job. *)
 }
 
 type response =
@@ -113,16 +144,37 @@ type response =
   | Error_response of { id : string option; message : string }
   | Status_reply of status_payload
   | Metrics_reply of { content_type : string; body : string }
+  | Stats_reply of Standby_telemetry.Metrics.registry_snapshot
+      (** Structured registry snapshot; from a coordinator, the sum over
+          backend scrapes (see {!Standby_telemetry.Metrics.merge_snapshots}). *)
+  | Progress of progress_payload
+      (** Mid-job incumbent push (v2); the only non-terminal response —
+          zero or more precede the job's terminal frame. *)
   | Cache_found of { key : string; entry : Standby_service.Result_store.entry }
   | Cache_missing of { key : string }
   | Cache_ack of { key : string; stored : bool }
       (** [stored = false] when the peer has no store configured. *)
 
-val request_to_json : request -> Standby_telemetry.Json.t
+val is_terminal : response -> bool
+(** [false] only for {!Progress}: whether this frame finishes the
+    request it answers. *)
+
+val request_to_json :
+  ?trace:Standby_telemetry.Telemetry.context -> request -> Standby_telemetry.Json.t
+(** [?trace] attaches the caller's cross-process trace context as an
+    optional ["trace"] field — on any verb, without bumping the frame
+    version (v1 peers ignore it). *)
 
 val request_of_json : Standby_telemetry.Json.t -> (request, string) result
 (** Rejects unknown [v] values and unknown [type]s with messages fit to
-    send back verbatim in an [error] response. *)
+    send back verbatim in an [error] response.  The ["trace"] field is
+    deliberately not part of the decoded request — servers read it
+    separately with {!trace_of_json}. *)
+
+val trace_of_json : Standby_telemetry.Json.t -> Standby_telemetry.Telemetry.context option
+(** The ["trace"] field of a raw request frame, if present and well
+    formed; malformed contexts degrade to [None] (the request itself
+    still decodes). *)
 
 val response_to_json : response -> Standby_telemetry.Json.t
 

@@ -8,6 +8,7 @@ module Netlist = Standby_netlist.Netlist
 module Process = Standby_device.Process
 module Benchmarks = Standby_circuits.Benchmarks
 module Optimizer = Standby_opt.Optimizer
+module State_tree = Standby_opt.State_tree
 module Evaluate = Standby_power.Evaluate
 module Assignment = Standby_power.Assignment
 module Timer = Standby_util.Timer
@@ -43,6 +44,12 @@ let m_cache_gets =
 let m_cache_puts =
   Metrics.counter Metrics.default "server.cache_puts"
     ~help:"Shared-tier cache-put write-backs served"
+let m_progress_pushed =
+  Metrics.counter Metrics.default "server.progress_pushed"
+    ~help:"Mid-job progress frames pushed to clients"
+let g_incumbent =
+  Metrics.gauge Metrics.default "server.incumbent_a"
+    ~help:"Latest incumbent leakage (A) seen by any job on this daemon"
 
 type config = {
   address : Protocol.address;
@@ -84,6 +91,10 @@ type t = {
   mutable rejected : int;
   mutable conns : conn list;
   started : Timer.t;
+  (* Latest incumbent leakage seen by any job, NaN before the first
+     improvement — atomically published so STATUS never takes the
+     admission mutex against a running search. *)
+  last_incumbent : float Atomic.t;
 }
 
 let address t = t.config.address
@@ -167,6 +178,7 @@ let create ?libraries config =
           rejected = 0;
           conns = [];
           started = Timer.unlimited ();
+          last_incumbent = Atomic.make Float.nan;
         }
 
 let install_signal_handlers t =
@@ -219,6 +231,9 @@ let status_payload t =
       capacity = t.config.capacity;
       workers = Pool.workers t.pool;
       uptime_s = Timer.elapsed_s t.started;
+      incumbent_a =
+        (let v = Atomic.get t.last_incumbent in
+         if Float.is_nan v then None else Some v);
       backends = [];
     }
   in
@@ -286,7 +301,7 @@ let payload_of_outcome (o : Engine.outcome) =
         assignment = Assignment.to_string r.Optimizer.assignment;
       }
 
-let run_admitted t conn (o : Protocol.optimize) =
+let run_admitted t conn trace (o : Protocol.optimize) =
   let finish () =
     Mutex.lock t.mutex;
     t.in_flight <- t.in_flight - 1;
@@ -294,7 +309,15 @@ let run_admitted t conn (o : Protocol.optimize) =
     if t.in_flight = 0 then Condition.broadcast t.idle;
     Mutex.unlock t.mutex
   in
+  (* Install the propagated trace context (if the client sent one) for
+     this pool task: the server.request span and everything under it
+     then carry the client's trace id, and the span parents onto the
+     client's (or router's) own span across the process boundary. *)
+  let in_context f =
+    match trace with None -> f () | Some ctx -> Telemetry.with_context ctx f
+  in
   Fun.protect ~finally:finish (fun () ->
+      in_context @@ fun () ->
       Telemetry.span "server.request"
         ~fields:
           [
@@ -309,9 +332,29 @@ let run_admitted t conn (o : Protocol.optimize) =
               (send conn (Protocol.Error_response { id = Some o.Protocol.id; message }))
           | Ok resolved ->
             let interrupt () = not (Atomic.get conn.alive) in
+            let admitted = Timer.unlimited () in
+            let improvements = ref 0 in
+            let on_incumbent (leaf : State_tree.leaf) =
+              let leakage = leaf.State_tree.leakage in
+              Atomic.set t.last_incumbent leakage;
+              Metrics.set_gauge g_incumbent leakage;
+              incr improvements;
+              if o.Protocol.progress then begin
+                Metrics.incr m_progress_pushed;
+                ignore
+                  (send conn
+                     (Protocol.Progress
+                        {
+                          progress_id = o.Protocol.id;
+                          progress_leakage_a = leakage;
+                          progress_elapsed_s = Timer.elapsed_s admitted;
+                          improvement = !improvements;
+                        }))
+              end
+            in
             let outcome =
-              Engine.execute ?store:t.config.store ~interrupt ~libraries:t.libraries
-                resolved
+              Engine.execute ?store:t.config.store ~interrupt ~on_incumbent
+                ~libraries:t.libraries resolved
             in
             Telemetry.add_fields
               [
@@ -349,7 +392,7 @@ let run_admitted t conn (o : Protocol.optimize) =
                   ]
             end))
 
-let handle_optimize t conn (o : Protocol.optimize) =
+let handle_optimize t conn trace (o : Protocol.optimize) =
   let decision =
     Mutex.lock t.mutex;
     let d =
@@ -384,7 +427,7 @@ let handle_optimize t conn (o : Protocol.optimize) =
     ignore (send conn (Protocol.Rejected { id = o.Protocol.id; reason; retry_after_s }))
   | `Admit ->
     Metrics.incr m_accepted;
-    Pool.submit t.pool (fun () -> run_admitted t conn o)
+    Pool.submit t.pool (fun () -> run_admitted t conn trace o)
 
 let handle_frame t conn line =
   match Json.of_string line with
@@ -407,6 +450,8 @@ let handle_frame t conn line =
                 content_type = "text/plain; version=0.0.4";
                 body = Metrics.to_prometheus Metrics.default;
               }))
+    | Ok Protocol.Stats ->
+      ignore (send conn (Protocol.Stats_reply (Metrics.registry_snapshot Metrics.default)))
     | Ok (Protocol.Cache_get { key }) ->
       Metrics.incr m_cache_gets;
       (* Serve from the local store only: peers never chain through each
@@ -455,7 +500,7 @@ let handle_frame t conn line =
                      to drain the daemon itself"
                     b;
               }))
-    | Ok (Protocol.Optimize o) -> handle_optimize t conn o)
+    | Ok (Protocol.Optimize o) -> handle_optimize t conn (Protocol.trace_of_json json) o)
 
 (* ------------------------------------------------------------------ *)
 (* Connections                                                          *)

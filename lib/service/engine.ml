@@ -118,8 +118,11 @@ let count_outcome (outcome : outcome) =
 (* One resolved job, end to end: cache probe, optimize under the job's
    deadline (and the caller's cancellation poll), write-back of
    full-quality results.  Shared by the batch run below and the serving
-   daemon, so both produce identical outcomes for identical jobs. *)
-let execute ?store ?interrupt ~libraries (r : Job.resolved) =
+   daemon, so both produce identical outcomes for identical jobs.
+   [on_incumbent] observes every incumbent improvement of a fresh
+   computation (cache hits never fire it) — the serving daemon's
+   progress push. *)
+let execute ?store ?interrupt ?on_incumbent ~libraries (r : Job.resolved) =
   let job = r.Job.job in
   let wall = Timer.unlimited () in
   let key = Job.key r in
@@ -151,8 +154,8 @@ let execute ?store ?interrupt ~libraries (r : Job.resolved) =
         | Some result -> (Cached, Some result)
         | None ->
           let result =
-            Optimizer.run ?deadline_s:job.Manifest.deadline_s ?interrupt lib r.Job.net
-              ~penalty:job.Manifest.penalty job.Manifest.method_
+            Optimizer.run ?deadline_s:job.Manifest.deadline_s ?interrupt ?on_incumbent
+              lib r.Job.net ~penalty:job.Manifest.penalty job.Manifest.method_
           in
           if result.Optimizer.degraded then (Degraded, Some result)
           else begin

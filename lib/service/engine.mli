@@ -46,6 +46,7 @@ val status_name : status -> string
 val execute :
   ?store:Result_store.t ->
   ?interrupt:(unit -> bool) ->
+  ?on_incumbent:(Standby_opt.State_tree.leaf -> unit) ->
   libraries:Job.Library_cache.t ->
   Job.resolved ->
   outcome
@@ -54,10 +55,12 @@ val execute :
     escaping exception becomes a [Failed] outcome.  [interrupt] is
     polled cooperatively by the optimizer (see
     {!Standby_opt.Optimizer.run}); a cancelled run comes back
-    [Degraded].  Feeds the [engine.jobs_*] counters and the
-    [engine.job_wall_s] histogram.  This is the exact code path of a
-    batch job, so a daemon calling it returns results bit-identical to
-    {!run} on the same job. *)
+    [Degraded].  [on_incumbent] observes each incumbent improvement of
+    a fresh computation, in improvement order (cache hits never fire
+    it) — the serving daemon's live progress push.  Feeds the
+    [engine.jobs_*] counters and the [engine.job_wall_s] histogram.
+    This is the exact code path of a batch job, so a daemon calling it
+    returns results bit-identical to {!run} on the same job. *)
 
 val average_job_wall_s : unit -> float option
 (** Mean of the [engine.job_wall_s] histogram so far ([None] before the

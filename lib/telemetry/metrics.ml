@@ -128,6 +128,100 @@ let snapshot h =
   done;
   { upper_bounds = Array.copy h.h_bounds; cumulative; count; sum }
 
+let percentile s q =
+  let n_bounds = Array.length s.upper_bounds in
+  if s.count <= 0 || n_bounds = 0 || Float.is_nan q then None
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    (* Target rank in (0, count]: rank 0 would select an empty leading
+       bucket, so floor it just above zero — q=0 then reads the lower
+       edge of the first populated bucket (the distribution minimum as
+       far as buckets can tell). *)
+    let rank = Float.max (q *. float_of_int s.count) 1e-9 in
+    let n = Array.length s.cumulative in
+    let rec find i =
+      if i >= n - 1 then n - 1
+      else if float_of_int s.cumulative.(i) >= rank then i
+      else find (i + 1)
+    in
+    let i = find 0 in
+    if i >= n_bounds then
+      (* +Inf bucket: no finite upper edge to interpolate toward; clamp
+         to the largest finite bound.  Callers wanting better tails
+         should widen the histogram. *)
+      Some s.upper_bounds.(n_bounds - 1)
+    else begin
+      let lo = if i = 0 then 0.0 else s.upper_bounds.(i - 1) in
+      let hi = s.upper_bounds.(i) in
+      let prev = if i = 0 then 0 else s.cumulative.(i - 1) in
+      let inside = s.cumulative.(i) - prev in
+      if inside <= 0 then Some hi
+      else begin
+        let frac = (rank -. float_of_int prev) /. float_of_int inside in
+        let frac = Float.max 0.0 (Float.min 1.0 frac) in
+        Some (lo +. (frac *. (hi -. lo)))
+      end
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Registry snapshots — the wire/aggregation view of a registry         *)
+
+type registry_snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * histogram_snapshot) list;
+}
+
+let empty_snapshot = { counters = []; gauges = []; histograms = [] }
+
+let merge_histogram_snapshots a b =
+  if a.upper_bounds <> b.upper_bounds then a
+  else
+    {
+      upper_bounds = a.upper_bounds;
+      cumulative = Array.init (Array.length a.cumulative) (fun i ->
+          a.cumulative.(i)
+          + (if i < Array.length b.cumulative then b.cumulative.(i) else 0));
+      count = a.count + b.count;
+      sum = a.sum +. b.sum;
+    }
+
+(* Sum across processes: counters and histogram buckets add; gauges add
+   too, which is the useful fleet reading for the gauges we register
+   (queue depths, in-flight connections, live workers).  Histograms
+   whose bucket bounds disagree cannot be merged meaningfully — the
+   first snapshot's distribution is kept. *)
+let merge_snapshots snapshots =
+  let merge_assoc combine acc entries =
+    List.fold_left
+      (fun acc (name, v) ->
+        match List.assoc_opt name acc with
+        | Some prev -> (name, combine prev v) :: List.remove_assoc name acc
+        | None -> (name, v) :: acc)
+      acc entries
+  in
+  let sorted l = List.sort (fun (a, _) (b, _) -> compare a b) l in
+  let merged =
+    List.fold_left
+      (fun acc s ->
+        {
+          counters = merge_assoc ( + ) acc.counters s.counters;
+          gauges = merge_assoc ( +. ) acc.gauges s.gauges;
+          histograms = merge_assoc merge_histogram_snapshots acc.histograms s.histograms;
+        })
+      empty_snapshot snapshots
+  in
+  {
+    counters = sorted merged.counters;
+    gauges = sorted merged.gauges;
+    histograms = sorted merged.histograms;
+  }
+
+let find_counter s name = List.assoc_opt name s.counters
+let find_gauge s name = List.assoc_opt name s.gauges
+let find_histogram s name = List.assoc_opt name s.histograms
+
 (* ------------------------------------------------------------------ *)
 (* Export                                                               *)
 
@@ -140,6 +234,17 @@ let instruments t =
       let name = function Counter c -> c.c_name | Gauge g -> g.g_name | Histogram h -> h.h_name in
       compare (name a) (name b))
     all
+
+let registry_snapshot t =
+  let counters = ref [] and gauges = ref [] and histograms = ref [] in
+  List.iter
+    (function
+      | Counter c -> counters := (c.c_name, counter_value c) :: !counters
+      | Gauge g -> gauges := (g.g_name, gauge_value g) :: !gauges
+      | Histogram h -> histograms := (h.h_name, snapshot h) :: !histograms)
+    (instruments t);
+  { counters = List.rev !counters; gauges = List.rev !gauges;
+    histograms = List.rev !histograms }
 
 let to_json t =
   let counters = ref [] and gauges = ref [] and histograms = ref [] in
@@ -197,10 +302,28 @@ let prom_float v =
     in
     shortest 1
 
+(* Exposition-format escapes: HELP text escapes backslash and newline;
+   label values additionally escape double quotes. *)
+let prom_escape ~quote s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '"' when quote -> Buffer.add_string buf "\\\""
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let prom_help = prom_escape ~quote:false
+let prom_label_value = prom_escape ~quote:true
+
 let to_prometheus t =
   let buf = Buffer.create 1024 in
   let header name help kind =
-    if help <> "" then Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+    if help <> "" then
+      Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name (prom_help help));
     Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
   in
   List.iter
@@ -219,12 +342,19 @@ let to_prometheus t =
         header name h.h_help "histogram";
         Array.iteri
           (fun i cum ->
+            (* Cumulative buckets must never decrease, and the +Inf
+               bucket must equal the observation count — a violation
+               means snapshot arithmetic (or a merged wire snapshot)
+               is corrupt, so fail the export rather than publish it. *)
+            assert (i = 0 || cum >= s.cumulative.(i - 1));
             let le =
               if i < Array.length s.upper_bounds then prom_float s.upper_bounds.(i)
               else "+Inf"
             in
-            Buffer.add_string buf (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name le cum))
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name (prom_label_value le) cum))
           s.cumulative;
+        assert (s.cumulative.(Array.length s.cumulative - 1) = s.count);
         Buffer.add_string buf (Printf.sprintf "%s_sum %s\n" name (prom_float s.sum));
         Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name s.count))
     (instruments t);

@@ -72,6 +72,39 @@ type histogram_snapshot = {
 
 val snapshot : histogram -> histogram_snapshot
 
+val percentile : histogram_snapshot -> float -> float option
+(** [percentile s q] estimates the [q]-quantile ([q] clamped to
+    [0..1]) from the bucket counts, interpolating linearly inside the
+    selected bucket (lower edge of the first bucket is 0).  Ranks that
+    land in the [+Inf] bucket clamp to the largest finite bound.
+    [None] when the histogram is empty.  This is the estimator behind
+    [standbyopt top]'s p50/p90/p99 and [trace summarize]. *)
+
+(** {2 Registry snapshots} — the aggregation/wire view. *)
+
+type registry_snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * histogram_snapshot) list;
+}
+(** Every instrument of a registry by name — what the [stats] wire verb
+    carries and what the router sums across backends. *)
+
+val registry_snapshot : t -> registry_snapshot
+(** Sorted by name (deterministic). *)
+
+val merge_snapshots : registry_snapshot list -> registry_snapshot
+(** Fleet sum: counters add, gauges add (queue depths, in-flight — the
+    fleet-wide reading), histograms add bucket-wise when their bounds
+    agree (on disagreement the first snapshot's distribution is kept).
+    Result is sorted by name. *)
+
+val find_counter : registry_snapshot -> string -> int option
+
+val find_gauge : registry_snapshot -> string -> float option
+
+val find_histogram : registry_snapshot -> string -> histogram_snapshot option
+
 (** {2 Export} *)
 
 val to_json : t -> Json.t
@@ -81,7 +114,16 @@ val to_json : t -> Json.t
 
 val to_prometheus : t -> string
 (** Text exposition format; dots and dashes in names map to
-    underscores. *)
+    underscores.  HELP text and label values are escaped per the
+    exposition grammar (backslash, newline, and quotes in labels), and
+    every histogram's cumulative buckets are asserted monotone with the
+    [+Inf] bucket equal to [_count] before the text is returned. *)
+
+val prom_help : string -> string
+(** Escape free text for a [# HELP] line ([\ ] and newline). *)
+
+val prom_label_value : string -> string
+(** Escape a label value (backslash, double quote, newline). *)
 
 val write_file : t -> string -> unit
 (** JSON by default; a [.prom] suffix selects Prometheus text. *)

@@ -3,6 +3,10 @@ type record = {
   name : string;
   id : int option;
   parent : int option;
+  parent_pid : int option;
+  pid : int option;
+  role : string option;
+  trace_id : string option;
   domain : int option;
   ts : float;
   dur_s : float option;
@@ -28,6 +32,10 @@ let parse_line line =
            name = Option.value (str "name") ~default:"";
            id = int "id";
            parent;
+           parent_pid = int "parent_pid";
+           pid = int "pid";
+           role = str "role";
+           trace_id = str "trace_id";
            domain = int "domain";
            ts = Option.value (flt "ts") ~default:0.0;
            dur_s = flt "dur_s";
@@ -50,6 +58,28 @@ let read_file path =
   in
   parse [] 1 lines
 
+let read_files paths =
+  let rec go acc = function
+    | [] -> Ok (List.concat (List.rev acc))
+    | path :: rest -> (
+      match read_file path with
+      | Ok records -> go (records :: acc) rest
+      | Error _ as e -> e)
+  in
+  go [] paths
+
+(* Merged-trace identity: span ids restart at 1 in every process, so a
+   bare id aliases across files.  Key everything by (pid, id); records
+   that predate pid stamping collapse onto pid 0, which is still
+   correct for any single-process trace. *)
+let record_key r = (Option.value r.pid ~default:0, Option.value r.id ~default:0)
+
+let parent_key r =
+  match r.parent with
+  | None -> None
+  | Some parent ->
+    Some (Option.value r.parent_pid ~default:(Option.value r.pid ~default:0), parent)
+
 type span_row = {
   span_name : string;
   count : int;
@@ -61,14 +91,16 @@ type span_row = {
 
 let span_summary records =
   let spans = List.filter (fun r -> r.kind = "span") records in
-  (* Direct-children time per parent id, for self-time accounting. *)
+  (* Direct-children time per (pid, parent id), for self-time
+     accounting — keyed by process so merged multi-file summaries never
+     attribute one process's children to another's span. *)
   let child_time = Hashtbl.create 64 in
   List.iter
     (fun r ->
-      match (r.parent, r.dur_s) with
-      | Some parent, Some dur ->
-        Hashtbl.replace child_time parent
-          (dur +. Option.value (Hashtbl.find_opt child_time parent) ~default:0.0)
+      match (parent_key r, r.dur_s) with
+      | Some key, Some dur ->
+        Hashtbl.replace child_time key
+          (dur +. Option.value (Hashtbl.find_opt child_time key) ~default:0.0)
       | _ -> ())
     spans;
   let rows = Hashtbl.create 16 in
@@ -77,7 +109,7 @@ let span_summary records =
       let dur = Option.value r.dur_s ~default:0.0 in
       let inside =
         match r.id with
-        | Some id -> Option.value (Hashtbl.find_opt child_time id) ~default:0.0
+        | Some _ -> Option.value (Hashtbl.find_opt child_time (record_key r)) ~default:0.0
         | None -> 0.0
       in
       let self = Float.max 0.0 (dur -. inside) in
@@ -99,6 +131,75 @@ let span_summary records =
     spans;
   Hashtbl.fold (fun _ row acc -> row :: acc) rows []
   |> List.sort (fun a b -> compare b.total_s a.total_s)
+
+type node = { span : record; children : node list }
+
+type tree = { tree_trace_id : string option; roots : node list }
+
+let node_self_s node =
+  let dur = Option.value node.span.dur_s ~default:0.0 in
+  let inside =
+    List.fold_left
+      (fun acc c -> acc +. Option.value c.span.dur_s ~default:0.0)
+      0.0 node.children
+  in
+  Float.max 0.0 (dur -. inside)
+
+let assemble records =
+  let spans =
+    List.filter (fun r -> r.kind = "span" && Option.is_some r.id) records
+  in
+  let present = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace present (record_key r) ()) spans;
+  (* children per (pid, id) parent key, in ts order *)
+  let kids = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      match parent_key r with
+      | Some key when Hashtbl.mem present key ->
+        Hashtbl.replace kids key
+          (r :: Option.value (Hashtbl.find_opt kids key) ~default:[])
+      | _ -> ())
+    spans;
+  let by_ts = List.sort (fun a b -> Float.compare a.ts b.ts) in
+  let rec build r =
+    let children =
+      Option.value (Hashtbl.find_opt kids (record_key r)) ~default:[]
+      |> by_ts
+      |> List.map build
+    in
+    { span = r; children }
+  in
+  (* A root is a span whose parent is absent from the merged record
+     set — either no parent at all, or a dangling remote reference
+     (e.g. the upstream hop was not traced). *)
+  let roots =
+    List.filter
+      (fun r ->
+        match parent_key r with
+        | None -> true
+        | Some key -> not (Hashtbl.mem present key))
+      spans
+    |> by_ts
+    |> List.map build
+  in
+  (* Group root nodes by their trace id; descendants follow their root
+     regardless of their own tags. *)
+  let order = ref [] in
+  let groups = Hashtbl.create 8 in
+  List.iter
+    (fun node ->
+      let tid = node.span.trace_id in
+      (match Hashtbl.find_opt groups tid with
+       | Some nodes -> Hashtbl.replace groups tid (node :: nodes)
+       | None ->
+         order := tid :: !order;
+         Hashtbl.replace groups tid [ node ]))
+    roots;
+  List.rev_map
+    (fun tid ->
+      { tree_trace_id = tid; roots = List.rev (Hashtbl.find groups tid) })
+    !order
 
 type point = { t_rel_s : float; values : (string * Json.t) list }
 

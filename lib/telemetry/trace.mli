@@ -3,15 +3,22 @@
 
     A trace is the JSONL stream {!Telemetry} writes — [meta], [span] and
     [event] records in span-close order.  This module parses it and
-    computes the two views the paper's search-behavior analysis needs:
-    per-span wall/self-time aggregates and the incumbent-improvement
-    trajectory. *)
+    computes the views the fleet's observability needs: per-span
+    wall/self-time aggregates, the incumbent-improvement trajectory,
+    and — for traces merged from several processes — the cross-process
+    span forest keyed by propagated trace ids. *)
 
 type record = {
   kind : string;  (** ["meta"], ["span"] or ["event"]. *)
   name : string;
   id : int option;
   parent : int option;  (** Enclosing span id (spans and events). *)
+  parent_pid : int option;
+      (** Process owning [parent] when it is a remote span; defaults to
+          [pid] (see {!record_key}). *)
+  pid : int option;  (** Emitting process. *)
+  role : string option;  (** Process role, when {!Telemetry.set_role} ran. *)
+  trace_id : string option;  (** Propagated cross-process trace id. *)
   domain : int option;
   ts : float;  (** Wall-clock start (spans) or instant (events). *)
   dur_s : float option;  (** Spans only. *)
@@ -24,6 +31,19 @@ val read_file : string -> (record list, string) result
 (** Every non-blank line must parse; the error names the first bad
     line.  Records come back in file order. *)
 
+val read_files : string list -> (record list, string) result
+(** Concatenation of {!read_file} over several per-process trace files,
+    in argument order; the first failing file wins. *)
+
+val record_key : record -> int * int
+(** The merged-trace identity of a span: [(pid, id)].  Span ids restart
+    at 1 in every process, so bare ids alias across merged files —
+    never key by [id] alone.  Missing fields default to 0. *)
+
+val parent_key : record -> (int * int) option
+(** Identity of the parent span, defaulting [parent_pid] to the
+    record's own [pid] (same-process parent). *)
+
 type span_row = {
   span_name : string;
   count : int;
@@ -35,7 +55,30 @@ type span_row = {
 
 val span_summary : record list -> span_row list
 (** Aggregated per span name, widest total first.  Self-time attributes
-    each span's duration minus its direct children's durations. *)
+    each span's duration minus its direct children's durations; child
+    time is keyed by [(pid, id)] so merged multi-process summaries
+    never cross-attribute. *)
+
+type node = { span : record; children : node list }
+(** One span with its direct children (ts order), possibly from other
+    processes. *)
+
+type tree = {
+  tree_trace_id : string option;  (** [None] groups untraced roots. *)
+  roots : node list;
+}
+
+val node_self_s : node -> float
+(** Wall time of the span minus its direct children — the per-hop self
+    time of a merged trace. *)
+
+val assemble : record list -> tree list
+(** Build the cross-process span forest: spans link to parents by
+    [(pid, id)] identity (remote parents via [parent_pid]), roots are
+    spans whose parent is absent from the merged set, and root nodes
+    are grouped by their [trace_id].  A fully-propagated routed request
+    yields a single tree with a single root whose descendants span
+    client, router and backend processes. *)
 
 type point = {
   t_rel_s : float;  (** Seconds since the first record in the trace. *)

@@ -14,6 +14,7 @@ module Job = Standby_service.Job
 module Cache_key = Standby_service.Cache_key
 module Result_store = Standby_service.Result_store
 module Metrics = Standby_telemetry.Metrics
+module Telemetry = Standby_telemetry.Telemetry
 module Protocol = Standby_server.Protocol
 module Server = Standby_server.Server
 module Client = Standby_server.Client
@@ -233,6 +234,7 @@ let optimize ?(id = "job") ?(circuit = "c432") ?(penalty = 0.05) () =
       method_ = Optimizer.Heuristic_1;
       penalty;
       deadline_s = None;
+      progress = false;
     }
 
 let expect_result = function
@@ -308,6 +310,92 @@ let test_failover_past_dead_owner () =
             expect_result (cok (Client.rpc c (optimize ~id:"fail-over" ()))))
       in
       check_offline "failed-over result" p ~circuit:"c432" ~penalty:0.05)
+
+(* Tracing on changes no answer: a routed optimize carrying a trace
+   context (and streaming progress) must still be bit-identical to the
+   offline engine and to a direct backend run.  Also exercises the
+   router's live Progress forwarding — the pushes arrive through the
+   front socket before the terminal frame. *)
+let test_routed_traced_bit_identity () =
+  with_cluster 2 (fun cluster backends ->
+      let ctx =
+        {
+          Telemetry.trace_id = Telemetry.mint_trace_id ();
+          parent = Some { Telemetry.pid = Unix.getpid (); span = 1 };
+        }
+      in
+      let request =
+        Protocol.Optimize
+          {
+            Protocol.id = "traced";
+            source = Protocol.Circuit "c432";
+            mode = Version.default_mode;
+            method_ = Optimizer.Heuristic_1;
+            penalty = 0.05;
+            deadline_s = None;
+            progress = true;
+          }
+      in
+      let pushes, terminal =
+        with_conn cluster.front (fun c ->
+            cok (Client.send ~trace:ctx c request);
+            let rec drain acc =
+              match cok (Client.recv c) with
+              | Protocol.Progress p -> drain (p :: acc)
+              | r -> (List.rev acc, r)
+            in
+            drain [])
+      in
+      let routed = expect_result terminal in
+      check Alcotest.bool "router forwards progress pushes" true (pushes <> []);
+      List.iter
+        (fun (p : Protocol.progress_payload) ->
+          check Alcotest.string "push id" "traced" p.Protocol.progress_id)
+        pushes;
+      check_offline "traced routed result" routed ~circuit:"c432" ~penalty:0.05;
+      let direct =
+        with_conn (List.hd backends).address (fun c ->
+            expect_result (cok (Client.rpc ~trace:ctx c (optimize ~id:"traced-direct" ()))))
+      in
+      check (Alcotest.float 0.0) "traced routed = direct leakage"
+        direct.Protocol.leakage_a routed.Protocol.leakage_a;
+      check Alcotest.string "traced routed = direct assignment"
+        direct.Protocol.assignment routed.Protocol.assignment)
+
+(* The router's stats verb sums per-backend scrapes.  Both in-process
+   backends feed the same global registry, so the aggregate must read
+   exactly direct(A) + direct(B) on counters no scrape can move. *)
+let test_routed_stats_aggregation () =
+  with_cluster 2 (fun cluster backends ->
+      let _ =
+        with_conn cluster.front (fun c ->
+            expect_result (cok (Client.rpc c (optimize ~id:"stats-warm" ()))))
+      in
+      let scrape address what =
+        with_conn address (fun c ->
+            match cok (Client.rpc c Protocol.Stats) with
+            | Protocol.Stats_reply snap -> snap
+            | r ->
+              Alcotest.failf "%s: expected stats, got %s" what
+                (Standby_telemetry.Json.to_string (Protocol.response_to_json r)))
+      in
+      let direct = List.map (fun (b : backend) -> scrape b.address "backend stats") backends in
+      let fleet = scrape cluster.front "router stats" in
+      let expected = Metrics.merge_snapshots direct in
+      (* Only counters a scrape itself cannot move are comparable — the
+         router's own scrapes bump server.connections between reads. *)
+      List.iter
+        (fun name ->
+          let v snap = Option.value (Metrics.find_counter snap name) ~default:0 in
+          check Alcotest.int
+            (Printf.sprintf "aggregate %s = sum of direct scrapes" name)
+            (v expected) (v fleet))
+        [ "server.accepted"; "engine.jobs_computed"; "engine.jobs_cached" ];
+      check Alcotest.bool "aggregate counts the routed job" true
+        (Option.value (Metrics.find_counter fleet "server.accepted") ~default:0 >= 1);
+      (match Metrics.find_histogram fleet "engine.job_wall_s" with
+       | Some h -> check Alcotest.bool "aggregate wall histogram" true (h.Metrics.count >= 1)
+       | None -> Alcotest.fail "engine.job_wall_s missing from the aggregate"))
 
 let test_no_backends_is_an_error () =
   with_cluster 1 (fun cluster backends ->
@@ -509,6 +597,8 @@ let () =
           quick "routed = direct = offline" test_routed_matches_direct_and_offline;
           quick "fleet status" test_router_status;
           quick "failover past the dead owner" test_failover_past_dead_owner;
+          quick "traced routed = direct = offline" test_routed_traced_bit_identity;
+          quick "aggregated stats = sum of scrapes" test_routed_stats_aggregation;
           quick "no backends is a clean error" test_no_backends_is_an_error;
           quick "shared cache tier" test_shared_cache_tier;
           quick "administrative backend drain" test_admin_drain_backend;

@@ -13,6 +13,8 @@ module Benchmarks = Standby_circuits.Benchmarks
 module Job = Standby_service.Job
 module Result_store = Standby_service.Result_store
 module Json = Standby_telemetry.Json
+module Metrics = Standby_telemetry.Metrics
+module Telemetry = Standby_telemetry.Telemetry
 module Protocol = Standby_server.Protocol
 module Server = Standby_server.Server
 module Client = Standby_server.Client
@@ -79,8 +81,8 @@ let with_client h f =
 
 let optimize ?(id = "job") ?(source = Protocol.Circuit "c432")
     ?(mode = Version.default_mode) ?(method_ = Optimizer.Heuristic_1)
-    ?(penalty = 0.05) ?deadline_s () =
-  Protocol.Optimize { Protocol.id; source; mode; method_; penalty; deadline_s }
+    ?(penalty = 0.05) ?deadline_s ?(progress = false) () =
+  Protocol.Optimize { Protocol.id; source; mode; method_; penalty; deadline_s; progress }
 
 let show_response r = Json.to_string (Protocol.response_to_json r)
 
@@ -223,6 +225,7 @@ let test_codec_roundtrip () =
          capacity = 64;
          workers = 4;
          uptime_s = 1.5;
+         incumbent_a = None;
          backends = [];
        });
   roundtrip_response
@@ -236,12 +239,14 @@ let test_codec_roundtrip () =
          capacity = 0;
          workers = 2;
          uptime_s = 99.25;
+         incumbent_a = Some 2.3546121681693101e-06;
          backends =
            [
              {
                Protocol.backend = "unix:/tmp/b1.sock";
                health = "healthy";
                backend_in_flight = 3;
+               backend_incumbent_a = Some 4.0582109633403818e-07;
                consecutive_failures = 0;
                last_probe_s = 0.5;
              };
@@ -249,6 +254,7 @@ let test_codec_roundtrip () =
                Protocol.backend = "127.0.0.1:7171";
                health = "down";
                backend_in_flight = 0;
+               backend_incumbent_a = None;
                consecutive_failures = 4;
                last_probe_s = -1.0;
              };
@@ -260,6 +266,91 @@ let test_codec_roundtrip () =
   roundtrip_response (Protocol.Cache_ack { key = "ff00"; stored = false });
   roundtrip_response
     (Protocol.Metrics_reply { content_type = "text/plain"; body = "a 1" })
+
+let test_codec_roundtrip_v2 () =
+  roundtrip_request (optimize ~progress:true ());
+  roundtrip_request Protocol.Stats;
+  roundtrip_response
+    (Protocol.Progress
+       {
+         Protocol.progress_id = "job/7";
+         progress_leakage_a = 2.3546121681693101e-06;
+         progress_elapsed_s = 0.0625;
+         improvement = 3;
+       });
+  (* A registry snapshot with histograms survives the wire — the fleet
+     aggregation path depends on bucket-exact round trips. *)
+  let reg = Metrics.create () in
+  Metrics.add (Metrics.counter reg "server.accepted") 5;
+  Metrics.set_gauge (Metrics.gauge reg "server.queue_depth") 2.0;
+  let h = Metrics.histogram reg "engine.job_wall_s" ~buckets:[ 0.1; 1.0 ] in
+  List.iter (Metrics.observe h) [ 0.05; 0.5; 3.0 ];
+  roundtrip_response (Protocol.Stats_reply (Metrics.registry_snapshot reg));
+  check Alcotest.bool "progress is not terminal" false
+    (Protocol.is_terminal
+       (Protocol.Progress
+          {
+            Protocol.progress_id = "j";
+            progress_leakage_a = 1e-6;
+            progress_elapsed_s = 0.1;
+            improvement = 1;
+          }));
+  check Alcotest.bool "stats reply is terminal" true
+    (Protocol.is_terminal (Protocol.Stats_reply (Metrics.registry_snapshot reg)))
+
+(* The optional trace field: attached by request_to_json ?trace, read
+   back by trace_of_json, invisible to request_of_json (v1 peers just
+   ignore it). *)
+let test_trace_field_roundtrip () =
+  let ctx =
+    {
+      Telemetry.trace_id = "4fd1e20a55aa33cc";
+      parent = Some { Telemetry.pid = 1234; span = 56 };
+    }
+  in
+  let json = Protocol.request_to_json ~trace:ctx (optimize ~progress:true ()) in
+  (match Protocol.trace_of_json json with
+   | Some got -> check Alcotest.bool "trace context round trips" true (got = ctx)
+   | None -> Alcotest.fail "trace field did not survive the round trip");
+  (match Protocol.request_of_json json with
+   | Ok r -> check Alcotest.bool "request decodes with trace attached" true
+               (r = optimize ~progress:true ())
+   | Error msg -> Alcotest.failf "request with trace rejected: %s" msg);
+  (* Root context: no parent ref. *)
+  let root = { Telemetry.trace_id = "abc"; parent = None } in
+  (match Protocol.trace_of_json (Protocol.request_to_json ~trace:root Protocol.Status) with
+   | Some got -> check Alcotest.bool "rootless parent round trips" true (got = root)
+   | None -> Alcotest.fail "root trace context lost");
+  (* Absent and malformed trace fields degrade to None, never an error. *)
+  check Alcotest.bool "absent -> None" true
+    (Protocol.trace_of_json (Protocol.request_to_json Protocol.Status) = None);
+  let raw s = ok (Json.of_string s) in
+  check Alcotest.bool "non-object trace -> None" true
+    (Protocol.trace_of_json (raw {|{"v":1,"type":"status","trace":42}|}) = None);
+  check Alcotest.bool "missing trace_id -> None" true
+    (Protocol.trace_of_json (raw {|{"v":1,"type":"status","trace":{"span":7}}|}) = None)
+
+(* v1 <-> v2 compatibility: a bare v1 optimize (no progress, no trace)
+   decodes with the v2 defaults; the version window is [1..2] so v:3 is
+   refused with the speaking range. *)
+let test_version_window () =
+  (match
+     Result.bind
+       (Json.of_string {|{"v":1,"type":"optimize","id":"x","circuit":"c432"}|})
+       Protocol.request_of_json
+   with
+   | Ok (Protocol.Optimize o) ->
+     check Alcotest.bool "v1 optimize defaults progress off" false o.Protocol.progress
+   | Ok _ -> Alcotest.fail "v1 optimize decoded to the wrong verb"
+   | Error msg -> Alcotest.failf "v1 optimize rejected: %s" msg);
+  match
+    Result.bind (Json.of_string {|{"v":3,"type":"status"}|}) Protocol.request_of_json
+  with
+  | Ok _ -> Alcotest.fail "accepted v:3"
+  | Error msg ->
+    check Alcotest.bool "names the speaking range" true
+      (contains ~sub:"unsupported protocol version 3" msg
+      && contains ~sub:"1-2" msg)
 
 (* A pre-cluster v1 status record (no queue_depth, no backends) must
    still decode — additive protocol extension, no version bump. *)
@@ -331,6 +422,61 @@ let test_serve_matches_offline () =
           check Alcotest.string "id echoed" "one" p.Protocol.id;
           check Alcotest.string "computed" "computed" p.Protocol.status;
           check_matches_offline "serve" p ~penalty:0.05 Optimizer.Heuristic_1))
+
+(* progress=true streams incumbent pushes before the terminal result:
+   a fresh heu1 computation always visits at least one leaf, so at
+   least one Progress frame precedes the Result, ordinals count up
+   from 1, and the final incumbent equals the result's leakage. *)
+let test_progress_stream () =
+  with_server (fun h ->
+      with_client h (fun c ->
+          cok (Client.send c (optimize ~id:"live" ~progress:true ()));
+          let rec drain acc =
+            match cok (Client.recv c) with
+            | Protocol.Progress p -> drain (p :: acc)
+            | r -> (List.rev acc, r)
+          in
+          let pushes, terminal = drain [] in
+          let p = expect_result terminal in
+          check Alcotest.bool "at least one progress push" true (pushes <> []);
+          List.iteri
+            (fun i (push : Protocol.progress_payload) ->
+              check Alcotest.string "push echoes the job id" "live"
+                push.Protocol.progress_id;
+              check Alcotest.int "improvements count from 1" (i + 1)
+                push.Protocol.improvement;
+              check Alcotest.bool "elapsed is non-negative" true
+                (push.Protocol.progress_elapsed_s >= 0.0))
+            pushes;
+          (* The push carries the search tree's incremental leakage; the
+             result re-evaluates the breakdown — same leaf, so equal to
+             within float noise but not bit-identical. *)
+          let last = List.nth pushes (List.length pushes - 1) in
+          check Alcotest.bool "final push is the answer" true
+            (Float.abs (last.Protocol.progress_leakage_a -. p.Protocol.leakage_a)
+            <= 1e-9 *. Float.abs p.Protocol.leakage_a);
+          check_matches_offline "progress stream" p ~penalty:0.05 Optimizer.Heuristic_1))
+
+(* The stats verb returns the structured registry snapshot — the wire
+   view standbyopt top and the router aggregator read. *)
+let test_stats_verb () =
+  with_server (fun h ->
+      with_client h (fun c ->
+          let _ = expect_result (cok (Client.rpc c (optimize ~id:"warm" ()))) in
+          match cok (Client.rpc c Protocol.Stats) with
+          | Protocol.Stats_reply snap ->
+            check Alcotest.bool "server.accepted counted" true
+              (Option.value (Metrics.find_counter snap "server.accepted") ~default:0 >= 1);
+            (match Metrics.find_histogram snap "engine.job_wall_s" with
+             | Some h -> check Alcotest.bool "wall histogram populated" true (h.Metrics.count >= 1)
+             | None -> Alcotest.fail "engine.job_wall_s missing from stats");
+            (* p99 estimation works straight off the wire snapshot. *)
+            (match Metrics.find_histogram snap "engine.job_wall_s" with
+             | Some h ->
+               check Alcotest.bool "p99 estimable" true
+                 (Metrics.percentile h 0.99 <> None)
+             | None -> ())
+          | r -> Alcotest.failf "expected stats, got %s" (show_response r)))
 
 let test_concurrent_submits () =
   let penalties = [ 0.02; 0.05; 0.08; 0.1; 0.15; 0.25 ] in
@@ -680,6 +826,9 @@ let () =
       ( "protocol",
         [
           quick "codec round trips" test_codec_roundtrip;
+          quick "v2 codec round trips" test_codec_roundtrip_v2;
+          quick "trace field round trips" test_trace_field_roundtrip;
+          quick "version window" test_version_window;
           quick "codec rejects" test_codec_rejects;
           quick "pre-cluster status decodes" test_status_decodes_precluster;
           quick "addresses" test_addresses;
@@ -687,6 +836,8 @@ let () =
       ( "serving",
         [
           quick "matches the offline engine" test_serve_matches_offline;
+          quick "progress stream" test_progress_stream;
+          quick "stats verb" test_stats_verb;
           quick "concurrent submits" test_concurrent_submits;
           quick "inline bench source" test_inline_bench_source;
         ] );

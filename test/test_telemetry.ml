@@ -163,6 +163,147 @@ let test_metrics_exports () =
   check Alcotest.bool "sanitized names" true (contains "demo_count 1");
   check Alcotest.bool "histogram buckets" true (contains "demo_wall_s_bucket{le=\"+Inf\"} 1")
 
+let test_percentile_known_distribution () =
+  (* 40 observations: 10 in (0,1], 10 in (1,2], 20 in (2,4].  With
+     linear interpolation the quantiles land exactly on bucket edges or
+     midpoints. *)
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg "lat" ~buckets:[ 1.0; 2.0; 4.0 ] in
+  for _ = 1 to 10 do Metrics.observe h 0.5 done;
+  for _ = 1 to 10 do Metrics.observe h 1.5 done;
+  for _ = 1 to 20 do Metrics.observe h 3.0 done;
+  let s = Metrics.snapshot h in
+  check Alcotest.(array int) "cumulative" [| 10; 20; 40; 40 |] s.Metrics.cumulative;
+  let p q = Metrics.percentile s q in
+  let feq = Alcotest.(option (float 1e-9)) in
+  check feq "p25 = first bucket's upper edge" (Some 1.0) (p 0.25);
+  check feq "p50 = second bucket's upper edge" (Some 2.0) (p 0.5);
+  check feq "p75 interpolates to the bucket midpoint" (Some 3.0) (p 0.75);
+  check feq "p100 = largest bound" (Some 4.0) (p 1.0);
+  check feq "q clamped above 1" (Some 4.0) (p 7.0);
+  (* q = 0 reads the lower edge of the first populated bucket. *)
+  check Alcotest.bool "p0 near zero" true
+    (match p 0.0 with Some v -> Float.abs v < 1e-6 | None -> false);
+  (* An observation beyond the last finite bound lands in +Inf and the
+     tail quantile clamps to the largest finite bound. *)
+  Metrics.observe h 100.0;
+  let s = Metrics.snapshot h in
+  check feq "+Inf clamps to largest finite bound" (Some 4.0)
+    (Metrics.percentile s 1.0);
+  (* Empty histogram: no estimate. *)
+  let empty = Metrics.snapshot (Metrics.histogram reg "empty" ~buckets:[ 1.0 ]) in
+  check feq "empty -> None" None (Metrics.percentile empty 0.5)
+
+let test_merge_snapshots () =
+  let mk obs_h obs_hd c g extra =
+    let reg = Metrics.create () in
+    let ctr = Metrics.counter reg "c" in
+    Metrics.add ctr c;
+    Metrics.set_gauge (Metrics.gauge reg "g") g;
+    let h = Metrics.histogram reg "h" ~buckets:[ 1.0; 2.0 ] in
+    List.iter (Metrics.observe h) obs_h;
+    (* Same name, different bounds across the two registries. *)
+    let hd_buckets = if extra then [ 5.0 ] else [ 1.0 ] in
+    let hd = Metrics.histogram reg "hd" ~buckets:hd_buckets in
+    List.iter (Metrics.observe hd) obs_hd;
+    if extra then Metrics.add (Metrics.counter reg "only2") 7;
+    Metrics.registry_snapshot reg
+  in
+  let a = mk [ 0.5 ] [ 0.5 ] 3 1.5 false in
+  let b = mk [ 1.5 ] [ 3.0 ] 4 2.0 true in
+  let m = Metrics.merge_snapshots [ a; b ] in
+  check Alcotest.(option int) "counters sum" (Some 7) (Metrics.find_counter m "c");
+  check Alcotest.(option int) "disjoint counter kept" (Some 7)
+    (Metrics.find_counter m "only2");
+  check Alcotest.(option (float 1e-9)) "gauges sum" (Some 3.5) (Metrics.find_gauge m "g");
+  (match Metrics.find_histogram m "h" with
+   | None -> Alcotest.fail "merged histogram missing"
+   | Some h ->
+     check Alcotest.(array (float 1e-9)) "bounds kept" [| 1.0; 2.0 |] h.Metrics.upper_bounds;
+     check Alcotest.(array int) "buckets sum" [| 1; 2; 2 |] h.Metrics.cumulative;
+     check Alcotest.int "count sums" 2 h.Metrics.count;
+     check (Alcotest.float 1e-9) "sum sums" 2.0 h.Metrics.sum);
+  (match Metrics.find_histogram m "hd" with
+   | None -> Alcotest.fail "merged hd missing"
+   | Some h ->
+     (* Bounds disagree: the first snapshot's distribution wins whole. *)
+     check Alcotest.(array (float 1e-9)) "first bounds kept" [| 1.0 |]
+       h.Metrics.upper_bounds;
+     check Alcotest.int "first count kept" 1 h.Metrics.count);
+  let names = List.map fst m.Metrics.counters in
+  check Alcotest.(list string) "sorted by name" (List.sort compare names) names
+
+(* Validate a full Prometheus exposition: every line is a HELP, TYPE or
+   sample line, metric names are legal, escapes survived, and histogram
+   buckets are cumulative with +Inf == _count. *)
+let check_prometheus_exposition text =
+  let is_name_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_' || c = ':'
+  in
+  let legal_name name =
+    String.length name > 0
+    && (let c = name.[0] in not (c >= '0' && c <= '9'))
+    && String.for_all is_name_char name
+  in
+  let lines = String.split_on_char '\n' text in
+  List.iter
+    (fun line ->
+      if line = "" then ()
+      else if String.length line >= 2 && String.sub line 0 2 = "# " then begin
+        match String.split_on_char ' ' line with
+        | "#" :: ("HELP" | "TYPE") :: name :: _ ->
+          if not (legal_name name) then
+            Alcotest.failf "illegal metric name in comment: %s" line
+        | _ -> Alcotest.failf "malformed comment line: %s" line
+      end
+      else begin
+        (* name[{labels}] SP value *)
+        match String.index_opt line ' ' with
+        | None -> Alcotest.failf "sample line without value: %s" line
+        | Some sp ->
+          let lhs = String.sub line 0 sp in
+          let name =
+            match String.index_opt lhs '{' with
+            | Some b ->
+              if lhs.[String.length lhs - 1] <> '}' then
+                Alcotest.failf "unterminated label set: %s" line;
+              String.sub lhs 0 b
+            | None -> lhs
+          in
+          if not (legal_name name) then Alcotest.failf "illegal metric name: %s" line;
+          let value = String.sub line (sp + 1) (String.length line - sp - 1) in
+          if value <> "+Inf" && Float.of_string_opt value = None then
+            Alcotest.failf "unparseable sample value: %s" line
+      end)
+    lines
+
+let test_prometheus_conformance () =
+  let reg = Metrics.create () in
+  (* Hostile names and help strings: dots, dashes, backslash, quote,
+     newline must all be sanitized/escaped. *)
+  Metrics.incr (Metrics.counter reg "a.b-c.total" ~help:"line1\nline2 \\ \"quoted\"");
+  Metrics.set_gauge (Metrics.gauge reg "q-depth" ~help:"back\\slash") 3.0;
+  let h = Metrics.histogram reg "wall.s" ~buckets:[ 0.1; 1.0 ] ~help:"hist \"h\"" in
+  List.iter (Metrics.observe h) [ 0.05; 0.5; 5.0 ];
+  let text = Metrics.to_prometheus reg in
+  check_prometheus_exposition text;
+  let contains sub s =
+    let n = String.length sub and m = String.length s in
+    let rec scan i = i + n <= m && (String.sub s i n = sub || scan (i + 1)) in
+    scan 0
+  in
+  check Alcotest.bool "newline escaped in HELP" true (contains "line1\\nline2" text);
+  check Alcotest.bool "backslash escaped in HELP" true (contains "\\\\" text);
+  check Alcotest.bool "+Inf == count" true (contains "wall_s_bucket{le=\"+Inf\"} 3" text);
+  check Alcotest.bool "escape helper: label value" true
+    (Metrics.prom_label_value "a\"b\\c\nd" = "a\\\"b\\\\c\\nd");
+  check Alcotest.bool "escape helper: help" true
+    (Metrics.prom_help "a\\b\nc" = "a\\\\b\\nc");
+  (* And the process-global registry: every instrument the subsystems
+     registered at init must also export cleanly. *)
+  check_prometheus_exposition (Metrics.to_prometheus Metrics.default)
+
 (* ------------------------------ Spans ------------------------------ *)
 
 let test_span_nesting_and_self_time () =
@@ -258,6 +399,105 @@ let test_concurrent_trace_well_formed () =
             | _ -> ())
           records)
 
+(* Cross-process merge: span ids restart at 1 in every process, so a
+   merged trace aliases bare ids.  Identity must be (pid, id). *)
+let synthetic_records lines =
+  List.map
+    (fun line ->
+      match Trace.parse_line line with
+      | Ok r -> r
+      | Error msg -> Alcotest.failf "synthetic record rejected (%s): %s" msg line)
+    lines
+
+let test_assemble_cross_process_no_aliasing () =
+  (* pid 100 (client) and pid 200 (server) both use span ids 1 and 2.
+     The server's root links to the client's span 1 via parent_pid; the
+     server's span 2 has a bare parent 1 that must resolve to the
+     server's own span 1, never the client's. *)
+  let records =
+    synthetic_records
+      [
+        {|{"type":"span","name":"client.submit","id":1,"pid":100,"role":"client","trace_id":"t1","ts":0.0,"dur_s":1.0}|};
+        {|{"type":"span","name":"client.other","id":2,"parent":1,"pid":100,"role":"client","trace_id":"t1","ts":0.3,"dur_s":0.2}|};
+        {|{"type":"span","name":"server.request","id":1,"parent":1,"parent_pid":100,"pid":200,"role":"server","trace_id":"t1","ts":0.05,"dur_s":0.8}|};
+        {|{"type":"span","name":"optimizer.run","id":2,"parent":1,"pid":200,"role":"server","trace_id":"t1","ts":0.1,"dur_s":0.5}|};
+      ]
+  in
+  check Alcotest.bool "keys differ across pids" true
+    (Trace.record_key (List.nth records 0) <> Trace.record_key (List.nth records 2));
+  check Alcotest.(option (pair int int)) "bare parent stays in-process"
+    (Some (200, 1))
+    (Trace.parent_key (List.nth records 3));
+  (match Trace.assemble records with
+   | [ { Trace.tree_trace_id = Some "t1"; roots = [ root ] } ] ->
+     check Alcotest.string "root" "client.submit" (root.Trace.span).Trace.name;
+     let names node = List.map (fun n -> (n.Trace.span).Trace.name) node.Trace.children in
+     (* Children in ts order; the server hop is NOT flattened into the
+        client even though both processes have a span id 1. *)
+     check Alcotest.(list string) "root children"
+       [ "server.request"; "client.other" ]
+       (names root);
+     let request =
+       List.find (fun n -> (n.Trace.span).Trace.name = "server.request") root.Trace.children
+     in
+     check Alcotest.(list string) "server child" [ "optimizer.run" ] (names request);
+     check (Alcotest.float 1e-9) "server self time" 0.3 (Trace.node_self_s request);
+     (* Root self: 1.0 - 0.8 (server hop) - 0.2 (client.other). *)
+     check (Alcotest.float 1e-9) "root self time" 0.0 (Trace.node_self_s root)
+   | forest -> Alcotest.failf "expected one t1 tree, got %d" (List.length forest));
+  (* span_summary keys child time by (pid, id) too: the server's
+     optimizer.run must not be charged against the client's span 1. *)
+  let row name =
+    List.find (fun r -> r.Trace.span_name = name) (Trace.span_summary records)
+  in
+  check (Alcotest.float 1e-9) "summary client self" 0.0 (row "client.submit").Trace.self_s;
+  check (Alcotest.float 1e-9) "summary server self" 0.3 (row "server.request").Trace.self_s
+
+let test_with_context_tagging () =
+  with_temp_file (fun path ->
+      let inner_ctx = ref None in
+      let remote = { Telemetry.pid = 4242; span = 7 } in
+      Telemetry.with_trace_file path (fun () ->
+          check Alcotest.bool "no ambient context" true
+            (Telemetry.current_context () = None);
+          Telemetry.with_context
+            { Telemetry.trace_id = "abc"; parent = None }
+            (fun () ->
+              Telemetry.span "local.root" (fun () ->
+                  inner_ctx := Telemetry.current_context ()));
+          (* A remote parent with no local span open: the span links
+             straight to the remote ref. *)
+          Telemetry.with_context
+            { Telemetry.trace_id = "xyz"; parent = Some remote }
+            (fun () -> Telemetry.span "remote.child" (fun () -> ())));
+      match Trace.read_file path with
+      | Error msg -> Alcotest.failf "trace unreadable: %s" msg
+      | Ok records ->
+        let span name =
+          List.find
+            (fun (r : Trace.record) -> r.Trace.kind = "span" && r.Trace.name = name)
+            records
+        in
+        let root = span "local.root" in
+        check Alcotest.(option string) "trace id propagated to record" (Some "abc")
+          root.Trace.trace_id;
+        check Alcotest.(option int) "root has no parent" None root.Trace.parent;
+        (* What an outgoing request should carry from inside the span:
+           same trace id, parent = the open span in this process. *)
+        (match !inner_ctx with
+         | Some { Telemetry.trace_id = "abc"; parent = Some ref_ } ->
+           check Alcotest.int "parent pid is ours" (Unix.getpid ()) ref_.Telemetry.pid;
+           check Alcotest.(option int) "parent span is the open span"
+             root.Trace.id (Some ref_.Telemetry.span)
+         | _ -> Alcotest.fail "current_context inside span is wrong");
+        let child = span "remote.child" in
+        check Alcotest.(option string) "remote trace id" (Some "xyz") child.Trace.trace_id;
+        check Alcotest.(option int) "remote parent span" (Some 7) child.Trace.parent;
+        check Alcotest.(option int) "remote parent pid" (Some 4242) child.Trace.parent_pid;
+        check Alcotest.(option (pair int int)) "parent key follows the remote ref"
+          (Some (4242, 7))
+          (Trace.parent_key child))
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -282,6 +522,9 @@ let () =
           quick "bad buckets" test_histogram_rejects_bad_buckets;
           quick "intern and kind clash" test_registry_intern_and_kind_clash;
           quick "exports" test_metrics_exports;
+          quick "percentile" test_percentile_known_distribution;
+          quick "merge snapshots" test_merge_snapshots;
+          quick "prometheus conformance" test_prometheus_conformance;
         ] );
       ( "trace",
         [
@@ -289,5 +532,7 @@ let () =
           quick "exception closes span" test_span_exception_records;
           quick "noop without trace" test_span_noop_without_trace;
           quick "concurrent well-formed" test_concurrent_trace_well_formed;
+          quick "cross-process assemble" test_assemble_cross_process_no_aliasing;
+          quick "context tagging" test_with_context_tagging;
         ] );
     ]

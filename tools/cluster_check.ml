@@ -103,6 +103,7 @@ let optimize ~id ~source ~penalty =
       method_ = Optimizer.Heuristic_1;
       penalty;
       deadline_s = None;
+      progress = false;
     }
 
 let check_csv_parity ~what ~served ~expected =

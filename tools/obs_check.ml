@@ -1,0 +1,222 @@
+(* CI helper: end-to-end smoke of the fleet observability layer.
+
+     obs_check STANDBYOPT PREFIX
+
+   Spawns two `standbyopt serve` backends and one `standbyopt route`
+   coordinator, each writing its own JSONL trace (PREFIX-a.jsonl,
+   PREFIX-b.jsonl, PREFIX-router.jsonl), then submits one optimize
+   request through the router with `standbyopt submit --trace
+   PREFIX-client.jsonl --progress`.  Asserts:
+
+     - the router's aggregated `stats` reply equals the sum of direct
+       per-backend `stats` scrapes on the traffic-stable counters
+       (server.accepted, engine.jobs_computed, cluster.* are
+       router-only and absent from backends),
+     - after every process has exited (traces flush at exit), the four
+       trace files merge into a forest with exactly one propagated
+       trace: a single root span — the client's [client.submit] —
+       whose descendants include the router's [cluster.route] and a
+       backend's [server.request], every hop tagged with the same
+       trace id and a distinct pid, wall times properly nested,
+     - the merged rendering (what `standbyopt trace summarize --merge`
+       prints) is written to PREFIX-merged.txt.
+
+   The drain path mirrors cluster_check: wire drain for the router,
+   SIGTERM for the backends, every exit asserted 0. *)
+
+module Json = Standby_telemetry.Json
+module Metrics = Standby_telemetry.Metrics
+module Trace = Standby_telemetry.Trace
+module Trace_view = Standby_report.Trace_view
+module Protocol = Standby_server.Protocol
+module Client = Standby_server.Client
+
+let fail fmt =
+  Printf.ksprintf (fun msg -> prerr_endline ("obs_check: " ^ msg); exit 1) fmt
+
+let say fmt = Printf.ksprintf (fun msg -> Printf.printf "obs_check: %s\n%!" msg) fmt
+
+let fresh_socket () =
+  let file = Filename.temp_file "standbyd-obs-ci" ".sock" in
+  Sys.remove file;
+  file
+
+let spawn standbyopt args =
+  Unix.create_process standbyopt
+    (Array.of_list (standbyopt :: args))
+    Unix.stdin Unix.stdout Unix.stderr
+
+let connect_with_retry ?(deadline_s = 20.0) address =
+  let deadline = Unix.gettimeofday () +. deadline_s in
+  let rec go () =
+    match Client.connect ~connect_timeout_s:2.0 address with
+    | Ok c -> c
+    | Error (Client.Unavailable _) when Unix.gettimeofday () < deadline ->
+      Unix.sleepf 0.1;
+      go ()
+    | Error e ->
+      fail "connect %s: %s" (Protocol.address_to_string address) (Client.error_message e)
+  in
+  go ()
+
+let cok what = function
+  | Ok v -> v
+  | Error e -> fail "%s: %s" what (Client.error_message e)
+
+let stats_of address ~what =
+  let c = connect_with_retry address in
+  Fun.protect
+    ~finally:(fun () -> Client.close c)
+    (fun () ->
+      match cok what (Client.rpc c Protocol.Stats) with
+      | Protocol.Stats_reply snapshot -> snapshot
+      | r ->
+        fail "%s: expected stats, got %s" what (Json.to_string (Protocol.response_to_json r)))
+
+let expect_exit what pid =
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED n -> fail "%s exited %d" what n
+  | _, (Unix.WSIGNALED n | Unix.WSTOPPED n) -> fail "%s killed by signal %d" what n
+
+(* The counters a scrape itself cannot disturb: only optimize traffic
+   moves them, and obs_check is the sole client.  server.connections
+   would count the scrapes. *)
+let stable_counters = [ "server.accepted"; "engine.jobs_computed"; "engine.jobs_cached" ]
+
+let () =
+  let standbyopt, prefix =
+    match Sys.argv with
+    | [| _; a; b |] -> (a, b)
+    | _ -> fail "usage: obs_check STANDBYOPT PREFIX"
+  in
+  let trace_client = prefix ^ "-client.jsonl" in
+  let trace_router = prefix ^ "-router.jsonl" in
+  let trace_a = prefix ^ "-a.jsonl" in
+  let trace_b = prefix ^ "-b.jsonl" in
+  let merged_txt = prefix ^ "-merged.txt" in
+  let sock_a = fresh_socket () and sock_b = fresh_socket () in
+  let sock_r = fresh_socket () in
+  let addr_a = Protocol.Unix_socket sock_a and addr_b = Protocol.Unix_socket sock_b in
+  let addr_r = Protocol.Unix_socket sock_r in
+  let serve_args sock trace =
+    [ "serve"; "--listen"; "unix:" ^ sock; "--no-cache"; "--workers"; "2";
+      "--log-level"; "warning"; "--trace"; trace ]
+  in
+  let pid_a = spawn standbyopt (serve_args sock_a trace_a) in
+  let pid_b = spawn standbyopt (serve_args sock_b trace_b) in
+  let pid_r =
+    spawn standbyopt
+      [ "route"; "--listen"; "unix:" ^ sock_r; "--backend"; "unix:" ^ sock_a;
+        "--backend"; "unix:" ^ sock_b; "--probe-interval"; "0.2"; "--log-level";
+        "warning"; "--trace"; trace_router ]
+  in
+  say "backends %d/%d up, router %d" pid_a pid_b pid_r;
+  List.iter (fun a -> Client.close (connect_with_retry a)) [ addr_a; addr_b; addr_r ];
+
+  (* 1. One traced, progress-streaming submit through the router — the
+     real client code path mints the trace id and the client.submit
+     root span. *)
+  let pid_submit =
+    spawn standbyopt
+      [ "submit"; "--connect"; "unix:" ^ sock_r; "--circuit"; "c432"; "--penalty";
+        "0.05"; "--progress"; "--trace"; trace_client; "--log-level"; "warning" ]
+  in
+  expect_exit "submit" pid_submit;
+  say "traced submit through the router OK";
+
+  (* 2. Aggregated stats vs the sum of direct per-backend scrapes. *)
+  let snap_a = stats_of addr_a ~what:"stats A" in
+  let snap_b = stats_of addr_b ~what:"stats B" in
+  let fleet = stats_of addr_r ~what:"stats via router" in
+  let expected = Metrics.merge_snapshots [ snap_a; snap_b ] in
+  List.iter
+    (fun name ->
+      let v snap = Option.value (Metrics.find_counter snap name) ~default:0 in
+      if v fleet <> v expected then
+        fail "aggregated %s = %d, per-backend sum = %d" name (v fleet) (v expected))
+    stable_counters;
+  if Option.value (Metrics.find_counter fleet "server.accepted") ~default:0 < 1 then
+    fail "aggregated server.accepted should count the submitted job";
+  (match Metrics.find_histogram fleet "engine.job_wall_s" with
+   | Some h when h.Metrics.count >= 1 -> ()
+   | _ -> fail "aggregated engine.job_wall_s histogram is missing or empty");
+  say "aggregated stats equal the sum of per-backend scrapes (%s)"
+    (String.concat ", " stable_counters);
+
+  (* 3. Drain everything so every process flushes its trace on exit. *)
+  let router = connect_with_retry addr_r in
+  (match cok "drain rpc" (Client.rpc router (Protocol.Drain { backend = None })) with
+   | Protocol.Status_reply s when s.Protocol.draining -> ()
+   | r ->
+     fail "drain: expected a draining status, got %s"
+       (Json.to_string (Protocol.response_to_json r)));
+  Client.close router;
+  expect_exit "router" pid_r;
+  Unix.kill pid_a Sys.sigterm;
+  Unix.kill pid_b Sys.sigterm;
+  expect_exit "backend A" pid_a;
+  expect_exit "backend B" pid_b;
+
+  (* 4. Merge the four per-process traces and assert the single
+     cross-process tree the propagated trace id promises. *)
+  let records =
+    match Trace.read_files [ trace_client; trace_router; trace_a; trace_b ] with
+    | Ok records -> records
+    | Error msg -> fail "merged trace read: %s" msg
+  in
+  let forest = Trace.assemble records in
+  let traced =
+    List.filter (fun (t : Trace.tree) -> t.Trace.tree_trace_id <> None) forest
+  in
+  let tree =
+    match traced with
+    | [ t ] -> t
+    | ts -> fail "expected exactly one propagated trace, found %d" (List.length ts)
+  in
+  let trace_id = Option.get tree.Trace.tree_trace_id in
+  let root =
+    match tree.Trace.roots with
+    | [ r ] -> r
+    | rs -> fail "trace %s: expected one root span, found %d" trace_id (List.length rs)
+  in
+  let root_span = root.Trace.span in
+  if root_span.Trace.name <> "client.submit" then
+    fail "root span is %S, expected client.submit" root_span.Trace.name;
+  if root_span.Trace.role <> Some "client" then fail "root span is not tagged role=client";
+  let rec find_named name node =
+    if (node.Trace.span).Trace.name = name then Some node
+    else List.find_map (find_named name) node.Trace.children
+  in
+  let hop name role =
+    match find_named name root with
+    | None -> fail "trace %s: no %s span under the client root" trace_id name
+    | Some node ->
+      let s = node.Trace.span in
+      if s.Trace.role <> Some role then
+        fail "%s span is tagged %s, expected role=%s" name
+          (Option.value s.Trace.role ~default:"<none>") role;
+      if s.Trace.trace_id <> Some trace_id then
+        fail "%s span does not carry trace id %s" name trace_id;
+      if s.Trace.pid = root_span.Trace.pid then
+        fail "%s span shares the client's pid — not a cross-process hop" name;
+      node
+  in
+  let route = hop "cluster.route" "router" in
+  let request = hop "server.request" "server" in
+  let wall n = Option.value (n.Trace.span).Trace.dur_s ~default:0.0 in
+  (* Each hop's interval contains the next one's in real time; compare
+     with a small slack for clock granularity. *)
+  if wall root +. 0.005 < wall route then
+    fail "client span (%.4fs) shorter than the router hop (%.4fs)" (wall root) (wall route);
+  if wall route +. 0.005 < wall request then
+    fail "router hop (%.4fs) shorter than the backend hop (%.4fs)" (wall route)
+      (wall request);
+  say "merged trace OK: one root (%s), router and backend hops share trace %s"
+    root_span.Trace.name trace_id;
+
+  (* 5. Persist the merged rendering as a CI artifact. *)
+  let rendering = Trace_view.render_merged records in
+  if not (String.length rendering > 0) then fail "merged rendering is empty";
+  Out_channel.with_open_text merged_txt (fun oc -> Out_channel.output_string oc rendering);
+  say "wrote %s (%d merged records)" merged_txt (List.length records)
