@@ -201,13 +201,67 @@ let bitsim_report ~quick () =
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
+(* Greedy anytime optimizer: wall time to quiescence vs circuit size.    *)
+
+(* Each point doubles the gate count of the previous one on the same
+   kind of generated netlist (locality window scaled with size so depth
+   stays synthesis-like).  Near-linear scaling means the wall-time
+   ratio between consecutive points stays well below the ~4x a
+   quadratic optimizer would show; tools/bench_compare enforces that
+   bound against the "series" field recorded here.  The time budget is
+   a ceiling only — every size below reaches quiescence well before
+   it. *)
+let greedy_scaling_series = ref Json.Null
+
+let greedy_scaling_report ~quick () =
+  let process = Process.default in
+  let lib = Library.build process in
+  let sizes =
+    if quick then [ 5_000; 10_000; 20_000 ] else [ 12_500; 25_000; 50_000; 100_000 ]
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "greedy anytime optimizer, runtime to quiescence (seed 11):\n";
+  Buffer.add_string buf "    gates   wall s   leakage uA   slack  ratio\n";
+  let prev = ref 0.0 in
+  let rows =
+    List.map
+      (fun gates ->
+        let inputs = max 64 (gates / 100) in
+        let net =
+          Standby_circuits.Random_logic.generate ~window:(max 60 (gates / 20)) ~seed:11
+            ~inputs ~gates ()
+        in
+        let r =
+          Optimizer.run lib net ~penalty:0.05 (Optimizer.Greedy { time_budget_s = 300.0 })
+        in
+        let wall = r.Optimizer.runtime_s in
+        let slack = r.Optimizer.budget -. r.Optimizer.delay in
+        let ratio = if !prev > 0.0 then Printf.sprintf "%5.2fx" (wall /. !prev) else "" in
+        prev := wall;
+        Buffer.add_string buf
+          (Printf.sprintf "  %7d  %7.2f  %11.4f  %6.3f  %s\n" gates wall
+             (r.Optimizer.breakdown.Evaluate.total *. 1e6)
+             slack ratio);
+        Json.Obj
+          [
+            ("gates", Json.Int gates);
+            ("wall_s", Json.Float wall);
+            ("leakage_uA", Json.Float (r.Optimizer.breakdown.Evaluate.total *. 1e6));
+            ("feasible", Json.Bool (slack >= -1e-9));
+          ])
+      sizes
+  in
+  greedy_scaling_series := Json.List rows;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
 (* Experiment reproduction                                              *)
 
 let artifact_names =
   [
     "table1"; "table2"; "table3"; "table4"; "table5";
     "figure1"; "figure2"; "figure3"; "figure4"; "figure5"; "ablation";
-    "parallel"; "bitsim";
+    "parallel"; "bitsim"; "greedy-scaling";
   ]
 
 let run_experiments ~quick artifacts =
@@ -228,6 +282,7 @@ let run_experiments ~quick artifacts =
     | "ablation" -> Experiments.ablation t
     | "parallel" -> parallel_report ~quick ()
     | "bitsim" -> bitsim_report ~quick ()
+    | "greedy-scaling" -> greedy_scaling_report ~quick ()
     | other -> Printf.sprintf "unknown artifact %S" other
   in
   let entries = ref [] in
@@ -238,13 +293,17 @@ let run_experiments ~quick artifacts =
         let out, seconds = Timer.time (fun () -> render name) in
         print_endline out;
         Printf.printf "[%s: %.1f s]\n\n%!" name seconds;
+        let series =
+          if name = "greedy-scaling" then [ ("series", !greedy_scaling_series) ] else []
+        in
         entries :=
           Json.Obj
-            [
-              ("artifact", Json.String name);
-              ("wall_s", Json.Float seconds);
-              ("search", Json.Obj (counter_delta before));
-            ]
+            ([
+               ("artifact", Json.String name);
+               ("wall_s", Json.Float seconds);
+               ("search", Json.Obj (counter_delta before));
+             ]
+            @ series)
           :: !entries
       end)
     artifact_names;

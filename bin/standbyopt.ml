@@ -179,7 +179,8 @@ let method_conv =
     | "heu2" -> Ok `Heu2
     | "hc" -> Ok `Hill_climb
     | "exact" -> Ok `Exact
-    | s -> Error (`Msg (Printf.sprintf "unknown method %S (heu1|heu2|hc|exact)" s))
+    | "greedy" -> Ok `Greedy
+    | s -> Error (`Msg (Printf.sprintf "unknown method %S (heu1|heu2|hc|exact|greedy)" s))
   in
   let print fmt m =
     Format.pp_print_string fmt
@@ -187,20 +188,35 @@ let method_conv =
        | `Heu1 -> "heu1"
        | `Heu2 -> "heu2"
        | `Hill_climb -> "hc"
-       | `Exact -> "exact")
+       | `Exact -> "exact"
+       | `Greedy -> "greedy")
   in
   Arg.conv (parse, print)
 
 let method_arg =
-  let doc = "Optimization method: heu1, heu2, hc (heu1 + hill climbing) or exact." in
-  Arg.(value & opt method_conv `Heu1 & info [ "m"; "method" ] ~docv:"METHOD" ~doc)
+  let doc =
+    "Optimization method: heu1, heu2, hc (heu1 + hill climbing), exact, or greedy — the \
+     anytime sensitivity-guided swap heap for very large circuits (100k+ gates), bounded \
+     by --time-budget."
+  in
+  Arg.(value & opt method_conv `Heu1 & info [ "m"; "method"; "mode" ] ~docv:"METHOD" ~doc)
 
 let heu2_limit_arg =
   let doc = "Time budget in seconds for heu2." in
   Arg.(value & opt float 2.0 & info [ "heu2-limit" ] ~docv:"SECONDS" ~doc)
 
+let time_budget_arg =
+  let doc =
+    "Hard wall-clock budget in seconds for the greedy mode; the best incumbent found so \
+     far is returned when it expires."
+  in
+  Arg.(value & opt float 10.0 & info [ "time-budget" ] ~docv:"SECONDS" ~doc)
+
 let vectors_arg =
-  let doc = "Random vectors for the average-leakage reference." in
+  let doc =
+    "Random vectors for the average-leakage reference; 0 skips the baseline (recommended \
+     on 100k+-gate circuits)."
+  in
   Arg.(value & opt int 10_000 & info [ "vectors" ] ~docv:"N" ~doc)
 
 let verbose_arg =
@@ -218,8 +234,8 @@ let jobs_arg =
   in
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
-let run_optimize telemetry circuit file mode method_ penalty heu2_limit jobs vectors
-    verbose timing process_file simplify =
+let run_optimize telemetry circuit file mode method_ penalty heu2_limit time_budget jobs
+    vectors verbose timing process_file simplify =
   install_telemetry ~role:"batch" telemetry;
   match
     Result.bind (resolve_process process_file) (fun process ->
@@ -237,8 +253,11 @@ let run_optimize telemetry circuit file mode method_ penalty heu2_limit jobs vec
       | `Heu2 -> Optimizer.Heuristic_2 { time_limit_s = heu2_limit }
       | `Hill_climb -> Optimizer.Hill_climb { time_limit_s = heu2_limit; max_rounds = 8 }
       | `Exact -> Optimizer.Exact
+      | `Greedy -> Optimizer.Greedy { time_budget_s = time_budget }
     in
-    let avg = Baselines.random_average ~vectors ~jobs lib net in
+    let avg =
+      if vectors > 0 then Some (Baselines.random_average ~vectors ~jobs lib net) else None
+    in
     let r = Optimizer.run ~jobs lib net ~penalty m in
     let b = r.Optimizer.breakdown in
     Printf.printf "circuit        %s (%d inputs, %d gates, depth %d)\n"
@@ -251,11 +270,16 @@ let run_optimize telemetry circuit file mode method_ penalty heu2_limit jobs vec
     Printf.printf "delay budget   %.2f (fast %.2f, all-slow %.2f, penalty %.0f%%)\n"
       r.Optimizer.budget r.Optimizer.delay_fast r.Optimizer.delay_slow (penalty *. 100.);
     Printf.printf "achieved delay %.2f\n" r.Optimizer.delay;
-    Printf.printf "avg leakage    %.2f uA (over %d random vectors)\n" (avg.Evaluate.total *. 1e6)
-      vectors;
+    (match avg with
+     | Some avg ->
+       Printf.printf "avg leakage    %.2f uA (over %d random vectors)\n"
+         (avg.Evaluate.total *. 1e6) vectors
+     | None -> ());
     Printf.printf "opt leakage    %.2f uA  (isub %.2f + igate %.2f)\n" (b.Evaluate.total *. 1e6)
       (b.Evaluate.isub *. 1e6) (b.Evaluate.igate *. 1e6);
-    Printf.printf "reduction      %.1fX\n" (avg.Evaluate.total /. b.Evaluate.total);
+    (match avg with
+     | Some avg -> Printf.printf "reduction      %.1fX\n" (avg.Evaluate.total /. b.Evaluate.total)
+     | None -> ());
     Printf.printf "runtime        %.2f s   [%s]\n" r.Optimizer.runtime_s
       (Search_stats.to_string r.Optimizer.stats);
     if verbose then begin
@@ -293,8 +317,8 @@ let optimize_cmd =
   Cmd.v info
     Term.(
       const run_optimize $ telemetry_term $ circuit_arg $ bench_file_arg $ mode_arg
-      $ method_arg $ penalty_arg $ heu2_limit_arg $ jobs_arg $ vectors_arg $ verbose_arg
-      $ timing_arg $ process_file_arg $ simplify_arg)
+      $ method_arg $ penalty_arg $ heu2_limit_arg $ time_budget_arg $ jobs_arg
+      $ vectors_arg $ verbose_arg $ timing_arg $ process_file_arg $ simplify_arg)
 
 (* ------------------------------------------------------------------ *)
 (* baseline                                                             *)
@@ -790,8 +814,8 @@ let submit_session ~json requests address =
           in
           drain 0 (List.length requests))
 
-let run_submit telemetry connect upstreams circuits files mode method_ heu2_limit penalty
-    deadline progress status stats metrics json =
+let run_submit telemetry connect upstreams circuits files mode method_ heu2_limit
+    time_budget penalty deadline progress status stats metrics json =
   install_telemetry ~role:"client" telemetry;
   let m =
     match method_ with
@@ -799,6 +823,7 @@ let run_submit telemetry connect upstreams circuits files mode method_ heu2_limi
     | `Heu2 -> Optimizer.Heuristic_2 { time_limit_s = heu2_limit }
     | `Hill_climb -> Optimizer.Hill_climb { time_limit_s = heu2_limit; max_rounds = 8 }
     | `Exact -> Optimizer.Exact
+    | `Greedy -> Optimizer.Greedy { time_budget_s = time_budget }
   in
   match submit_requests circuits files mode m penalty deadline progress with
   | Error msg ->
@@ -862,8 +887,8 @@ let submit_cmd =
     Term.(
       const run_submit $ client_telemetry_term $ connect_arg $ upstream_arg
       $ submit_circuits_arg $ submit_files_arg $ mode_arg $ method_arg $ heu2_limit_arg
-      $ penalty_arg $ deadline_arg $ progress_flag_arg $ status_flag_arg
-      $ stats_flag_arg $ metrics_flag_arg $ json_flag_arg)
+      $ time_budget_arg $ penalty_arg $ deadline_arg $ progress_flag_arg
+      $ status_flag_arg $ stats_flag_arg $ metrics_flag_arg $ json_flag_arg)
 
 (* ------------------------------------------------------------------ *)
 (* route / drain                                                        *)
@@ -1272,6 +1297,57 @@ let export_cmd =
     Term.(const run_export $ circuit_arg $ bench_file_arg $ output_arg $ simplify_arg)
 
 (* ------------------------------------------------------------------ *)
+(* generate                                                             *)
+
+let gen_inputs_arg =
+  let doc = "Primary input count of the generated circuit." in
+  Arg.(value & opt int 64 & info [ "inputs" ] ~docv:"N" ~doc)
+
+let gen_gates_arg =
+  let doc = "Gate count of the generated circuit." in
+  Arg.(value & opt int 1000 & info [ "gates" ] ~docv:"N" ~doc)
+
+let gen_name_arg =
+  let doc = "Design name embedded in the netlist (defaults to random-SEED-NxM)." in
+  Arg.(value & opt (some string) None & info [ "name" ] ~docv:"NAME" ~doc)
+
+let gen_window_arg =
+  let doc =
+    "Locality window for fan-in selection; 0 picks gates/20 (min 60) so depth stays at \
+     synthesis-like tens of levels even at 100k+ gates."
+  in
+  Arg.(value & opt int 0 & info [ "window" ] ~docv:"N" ~doc)
+
+let run_generate seed inputs gates name window output =
+  let window = if window > 0 then window else max 60 (gates / 20) in
+  match
+    try
+      Ok
+        (Standby_circuits.Random_logic.generate ?name ~window ~seed ~inputs ~gates ())
+    with Invalid_argument msg -> Error msg
+  with
+  | Error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    1
+  | Ok net ->
+    Bench_io.write_file output net;
+    Printf.printf "wrote %s (%d inputs, %d gates, depth %d, seed %#x)\n" output
+      (Netlist.input_count net) (Netlist.gate_count net) (Netlist.depth net) seed;
+    0
+
+let generate_cmd =
+  let info =
+    Cmd.info "generate"
+      ~doc:
+        "Generate a seeded random combinational netlist as .bench — the scaling \
+         workload for the greedy mode (equal seeds give identical circuits)"
+  in
+  Cmd.v info
+    Term.(
+      const run_generate $ seed_arg $ gen_inputs_arg $ gen_gates_arg $ gen_name_arg
+      $ gen_window_arg $ output_arg)
+
+(* ------------------------------------------------------------------ *)
 (* analyze / export-lib                                                 *)
 
 let run_analyze circuit file mode penalty =
@@ -1326,8 +1402,8 @@ let main_cmd =
   Cmd.group info
     [
       optimize_cmd; baseline_cmd; batch_cmd; serve_cmd; submit_cmd; route_cmd; drain_cmd;
-      top_cmd; report_cmd; library_cmd; circuits_cmd; export_cmd; analyze_cmd;
-      export_lib_cmd; export_process_cmd; trace_cmd;
+      top_cmd; report_cmd; library_cmd; circuits_cmd; export_cmd; generate_cmd;
+      analyze_cmd; export_lib_cmd; export_process_cmd; trace_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -9,9 +9,12 @@ let kind_weights =
      (Gate_kind.Nand3, 13); (Gate_kind.Nor3, 10); (Gate_kind.Nand4, 3);
      (Gate_kind.Nor4, 2); (Gate_kind.Aoi21, 5); (Gate_kind.Oai21, 5) |]
 
+(* Hoisted once: recomputing the total per call showed up in profiles of
+   million-gate generation. *)
+let kind_weight_total = Array.fold_left (fun acc (_, w) -> acc + w) 0 kind_weights
+
 let pick_kind rng =
-  let total = Array.fold_left (fun acc (_, w) -> acc + w) 0 kind_weights in
-  let r = Prng.int rng ~bound:total in
+  let r = Prng.int rng ~bound:kind_weight_total in
   let rec scan i acc =
     let kind, w = kind_weights.(i) in
     if r < acc + w then kind else scan (i + 1) (acc + w)
@@ -19,13 +22,22 @@ let pick_kind rng =
   scan 0 0
 
 (* Locality window: most fan-ins come from recent nodes, giving depth
-   comparable to synthesized logic rather than a flat two-level form. *)
+   comparable to synthesized logic rather than a flat two-level form.
+   The default suits ISCAS-sized stand-ins; 100k+-gate scaling runs pass
+   a wider [window] so depth stays synthesis-like (tens of levels)
+   instead of growing linearly with the gate count. *)
 let locality_window = 60
 
-let generate ?name ~seed ~inputs ~gates () =
+let generate ?name ?window ~seed ~inputs ~gates () =
   if inputs < 1 then invalid_arg "Random_logic.generate: need at least one input";
   if gates < (inputs + 2) / 3 then
     invalid_arg "Random_logic.generate: too few gates to use every input";
+  let locality_window =
+    match window with
+    | None -> locality_window
+    | Some w when w > 0 -> w
+    | Some _ -> invalid_arg "Random_logic.generate: window must be positive"
+  in
   let name =
     match name with Some n -> n | None -> Printf.sprintf "rand_i%d_g%d_s%d" inputs gates seed
   in

@@ -9,10 +9,16 @@
 
 val generate :
   ?name:string ->
+  ?window:int ->
   seed:int ->
   inputs:int ->
   gates:int ->
   unit ->
   Standby_netlist.Netlist.t
-(** @raise Invalid_argument if [inputs < 1] or [gates < inputs / 3]
-    (too few gates to use every input). *)
+(** [window] (default 60) is the locality window most fan-ins are drawn
+    from.  The default matches synthesized ISCAS-sized control logic;
+    for 100k+-gate scaling circuits pass roughly [gates / 20] so the
+    depth stays at realistic tens of levels (and incremental-STA cones
+    stay small) instead of growing linearly with size.
+    @raise Invalid_argument if [inputs < 1], [gates < inputs / 3]
+    (too few gates to use every input), or [window <= 0]. *)

@@ -1,0 +1,44 @@
+(** Anytime sensitivity-guided optimizer for circuits far beyond
+    branch-and-bound reach (100k–1M gates).
+
+    The production multi-Vt recipe as an anytime algorithm: seed a sleep
+    vector with a fast state scan, start from the all-fast (always
+    feasible) assignment, then repeatedly swap single gates to their
+    next lower-leakage version in descending
+    Δleakage/Δdelay-sensitivity order while the worst slack stays
+    non-negative.  Each round rebuilds a max-heap of candidate swaps
+    against the current slack landscape and lets every gate take at most
+    one step; a swap is committed only after a cone-limited
+    {!Standby_timing.Sta.update_from} confirms the moved gate's slack,
+    and is reverted (a "back-off") otherwise.  Because swaps only ever
+    consume slack, a rejected move can never become feasible later, so
+    rejected gates are blocked permanently and the algorithm terminates
+    when a round applies no swap.
+
+    The anytime contract: the seed incumbent is emitted before any work,
+    every emission is strictly leakage-improving and delay-feasible, and
+    an expired timer stops the run at the next candidate boundary with
+    the best incumbent intact.  For a fixed seed and a budget large
+    enough to reach quiescence the result is deterministic.
+
+    Emits the [greedy.swaps], [greedy.backoffs], [greedy.rounds] and
+    [greedy.heap_pops] telemetry counters. *)
+
+val run :
+  ?seed:int ->
+  ?seed_candidates:int ->
+  ?on_incumbent:(State_tree.leaf -> unit) ->
+  ?interrupt:(unit -> bool) ->
+  stats:Search_stats.t ->
+  timer:Standby_util.Timer.t ->
+  Standby_cells.Library.t ->
+  Standby_timing.Sta.t ->
+  State_tree.outcome
+(** [run ~stats ~timer lib sta] — [sta] must carry the delay budget
+    (see {!Standby_timing.Sta.set_budget}); its assignment is clobbered.
+    [seed] (default 0) parameterizes the deterministic sleep-vector
+    candidates; [seed_candidates] (default 8, minimum 2) is how many are
+    scanned.  [on_incumbent] fires on the seed solution and then on
+    every improvement, including mid-round every few thousand swaps;
+    [interrupt] is polled at candidate boundaries.  At least the seed
+    incumbent is always produced, even on an expired timer. *)

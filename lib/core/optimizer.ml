@@ -36,12 +36,14 @@ type method_ =
   | Heuristic_2 of { time_limit_s : float }
   | Hill_climb of { time_limit_s : float; max_rounds : int }
   | Exact
+  | Greedy of { time_budget_s : float }
 
 let method_name = function
   | Heuristic_1 -> "heu1"
   | Heuristic_2 _ -> "heu2"
   | Hill_climb _ -> "heu1+hc"
   | Exact -> "exact"
+  | Greedy _ -> "greedy"
 
 type result = {
   method_name : string;
@@ -80,22 +82,31 @@ let run ?config ?deadline_s ?interrupt ?on_incumbent ?(jobs = 1) lib net ~penalt
   let delay_slow = Telemetry.span "sta.all_slow_delay" (fun () -> Sta.all_slow_delay lib net) in
   let budget = delay_fast +. (penalty *. (delay_slow -. delay_fast)) in
   Sta.set_budget sta budget;
-  let bound = Bound.create lib net in
-  let timer, max_leaves, exact_gate_tree =
-    match method_ with
-    | Heuristic_1 | Hill_climb _ -> (Timer.unlimited (), Some 1, false)
-    | Heuristic_2 { time_limit_s } -> (Timer.start ~limit_s:time_limit_s, None, false)
-    | Exact -> (Timer.unlimited (), None, true)
-  in
   let outcome =
-    (* Parallel subtree search pays off when the whole tree is walked;
-       a single bound-guided descent (Heuristic 1) stays sequential. *)
-    if jobs > 1 && max_leaves = None then
-      State_tree.search_parallel ?config ?on_incumbent ?interrupt ~jobs ~stats
-        ~timer:(with_deadline timer) ~max_leaves ~exact_gate_tree bound lib sta
-    else
-      State_tree.search ?config ?on_incumbent ?interrupt ~stats ~timer:(with_deadline timer)
-        ~max_leaves ~exact_gate_tree bound lib sta
+    match method_ with
+    | Greedy { time_budget_s } ->
+      (* The anytime path: no state tree, no bound — a sensitivity heap
+         over single-gate swaps, sequential by design (every swap reads
+         the slack the previous one left). *)
+      Greedy.run ?on_incumbent ?interrupt ~stats
+        ~timer:(with_deadline (Timer.start ~limit_s:time_budget_s))
+        lib sta
+    | Heuristic_1 | Heuristic_2 _ | Hill_climb _ | Exact ->
+      let bound = Bound.create lib net in
+      let timer, max_leaves, exact_gate_tree =
+        match method_ with
+        | Heuristic_1 | Hill_climb _ -> (Timer.unlimited (), Some 1, false)
+        | Heuristic_2 { time_limit_s } -> (Timer.start ~limit_s:time_limit_s, None, false)
+        | Exact | Greedy _ -> (Timer.unlimited (), None, true)
+      in
+      (* Parallel subtree search pays off when the whole tree is walked;
+         a single bound-guided descent (Heuristic 1) stays sequential. *)
+      if jobs > 1 && max_leaves = None then
+        State_tree.search_parallel ?config ?on_incumbent ?interrupt ~jobs ~stats
+          ~timer:(with_deadline timer) ~max_leaves ~exact_gate_tree bound lib sta
+      else
+        State_tree.search ?config ?on_incumbent ?interrupt ~stats ~timer:(with_deadline timer)
+          ~max_leaves ~exact_gate_tree bound lib sta
   in
   (* Degraded = something external — the deadline or the caller's
      [interrupt] — cut the search short of the method's own stopping
@@ -118,7 +129,7 @@ let run ?config ?deadline_s ?interrupt ?on_incumbent ?(jobs = 1) lib net ~penalt
     | Hill_climb { time_limit_s; max_rounds } when not interrupted ->
       let refine_timer = with_deadline (Timer.start ~limit_s:time_limit_s) in
       Refine.hill_climb ~max_rounds ~stats ~timer:refine_timer lib sta ~start:leaf
-    | Hill_climb _ | Heuristic_1 | Heuristic_2 _ | Exact -> leaf
+    | Hill_climb _ | Heuristic_1 | Heuristic_2 _ | Exact | Greedy _ -> leaf
   in
   let assignment =
     Assignment.of_choices lib net ~vector:leaf.State_tree.vector

@@ -17,6 +17,11 @@ type method_ =
   | Exact
       (** Full branch-and-bound over states with exact gate trees; only
           tractable for small circuits. *)
+  | Greedy of { time_budget_s : float }
+      (** Anytime sensitivity-guided swap heap (see {!Greedy}): scales
+          to 100k–1M gates, emits a strictly improving incumbent stream,
+          and stops at the hard [time_budget_s] with the best incumbent
+          found.  Sequential regardless of [jobs]. *)
 
 val method_name : method_ -> string
 

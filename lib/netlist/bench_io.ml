@@ -65,123 +65,197 @@ let parse_line line_no raw =
        | Some (head, _) -> fail line_no "unexpected directive %S" head
        | None -> fail line_no "cannot parse %S" text)
 
-(* Emit a signal and everything it depends on into the builder, with an
-   explicit work-list so arbitrarily deep netlists cannot overflow the
-   stack.  [ids] maps signal names to builder node ids. *)
-let emit_signals defs ids order =
-  let module B = Netlist.Builder in
-  fun builder ->
-    let emit_one signal =
-      match Hashtbl.find_opt defs signal with
-      | None -> raise (Error (Printf.sprintf "undefined signal %S" signal))
-      | Some (func, args) ->
-        let arg_ids = List.map (fun a -> Hashtbl.find ids a) args in
-        (* Functions that map to a single library cell keep the signal
-           name; decomposed ones get it on their final gate only. *)
-        let direct kind =
-          Netlist.Builder.add_gate ~name:signal builder kind (Array.of_list arg_ids)
-        in
-        let id =
-          match (func, arg_ids) with
-          | F_not, [ a ] -> Netlist.Builder.add_gate ~name:signal builder Gate_kind.Inv [| a |]
-          | F_not, _ -> raise (Error (Printf.sprintf "NOT %S needs one argument" signal))
-          | F_buff, [ a ] ->
-            Netlist.Builder.add_gate ~name:signal builder Gate_kind.Inv
-              [| Logic_build.inv builder a |]
-          | F_buff, _ -> raise (Error (Printf.sprintf "BUFF %S needs one argument" signal))
-          | F_nand, [ _; _ ] -> direct Gate_kind.Nand2
-          | F_nand, [ _; _; _ ] -> direct Gate_kind.Nand3
-          | F_nand, [ _; _; _; _ ] -> direct Gate_kind.Nand4
-          | F_nor, [ _; _ ] -> direct Gate_kind.Nor2
-          | F_nor, [ _; _; _ ] -> direct Gate_kind.Nor3
-          | F_nor, [ _; _; _; _ ] -> direct Gate_kind.Nor4
-          | F_and, _ -> Logic_build.and_of builder arg_ids
-          | F_nand, _ -> Logic_build.nand_of builder arg_ids
-          | F_or, _ -> Logic_build.or_of builder arg_ids
-          | F_nor, _ -> Logic_build.nor_of builder arg_ids
-          | F_xor, _ -> Logic_build.xor_of builder arg_ids
-          | F_xnor, [ a; b ] -> Logic_build.xnor2 builder a b
-          | F_xnor, _ -> raise (Error (Printf.sprintf "XNOR %S needs two arguments" signal))
-          | F_dff, _ -> assert false (* cut before emission *)
-        in
-        Hashtbl.replace ids signal id
+(* One pass over the source, cutting on newlines in place: a 1M-gate
+   file is ~30 MB, and materializing a statement list for it before any
+   processing both doubles the footprint and stalls the caches.  Each
+   parsed statement is consumed immediately instead. *)
+let iter_lines source f =
+  let n = String.length source in
+  let line_no = ref 0 in
+  let start = ref 0 in
+  while !start < n do
+    let stop =
+      match String.index_from_opt source !start '\n' with Some i -> i | None -> n
     in
-    List.iter emit_one order
+    incr line_no;
+    f !line_no (String.sub source !start (stop - !start));
+    start := stop + 1
+  done
 
-(* Topologically order the defined signals; raises on cycles. *)
-let topological_order defs roots =
-  let state = Hashtbl.create 64 (* 0 = visiting, 1 = done *) in
-  let order = ref [] in
-  let rec visit signal =
-    match Hashtbl.find_opt state signal with
-    | Some 1 -> ()
-    | Some _ -> raise (Error (Printf.sprintf "combinational cycle through %S" signal))
-    | None ->
-      (match Hashtbl.find_opt defs signal with
-       | None -> () (* primary input or undefined; undefined caught at emission *)
-       | Some (_, args) ->
-         Hashtbl.replace state signal 0;
-         List.iter visit args;
-         Hashtbl.replace state signal 1;
-         order := signal :: !order)
-  in
-  List.iter visit roots;
-  List.rev !order
-
+(* Signal names intern to dense ids on first sight; the line scan is the
+   only phase that hashes strings.  Everything downstream — duplicate
+   checks, the topological sort, emission — walks int arrays, which is
+   what keeps million-gate parses from drowning in string hashing and
+   allocation.  A signal id is "defined" iff its argument array is
+   non-empty (every accepted gate call has at least one argument). *)
 let of_string ?(name = "bench") source =
   try
-    let statements =
-      String.split_on_char '\n' source
-      |> List.mapi (fun i l -> parse_line (i + 1) l)
-      |> List.filter_map (fun x -> x)
+    let intern = Hashtbl.create 4096 in
+    let cap = ref 1024 in
+    let sig_names = ref (Array.make !cap "") in
+    let sig_funcs = ref (Array.make !cap F_not) in
+    let sig_args = ref (Array.make !cap [||]) in
+    let sid_count = ref 0 in
+    let sid_of s =
+      match Hashtbl.find_opt intern s with
+      | Some sid -> sid
+      | None ->
+        let sid = !sid_count in
+        if sid = !cap then begin
+          let grow : 'a. 'a array ref -> 'a -> unit =
+            fun a fill ->
+              let bigger = Array.make (2 * !cap) fill in
+              Array.blit !a 0 bigger 0 !cap;
+              a := bigger
+          in
+          grow sig_names "";
+          grow sig_funcs F_not;
+          grow sig_args [||];
+          cap := 2 * !cap
+        end;
+        !sig_names.(sid) <- s;
+        Hashtbl.add intern s sid;
+        incr sid_count;
+        sid
     in
     let declared_inputs = ref [] in
     let declared_outputs = ref [] in
-    let defs = Hashtbl.create 256 in
     let dff_cuts = ref [] in
-    List.iter
-      (function
-        | S_input s -> declared_inputs := s :: !declared_inputs
-        | S_output s -> declared_outputs := s :: !declared_outputs
-        | S_def { signal; func = F_dff; args } ->
+    iter_lines source (fun line_no line ->
+        match parse_line line_no line with
+        | None -> ()
+        | Some (S_input s) -> declared_inputs := sid_of s :: !declared_inputs
+        | Some (S_output s) -> declared_outputs := sid_of s :: !declared_outputs
+        | Some (S_def { signal; func = F_dff; args }) ->
           (* Cut the flop: output side becomes an input, data side a
              pseudo primary output so its cone is preserved. *)
           (match args with
            | [ data ] ->
-             declared_inputs := signal :: !declared_inputs;
-             dff_cuts := data :: !dff_cuts
+             declared_inputs := sid_of signal :: !declared_inputs;
+             dff_cuts := sid_of data :: !dff_cuts
            | _ -> raise (Error (Printf.sprintf "DFF %S needs one argument" signal)))
-        | S_def { signal; func; args } ->
-          if Hashtbl.mem defs signal then
+        | Some (S_def { signal; func; args }) ->
+          let sid = sid_of signal in
+          if Array.length !sig_args.(sid) > 0 then
             raise (Error (Printf.sprintf "signal %S defined twice" signal));
-          Hashtbl.replace defs signal (func, args))
-      statements;
+          let arg_sids = Array.of_list (List.map sid_of args) in
+          !sig_funcs.(sid) <- func;
+          !sig_args.(sid) <- arg_sids);
+    let n = !sid_count in
+    let sig_names = Array.sub !sig_names 0 n in
+    let sig_funcs = Array.sub !sig_funcs 0 n in
+    let sig_args = Array.sub !sig_args 0 n in
+    let defined sid = Array.length sig_args.(sid) > 0 in
     let inputs = List.rev !declared_inputs in
     let outputs = List.rev !declared_outputs @ List.rev !dff_cuts in
     if outputs = [] then raise (Error "no OUTPUT directive");
     let builder = Netlist.Builder.create ~name () in
-    let ids = Hashtbl.create 256 in
+    (* Signal id -> builder node id; -1 until emitted. *)
+    let ids = Array.make n (-1) in
     List.iter
-      (fun s ->
-        if not (Hashtbl.mem ids s) then
-          Hashtbl.replace ids s (Netlist.Builder.add_input ~name:s builder))
+      (fun sid ->
+        if ids.(sid) < 0 then
+          ids.(sid) <- Netlist.Builder.add_input ~name:sig_names.(sid) builder)
       inputs;
-    let order = topological_order defs outputs in
+    (* Topologically order the defined signals; raises on cycles.  The
+       DFS runs on an explicit stack — a million-gate chain is only a
+       long walk, not a call-stack overflow — and reproduces the
+       recursive post-order exactly (arguments left to right, then the
+       signal), so node ids of a parsed netlist are unchanged.  A frame
+       is [2*sid + done_flag]; pushing every argument (one push per
+       edge) keeps the walk linear while letting the pop detect cycles:
+       popping a second not-done frame for a signal still marked
+       visiting means it is its own ancestor. *)
+    let order = Array.make (max n 1) 0 in
+    let order_count = ref 0 in
+    let state = Bytes.make n '\000' (* 0 new, 1 visiting, 2 done *) in
+    let stack = ref (Array.make 1024 0) in
+    let sp = ref 0 in
+    let push frame =
+      if !sp = Array.length !stack then begin
+        let bigger = Array.make (2 * !sp) 0 in
+        Array.blit !stack 0 bigger 0 !sp;
+        stack := bigger
+      end;
+      !stack.(!sp) <- frame;
+      incr sp
+    in
+    let visit root =
+      push (root * 2);
+      while !sp > 0 do
+        decr sp;
+        let frame = !stack.(!sp) in
+        let sid = frame lsr 1 in
+        if frame land 1 = 1 then begin
+          Bytes.set state sid '\002';
+          order.(!order_count) <- sid;
+          incr order_count
+        end
+        else
+          match Bytes.get state sid with
+          | '\002' -> ()
+          | '\001' ->
+            raise (Error (Printf.sprintf "combinational cycle through %S" sig_names.(sid)))
+          | _ ->
+            if defined sid then begin
+              Bytes.set state sid '\001';
+              push ((sid * 2) + 1);
+              let args = sig_args.(sid) in
+              for i = Array.length args - 1 downto 0 do
+                push (args.(i) * 2)
+              done
+            end
+      done
+    in
+    List.iter visit outputs;
     (* Check every referenced signal resolves to an input or a definition. *)
-    Hashtbl.iter
-      (fun _ (_, args) ->
-        List.iter
+    for sid = 0 to n - 1 do
+      if defined sid then
+        Array.iter
           (fun a ->
-            if (not (Hashtbl.mem defs a)) && not (Hashtbl.mem ids a) then
-              raise (Error (Printf.sprintf "undefined signal %S" a)))
-          args)
-      defs;
-    emit_signals defs ids order builder;
+            if (not (defined a)) && ids.(a) < 0 then
+              raise (Error (Printf.sprintf "undefined signal %S" sig_names.(a))))
+          sig_args.(sid)
+    done;
+    (* Emission, in topological order.  Functions that map to a single
+       library cell keep the signal name; decomposed ones get it on
+       their final gate only. *)
+    for k = 0 to !order_count - 1 do
+      let sid = order.(k) in
+      let signal = sig_names.(sid) in
+      let args = sig_args.(sid) in
+      let arg_ids = Array.map (fun a -> ids.(a)) args in
+      let direct kind = Netlist.Builder.add_gate ~name:signal builder kind arg_ids in
+      let id =
+        match (sig_funcs.(sid), Array.length args) with
+        | F_not, 1 -> direct Gate_kind.Inv
+        | F_not, _ -> raise (Error (Printf.sprintf "NOT %S needs one argument" signal))
+        | F_buff, 1 ->
+          Netlist.Builder.add_gate ~name:signal builder Gate_kind.Inv
+            [| Logic_build.inv builder arg_ids.(0) |]
+        | F_buff, _ -> raise (Error (Printf.sprintf "BUFF %S needs one argument" signal))
+        | F_nand, 2 -> direct Gate_kind.Nand2
+        | F_nand, 3 -> direct Gate_kind.Nand3
+        | F_nand, 4 -> direct Gate_kind.Nand4
+        | F_nor, 2 -> direct Gate_kind.Nor2
+        | F_nor, 3 -> direct Gate_kind.Nor3
+        | F_nor, 4 -> direct Gate_kind.Nor4
+        | F_and, _ -> Logic_build.and_of builder (Array.to_list arg_ids)
+        | F_nand, _ -> Logic_build.nand_of builder (Array.to_list arg_ids)
+        | F_or, _ -> Logic_build.or_of builder (Array.to_list arg_ids)
+        | F_nor, _ -> Logic_build.nor_of builder (Array.to_list arg_ids)
+        | F_xor, _ -> Logic_build.xor_of builder (Array.to_list arg_ids)
+        | F_xnor, 2 -> Logic_build.xnor2 builder arg_ids.(0) arg_ids.(1)
+        | F_xnor, _ -> raise (Error (Printf.sprintf "XNOR %S needs two arguments" signal))
+        | F_dff, _ -> assert false (* cut before emission *)
+      in
+      ids.(sid) <- id
+    done;
     List.iter
-      (fun s ->
-        match Hashtbl.find_opt ids s with
-        | Some id -> Netlist.Builder.mark_output ~name:s builder id
-        | None -> raise (Error (Printf.sprintf "undefined output signal %S" s)))
+      (fun sid ->
+        match ids.(sid) with
+        | -1 -> raise (Error (Printf.sprintf "undefined output signal %S" sig_names.(sid)))
+        | id -> Netlist.Builder.mark_output ~name:sig_names.(sid) builder id)
       outputs;
     Ok (Netlist.Builder.finish builder)
   with
@@ -198,38 +272,74 @@ let read_file path =
   | source -> of_string ~name:(Filename.remove_extension (Filename.basename path)) source
   | exception Sys_error msg -> Error msg
 
+(* Straight-line Buffer emission: ~70 bytes per statement means a
+   million-gate netlist is tens of MB, so the hot path avoids the
+   list/String.concat round-trips per gate (the Buffer doubles itself
+   to the final size in O(log) reallocations). *)
 let to_string net =
-  let buf = Buffer.create 4096 in
-  Buffer.add_string buf (Printf.sprintf "# %s\n" (Netlist.design_name net));
+  let buf =
+    Buffer.create (256 + (48 * (Netlist.node_count net + Netlist.gate_count net / 8)))
+  in
+  Buffer.add_string buf "# ";
+  Buffer.add_string buf (Netlist.design_name net);
+  Buffer.add_char buf '\n';
   Array.iter
-    (fun i -> Buffer.add_string buf (Printf.sprintf "INPUT(%s)\n" (Netlist.name_of net i)))
+    (fun i ->
+      Buffer.add_string buf "INPUT(";
+      Buffer.add_string buf (Netlist.name_of net i);
+      Buffer.add_string buf ")\n")
     (Netlist.inputs net);
   Array.iter
-    (fun i -> Buffer.add_string buf (Printf.sprintf "OUTPUT(%s)\n" (Netlist.name_of net i)))
+    (fun i ->
+      Buffer.add_string buf "OUTPUT(";
+      Buffer.add_string buf (Netlist.name_of net i);
+      Buffer.add_string buf ")\n")
     (Netlist.outputs net);
   Netlist.iter_gates net (fun i kind fanin ->
       let arg pin = Netlist.name_of net fanin.(pin) in
-      let args =
-        fanin |> Array.to_list |> List.map (Netlist.name_of net) |> String.concat ", "
+      let add_args lo hi =
+        for pin = lo to hi do
+          if pin > lo then Buffer.add_string buf ", ";
+          Buffer.add_string buf (arg pin)
+        done
       in
-      let emit func operands =
-        Buffer.add_string buf
-          (Printf.sprintf "%s = %s(%s)\n" (Netlist.name_of net i) func operands)
+      let emit_head signal func =
+        Buffer.add_string buf signal;
+        Buffer.add_string buf " = ";
+        Buffer.add_string buf func;
+        Buffer.add_char buf '('
+      in
+      let emit_all func =
+        emit_head (Netlist.name_of net i) func;
+        add_args 0 (Array.length fanin - 1);
+        Buffer.add_string buf ")\n"
       in
       match kind with
-      | Gate_kind.Inv -> emit "NOT" args
-      | Gate_kind.Nand2 | Gate_kind.Nand3 | Gate_kind.Nand4 -> emit "NAND" args
-      | Gate_kind.Nor2 | Gate_kind.Nor3 | Gate_kind.Nor4 -> emit "NOR" args
+      | Gate_kind.Inv -> emit_all "NOT"
+      | Gate_kind.Nand2 | Gate_kind.Nand3 | Gate_kind.Nand4 -> emit_all "NAND"
+      | Gate_kind.Nor2 | Gate_kind.Nor3 | Gate_kind.Nor4 -> emit_all "NOR"
       | Gate_kind.Aoi21 ->
         (* not (a*b + c) = NOR(AND(a,b), c), via an auxiliary signal. *)
         let aux = Netlist.name_of net i ^ "_and" in
-        Buffer.add_string buf (Printf.sprintf "%s = AND(%s, %s)\n" aux (arg 0) (arg 1));
-        emit "NOR" (aux ^ ", " ^ arg 2)
+        emit_head aux "AND";
+        add_args 0 1;
+        Buffer.add_string buf ")\n";
+        emit_head (Netlist.name_of net i) "NOR";
+        Buffer.add_string buf aux;
+        Buffer.add_string buf ", ";
+        Buffer.add_string buf (arg 2);
+        Buffer.add_string buf ")\n"
       | Gate_kind.Oai21 ->
         (* not ((a+b) * c) = NAND(OR(a,b), c). *)
         let aux = Netlist.name_of net i ^ "_or" in
-        Buffer.add_string buf (Printf.sprintf "%s = OR(%s, %s)\n" aux (arg 0) (arg 1));
-        emit "NAND" (aux ^ ", " ^ arg 2));
+        emit_head aux "OR";
+        add_args 0 1;
+        Buffer.add_string buf ")\n";
+        emit_head (Netlist.name_of net i) "NAND";
+        Buffer.add_string buf aux;
+        Buffer.add_string buf ", ";
+        Buffer.add_string buf (arg 2);
+        Buffer.add_string buf ")\n");
   Buffer.contents buf
 
 let write_file path net =

@@ -141,6 +141,12 @@ let method_to_json = function
         ("rounds", Json.Int max_rounds);
       ]
   | Optimizer.Exact -> Json.Obj [ ("name", Json.String "exact") ]
+  | Optimizer.Greedy { time_budget_s } ->
+    Json.Obj
+      [
+        ("name", Json.String "greedy");
+        ("time_budget_ms", Json.Int (int_of_float (Float.round (time_budget_s *. 1000.0))));
+      ]
 
 (* A cached result on the wire: the same fields the on-disk store keeps,
    at full float precision (the codec prints %.17g) so a shared-tier hit
@@ -223,9 +229,19 @@ let request_to_json ?trace request =
         [ ("name", Json.String name); ("bench", Json.String text) ]
     in
     (* A v1 server would accept-and-never-push a progress-requesting
-       job; stamping v:2 makes it reject loudly instead. *)
+       job, and would not know the greedy mode; stamping v:2 makes it
+       reject loudly instead. *)
+    let greedy_members =
+      match o.method_ with
+      | Optimizer.Greedy { time_budget_s } ->
+        [
+          ("mode", Json.String "greedy");
+          ("time_budget_ms", Json.Int (int_of_float (Float.round (time_budget_s *. 1000.0))));
+        ]
+      | _ -> []
+    in
     frame
-      ~v:(if o.progress then 2 else min_version)
+      ~v:(if o.progress || greedy_members <> [] then 2 else min_version)
       ([ ("type", Json.String "optimize"); ("id", Json.String o.id) ]
       @ source_members
       @ [
@@ -233,6 +249,7 @@ let request_to_json ?trace request =
           ("method", method_to_json o.method_);
           ("penalty", Json.Float o.penalty);
         ]
+      @ greedy_members
       @ (if o.progress then [ ("progress", Json.Bool true) ] else [])
       @
       match o.deadline_s with
@@ -420,7 +437,15 @@ let method_of_json json =
       | None -> Ok 8
     in
     Ok (Optimizer.Hill_climb { time_limit_s; max_rounds })
-  | other -> Error (Printf.sprintf "unknown method %S (heu1|heu2|hc|exact)" other)
+  | "greedy" ->
+    let* time_budget_s =
+      match Option.bind (Json.member "time_budget_ms" json) Json.to_int_opt with
+      | Some ms when ms > 0 -> Ok (float_of_int ms /. 1000.0)
+      | Some _ -> Error "time_budget_ms must be positive"
+      | None -> time_limit 2.0
+    in
+    Ok (Optimizer.Greedy { time_budget_s })
+  | other -> Error (Printf.sprintf "unknown method %S (heu1|heu2|hc|exact|greedy)" other)
 
 let source_of_json json =
   match (Json.member "circuit" json, Json.member "bench" json) with
@@ -455,6 +480,27 @@ let optimize_of_json json =
     | Some (Json.String name) -> method_of_json (Json.Obj [ ("name", Json.String name) ])
     | Some (Json.Obj _ as m) -> method_of_json m
     | Some _ -> Error "\"method\" must be a string or an object"
+  in
+  (* v2's optional top-level "mode"/"time_budget_ms" pair overrides the
+     method — a thin spelling for anytime submissions that leaves every
+     v1 frame (which carries neither field) decoding exactly as before. *)
+  let* method_ =
+    match Option.bind (Json.member "mode" json) Json.to_string_opt with
+    | None -> Ok method_
+    | Some "greedy" ->
+      let* time_budget_s =
+        match Json.member "time_budget_ms" json with
+        | None -> (
+          match method_ with
+          | Optimizer.Greedy { time_budget_s } -> Ok time_budget_s
+          | _ -> Ok 2.0)
+        | Some j -> (
+          match Json.to_int_opt j with
+          | Some ms when ms > 0 -> Ok (float_of_int ms /. 1000.0)
+          | _ -> Error "\"time_budget_ms\" must be a positive integer")
+      in
+      Ok (Optimizer.Greedy { time_budget_s })
+    | Some other -> Error (Printf.sprintf "unknown mode %S (greedy)" other)
   in
   let* penalty =
     match Json.member "penalty" json with

@@ -61,6 +61,7 @@ let method_descriptor = function
   | Optimizer.Hill_climb { time_limit_s; max_rounds } ->
     Printf.sprintf "hc:%.9g:%d" time_limit_s max_rounds
   | Optimizer.Exact -> "exact"
+  | Optimizer.Greedy { time_budget_s } -> Printf.sprintf "greedy:%.9g" time_budget_s
 
 let mode_descriptor (mode : Version.mode) =
   Printf.sprintf "points=%s uniform-vt=%b high-vt=%b thick-tox=%b reorder=%b"

@@ -86,7 +86,8 @@ let build_method s =
   | "heu2" -> Ok (Optimizer.Heuristic_2 { time_limit_s = time_limit })
   | "hc" -> Ok (Optimizer.Hill_climb { time_limit_s = time_limit; max_rounds = rounds })
   | "exact" -> Ok Optimizer.Exact
-  | m -> Error (Printf.sprintf "unknown method %S (heu1|heu2|hc|exact)" m)
+  | "greedy" -> Ok (Optimizer.Greedy { time_budget_s = time_limit })
+  | m -> Error (Printf.sprintf "unknown method %S (heu1|heu2|hc|exact|greedy)" m)
 
 let finish_job ~dir ~line id s defaults =
   let s = fallback s defaults in
@@ -142,9 +143,9 @@ let parse_key_value ~line key value s =
     | Ok mode -> Ok { s with library = Some mode }
     | Error m -> err "%s" m)
   | "method" ->
-    if List.mem value [ "heu1"; "heu2"; "hc"; "exact" ] then
+    if List.mem value [ "heu1"; "heu2"; "hc"; "exact"; "greedy" ] then
       Ok { s with method_name = Some value }
-    else err "unknown method %S (heu1|heu2|hc|exact)" value
+    else err "unknown method %S (heu1|heu2|hc|exact|greedy)" value
   | "time-limit" -> Result.map (fun f -> { s with time_limit = Some f }) (float_value ())
   | "rounds" -> Result.map (fun i -> { s with rounds = Some i }) (int_value ())
   | "penalty" -> Result.map (fun f -> { s with penalty = Some f }) (float_value ())

@@ -331,6 +331,52 @@ let test_bench_roundtrip_exhaustive =
       roundtrip_properties ~of_string:(Bench_io.of_string ?name:None)
         ~to_string:Bench_io.to_string net)
 
+(* Scaling smoke test: a 500k-gate netlist must survive
+   print-parse-print within single-digit seconds.  This guards the
+   iterative parser (explicit-stack toposort, streaming line scan) and
+   the straight-line Buffer writer against regressions back to
+   quadratic accumulation or stack-overflowing recursion: before those
+   fixes this either blew the stack outright or took minutes.  The
+   wall-clock bound is deliberately loose (CI machines vary) — the
+   failure modes it catches are order-of-magnitude ones. *)
+let test_bench_large_roundtrip () =
+  let gates = 500_000 in
+  let t0 = Unix.gettimeofday () in
+  let net =
+    Standby_circuits.Random_logic.generate ~window:(gates / 20) ~seed:7 ~inputs:512 ~gates ()
+  in
+  let text = Bench_io.to_string net in
+  match Bench_io.of_string text with
+  | Error msg -> Alcotest.failf "500k-gate parse failed: %s" msg
+  | Ok again ->
+    let elapsed = Unix.gettimeofday () -. t0 in
+    check Alcotest.int "inputs survive" (Netlist.input_count net) (Netlist.input_count again);
+    check Alcotest.int "outputs survive" (Array.length (Netlist.outputs net))
+      (Array.length (Netlist.outputs again));
+    (* AOI21/OAI21 export as an aux AND/OR statement, and the reader
+       lowers each of those into a NAND/NOR plus inverter — so every
+       complex gate reparses as three inverting gates. *)
+    let aux =
+      let h = Netlist.gate_histogram net in
+      List.fold_left
+        (fun acc (kind, n) ->
+          match kind with Gate_kind.Aoi21 | Gate_kind.Oai21 -> acc + (2 * n) | _ -> acc)
+        0 h
+    in
+    check Alcotest.int "gates survive" (Netlist.gate_count net + aux)
+      (Netlist.gate_count again);
+    (* From the second pass on, printing is a textual fixpoint. *)
+    let printed = Bench_io.to_string again in
+    (match Bench_io.of_string printed with
+     | Error msg -> Alcotest.failf "500k-gate reparse failed: %s" msg
+     | Ok third ->
+       check Alcotest.int "gates stable" (Netlist.gate_count again)
+         (Netlist.gate_count third);
+       check Alcotest.bool "textual fixpoint" true
+         (String.equal printed (Bench_io.to_string third)));
+    if elapsed > 20.0 then
+      Alcotest.failf "500k-gate round trip took %.1f s (expected a few seconds)" elapsed
+
 let test_bench_dff_cut () =
   let src = "INPUT(d)\nOUTPUT(q)\ns = DFF(n)\nn = AND(d, s)\nq = NOT(s)\n" in
   match Bench_io.of_string src with
@@ -633,6 +679,7 @@ let () =
           quick "semantics" test_bench_semantics;
           QCheck_alcotest.to_alcotest test_bench_roundtrip;
           QCheck_alcotest.to_alcotest test_bench_roundtrip_exhaustive;
+          quick "500k-gate round trip" test_bench_large_roundtrip;
           quick "dff cut" test_bench_dff_cut;
           quick "errors" test_bench_errors;
           quick "comments and blanks" test_bench_comments_and_blank_lines;

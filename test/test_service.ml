@@ -71,6 +71,11 @@ deadline = 30
 circuit = c880
 method = hc
 rounds = 3
+
+[job fourth]
+circuit = c432
+method = greedy
+time-limit = 4
 |}
 
 let test_manifest_parse () =
@@ -78,10 +83,10 @@ let test_manifest_parse () =
   | Error msg -> Alcotest.failf "parse failed: %s" msg
   | Ok jobs ->
     check (Alcotest.list Alcotest.string) "ids, in manifest order"
-      [ "first"; "second"; "third" ]
+      [ "first"; "second"; "third"; "fourth" ]
       (List.map (fun j -> j.Manifest.id) jobs);
-    let first, second, third =
-      match jobs with [ a; b; c ] -> (a, b, c) | _ -> assert false
+    let first, second, third, fourth =
+      match jobs with [ a; b; c; d ] -> (a, b, c, d) | _ -> assert false
     in
     check Alcotest.bool "defaults apply" true
       (first.Manifest.mode = Version.two_option_mode
@@ -96,7 +101,9 @@ let test_manifest_parse () =
     check Alcotest.string "relative file anchored to dir" "/anchor/sub/c17.bench"
       (match second.Manifest.source with Manifest.File p -> p | _ -> "not a file");
     check Alcotest.bool "job keys fall back to defaults" true
-      (third.Manifest.method_ = Optimizer.Hill_climb { time_limit_s = 0.5; max_rounds = 3 })
+      (third.Manifest.method_ = Optimizer.Hill_climb { time_limit_s = 0.5; max_rounds = 3 });
+    check Alcotest.bool "greedy reuses the time-limit key as its budget" true
+      (fourth.Manifest.method_ = Optimizer.Greedy { time_budget_s = 4.0 })
 
 let test_manifest_errors () =
   let parse = Manifest.parse ?dir:None in

@@ -2,6 +2,7 @@
    baseline and fail on wall-time regressions.
 
      bench_compare BASELINE CURRENT [--tolerance FRAC] [--min-seconds S]
+                   [--max-ratio R]
 
    For every artifact present in both files whose baseline wall time is
    at least --min-seconds (default 0.05 s — anything faster is timer
@@ -9,17 +10,30 @@
 
      current_wall > baseline_wall * (1 + tolerance)
 
-   with tolerance defaulting to 0.15.  Exit 0 when nothing regressed,
-   1 on any regression, 2 on usage or parse errors.  Artifacts missing
-   from either side are reported but never fail the check, so the
-   baseline does not have to be regenerated when an artifact is added
-   or retired. *)
+   with tolerance defaulting to 0.15.
+
+   When CURRENT carries a "greedy-scaling" artifact, its per-size
+   series is additionally checked for near-linearity: consecutive
+   points double the gate count, so the geometric mean of the
+   consecutive wall-time ratios must stay at or below --max-ratio
+   (default 3.5 — a quadratic optimizer doubles to 4.0), no single
+   ratio may exceed 1.3x that bound, and every point must report a
+   delay-feasible result.  The geometric mean is the gate because a
+   single ratio on a loaded CI host is noise; the mean across the
+   series is not.
+
+   Exit 0 when nothing regressed, 1 on any regression or scaling
+   violation, 2 on usage or parse errors.  Artifacts missing from
+   either side are reported but never fail the check, so the baseline
+   does not have to be regenerated when an artifact is added or
+   retired. *)
 
 module Json = Standby_telemetry.Json
 
 let usage () =
   prerr_endline
-    "usage: bench_compare BASELINE CURRENT [--tolerance FRAC] [--min-seconds S]";
+    "usage: bench_compare BASELINE CURRENT [--tolerance FRAC] [--min-seconds S] \
+     [--max-ratio R]";
   exit 2
 
 let load path =
@@ -50,9 +64,77 @@ let artifacts doc =
         | _ -> None)
       items
 
+(* The greedy-scaling series: (gates, wall_s, feasible) per point, in
+   file order, from the artifact's "series" member. *)
+let scaling_series doc =
+  match Option.bind (Json.member "artifacts" doc) Json.to_list_opt with
+  | None -> None
+  | Some items ->
+    List.find_map
+      (fun item ->
+        match Option.bind (Json.member "artifact" item) Json.to_string_opt with
+        | Some "greedy-scaling" ->
+          Option.bind (Json.member "series" item) Json.to_list_opt
+          |> Option.map
+               (List.filter_map (fun point ->
+                    match
+                      ( Option.bind (Json.member "gates" point) Json.to_int_opt,
+                        Option.bind (Json.member "wall_s" point) Json.to_float_opt,
+                        Json.member "feasible" point )
+                    with
+                    | Some gates, Some wall, Some (Json.Bool feasible) ->
+                      Some (gates, wall, feasible)
+                    | _ -> None))
+        | _ -> None)
+      items
+
+(* Returns the number of violations (0 = near-linear and feasible). *)
+let check_scaling ~max_ratio ~min_seconds series =
+  let violations = ref 0 in
+  List.iter
+    (fun (gates, _, feasible) ->
+      if not feasible then begin
+        incr violations;
+        Printf.printf "greedy-scaling: %d gates INFEASIBLE result\n" gates
+      end)
+    series;
+  let ratios =
+    let rec pairs = function
+      | (g0, w0, _) :: ((g1, w1, _) :: _ as rest) ->
+        (* Skip noise-floor pairs; the remaining points still cover a
+           wide enough span to distinguish linear from quadratic. *)
+        if w0 >= min_seconds then ((g0, w0), (g1, w1)) :: pairs rest else pairs rest
+      | _ -> []
+    in
+    pairs series
+  in
+  let hard_cap = max_ratio *. 1.3 in
+  let log_sum = ref 0.0 in
+  List.iter
+    (fun ((g0, w0), (g1, w1)) ->
+      let ratio = w1 /. w0 in
+      log_sum := !log_sum +. log ratio;
+      Printf.printf "greedy-scaling: %7d -> %7d gates  %6.2fs -> %6.2fs  ratio %.2fx\n" g0
+        g1 w0 w1 ratio;
+      if ratio > hard_cap then begin
+        incr violations;
+        Printf.printf "greedy-scaling: ratio %.2fx exceeds hard cap %.2fx\n" ratio hard_cap
+      end)
+    ratios;
+  (match ratios with
+   | [] -> ()
+   | _ ->
+     let mean = exp (!log_sum /. float_of_int (List.length ratios)) in
+     let verdict = if mean <= max_ratio then "near-linear" else "VIOLATION" in
+     Printf.printf "greedy-scaling: mean ratio per doubling %.2fx (bound %.2fx) — %s\n" mean
+       max_ratio verdict;
+     if mean > max_ratio then incr violations);
+  !violations
+
 let () =
   let tolerance = ref 0.15 in
   let min_seconds = ref 0.05 in
+  let max_ratio = ref 3.5 in
   let positional = ref [] in
   let rec parse = function
     | [] -> ()
@@ -64,6 +146,11 @@ let () =
     | "--min-seconds" :: v :: rest ->
       (match float_of_string_opt v with
        | Some f when f >= 0.0 -> min_seconds := f
+       | _ -> usage ());
+      parse rest
+    | "--max-ratio" :: v :: rest ->
+      (match float_of_string_opt v with
+       | Some f when f > 0.0 -> max_ratio := f
        | _ -> usage ());
       parse rest
     | arg :: rest when String.length arg > 0 && arg.[0] <> '-' ->
@@ -108,8 +195,16 @@ let () =
       if not (List.mem_assoc name baseline) then
         Printf.printf "%-12s %12s %12s %10s  new (no baseline)\n" name "-" "-" "-")
     current;
-  if !regressions > 0 then begin
+  let scaling_violations =
+    match scaling_series (load current_path) with
+    | None -> 0
+    | Some series ->
+      check_scaling ~max_ratio:!max_ratio ~min_seconds:!min_seconds series
+  in
+  if !regressions > 0 then
     Printf.eprintf "bench_compare: %d artifact(s) regressed more than %.0f%%\n"
       !regressions (!tolerance *. 100.0);
-    exit 1
-  end
+  if scaling_violations > 0 then
+    Printf.eprintf "bench_compare: greedy-scaling check failed (%d violation(s))\n"
+      scaling_violations;
+  if !regressions > 0 || scaling_violations > 0 then exit 1
