@@ -21,7 +21,9 @@ module Simulator = Standby_sim.Simulator
 module Bitsim = Standby_sim.Bitsim
 module Sta = Standby_timing.Sta
 module Evaluate = Standby_power.Evaluate
+module Assignment = Standby_power.Assignment
 module Optimizer = Standby_opt.Optimizer
+module Fm = Standby_partition.Fm
 module Baselines = Standby_opt.Baselines
 module Bound = Standby_opt.Bound
 module Benchmarks = Standby_circuits.Benchmarks
@@ -255,13 +257,106 @@ let greedy_scaling_report ~quick () =
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
+(* Partition-and-conquer: regions x jobs on one large netlist.          *)
+
+(* The partition optimizer trades global moves for region locality, so
+   the interesting columns are the leakage gap to flat greedy on the
+   same netlist (the quality cost of decomposition, documented in
+   DESIGN.md section 15) and the jobs=1 vs jobs=N wall times (region
+   solves are the parallel unit).  On a single-core host the jobs=N
+   row will not beat jobs=1 — see the parallel artifact's note — but
+   the assignments must be bit-identical either way; the budget is far
+   above time-to-quiescence so every region exhausts and determinism
+   across worker counts is exact. *)
+let partition_scaling_series = ref Json.Null
+
+let partition_scaling_report ~quick () =
+  let process = Process.default in
+  let lib = Library.build process in
+  let gates = if quick then 20_000 else 100_000 in
+  let inputs = max 64 (gates / 100) in
+  let net =
+    Standby_circuits.Random_logic.generate ~window:(max 60 (gates / 20)) ~seed:11
+      ~inputs ~gates ()
+  in
+  let jobs_hi = max 2 (min 4 (Domain.recommended_domain_count ())) in
+  let budget_s = 300.0 in
+  let buf = Buffer.create 256 in
+  (* Decomposition quality across region counts: cut nets are exactly
+     the frozen boundary pins, so the cut/gates ratio is the fraction
+     of the circuit a region solve cannot move. *)
+  Buffer.add_string buf
+    (Printf.sprintf "FM decomposition of rand-%d-gate netlist:\n" gates);
+  let cut_rows =
+    List.map
+      (fun k ->
+        let fm = Fm.run ~regions:k net in
+        Buffer.add_string buf
+          (Printf.sprintf "  regions=%-2d  cut nets %6d  (%.2f%% of gates)\n"
+             fm.Fm.regions fm.Fm.cut_nets
+             (100.0 *. float_of_int fm.Fm.cut_nets /. float_of_int gates));
+        Json.Obj
+          [ ("regions", Json.Int fm.Fm.regions); ("cut_nets", Json.Int fm.Fm.cut_nets) ])
+      [ 2; 4; 8 ]
+  in
+  let flat =
+    Optimizer.run lib net ~penalty:0.05 (Optimizer.Greedy { time_budget_s = budget_s })
+  in
+  let part jobs =
+    Optimizer.run ~jobs lib net ~penalty:0.05
+      (Optimizer.Partition { time_budget_s = budget_s; regions = 0 })
+  in
+  let p1 = part 1 in
+  let pn = part jobs_hi in
+  let identical =
+    String.equal
+      (Assignment.to_string p1.Optimizer.assignment)
+      (Assignment.to_string pn.Optimizer.assignment)
+  in
+  let total (r : Optimizer.result) = r.Optimizer.breakdown.Evaluate.total in
+  let describe label (r : Optimizer.result) =
+    Buffer.add_string buf
+      (Printf.sprintf "  %-10s %10.4f uA  %6.3f slack  %6.2f s\n" label
+         (total r *. 1e6)
+         (r.Optimizer.budget -. r.Optimizer.delay)
+         r.Optimizer.runtime_s)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "partition vs flat greedy on rand-%d-gate netlist (host has %d core(s)):\n" gates
+       (Domain.recommended_domain_count ()));
+  describe "flat" flat;
+  describe "part j=1" p1;
+  describe (Printf.sprintf "part j=%d" jobs_hi) pn;
+  Buffer.add_string buf
+    (Printf.sprintf "  jobs parity: %s   leakage gap vs flat: %.2fx\n"
+       (if identical then "bit-identical" else "MISMATCH")
+       (total p1 /. total flat));
+  partition_scaling_series :=
+    Json.Obj
+      [
+        ("gates", Json.Int gates);
+        ("jobs", Json.Int jobs_hi);
+        ("flat_uA", Json.Float (total flat *. 1e6));
+        ("partition_uA", Json.Float (total p1 *. 1e6));
+        ("gap_vs_flat", Json.Float (total p1 /. total flat));
+        ("wall_s_jobs1", Json.Float p1.Optimizer.runtime_s);
+        ("wall_s_jobsN", Json.Float pn.Optimizer.runtime_s);
+        ("jobs_identical", Json.Bool identical);
+        ( "feasible",
+          Json.Bool (p1.Optimizer.budget -. p1.Optimizer.delay >= -1e-9) );
+        ("cuts", Json.List cut_rows);
+      ];
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
 (* Experiment reproduction                                              *)
 
 let artifact_names =
   [
     "table1"; "table2"; "table3"; "table4"; "table5";
     "figure1"; "figure2"; "figure3"; "figure4"; "figure5"; "ablation";
-    "parallel"; "bitsim"; "greedy-scaling";
+    "parallel"; "bitsim"; "greedy-scaling"; "partition-scaling";
   ]
 
 let run_experiments ~quick artifacts =
@@ -283,6 +378,7 @@ let run_experiments ~quick artifacts =
     | "parallel" -> parallel_report ~quick ()
     | "bitsim" -> bitsim_report ~quick ()
     | "greedy-scaling" -> greedy_scaling_report ~quick ()
+    | "partition-scaling" -> partition_scaling_report ~quick ()
     | other -> Printf.sprintf "unknown artifact %S" other
   in
   let entries = ref [] in
@@ -294,7 +390,10 @@ let run_experiments ~quick artifacts =
         print_endline out;
         Printf.printf "[%s: %.1f s]\n\n%!" name seconds;
         let series =
-          if name = "greedy-scaling" then [ ("series", !greedy_scaling_series) ] else []
+          if name = "greedy-scaling" then [ ("series", !greedy_scaling_series) ]
+          else if name = "partition-scaling" then
+            [ ("series", !partition_scaling_series) ]
+          else []
         in
         entries :=
           Json.Obj

@@ -180,7 +180,9 @@ let method_conv =
     | "hc" -> Ok `Hill_climb
     | "exact" -> Ok `Exact
     | "greedy" -> Ok `Greedy
-    | s -> Error (`Msg (Printf.sprintf "unknown method %S (heu1|heu2|hc|exact|greedy)" s))
+    | "partition" -> Ok `Partition
+    | s ->
+      Error (`Msg (Printf.sprintf "unknown method %S (heu1|heu2|hc|exact|greedy|partition)" s))
   in
   let print fmt m =
     Format.pp_print_string fmt
@@ -189,17 +191,25 @@ let method_conv =
        | `Heu2 -> "heu2"
        | `Hill_climb -> "hc"
        | `Exact -> "exact"
-       | `Greedy -> "greedy")
+       | `Greedy -> "greedy"
+       | `Partition -> "partition")
   in
   Arg.conv (parse, print)
 
 let method_arg =
   let doc =
-    "Optimization method: heu1, heu2, hc (heu1 + hill climbing), exact, or greedy — the \
+    "Optimization method: heu1, heu2, hc (heu1 + hill climbing), exact, greedy — the \
      anytime sensitivity-guided swap heap for very large circuits (100k+ gates), bounded \
-     by --time-budget."
+     by --time-budget — or partition: FM min-cut decomposition into regions optimized \
+     greedily --jobs at a time, then reconciled globally (see --regions)."
   in
   Arg.(value & opt method_conv `Heu1 & info [ "m"; "method"; "mode" ] ~docv:"METHOD" ~doc)
+
+let regions_arg =
+  let doc =
+    "Region count for the partition method; 0 sizes it automatically from the gate count."
+  in
+  Arg.(value & opt int 0 & info [ "regions" ] ~docv:"N" ~doc)
 
 let heu2_limit_arg =
   let doc = "Time budget in seconds for heu2." in
@@ -229,13 +239,14 @@ let timing_arg =
 
 let jobs_arg =
   let doc =
-    "Worker domains for the state-tree search (tree-walking methods: heu2, exact).  1 \
-     disables parallelism."
+    "Worker domains: parallel state-tree search for the tree-walking methods (heu2, \
+     exact), concurrent region solves for partition.  1 disables parallelism; the result \
+     is the same for any value."
   in
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
-let run_optimize telemetry circuit file mode method_ penalty heu2_limit time_budget jobs
-    vectors verbose timing process_file simplify =
+let run_optimize telemetry circuit file mode method_ penalty heu2_limit time_budget regions
+    jobs vectors verbose timing process_file simplify =
   install_telemetry ~role:"batch" telemetry;
   match
     Result.bind (resolve_process process_file) (fun process ->
@@ -254,6 +265,7 @@ let run_optimize telemetry circuit file mode method_ penalty heu2_limit time_bud
       | `Hill_climb -> Optimizer.Hill_climb { time_limit_s = heu2_limit; max_rounds = 8 }
       | `Exact -> Optimizer.Exact
       | `Greedy -> Optimizer.Greedy { time_budget_s = time_budget }
+      | `Partition -> Optimizer.Partition { time_budget_s = time_budget; regions }
     in
     let avg =
       if vectors > 0 then Some (Baselines.random_average ~vectors ~jobs lib net) else None
@@ -317,8 +329,8 @@ let optimize_cmd =
   Cmd.v info
     Term.(
       const run_optimize $ telemetry_term $ circuit_arg $ bench_file_arg $ mode_arg
-      $ method_arg $ penalty_arg $ heu2_limit_arg $ time_budget_arg $ jobs_arg
-      $ vectors_arg $ verbose_arg $ timing_arg $ process_file_arg $ simplify_arg)
+      $ method_arg $ penalty_arg $ heu2_limit_arg $ time_budget_arg $ regions_arg
+      $ jobs_arg $ vectors_arg $ verbose_arg $ timing_arg $ process_file_arg $ simplify_arg)
 
 (* ------------------------------------------------------------------ *)
 (* baseline                                                             *)
@@ -815,7 +827,7 @@ let submit_session ~json requests address =
           drain 0 (List.length requests))
 
 let run_submit telemetry connect upstreams circuits files mode method_ heu2_limit
-    time_budget penalty deadline progress status stats metrics json =
+    time_budget regions penalty deadline progress status stats metrics json =
   install_telemetry ~role:"client" telemetry;
   let m =
     match method_ with
@@ -824,6 +836,7 @@ let run_submit telemetry connect upstreams circuits files mode method_ heu2_limi
     | `Hill_climb -> Optimizer.Hill_climb { time_limit_s = heu2_limit; max_rounds = 8 }
     | `Exact -> Optimizer.Exact
     | `Greedy -> Optimizer.Greedy { time_budget_s = time_budget }
+    | `Partition -> Optimizer.Partition { time_budget_s = time_budget; regions }
   in
   match submit_requests circuits files mode m penalty deadline progress with
   | Error msg ->
@@ -887,7 +900,7 @@ let submit_cmd =
     Term.(
       const run_submit $ client_telemetry_term $ connect_arg $ upstream_arg
       $ submit_circuits_arg $ submit_files_arg $ mode_arg $ method_arg $ heu2_limit_arg
-      $ time_budget_arg $ penalty_arg $ deadline_arg $ progress_flag_arg
+      $ time_budget_arg $ regions_arg $ penalty_arg $ deadline_arg $ progress_flag_arg
       $ status_flag_arg $ stats_flag_arg $ metrics_flag_arg $ json_flag_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -1313,27 +1326,40 @@ let gen_name_arg =
 
 let gen_window_arg =
   let doc =
-    "Locality window for fan-in selection; 0 picks gates/20 (min 60) so depth stays at \
-     synthesis-like tens of levels even at 100k+ gates."
+    "Locality window for fan-in selection; 0 picks gates/20 (min 60, capped at the gate \
+     count) so depth stays at synthesis-like tens of levels even at 100k+ gates.  An \
+     explicit window larger than --gates is refused (exit 2)."
   in
   Arg.(value & opt int 0 & info [ "window" ] ~docv:"N" ~doc)
 
 let run_generate seed inputs gates name window output =
-  let window = if window > 0 then window else max 60 (gates / 20) in
-  match
-    try
-      Ok
-        (Standby_circuits.Random_logic.generate ?name ~window ~seed ~inputs ~gates ())
-    with Invalid_argument msg -> Error msg
-  with
-  | Error msg ->
-    Printf.eprintf "error: %s\n" msg;
-    1
-  | Ok net ->
-    Bench_io.write_file output net;
-    Printf.printf "wrote %s (%d inputs, %d gates, depth %d, seed %#x)\n" output
-      (Netlist.input_count net) (Netlist.gate_count net) (Netlist.depth net) seed;
-    0
+  (* An explicit window wider than the circuit is a contradiction in the
+     requested workload, not a malformed invocation: refuse with a
+     distinct exit code so scripted sweeps can tell the two apart. *)
+  if window > gates then begin
+    Printf.eprintf "error: --window %d exceeds --gates %d (omit --window or widen the circuit)\n"
+      window gates;
+    2
+  end
+  else begin
+    let window = if window > 0 then window else max 60 (gates / 20) in
+    match
+      try
+        Ok
+          (Standby_circuits.Random_logic.generate ?name ~window:(min window (max 1 gates))
+             ~seed ~inputs ~gates ())
+      with Invalid_argument msg -> Error msg
+    with
+    | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+    | Ok net ->
+      Bench_io.write_file output net;
+      Printf.printf "wrote %s (%d inputs, %d gates, depth %d, seed %#x, window %d)\n" output
+        (Netlist.input_count net) (Netlist.gate_count net) (Netlist.depth net) seed
+        (min window (max 1 gates));
+      0
+  end
 
 let generate_cmd =
   let info =

@@ -35,11 +35,21 @@ let generate ?name ?window ~seed ~inputs ~gates () =
   let locality_window =
     match window with
     | None -> locality_window
-    | Some w when w > 0 -> w
-    | Some _ -> invalid_arg "Random_logic.generate: window must be positive"
+    | Some w when w <= 0 -> invalid_arg "Random_logic.generate: window must be positive"
+    | Some w when w > gates ->
+      (* A window wider than the circuit silently degenerates to
+         uniform picking; refuse so a generated workload's stated
+         locality is always the locality it actually has. *)
+      invalid_arg "Random_logic.generate: window must not exceed the gate count"
+    | Some w -> w
   in
+  (* The window is generation-relevant metadata: two circuits with equal
+     (inputs, gates, seed) but different windows differ, so the default
+     name records all four knobs. *)
   let name =
-    match name with Some n -> n | None -> Printf.sprintf "rand_i%d_g%d_s%d" inputs gates seed
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "rand_i%d_g%d_s%d_w%d" inputs gates seed locality_window
   in
   let rng = Prng.create ~seed in
   let b = B.create ~name () in

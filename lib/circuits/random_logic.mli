@@ -19,6 +19,11 @@ val generate :
     from.  The default matches synthesized ISCAS-sized control logic;
     for 100k+-gate scaling circuits pass roughly [gates / 20] so the
     depth stays at realistic tens of levels (and incremental-STA cones
-    stay small) instead of growing linearly with size.
+    stay small) instead of growing linearly with size.  The default
+    design name records every generation knob —
+    [rand_i<inputs>_g<gates>_s<seed>_w<window>] — so a netlist file
+    carries the metadata needed to regenerate it exactly.
     @raise Invalid_argument if [inputs < 1], [gates < inputs / 3]
-    (too few gates to use every input), or [window <= 0]. *)
+    (too few gates to use every input), [window <= 0], or an explicit
+    [window] exceeds [gates] (the stated locality would silently
+    degenerate to uniform picking). *)

@@ -19,6 +19,9 @@ let m_rounds =
   Metrics.counter Metrics.default "greedy.rounds" ~help:"Sensitivity re-sort rounds completed"
 let m_heap_pops =
   Metrics.counter Metrics.default "greedy.heap_pops" ~help:"Swap candidates popped off the heap"
+let m_unblocks =
+  Metrics.counter Metrics.default "greedy.unblocks"
+    ~help:"Blocked gates re-admitted after their slack was freed by later swaps"
 
 (* Binary max-heap over (score, gate id).  Capacity is fixed at the gate
    count — each round pushes at most one candidate move per gate — so
@@ -109,7 +112,40 @@ let vector_bound net min_leak vector =
   let total = ref 0.0 in
   Netlist.iter_gates net (fun id kind _ ->
       total := !total +. min_leak.(Gate_kind.index kind).(states.(id)));
-  (!total, states)
+  (!total, values, states)
+
+let min_leak_table lib =
+  Array.of_list
+    (List.map (fun kind -> (Library.info lib kind).Library.min_leakage) Gate_kind.all)
+
+(* The seeding step on its own: scan the candidate sleep vectors and
+   return the one with the smallest unconstrained leakage bound along
+   with its simulated node values and gate states.  [candidates]
+   replaces the generated vectors when given (the partition path feeds
+   the admissible region vectors through here); an empty list falls
+   back to the generated set so the scan always returns a vector. *)
+let seed_scan ?(seed = 0) ?(seed_candidates = 8) ?candidates ~stats lib net =
+  let min_leak = min_leak_table lib in
+  let vectors =
+    match candidates with
+    | Some (_ :: _ as l) -> l
+    | Some [] | None ->
+      seed_vectors ~seed ~count:(max 2 seed_candidates) (Netlist.input_count net)
+  in
+  let best = ref infinity in
+  let best_vec = ref [||] and best_values = ref [||] and best_states = ref [||] in
+  List.iter
+    (fun v ->
+      let bound, values, states = vector_bound net min_leak v in
+      stats.Search_stats.state_nodes <- stats.Search_stats.state_nodes + 1;
+      if bound < !best then begin
+        best := bound;
+        best_vec := v;
+        best_values := values;
+        best_states := states
+      end)
+    vectors;
+  (!best_vec, !best_values, !best_states)
 
 (* Per kind and version: the worst delay-derating factor over pins and
    transitions.  Pin permutations only reorder factors, so the maximum
@@ -155,32 +191,15 @@ let sensitivity sta max_factors id kind arity (options : Version.option_entry ar
   let delta_leak = options.(c).Version.leakage -. options.(t).Version.leakage in
   delta_leak /. Float.max delta_delay 1e-15
 
-let run ?(seed = 0) ?(seed_candidates = 8) ?(on_incumbent = fun _ -> ())
-    ?(interrupt = fun () -> false) ~stats ~timer lib sta =
+let run ?(seed = 0) ?(seed_candidates = 8) ?candidates ?(unblock = true)
+    ?(on_incumbent = fun _ -> ()) ?(interrupt = fun () -> false) ~stats ~timer lib sta =
  Telemetry.span "greedy.run" (fun () ->
   let net = Sta.netlist sta in
   let n = Netlist.node_count net in
   let gates = Netlist.gate_count net in
-  let min_leak =
-    Array.of_list
-      (List.map (fun kind -> (Library.info lib kind).Library.min_leakage) Gate_kind.all)
-  in
-  (* Seed: scan a fixed candidate set of sleep vectors and keep the one
-     with the smallest unconstrained leakage bound. *)
-  let vector, states =
-    let best = ref infinity and best_vec = ref [||] and best_states = ref [||] in
-    List.iter
-      (fun v ->
-        let bound, states = vector_bound net min_leak v in
-        stats.Search_stats.state_nodes <- stats.Search_stats.state_nodes + 1;
-        if bound < !best then begin
-          best := bound;
-          best_vec := v;
-          best_states := states
-        end)
-      (seed_vectors ~seed ~count:(max 2 seed_candidates) (Netlist.input_count net));
-    (!best_vec, !best_states)
-  in
+  (* Seed: scan the candidate sleep vectors and keep the one with the
+     smallest unconstrained leakage bound. *)
+  let vector, _, states = seed_scan ~seed ~seed_candidates ?candidates ~stats lib net in
   (* Start from the all-fast assignment for that vector: always
      delay-feasible (the budget is at least the all-fast delay), so the
      anytime contract holds from the first incumbent on. *)
@@ -209,12 +228,25 @@ let run ?(seed = 0) ?(seed_candidates = 8) ?(on_incumbent = fun _ -> ())
   emit ();
   let max_factors = max_factor_table lib in
   let heap = Heap.create gates in
-  (* A gate is blocked once no strictly-better option remains or a move
-     was rejected.  Swaps only ever slow gates down, so no slack is ever
-     returned to the pool and a rejected move can never become feasible
-     later — blocking is permanent and sound. *)
-  let blocked = Array.make n false in
+  (* Blocking is three-state.  A gate whose option ladder is exhausted
+     can never move again: state 2, permanent.  A gate blocked on slack
+     — rejected swap or nothing left at the re-sort — is state 1,
+     retryable: the slack it saw is recorded, and because accepted swaps
+     carry pin permutations that can re-map a neighbor's critical pin to
+     a faster edge, later moves can hand slack *back* to it.  The next
+     re-sort re-admits any state-1 gate whose slack strictly grew past
+     its recorded mark (the [greedy.unblocks] counter).  Termination is
+     untouched: re-admission applies no swap by itself, every applied
+     swap still strictly decreases leakage over a finite option space,
+     and a round that applies none ends the run. *)
+  let bstate = Array.make n 0 in
+  let bslack = Array.make n 0.0 in
+  let block_retryable id =
+    bstate.(id) <- 1;
+    bslack.(id) <- Sta.gate_slack sta id
+  in
   let rounds = ref 0 and swaps = ref 0 and backoffs = ref 0 and pops = ref 0 in
+  let unblocks = ref 0 in
   let stop_reason = ref State_tree.Exhausted in
   let polls = ref 0 in
   let stopped () =
@@ -241,14 +273,19 @@ let run ?(seed = 0) ?(seed_candidates = 8) ?(on_incumbent = fun _ -> ())
     (* Re-sort: fresh sensitivities for every gate that can still move,
        computed against the slack landscape the previous round left. *)
     Netlist.iter_gates net (fun id kind fanin ->
-        if not blocked.(id) then begin
+        if unblock && bstate.(id) = 1 && Sta.gate_slack sta id > bslack.(id) +. 1e-12
+        then begin
+          bstate.(id) <- 0;
+          incr unblocks
+        end;
+        if bstate.(id) = 0 then begin
           let state = states.(id) in
           let options = Library.options lib kind ~state in
           let c = choices.(id) in
           match find_target options c (c - 1) with
-          | None -> blocked.(id) <- true
+          | None -> bstate.(id) <- 2
           | Some t ->
-            if Sta.gate_slack sta id <= 0.0 then blocked.(id) <- true
+            if Sta.gate_slack sta id <= 0.0 then block_retryable id
             else begin
               stats.Search_stats.bound_evaluations <-
                 stats.Search_stats.bound_evaluations + 1;
@@ -270,7 +307,7 @@ let run ?(seed = 0) ?(seed_candidates = 8) ?(on_incumbent = fun _ -> ())
         let options = Library.options lib kind ~state in
         let c = choices.(id) in
         (match find_target options c (c - 1) with
-         | None -> blocked.(id) <- true
+         | None -> bstate.(id) <- 2
          | Some t ->
            let entry = options.(t) in
            let current = options.(c) in
@@ -298,12 +335,12 @@ let run ?(seed = 0) ?(seed_candidates = 8) ?(on_incumbent = fun _ -> ())
                  ~perm:current.Version.perm;
                Sta.update_from sta id;
                incr backoffs;
-               blocked.(id) <- true
+               block_retryable id
              end
            end
            else begin
              incr backoffs;
-             blocked.(id) <- true
+             block_retryable id
            end)
     done;
     emit ();
@@ -319,6 +356,7 @@ let run ?(seed = 0) ?(seed_candidates = 8) ?(on_incumbent = fun _ -> ())
   Metrics.add m_backoffs !backoffs;
   Metrics.add m_rounds !rounds;
   Metrics.add m_heap_pops !pops;
+  Metrics.add m_unblocks !unblocks;
   Sta.flush_counters sta;
   Telemetry.add_fields
     [
@@ -326,6 +364,7 @@ let run ?(seed = 0) ?(seed_candidates = 8) ?(on_incumbent = fun _ -> ())
       ("swaps", Json.Int !swaps);
       ("backoffs", Json.Int !backoffs);
       ("heap_pops", Json.Int !pops);
+      ("unblocks", Json.Int !unblocks);
       ("leakage", Json.Float !total);
       ("stop", Json.String (State_tree.stop_reason_name !stop_reason));
     ];

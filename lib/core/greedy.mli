@@ -10,10 +10,16 @@
     against the current slack landscape and lets every gate take at most
     one step; a swap is committed only after a cone-limited
     {!Standby_timing.Sta.update_from} confirms the moved gate's slack,
-    and is reverted (a "back-off") otherwise.  Because swaps only ever
-    consume slack, a rejected move can never become feasible later, so
-    rejected gates are blocked permanently and the algorithm terminates
-    when a round applies no swap.
+    and is reverted (a "back-off") otherwise.  A gate whose option
+    ladder is exhausted is blocked permanently; a gate blocked on slack
+    is only parked — accepted swaps carry pin permutations that can
+    re-map a neighbor's critical pin to a faster edge, so slack is
+    occasionally handed {e back} — and is re-admitted at the next
+    re-sort if its slack strictly grew past the value recorded when it
+    was parked (counted by [greedy.unblocks]).  The algorithm still
+    terminates when a round applies no swap: re-admission by itself
+    applies nothing, and every applied swap strictly decreases leakage
+    over a finite option space.
 
     The anytime contract: the seed incumbent is emitted before any work,
     every emission is strictly leakage-improving and delay-feasible, and
@@ -21,12 +27,37 @@
     the best incumbent intact.  For a fixed seed and a budget large
     enough to reach quiescence the result is deterministic.
 
-    Emits the [greedy.swaps], [greedy.backoffs], [greedy.rounds] and
-    [greedy.heap_pops] telemetry counters. *)
+    Emits the [greedy.swaps], [greedy.backoffs], [greedy.rounds],
+    [greedy.heap_pops] and [greedy.unblocks] telemetry counters. *)
+
+val seed_vectors : seed:int -> count:int -> int -> bool array list
+(** [seed_vectors ~seed ~count inputs] — the deterministic candidate
+    sleep vectors of the seeding step: the two constant vectors followed
+    by [count - 2] splitmix-style pseudo-random ones derived from
+    [seed].  No [Random] state is involved, so two calls with the same
+    arguments return identical vectors. *)
+
+val seed_scan :
+  ?seed:int ->
+  ?seed_candidates:int ->
+  ?candidates:bool array list ->
+  stats:Search_stats.t ->
+  Standby_cells.Library.t ->
+  Standby_netlist.Netlist.t ->
+  bool array * bool array * int array
+(** The seeding step on its own: scan the candidate sleep vectors and
+    return [(vector, values, states)] of the one with the smallest
+    unconstrained leakage bound — the vector itself, its simulated node
+    values, and the gate states they induce.  [candidates] replaces the
+    generated vectors when non-empty (the partitioned optimizer feeds
+    each region's admissible vectors through here); an empty or absent
+    list uses {!seed_vectors}. *)
 
 val run :
   ?seed:int ->
   ?seed_candidates:int ->
+  ?candidates:bool array list ->
+  ?unblock:bool ->
   ?on_incumbent:(State_tree.leaf -> unit) ->
   ?interrupt:(unit -> bool) ->
   stats:Search_stats.t ->
@@ -38,7 +69,10 @@ val run :
     (see {!Standby_timing.Sta.set_budget}); its assignment is clobbered.
     [seed] (default 0) parameterizes the deterministic sleep-vector
     candidates; [seed_candidates] (default 8, minimum 2) is how many are
-    scanned.  [on_incumbent] fires on the seed solution and then on
-    every improvement, including mid-round every few thousand swaps;
-    [interrupt] is polled at candidate boundaries.  At least the seed
-    incumbent is always produced, even on an expired timer. *)
+    scanned; [candidates], when non-empty, replaces the generated
+    vectors entirely (see {!seed_scan}).  [unblock] (default [true])
+    enables re-admission of slack-parked gates.  [on_incumbent] fires on
+    the seed solution and then on every improvement, including mid-round
+    every few thousand swaps; [interrupt] is polled at candidate
+    boundaries.  At least the seed incumbent is always produced, even on
+    an expired timer. *)

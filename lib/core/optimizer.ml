@@ -1,8 +1,15 @@
+module Netlist = Standby_netlist.Netlist
 module Sta = Standby_timing.Sta
 module Library = Standby_cells.Library
 module Version = Standby_cells.Version
 module Assignment = Standby_power.Assignment
 module Evaluate = Standby_power.Evaluate
+module Simulator = Standby_sim.Simulator
+module Logic = Standby_sim.Logic
+module Fm = Standby_partition.Fm
+module Region = Standby_partition.Region
+module Region_opt = Standby_partition.Region_opt
+module Reconcile = Standby_partition.Reconcile
 module Timer = Standby_util.Timer
 module Telemetry = Standby_telemetry.Telemetry
 module Metrics = Standby_telemetry.Metrics
@@ -37,6 +44,7 @@ type method_ =
   | Hill_climb of { time_limit_s : float; max_rounds : int }
   | Exact
   | Greedy of { time_budget_s : float }
+  | Partition of { time_budget_s : float; regions : int }
 
 let method_name = function
   | Heuristic_1 -> "heu1"
@@ -44,6 +52,11 @@ let method_name = function
   | Hill_climb _ -> "heu1+hc"
   | Exact -> "exact"
   | Greedy _ -> "greedy"
+  | Partition _ -> "partition"
+
+(* Sized so a region's incremental STA cone stays cache-resident while
+   the count still leaves every worker of a typical pool busy. *)
+let auto_regions gates = max 2 (min 16 (gates / 25_000))
 
 type result = {
   method_name : string;
@@ -59,6 +72,136 @@ type result = {
   stats : Search_stats.t;
   degraded : bool;
 }
+
+(* Partition-and-conquer: FM min-cut decomposition, data-parallel
+   per-region greedy optimization against frozen interface contracts,
+   then global reconciliation.  [sta] must be all-fast with the budget
+   installed — the timing frozen into the region contracts.
+
+   The anytime contract holds at the two ends: the seed incumbent
+   (all-fast on the scanned assumption vector) is emitted before any
+   region work, the reconciled stitched result is emitted only if it
+   improves on the seed, and the returned best is whichever is lower.
+   The result is bit-identical for any [jobs]: the decomposition depends
+   only on the netlist, every region solve is deterministic and
+   self-contained, and results are merged in region-index order — when
+   the timer cuts a region solve short the identity instead holds for
+   equal budgets, and the stop reason reports [Exhausted] only when
+   every region ran to quiescence. *)
+let run_partition ?(on_incumbent = fun _ -> ()) ?interrupt ~jobs ~stats ~timer ~regions:k
+    lib sta =
+  let net = Sta.netlist sta in
+ Telemetry.span "partition.run"
+   ~fields:[ ("regions", Json.Int k); ("jobs", Json.Int jobs) ]
+   (fun () ->
+  (* Whole-circuit seed scan: the assumption sleep vector the region
+     contracts freeze, and the first (all-fast, feasible) incumbent. *)
+  let vector, values, states = Greedy.seed_scan ~stats lib net in
+  let n = Netlist.node_count net in
+  let choices = Array.make n 0 in
+  let seed_total = ref 0.0 in
+  Netlist.iter_gates net (fun id kind _ ->
+      let state = states.(id) in
+      let c = Library.fast_option_index lib kind ~state in
+      choices.(id) <- c;
+      seed_total := !seed_total +. (Library.options lib kind ~state).(c).Version.leakage);
+  let seed_leaf =
+    {
+      State_tree.vector = Array.copy vector;
+      choices = Array.copy choices;
+      leakage = !seed_total;
+    }
+  in
+  stats.Search_stats.leaves <- stats.Search_stats.leaves + 1;
+  stats.Search_stats.incumbent_updates <- stats.Search_stats.incumbent_updates + 1;
+  on_incumbent seed_leaf;
+  let fm = Fm.run ~regions:k net in
+  let regions = Region.extract net fm ~sta ~vector ~values in
+  (* Per-region solve: the region's admissible sleep vectors feed the
+     greedy seed scan, the frozen-boundary workspace supplies timing.
+     Each call owns its stats record — merged in region-index order
+     below, so the aggregate is jobs-independent too. *)
+  let solver r =
+    let rsta = Region.make_sta lib r in
+    let rstats = Search_stats.create () in
+    let raw =
+      Greedy.seed_vectors ~seed:r.Region.index ~count:8
+        (Netlist.input_count r.Region.net)
+    in
+    let outcome =
+      Greedy.run ~candidates:(Region.candidates r raw) ?interrupt ~stats:rstats ~timer
+        lib rsta
+    in
+    (outcome, rstats)
+  in
+  let results = Region_opt.run ~jobs ~solver regions in
+  Array.iter (fun (_, rstats) -> Search_stats.merge_into stats rstats) results;
+  (* Stitch: each region rewrites only the vector positions it owns. *)
+  Array.iteri
+    (fun i (outcome, _) ->
+      let leaf = outcome.State_tree.best in
+      Array.iter
+        (fun (p, gp) -> vector.(gp) <- leaf.State_tree.vector.(p))
+        regions.(i).Region.free_positions)
+    results;
+  (* Under the export-preservation contract the stitched simulation
+     agrees with every region's own, so the regions' per-state option
+     choices transfer unchanged. *)
+  let gvalues = Simulator.eval net vector in
+  let gstates = Simulator.gate_states net gvalues in
+  Array.iteri
+    (fun i (outcome, _) ->
+      let leaf = outcome.State_tree.best in
+      let to_global = regions.(i).Region.to_global in
+      Netlist.iter_gates regions.(i).Region.net (fun sid _ _ ->
+          choices.(to_global.(sid)) <- leaf.State_tree.choices.(sid)))
+    results;
+  let recon = Reconcile.run lib sta ~states:gstates ~choices in
+  let total = ref 0.0 in
+  Netlist.iter_gates net (fun id kind _ ->
+      total :=
+        !total +. (Library.options lib kind ~state:gstates.(id)).(choices.(id)).Version.leakage);
+  (* The repaired leakage can never beat the admissible lower bound of
+     its own (fully known) vector. *)
+  let bound = Bound.create lib net in
+  let lower = (Bound.evaluate bound (Array.map Logic.of_bool gvalues)).Bound.lower in
+  assert (!total >= lower -. 1e-9);
+  let stop_reason =
+    let exhausted =
+      Array.for_all
+        (fun (o, _) -> o.State_tree.stop_reason = State_tree.Exhausted)
+        results
+    in
+    if exhausted then State_tree.Exhausted
+    else if
+      Array.exists
+        (fun (o, _) -> o.State_tree.stop_reason = State_tree.Interrupted)
+        results
+    then State_tree.Interrupted
+    else State_tree.Timed_out
+  in
+  Telemetry.add_fields
+    [
+      ("cut_nets", Json.Int fm.Fm.cut_nets);
+      ("extracted", Json.Int (Array.length regions));
+      ("reconcile_repairs", Json.Int recon.Reconcile.repairs);
+      ("seed_leakage", Json.Float !seed_total);
+      ("stitched_leakage", Json.Float !total);
+    ];
+  if !total < !seed_total -. 1e-18 then begin
+    let final_leaf =
+      {
+        State_tree.vector = Array.copy vector;
+        choices = Array.copy choices;
+        leakage = !total;
+      }
+    in
+    stats.Search_stats.leaves <- stats.Search_stats.leaves + 1;
+    stats.Search_stats.incumbent_updates <- stats.Search_stats.incumbent_updates + 1;
+    on_incumbent final_leaf;
+    { State_tree.best = final_leaf; stop_reason }
+  end
+  else { State_tree.best = seed_leaf; stop_reason })
 
 let run ?config ?deadline_s ?interrupt ?on_incumbent ?(jobs = 1) lib net ~penalty method_ =
   if penalty < 0.0 then invalid_arg "Optimizer.run: negative delay penalty";
@@ -91,13 +234,23 @@ let run ?config ?deadline_s ?interrupt ?on_incumbent ?(jobs = 1) lib net ~penalt
       Greedy.run ?on_incumbent ?interrupt ~stats
         ~timer:(with_deadline (Timer.start ~limit_s:time_budget_s))
         lib sta
+    | Partition { time_budget_s; regions } ->
+      let gates = Netlist.gate_count net in
+      let k =
+        min (if regions > 0 then regions else auto_regions gates) (max 1 gates)
+      in
+      let timer = with_deadline (Timer.start ~limit_s:time_budget_s) in
+      if k <= 1 then
+        (* One region is just the flat anytime path. *)
+        Greedy.run ?on_incumbent ?interrupt ~stats ~timer lib sta
+      else run_partition ?on_incumbent ?interrupt ~jobs ~stats ~timer ~regions:k lib sta
     | Heuristic_1 | Heuristic_2 _ | Hill_climb _ | Exact ->
       let bound = Bound.create lib net in
       let timer, max_leaves, exact_gate_tree =
         match method_ with
         | Heuristic_1 | Hill_climb _ -> (Timer.unlimited (), Some 1, false)
         | Heuristic_2 { time_limit_s } -> (Timer.start ~limit_s:time_limit_s, None, false)
-        | Exact | Greedy _ -> (Timer.unlimited (), None, true)
+        | Exact | Greedy _ | Partition _ -> (Timer.unlimited (), None, true)
       in
       (* Parallel subtree search pays off when the whole tree is walked;
          a single bound-guided descent (Heuristic 1) stays sequential. *)
@@ -129,7 +282,7 @@ let run ?config ?deadline_s ?interrupt ?on_incumbent ?(jobs = 1) lib net ~penalt
     | Hill_climb { time_limit_s; max_rounds } when not interrupted ->
       let refine_timer = with_deadline (Timer.start ~limit_s:time_limit_s) in
       Refine.hill_climb ~max_rounds ~stats ~timer:refine_timer lib sta ~start:leaf
-    | Hill_climb _ | Heuristic_1 | Heuristic_2 _ | Exact | Greedy _ -> leaf
+    | Hill_climb _ | Heuristic_1 | Heuristic_2 _ | Exact | Greedy _ | Partition _ -> leaf
   in
   let assignment =
     Assignment.of_choices lib net ~vector:leaf.State_tree.vector

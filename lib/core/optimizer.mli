@@ -22,6 +22,14 @@ type method_ =
           to 100k–1M gates, emits a strictly improving incumbent stream,
           and stops at the hard [time_budget_s] with the best incumbent
           found.  Sequential regardless of [jobs]. *)
+  | Partition of { time_budget_s : float; regions : int }
+      (** Partition-and-conquer for huge circuits: FM min-cut
+          decomposition into [regions] parts ([0] sizes automatically
+          from the gate count), per-region greedy optimization against
+          frozen boundary contracts — run [jobs] regions at a time on
+          worker domains — and global reconciliation of the stitched
+          assignment (see {!Standby_partition}).  Anytime like
+          {!constructor-Greedy}, and bit-identical across [jobs]. *)
 
 val method_name : method_ -> string
 
@@ -74,9 +82,11 @@ val run :
     skipped.  Must be safe to call from any domain when [jobs > 1].
 
     [jobs] (default 1) runs the state search on that many worker domains
-    via {!State_tree.search_parallel}.  It only applies to methods that
-    walk the whole tree (Heuristic 2, exact); a single-descent method
-    stays sequential regardless.
+    via {!State_tree.search_parallel}, or — for
+    {!constructor-Partition} — that many region solves at a time via
+    {!Standby_partition.Region_opt}.  It only applies to methods with
+    independent work to hand out (Heuristic 2, exact, partition); a
+    single-descent method stays sequential regardless.
     @raise Invalid_argument if [penalty < 0] or [jobs < 1]. *)
 
 val reduction_factor : reference:float -> result -> float

@@ -1,0 +1,342 @@
+module Netlist = Standby_netlist.Netlist
+module Telemetry = Standby_telemetry.Telemetry
+module Metrics = Standby_telemetry.Metrics
+module Json = Standby_telemetry.Json
+
+(* Registered at module initialization, before worker domains exist. *)
+let m_passes =
+  Metrics.counter Metrics.default "partition.fm_passes" ~help:"FM refinement passes run"
+let m_moves =
+  Metrics.counter Metrics.default "partition.fm_moves"
+    ~help:"Cell moves committed by FM passes (after rollback)"
+
+type t = { region_of : int array; regions : int; cut_nets : int }
+
+(* The gate hypergraph: one hyperedge per driver node, pins at the
+   driver (when it is a gate) and at every gate reading it.  Primary
+   inputs contribute edges but are not movable cells — a PI net whose
+   readers split across regions just becomes a shared contract pin. *)
+
+(* Nets restricted to a cell subset, as index lists into [cells].
+   Single-pin nets can never be cut and are dropped.  Returns
+   [net_members] (ascending cell indices per net, nets ordered by
+   ascending driver id — deterministic) and [cell_nets] (net indices
+   per cell). *)
+let build_hypergraph net cells =
+  let n = Netlist.node_count net in
+  let pos = Array.make n (-1) in
+  Array.iteri (fun i id -> pos.(id) <- i) cells;
+  (* members keyed by driver id; cells appear in ascending order because
+     [cells] is ascending and fanin sources are scanned per cell. *)
+  let sinks = Array.make n [] in
+  let touched = ref [] in
+  Array.iteri
+    (fun ci id ->
+      let fanin = Netlist.fanin net id in
+      Array.iter
+        (fun s ->
+          match sinks.(s) with
+          | c :: _ when c = ci -> () (* duplicate pin on the same gate *)
+          | l ->
+            if l = [] then touched := s :: !touched;
+            sinks.(s) <- ci :: l)
+        fanin)
+    cells;
+  let drivers = List.sort compare !touched in
+  let members =
+    List.filter_map
+      (fun d ->
+        let sink_cells = List.rev sinks.(d) in
+        let all = if pos.(d) >= 0 then pos.(d) :: sink_cells else sink_cells in
+        match all with [] | [ _ ] -> None | l -> Some (Array.of_list l))
+      drivers
+  in
+  let net_members = Array.of_list members in
+  let cell_nets = Array.make (Array.length cells) [] in
+  Array.iteri
+    (fun j ms -> Array.iter (fun ci -> cell_nets.(ci) <- j :: cell_nets.(ci)) ms)
+    net_members;
+  (net_members, Array.map (fun l -> Array.of_list (List.rev l)) cell_nets)
+
+(* Fanin-cone seeding: a postorder DFS from the primary outputs groups
+   each output's transitive fanin cone contiguously, so a prefix split
+   puts whole cones on one side and the cut lands near cone boundaries.
+   Unreached member cells (dead logic) follow in ascending id order. *)
+let cone_order net cells =
+  let n = Netlist.node_count net in
+  let member = Array.make n false in
+  Array.iter (fun id -> member.(id) <- true) cells;
+  let seen = Array.make n false in
+  let order = ref [] in
+  let count = ref 0 in
+  let rec visit id =
+    if not seen.(id) then begin
+      seen.(id) <- true;
+      Array.iter visit (Netlist.fanin net id);
+      if member.(id) then begin
+        order := id :: !order;
+        incr count
+      end
+    end
+  in
+  Array.iter visit (Netlist.outputs net);
+  Array.iter (fun id -> if not seen.(id) then visit id) cells;
+  Array.of_list (List.rev !order)
+
+(* One FM bisection of [cells] (ascending gate ids).  Returns the side
+   per cell index (false = first part) and the cut-size trace: the cut
+   after cone seeding followed by the cut after each pass.  Each pass
+   rolls back to its best prefix, so the trace is non-increasing. *)
+let bisect ?(balance_tolerance = 0.1) ?(max_passes = 8) ~ratio net ~cells =
+  let ncells = Array.length cells in
+  if ncells = 0 then ([||], [| 0 |])
+  else begin
+    let net_members, cell_nets = build_hypergraph net cells in
+    let nnets = Array.length net_members in
+    let pos = Hashtbl.create ncells in
+    Array.iteri (fun i id -> Hashtbl.replace pos id i) cells;
+    (* Seed: prefix of the cone order. *)
+    let side = Array.make ncells false in
+    let target = ratio *. float_of_int ncells in
+    let na = max 1 (min (ncells - 1) (int_of_float (Float.round target))) in
+    let ordered = cone_order net cells in
+    Array.iteri
+      (fun rank id -> if rank >= na then side.(Hashtbl.find pos id) <- true)
+      ordered;
+    let count_a = Array.make nnets 0 and count_b = Array.make nnets 0 in
+    let recount () =
+      Array.iteri
+        (fun j ms ->
+          count_a.(j) <- 0;
+          count_b.(j) <- 0;
+          Array.iter
+            (fun ci ->
+              if side.(ci) then count_b.(j) <- count_b.(j) + 1
+              else count_a.(j) <- count_a.(j) + 1)
+            ms)
+        net_members
+    in
+    let cut () =
+      let c = ref 0 in
+      for j = 0 to nnets - 1 do
+        if count_a.(j) > 0 && count_b.(j) > 0 then incr c
+      done;
+      !c
+    in
+    recount ();
+    let dev = Float.max 1.0 (balance_tolerance *. float_of_int ncells) in
+    let lo = target -. dev and hi = target +. dev in
+    let weight_a = ref 0 in
+    Array.iter (fun b -> if not b then incr weight_a) side;
+    (* Gain buckets: doubly-linked lists threaded through arrays, one
+       list per gain value in [-maxdeg, maxdeg], LIFO insertion.  The
+       classic FM structure — O(1) move/update, deterministic pop. *)
+    let maxdeg =
+      Array.fold_left (fun acc ns -> max acc (Array.length ns)) 1 cell_nets
+    in
+    let nbuckets = (2 * maxdeg) + 1 in
+    let head = Array.make nbuckets (-1) in
+    let next = Array.make ncells (-1) in
+    let prev = Array.make ncells (-1) in
+    let gain = Array.make ncells 0 in
+    let in_bucket = Array.make ncells false in
+    let bucket_of g = g + maxdeg in
+    let unlink ci =
+      let b = bucket_of gain.(ci) in
+      if prev.(ci) >= 0 then next.(prev.(ci)) <- next.(ci) else head.(b) <- next.(ci);
+      if next.(ci) >= 0 then prev.(next.(ci)) <- prev.(ci);
+      next.(ci) <- -1;
+      prev.(ci) <- -1;
+      in_bucket.(ci) <- false
+    in
+    let link ci =
+      let b = bucket_of gain.(ci) in
+      next.(ci) <- head.(b);
+      prev.(ci) <- -1;
+      if head.(b) >= 0 then prev.(head.(b)) <- ci;
+      head.(b) <- ci;
+      in_bucket.(ci) <- true
+    in
+    let adjust ci delta =
+      if in_bucket.(ci) then begin
+        unlink ci;
+        gain.(ci) <- gain.(ci) + delta;
+        link ci
+      end
+      else gain.(ci) <- gain.(ci) + delta
+    in
+    let compute_gain ci =
+      let g = ref 0 in
+      Array.iter
+        (fun j ->
+          let f, t =
+            if side.(ci) then (count_b.(j), count_a.(j)) else (count_a.(j), count_b.(j))
+          in
+          if f = 1 then incr g;
+          if t = 0 then decr g)
+        cell_nets.(ci);
+      !g
+    in
+    let moves = ref 0 in
+    let trace = ref [ cut () ] in
+    let continue_passes = ref true in
+    let passes = ref 0 in
+    while !continue_passes && !passes < max_passes do
+      incr passes;
+      Metrics.incr m_passes;
+      let start_cut = List.hd !trace in
+      Array.fill head 0 nbuckets (-1);
+      for ci = ncells - 1 downto 0 do
+        gain.(ci) <- compute_gain ci;
+        link ci
+      done;
+      let cur = ref start_cut in
+      let best = ref start_cut in
+      let best_len = ref 0 in
+      let moved = ref [] in
+      let moved_len = ref 0 in
+      let balanced_after ci =
+        let wa' = if side.(ci) then !weight_a + 1 else !weight_a - 1 in
+        let w = float_of_int wa' in
+        w >= lo -. 1e-9 && w <= hi +. 1e-9
+      in
+      (* Highest-gain movable cell: scan buckets top down, walk each
+         list head-first.  Deterministic for a deterministic insertion
+         order. *)
+      let pick () =
+        let found = ref (-1) in
+        let b = ref (nbuckets - 1) in
+        while !found < 0 && !b >= 0 do
+          let ci = ref head.(!b) in
+          while !found < 0 && !ci >= 0 do
+            if balanced_after !ci then found := !ci else ci := next.(!ci)
+          done;
+          decr b
+        done;
+        !found
+      in
+      let exhausted = ref false in
+      while not !exhausted do
+        let ci = pick () in
+        if ci < 0 then exhausted := true
+        else begin
+          unlink ci;
+          (* Standard FM incremental gain update around the move. *)
+          Array.iter
+            (fun j ->
+              let from_count, to_count =
+                if side.(ci) then (count_b, count_a) else (count_a, count_b)
+              in
+              if to_count.(j) = 0 then
+                Array.iter
+                  (fun c -> if in_bucket.(c) then adjust c 1)
+                  net_members.(j)
+              else if to_count.(j) = 1 then
+                Array.iter
+                  (fun c ->
+                    if in_bucket.(c) && side.(c) <> side.(ci) then adjust c (-1))
+                  net_members.(j);
+              from_count.(j) <- from_count.(j) - 1;
+              to_count.(j) <- to_count.(j) + 1;
+              if from_count.(j) = 0 then
+                Array.iter
+                  (fun c -> if in_bucket.(c) then adjust c (-1))
+                  net_members.(j)
+              else if from_count.(j) = 1 then
+                Array.iter
+                  (fun c ->
+                    if in_bucket.(c) && side.(c) = side.(ci) then adjust c 1)
+                  net_members.(j))
+            cell_nets.(ci);
+          cur := !cur - gain.(ci);
+          if side.(ci) then incr weight_a else decr weight_a;
+          side.(ci) <- not side.(ci);
+          moved := ci :: !moved;
+          incr moved_len;
+          if !cur < !best then begin
+            best := !cur;
+            best_len := !moved_len
+          end
+        end
+      done;
+      (* Roll back past the best prefix; the pass result is therefore
+         never worse than its starting cut. *)
+      let rollback = !moved_len - !best_len in
+      List.iteri
+        (fun k ci ->
+          if k < rollback then begin
+            if side.(ci) then incr weight_a else decr weight_a;
+            side.(ci) <- not side.(ci)
+          end)
+        !moved;
+      Metrics.add m_moves !best_len;
+      moves := !moves + !best_len;
+      recount ();
+      trace := !best :: !trace;
+      if !best >= start_cut then continue_passes := false
+    done;
+    (side, Array.of_list (List.rev !trace))
+  end
+
+(* Nets whose pins (driver gate and gate readers) span more than one
+   region — each is a boundary contract in the partitioned run. *)
+let cut_nets net region_of =
+  let cut = ref 0 in
+  let n = Netlist.node_count net in
+  for d = 0 to n - 1 do
+    let first = ref (-2) and mixed = ref false in
+    let see r =
+      if r >= 0 then
+        if !first = -2 then first := r else if r <> !first then mixed := true
+    in
+    see region_of.(d);
+    Array.iter (fun c -> see region_of.(c)) (Netlist.fanout net d);
+    if !mixed then incr cut
+  done;
+  !cut
+
+let run ?balance_tolerance ?max_passes ~regions net =
+  let gates = Netlist.gate_count net in
+  let regions = max 1 (min regions (max 1 gates)) in
+  Telemetry.span "partition.fm"
+    ~fields:
+      [
+        ("regions", Json.Int regions);
+        ("gates", Json.Int gates);
+      ]
+    (fun () ->
+      let n = Netlist.node_count net in
+      let region_of = Array.make n (-1) in
+      let all_cells =
+        let l = ref [] in
+        Netlist.iter_gates net (fun id _ _ -> l := id :: !l);
+        Array.of_list (List.rev !l)
+      in
+      (* Recursive bisection: split k into ceil/floor halves so any
+         region count works, with the ratio matched to the half sizes.
+         Region indices are assigned left to right — deterministic. *)
+      let next_region = ref 0 in
+      let rec split cells k =
+        if k <= 1 || Array.length cells <= 1 then begin
+          let r = !next_region in
+          incr next_region;
+          Array.iter (fun id -> region_of.(id) <- r) cells
+        end
+        else begin
+          let k1 = (k + 1) / 2 in
+          let ratio = float_of_int k1 /. float_of_int k in
+          let side, _ =
+            bisect ?balance_tolerance ?max_passes ~ratio net ~cells
+          in
+          let a = ref [] and b = ref [] in
+          Array.iteri
+            (fun i id -> if side.(i) then b := id :: !b else a := id :: !a)
+            cells;
+          split (Array.of_list (List.rev !a)) k1;
+          split (Array.of_list (List.rev !b)) (k - k1)
+        end
+      in
+      split all_cells regions;
+      let t = { region_of; regions = !next_region; cut_nets = cut_nets net region_of } in
+      Telemetry.add_fields [ ("cut_nets", Json.Int t.cut_nets) ];
+      t)

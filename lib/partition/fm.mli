@@ -1,0 +1,45 @@
+(** Fiduccia–Mattheyses min-cut partitioning of the gate hypergraph.
+
+    One hyperedge per driver node (pins at the driver gate and every
+    gate reading it); cells are gates, unit weight.  {!bisect} is the
+    classic FM pass loop — gain buckets as doubly-linked lists, each
+    free cell moved at most once per pass, rollback to the best prefix,
+    balance enforced on every move — seeded by a fanin-cone ordering so
+    the initial cut already falls near cone boundaries.  {!run} applies
+    it recursively to yield any region count.  Everything is
+    deterministic: no randomness, stable tie-breaks (LIFO buckets,
+    ascending-id scans). *)
+
+type t = {
+  region_of : int array;  (** Node id -> region index; -1 for inputs. *)
+  regions : int;  (** Regions actually produced. *)
+  cut_nets : int;  (** Nets whose pins span more than one region. *)
+}
+
+val run :
+  ?balance_tolerance:float ->
+  ?max_passes:int ->
+  regions:int ->
+  Standby_netlist.Netlist.t ->
+  t
+(** Recursive FM bisection into [regions] parts (clamped to the gate
+    count).  [balance_tolerance] (default 0.1) bounds each side's
+    deviation from its target share; [max_passes] (default 8) caps FM
+    refinement passes per bisection. *)
+
+val bisect :
+  ?balance_tolerance:float ->
+  ?max_passes:int ->
+  ratio:float ->
+  Standby_netlist.Netlist.t ->
+  cells:int array ->
+  bool array * int array
+(** One bisection of [cells] (ascending gate ids); [ratio] is the
+    target weight fraction of the first side.  Returns the side per
+    cell index ([false] = first side) and the cut trace: the cut after
+    cone seeding followed by the cut after each pass.  Each pass rolls
+    back to its best prefix, so the trace is non-increasing — the
+    property the unit tests pin. *)
+
+val cut_nets : Standby_netlist.Netlist.t -> int array -> int
+(** Nets spanning more than one region under a node->region map. *)

@@ -1,0 +1,153 @@
+module Netlist = Standby_netlist.Netlist
+module Library = Standby_cells.Library
+module Version = Standby_cells.Version
+module Sta = Standby_timing.Sta
+module Telemetry = Standby_telemetry.Telemetry
+module Metrics = Standby_telemetry.Metrics
+module Json = Standby_telemetry.Json
+
+(* Registered at module initialization, before worker domains exist. *)
+let m_violations =
+  Metrics.counter Metrics.default "partition.reconcile_violations"
+    ~help:"Cross-boundary slack violations found while stitching regions"
+let m_repairs =
+  Metrics.counter Metrics.default "partition.reconcile_repairs"
+    ~help:"Gates backed off to a faster version during reconciliation"
+let m_passes =
+  Metrics.counter Metrics.default "partition.reconcile_passes"
+    ~help:"Reconciliation repair passes over the stitched circuit"
+
+type stats = {
+  violations : int;  (** Gates found with negative slack. *)
+  repairs : int;  (** Version backoffs applied. *)
+  pinned : int;  (** Gates forced back to the fast version. *)
+  passes : int;  (** Full repair passes. *)
+  fallback : bool;  (** True if the all-fast escape hatch fired. *)
+}
+
+let epsilon = 1e-9
+
+(* The per-region slack checks are optimistic: two regions sharing a
+   cross-boundary path each saw the other's frozen all-fast timing, so
+   both may spend the same slack.  Replaying the stitched assignment on
+   the whole-circuit workspace exposes those double-spends as negative
+   gate slacks; this pass repairs them by localized version backoff.
+
+   Repair ladder (monotone, hence terminating): a violating gate first
+   moves to the cheapest option that passes {!Sta.candidate_feasible}
+   under the current timing; if it violates again later it is pinned to
+   the fast version and never revisited.  Every step replaces a gate's
+   option at most twice, and the all-pinned state is the all-fast
+   assignment — feasible by the budget's definition — so the loop always
+   ends.  A full-circuit reset to all-fast backstops the (unreached in
+   practice) case where pinned gates still violate through slew
+   coupling.
+
+   [choices] is updated in place; [sta] is left carrying the repaired
+   assignment with timing up to date. *)
+let run lib sta ~states ~choices =
+  Telemetry.span "partition.reconcile" (fun () ->
+      let net = Sta.netlist sta in
+      let install id entry =
+        Sta.assign sta id ~version:entry.Version.version ~perm:entry.Version.perm
+      in
+      Netlist.iter_gates net (fun id kind _ ->
+          let entry = (Library.options lib kind ~state:states.(id)).(choices.(id)) in
+          install id entry);
+      Sta.update sta;
+      let n = Netlist.node_count net in
+      let repaired = Array.make n false in
+      let pinned = Array.make n false in
+      let violations = ref 0 and repairs = ref 0 and pins = ref 0 and passes = ref 0 in
+      let fallback = ref false in
+      let progressed = ref true in
+      let feasible () = Sta.meets_budget sta in
+      while (not (feasible ())) && !progressed do
+        incr passes;
+        progressed := false;
+        Netlist.iter_gates net (fun id kind _ ->
+            if Sta.gate_slack sta id < -.epsilon && not pinned.(id) then begin
+              incr violations;
+              let options = Library.options lib kind ~state:states.(id) in
+              let fast = Library.fast_option_index lib kind ~state:states.(id) in
+              let pick =
+                if repaired.(id) then fast
+                else begin
+                  (* Cheapest option the current timing admits; the
+                     fast option is the guaranteed last resort. *)
+                  let found = ref fast in
+                  let k = ref 0 in
+                  let stop = ref false in
+                  while (not !stop) && !k < Array.length options do
+                    let e = options.(!k) in
+                    if
+                      !k <> choices.(id)
+                      && Sta.candidate_feasible sta id ~version:e.Version.version
+                           ~perm:e.Version.perm
+                    then begin
+                      found := !k;
+                      stop := true
+                    end;
+                    incr k
+                  done;
+                  !found
+                end
+              in
+              if pick <> choices.(id) then begin
+                choices.(id) <- pick;
+                install id options.(pick);
+                Sta.update_from sta id;
+                incr repairs;
+                progressed := true;
+                if repaired.(id) || pick = fast then begin
+                  pinned.(id) <- true;
+                  incr pins
+                end
+                else repaired.(id) <- true
+              end
+              else begin
+                (* Already on the pick (or the search landed on the
+                   current choice): pin so the ladder keeps shrinking. *)
+                pinned.(id) <- true;
+                incr pins;
+                if pick <> fast then begin
+                  choices.(id) <- fast;
+                  install id options.(fast);
+                  Sta.update_from sta id;
+                  incr repairs;
+                  progressed := true
+                end
+              end
+            end)
+      done;
+      if not (feasible ()) then begin
+        (* Unreachable in practice (see the termination note above);
+           feasibility must hold unconditionally, so fall back to the
+           all-fast assignment wholesale. *)
+        fallback := true;
+        Netlist.iter_gates net (fun id kind _ ->
+            let fast = Library.fast_option_index lib kind ~state:states.(id) in
+            let options = Library.options lib kind ~state:states.(id) in
+            choices.(id) <- fast;
+            install id options.(fast));
+        Sta.update sta
+      end;
+      Sta.flush_counters sta;
+      Metrics.add m_violations !violations;
+      Metrics.add m_repairs !repairs;
+      Metrics.add m_passes !passes;
+      Telemetry.add_fields
+        [
+          ("violations", Json.Int !violations);
+          ("repairs", Json.Int !repairs);
+          ("pinned", Json.Int !pins);
+          ("passes", Json.Int !passes);
+          ("fallback", Json.Bool !fallback);
+        ];
+      {
+        violations = !violations;
+        repairs = !repairs;
+        pinned = !pins;
+        passes = !passes;
+        fallback = !fallback;
+      })

@@ -1,0 +1,32 @@
+(** Global reconciliation of a stitched region assignment.
+
+    Per-region slack checks are optimistic: two regions sharing a
+    cross-boundary path each saw the other's frozen all-fast timing, so
+    both may spend the same slack.  {!run} replays the stitched
+    assignment on the whole-circuit workspace and repairs the exposed
+    violations by localized version backoff — each violating gate first
+    takes the cheapest option the current timing admits, then is pinned
+    to the fast version if it violates again.  The ladder is monotone
+    (at most two changes per gate) and the all-pinned state is the
+    all-fast assignment, feasible by the budget's definition, so
+    termination and feasibility are unconditional. *)
+
+type stats = {
+  violations : int;  (** Gates found with negative slack. *)
+  repairs : int;  (** Version backoffs applied. *)
+  pinned : int;  (** Gates forced back to the fast version. *)
+  passes : int;  (** Full repair passes. *)
+  fallback : bool;  (** True if the all-fast escape hatch fired. *)
+}
+
+val run :
+  Standby_cells.Library.t ->
+  Standby_timing.Sta.t ->
+  states:int array ->
+  choices:int array ->
+  stats
+(** [run lib sta ~states ~choices] installs the stitched assignment
+    ([states] and [choices] per node, from the stitched sleep vector)
+    into [sta] (the whole-circuit workspace, budget set), repairs it to
+    delay feasibility and leaves [sta] up to date.  [choices] is
+    modified in place.  Emits the [partition.reconcile_*] counters. *)

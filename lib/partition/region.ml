@@ -1,0 +1,232 @@
+module Netlist = Standby_netlist.Netlist
+module Simulator = Standby_sim.Simulator
+module Sta = Standby_timing.Sta
+module Delay_model = Standby_timing.Delay_model
+module Library = Standby_cells.Library
+
+(* A region extracted from a partitioned circuit, closed under an
+   interface contract:
+
+   - every non-member source feeding a member gate becomes a sub-circuit
+     primary input *frozen* to its value under the global assumption
+     vector (2-valued contract), with arrival/slew frozen from the
+     whole-circuit all-fast STA;
+   - primary inputs read exclusively by this region stay *free* — the
+     region's optimizer may flip them while seeding its sleep vector;
+   - member gates read by other regions are *exported*: they become
+     sub-circuit outputs whose required times are frozen from the
+     whole-circuit STA, and whose logic values must keep their
+     assumption-vector values under any candidate sub-vector (so the
+     regions' independently chosen vectors compose exactly). *)
+type t = {
+  index : int;  (** Region index from the FM partition. *)
+  net : Netlist.t;  (** The sub-netlist. *)
+  to_global : int array;  (** Sub node id -> global node id. *)
+  base_vector : bool array;
+      (** Sub input values under the global assumption (declaration
+          order); contract positions are frozen to these. *)
+  free_positions : (int * int) array;
+      (** (sub vector position, global vector position) of the inputs
+          this region may flip. *)
+  exported : int array;  (** Sub ids of gates other regions read. *)
+  exported_values : bool array;  (** Their frozen assumption values. *)
+  input_arrival : (float * float) array;  (** Per sub input position. *)
+  input_slew : (float * float) array;
+  output_required : (int * float * float) array;
+      (** (sub node id, rise, fall) frozen from the whole circuit. *)
+  loads : int array;  (** Per sub node id: whole-circuit output load. *)
+  budget : float;  (** The global delay budget. *)
+}
+
+let gate_count t = Netlist.gate_count t.net
+
+(* Extract the sub-netlists of every non-empty region.  [sta] is the
+   whole-circuit workspace in the all-fast state with the delay budget
+   installed — the timing frozen into the contracts; [vector]/[values]
+   are the assumption sleep vector and its simulated node values. *)
+let extract net (fm : Fm.t) ~sta ~vector ~values =
+  let n = Netlist.node_count net in
+  let region_of = fm.Fm.region_of in
+  let pi_position = Array.make n (-1) in
+  Array.iteri (fun p id -> pi_position.(id) <- p) (Netlist.inputs net);
+  (* A primary input is free in region r when every reader lives in r. *)
+  let pi_home = Array.make n (-2) in
+  Array.iter
+    (fun id ->
+      let home = ref (-2) in
+      Array.iter
+        (fun c ->
+          let r = region_of.(c) in
+          if !home = -2 then home := r else if r <> !home then home := -1)
+        (Netlist.fanout net id);
+      pi_home.(id) <- !home)
+    (Netlist.inputs net);
+  let is_global_out = Array.make n false in
+  Array.iter (fun o -> is_global_out.(o) <- true) (Netlist.outputs net);
+  let extract_one index =
+    let member = Array.make n false in
+    let gates = ref [] in
+    Netlist.iter_gates net (fun id _ _ ->
+        if region_of.(id) = index then begin
+          member.(id) <- true;
+          gates := id :: !gates
+        end);
+    let gates = List.rev !gates in
+    if gates = [] then None
+    else begin
+      (* Boundary sources, in ascending global id order. *)
+      let seen = Hashtbl.create 64 in
+      let sources = ref [] in
+      List.iter
+        (fun id ->
+          Array.iter
+            (fun s ->
+              if (not member.(s)) && not (Hashtbl.mem seen s) then begin
+                Hashtbl.add seen s ();
+                sources := s :: !sources
+              end)
+            (Netlist.fanin net id))
+        gates;
+      let sources = List.sort compare !sources in
+      let b = Netlist.Builder.create ~name:(Printf.sprintf "%s_r%d" (Netlist.design_name net) index) () in
+      let g2s = Hashtbl.create 256 in
+      let to_global = ref [] in
+      List.iter
+        (fun g ->
+          let sid = Netlist.Builder.add_input ~name:(Netlist.name_of net g) b in
+          Hashtbl.replace g2s g sid;
+          to_global := g :: !to_global)
+        sources;
+      List.iter
+        (fun g ->
+          match Netlist.node net g with
+          | Netlist.Primary_input -> assert false
+          | Netlist.Cell { kind; fanin } ->
+            let sub_fanin = Array.map (fun s -> Hashtbl.find g2s s) fanin in
+            let sid = Netlist.Builder.add_gate ~name:(Netlist.name_of net g) b kind sub_fanin in
+            Hashtbl.replace g2s g sid;
+            to_global := g :: !to_global)
+        gates;
+      let to_global = Array.of_list (List.rev !to_global) in
+      (* Outputs: exported gates (read outside) and global POs. *)
+      let exported = ref [] and exported_values = ref [] in
+      let outputs = ref [] in
+      List.iter
+        (fun g ->
+          let read_outside =
+            Array.exists (fun c -> not member.(c)) (Netlist.fanout net g)
+          in
+          if read_outside || is_global_out.(g) then begin
+            let sid = Hashtbl.find g2s g in
+            Netlist.Builder.mark_output ~name:(Netlist.name_of net g) b sid;
+            outputs := g :: !outputs;
+            if read_outside then begin
+              exported := sid :: !exported;
+              exported_values := values.(g) :: !exported_values
+            end
+          end)
+        gates;
+      (* All-internal dead logic: keep the builder valid by exporting
+         the last gate (its value is unconstrained). *)
+      if !outputs = [] then begin
+        let last = List.nth gates (List.length gates - 1) in
+        Netlist.Builder.mark_output b (Hashtbl.find g2s last);
+        outputs := [ last ]
+      end;
+      let sub = Netlist.Builder.finish b in
+      let srcs = Array.of_list sources in
+      let base_vector =
+        Array.map
+          (fun g -> if pi_position.(g) >= 0 then vector.(pi_position.(g)) else values.(g))
+          srcs
+      in
+      let free_positions =
+        let l = ref [] in
+        Array.iteri
+          (fun p g ->
+            if pi_position.(g) >= 0 && pi_home.(g) = index then
+              l := (p, pi_position.(g)) :: !l)
+          srcs;
+        Array.of_list (List.rev !l)
+      in
+      let input_arrival = Array.map (fun g -> Sta.arrival sta g) srcs in
+      let input_slew = Array.map (fun g -> Sta.slew_of sta g) srcs in
+      let output_required =
+        Array.of_list
+          (List.rev_map
+             (fun g ->
+               let rise, fall = Sta.required sta g in
+               (Hashtbl.find g2s g, rise, fall))
+             !outputs)
+      in
+      let loads =
+        Array.map (fun g -> Delay_model.node_load net g) to_global
+      in
+      Some
+        {
+          index;
+          net = sub;
+          to_global;
+          base_vector;
+          free_positions;
+          exported = Array.of_list (List.rev !exported);
+          exported_values = Array.of_list (List.rev !exported_values);
+          input_arrival;
+          input_slew;
+          output_required;
+          loads;
+          budget = Sta.budget sta;
+        }
+    end
+  in
+  let all = List.init fm.Fm.regions extract_one in
+  Array.of_list (List.filter_map Fun.id all)
+
+(* A timing workspace for the sub-circuit that reproduces the whole
+   circuit exactly at the all-fast point: whole-circuit loads, frozen
+   input arrivals/slews, frozen output required times, global budget. *)
+let make_sta lib t =
+  let sta = Sta.create ~load:(fun id -> t.loads.(id)) lib t.net in
+  let pis = Netlist.inputs t.net in
+  Array.iteri
+    (fun p id ->
+      Sta.set_input_boundary sta id ~arrival:t.input_arrival.(p) ~slew:t.input_slew.(p))
+    pis;
+  Array.iter
+    (fun (id, rise, fall) -> Sta.set_output_required sta id ~rise ~fall)
+    t.output_required;
+  Sta.set_budget sta t.budget;
+  Sta.update sta;
+  sta
+
+(* Turn raw whole-length candidate vectors into admissible region
+   vectors: contract positions are stamped with their frozen values, and
+   a candidate survives only when it preserves every exported gate's
+   assumption value (one linear simulation each) — the condition that
+   makes independently optimized regions compose exactly.  The base
+   vector always passes (it reproduces the global simulation), so the
+   result is never empty.  Duplicates are dropped; order is preserved
+   (base first) so the scan is deterministic. *)
+let candidates t raw =
+  let stamp cand =
+    let v = Array.copy t.base_vector in
+    Array.iter (fun (p, _) -> v.(p) <- cand.(p)) t.free_positions;
+    v
+  in
+  let admissible v =
+    let values = Simulator.eval t.net v in
+    let ok = ref true in
+    Array.iteri
+      (fun i sid -> if values.(sid) <> t.exported_values.(i) then ok := false)
+      t.exported;
+    !ok
+  in
+  let out = ref [ t.base_vector ] in
+  if Array.length t.free_positions > 0 then
+    List.iter
+      (fun cand ->
+        let v = stamp cand in
+        if (not (List.exists (fun w -> w = v) !out)) && admissible v then
+          out := v :: !out)
+      raw;
+  List.rev !out

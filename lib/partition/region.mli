@@ -1,0 +1,61 @@
+(** Region sub-netlists with boundary-pin interface contracts.
+
+    A region is closed under a 2-valued contract frozen from the
+    whole-circuit view: non-member sources become sub-circuit inputs
+    pinned to their assumption-vector values with arrival/slew frozen
+    from the whole-circuit all-fast STA; inputs read only by this
+    region stay free for its optimizer to flip; member gates read
+    outside are exported — sub-circuit outputs with frozen required
+    times whose logic values every candidate sub-vector must preserve.
+    That preservation condition is exactly what makes independently
+    optimized region vectors compose into the global simulation. *)
+
+type t = {
+  index : int;  (** Region index from the FM partition. *)
+  net : Standby_netlist.Netlist.t;  (** The sub-netlist. *)
+  to_global : int array;  (** Sub node id -> global node id. *)
+  base_vector : bool array;
+      (** Sub input values under the global assumption (declaration
+          order); contract positions are frozen to these. *)
+  free_positions : (int * int) array;
+      (** (sub vector position, global vector position) of the inputs
+          this region may flip. *)
+  exported : int array;  (** Sub ids of gates other regions read. *)
+  exported_values : bool array;  (** Their frozen assumption values. *)
+  input_arrival : (float * float) array;  (** Per sub input position. *)
+  input_slew : (float * float) array;
+  output_required : (int * float * float) array;
+      (** (sub node id, rise, fall) frozen from the whole circuit. *)
+  loads : int array;  (** Per sub node id: whole-circuit output load. *)
+  budget : float;  (** The global delay budget. *)
+}
+
+val gate_count : t -> int
+
+val extract :
+  Standby_netlist.Netlist.t ->
+  Fm.t ->
+  sta:Standby_timing.Sta.t ->
+  vector:bool array ->
+  values:bool array ->
+  t array
+(** Extract the sub-netlists of every non-empty region.  [sta] is the
+    whole-circuit workspace in the all-fast state with the delay budget
+    installed — the timing frozen into the contracts; [vector] and
+    [values] are the assumption sleep vector and its simulated node
+    values. *)
+
+val make_sta : Standby_cells.Library.t -> t -> Standby_timing.Sta.t
+(** A timing workspace for the sub-circuit that reproduces the whole
+    circuit exactly at the all-fast point: whole-circuit loads, frozen
+    input arrival/slew, frozen output required times, global budget —
+    updated and ready. *)
+
+val candidates : t -> bool array list -> bool array list
+(** [candidates t raw] turns raw sub-input-length seed vectors into
+    admissible region vectors: contract positions are stamped with
+    their frozen values and a candidate survives only when it preserves
+    every exported gate's assumption value (one linear simulation
+    each).  The base vector leads and always passes, so the result is
+    never empty; duplicates are dropped and order is otherwise kept, so
+    downstream scans stay deterministic. *)

@@ -1,0 +1,38 @@
+module Pool = Standby_pool.Pool
+module Telemetry = Standby_telemetry.Telemetry
+module Metrics = Standby_telemetry.Metrics
+module Json = Standby_telemetry.Json
+
+(* Registered at module initialization, before worker domains exist. *)
+let m_regions =
+  Metrics.counter Metrics.default "partition.regions" ~help:"Regions optimized"
+let m_region_gates =
+  Metrics.counter Metrics.default "partition.region_gates"
+    ~help:"Gates covered by optimized regions"
+
+(* Run [solver] over every region, [jobs] at a time on standby.pool
+   domains.  The solver is injected (the optimizer facade wraps its
+   per-region engine in it) so this library stays below standby.opt in
+   the dependency order.
+
+   Determinism contract: results come back in region-index order and
+   each solver call sees only its own region and workspace, so the
+   output is bit-identical for any [jobs] — parallelism changes wall
+   time, never the answer.  The solver must be domain-safe (each call
+   builds its own {!Region.make_sta} workspace; shared state is limited
+   to the immutable library and atomic telemetry). *)
+let run ?(jobs = 1) ~solver regions =
+  Telemetry.span "partition.region_opt"
+    ~fields:
+      [
+        ("regions", Json.Int (Array.length regions));
+        ("jobs", Json.Int jobs);
+      ]
+    (fun () ->
+      let task r =
+        Metrics.incr m_regions;
+        Metrics.add m_region_gates (Region.gate_count r);
+        solver r
+      in
+      if jobs <= 1 || Array.length regions <= 1 then Array.map task regions
+      else Pool.map ~workers:(min jobs (Array.length regions)) task regions)

@@ -1,0 +1,16 @@
+(** Data-parallel region optimization on standby.pool domains.
+
+    The per-region engine is injected as [solver] (the optimizer facade
+    wraps its greedy/state-tree machinery in it), keeping this library
+    below [standby.opt] in the dependency order.
+
+    Determinism contract: results return in region-index order and each
+    solver call sees only its own region, so the output is bit-identical
+    for any [jobs] — parallelism changes wall time, never the answer.
+    [solver] must be domain-safe: build a private workspace per call
+    (see {!Region.make_sta}) and share only immutable data and atomic
+    telemetry. *)
+
+val run :
+  ?jobs:int -> solver:(Region.t -> 'a) -> Region.t array -> 'a array
+(** Run [solver] over every region, [jobs] (default 1) at a time. *)

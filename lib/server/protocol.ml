@@ -147,6 +147,13 @@ let method_to_json = function
         ("name", Json.String "greedy");
         ("time_budget_ms", Json.Int (int_of_float (Float.round (time_budget_s *. 1000.0))));
       ]
+  | Optimizer.Partition { time_budget_s; regions } ->
+    Json.Obj
+      [
+        ("name", Json.String "partition");
+        ("time_budget_ms", Json.Int (int_of_float (Float.round (time_budget_s *. 1000.0))));
+        ("regions", Json.Int regions);
+      ]
 
 (* A cached result on the wire: the same fields the on-disk store keeps,
    at full float precision (the codec prints %.17g) so a shared-tier hit
@@ -229,19 +236,25 @@ let request_to_json ?trace request =
         [ ("name", Json.String name); ("bench", Json.String text) ]
     in
     (* A v1 server would accept-and-never-push a progress-requesting
-       job, and would not know the greedy mode; stamping v:2 makes it
-       reject loudly instead. *)
-    let greedy_members =
+       job, and would not know the greedy or partition modes; stamping
+       v:2 makes it reject loudly instead. *)
+    let anytime_members =
+      let budget time_budget_s =
+        ("time_budget_ms", Json.Int (int_of_float (Float.round (time_budget_s *. 1000.0))))
+      in
       match o.method_ with
       | Optimizer.Greedy { time_budget_s } ->
+        [ ("mode", Json.String "greedy"); budget time_budget_s ]
+      | Optimizer.Partition { time_budget_s; regions } ->
         [
-          ("mode", Json.String "greedy");
-          ("time_budget_ms", Json.Int (int_of_float (Float.round (time_budget_s *. 1000.0))));
+          ("mode", Json.String "partition");
+          budget time_budget_s;
+          ("regions", Json.Int regions);
         ]
       | _ -> []
     in
     frame
-      ~v:(if o.progress || greedy_members <> [] then 2 else min_version)
+      ~v:(if o.progress || anytime_members <> [] then 2 else min_version)
       ([ ("type", Json.String "optimize"); ("id", Json.String o.id) ]
       @ source_members
       @ [
@@ -249,7 +262,7 @@ let request_to_json ?trace request =
           ("method", method_to_json o.method_);
           ("penalty", Json.Float o.penalty);
         ]
-      @ greedy_members
+      @ anytime_members
       @ (if o.progress then [ ("progress", Json.Bool true) ] else [])
       @
       match o.deadline_s with
@@ -445,7 +458,22 @@ let method_of_json json =
       | None -> time_limit 2.0
     in
     Ok (Optimizer.Greedy { time_budget_s })
-  | other -> Error (Printf.sprintf "unknown method %S (heu1|heu2|hc|exact|greedy)" other)
+  | "partition" ->
+    let* time_budget_s =
+      match Option.bind (Json.member "time_budget_ms" json) Json.to_int_opt with
+      | Some ms when ms > 0 -> Ok (float_of_int ms /. 1000.0)
+      | Some _ -> Error "time_budget_ms must be positive"
+      | None -> time_limit 2.0
+    in
+    let* regions =
+      match Option.bind (Json.member "regions" json) Json.to_int_opt with
+      | Some r when r >= 0 -> Ok r
+      | Some _ -> Error "regions must be non-negative (0 = automatic)"
+      | None -> Ok 0
+    in
+    Ok (Optimizer.Partition { time_budget_s; regions })
+  | other ->
+    Error (Printf.sprintf "unknown method %S (heu1|heu2|hc|exact|greedy|partition)" other)
 
 let source_of_json json =
   match (Json.member "circuit" json, Json.member "bench" json) with
@@ -481,26 +509,47 @@ let optimize_of_json json =
     | Some (Json.Obj _ as m) -> method_of_json m
     | Some _ -> Error "\"method\" must be a string or an object"
   in
-  (* v2's optional top-level "mode"/"time_budget_ms" pair overrides the
-     method — a thin spelling for anytime submissions that leaves every
-     v1 frame (which carries neither field) decoding exactly as before. *)
+  (* v2's optional top-level "mode"/"time_budget_ms" pair (plus
+     "regions" for partition) overrides the method — a thin spelling for
+     anytime submissions that leaves every v1 frame (which carries none
+     of the fields) decoding exactly as before. *)
   let* method_ =
+    let budget default =
+      match Json.member "time_budget_ms" json with
+      | None -> Ok default
+      | Some j -> (
+        match Json.to_int_opt j with
+        | Some ms when ms > 0 -> Ok (float_of_int ms /. 1000.0)
+        | _ -> Error "\"time_budget_ms\" must be a positive integer")
+    in
     match Option.bind (Json.member "mode" json) Json.to_string_opt with
     | None -> Ok method_
     | Some "greedy" ->
       let* time_budget_s =
-        match Json.member "time_budget_ms" json with
-        | None -> (
-          match method_ with
-          | Optimizer.Greedy { time_budget_s } -> Ok time_budget_s
-          | _ -> Ok 2.0)
-        | Some j -> (
-          match Json.to_int_opt j with
-          | Some ms when ms > 0 -> Ok (float_of_int ms /. 1000.0)
-          | _ -> Error "\"time_budget_ms\" must be a positive integer")
+        budget
+          (match method_ with
+           | Optimizer.Greedy { time_budget_s } -> time_budget_s
+           | _ -> 2.0)
       in
       Ok (Optimizer.Greedy { time_budget_s })
-    | Some other -> Error (Printf.sprintf "unknown mode %S (greedy)" other)
+    | Some "partition" ->
+      let default_budget, default_regions =
+        match method_ with
+        | Optimizer.Partition { time_budget_s; regions } -> (time_budget_s, regions)
+        | Optimizer.Greedy { time_budget_s } -> (time_budget_s, 0)
+        | _ -> (2.0, 0)
+      in
+      let* time_budget_s = budget default_budget in
+      let* regions =
+        match Json.member "regions" json with
+        | None -> Ok default_regions
+        | Some j -> (
+          match Json.to_int_opt j with
+          | Some r when r >= 0 -> Ok r
+          | _ -> Error "\"regions\" must be a non-negative integer (0 = automatic)")
+      in
+      Ok (Optimizer.Partition { time_budget_s; regions })
+    | Some other -> Error (Printf.sprintf "unknown mode %S (greedy|partition)" other)
   in
   let* penalty =
     match Json.member "penalty" json with

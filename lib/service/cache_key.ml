@@ -62,6 +62,8 @@ let method_descriptor = function
     Printf.sprintf "hc:%.9g:%d" time_limit_s max_rounds
   | Optimizer.Exact -> "exact"
   | Optimizer.Greedy { time_budget_s } -> Printf.sprintf "greedy:%.9g" time_budget_s
+  | Optimizer.Partition { time_budget_s; regions } ->
+    Printf.sprintf "partition:%.9g:r%d" time_budget_s regions
 
 let mode_descriptor (mode : Version.mode) =
   Printf.sprintf "points=%s uniform-vt=%b high-vt=%b thick-tox=%b reorder=%b"

@@ -46,6 +46,7 @@ type settings = {
   method_name : string option;
   time_limit : float option;
   rounds : int option;
+  regions : int option;
   penalty : float option;
   deadline : float option;
   process : string option;
@@ -59,6 +60,7 @@ let empty_settings =
     method_name = None;
     time_limit = None;
     rounds = None;
+    regions = None;
     penalty = None;
     deadline = None;
     process = None;
@@ -73,6 +75,7 @@ let fallback job defaults =
     method_name = pick job.method_name defaults.method_name;
     time_limit = pick job.time_limit defaults.time_limit;
     rounds = pick job.rounds defaults.rounds;
+    regions = pick job.regions defaults.regions;
     penalty = pick job.penalty defaults.penalty;
     deadline = pick job.deadline defaults.deadline;
     process = pick job.process defaults.process;
@@ -87,7 +90,11 @@ let build_method s =
   | "hc" -> Ok (Optimizer.Hill_climb { time_limit_s = time_limit; max_rounds = rounds })
   | "exact" -> Ok Optimizer.Exact
   | "greedy" -> Ok (Optimizer.Greedy { time_budget_s = time_limit })
-  | m -> Error (Printf.sprintf "unknown method %S (heu1|heu2|hc|exact|greedy)" m)
+  | "partition" ->
+    Ok
+      (Optimizer.Partition
+         { time_budget_s = time_limit; regions = Option.value s.regions ~default:0 })
+  | m -> Error (Printf.sprintf "unknown method %S (heu1|heu2|hc|exact|greedy|partition)" m)
 
 let finish_job ~dir ~line id s defaults =
   let s = fallback s defaults in
@@ -143,17 +150,21 @@ let parse_key_value ~line key value s =
     | Ok mode -> Ok { s with library = Some mode }
     | Error m -> err "%s" m)
   | "method" ->
-    if List.mem value [ "heu1"; "heu2"; "hc"; "exact"; "greedy" ] then
+    if List.mem value [ "heu1"; "heu2"; "hc"; "exact"; "greedy"; "partition" ] then
       Ok { s with method_name = Some value }
-    else err "unknown method %S (heu1|heu2|hc|exact|greedy)" value
+    else err "unknown method %S (heu1|heu2|hc|exact|greedy|partition)" value
   | "time-limit" -> Result.map (fun f -> { s with time_limit = Some f }) (float_value ())
   | "rounds" -> Result.map (fun i -> { s with rounds = Some i }) (int_value ())
+  | "regions" ->
+    Result.bind (int_value ()) (fun i ->
+        if i < 0 then err "regions must be non-negative (0 = automatic)"
+        else Ok { s with regions = Some i })
   | "penalty" -> Result.map (fun f -> { s with penalty = Some f }) (float_value ())
   | "deadline" -> Result.map (fun f -> { s with deadline = Some f }) (float_value ())
   | "process" -> Ok { s with process = Some value }
   | _ ->
-    err "unknown key %S (circuit, file, library, method, time-limit, rounds, penalty, \
-         deadline, process)"
+    err "unknown key %S (circuit, file, library, method, time-limit, rounds, regions, \
+         penalty, deadline, process)"
       key
 
 (* Scanner state: where keys currently land. *)

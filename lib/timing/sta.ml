@@ -18,6 +18,21 @@ let m_worklist_pops =
 
 let epsilon = 1e-9
 
+(* Frozen boundary timing for partitioned sub-circuits (standby.partition):
+   per-input arrival/slew overrides freeze what the surrounding circuit
+   delivers at a region's contract pins, and per-output required-time
+   caps freeze what the downstream logic demands of its exported gates.
+   Allocated lazily so whole-circuit workspaces (the common case, up to
+   millions of nodes) pay nothing. *)
+type boundary = {
+  b_arr_rise : float array;
+  b_arr_fall : float array;
+  b_slew_rise : float array;
+  b_slew_fall : float array;
+  b_req_rise : float array;
+  b_req_fall : float array;
+}
+
 type t = {
   lib : Library.t;
   net : Netlist.t;
@@ -44,6 +59,7 @@ type t = {
      so deltas are flushed in batches instead. *)
   mutable pend_updates : int;
   mutable pend_pops : int;
+  mutable boundary : boundary option;
 }
 
 let flush_batch = 1024
@@ -93,14 +109,31 @@ let recompute_arrival t id kind fanin =
   t.slew_fall.(id) <- t.base_slew.(id) *. info.Library.fall_factors.(v).(t.perm.(id).(!fall_pin))
 
 let forward t =
-  Array.iter
-    (fun id ->
-      t.arr_rise.(id) <- 0.0;
-      t.arr_fall.(id) <- 0.0;
-      t.slew_rise.(id) <- Delay_model.primary_input_slew;
-      t.slew_fall.(id) <- Delay_model.primary_input_slew)
-    (Netlist.inputs t.net);
+  (match t.boundary with
+   | None ->
+     Array.iter
+       (fun id ->
+         t.arr_rise.(id) <- 0.0;
+         t.arr_fall.(id) <- 0.0;
+         t.slew_rise.(id) <- Delay_model.primary_input_slew;
+         t.slew_fall.(id) <- Delay_model.primary_input_slew)
+       (Netlist.inputs t.net)
+   | Some b ->
+     Array.iter
+       (fun id ->
+         t.arr_rise.(id) <- b.b_arr_rise.(id);
+         t.arr_fall.(id) <- b.b_arr_fall.(id);
+         t.slew_rise.(id) <- b.b_slew_rise.(id);
+         t.slew_fall.(id) <- b.b_slew_fall.(id))
+       (Netlist.inputs t.net));
   Netlist.iter_gates t.net (fun id kind fanin -> recompute_arrival t id kind fanin)
+
+(* Effective required time of a primary output: the delay budget, capped
+   by the frozen downstream demand when a boundary is installed. *)
+let output_required t id =
+  match t.boundary with
+  | None -> (t.budget, t.budget)
+  | Some b -> (min t.budget b.b_req_rise.(id), min t.budget b.b_req_fall.(id))
 
 let backward t =
   let n = Netlist.node_count t.net in
@@ -108,8 +141,9 @@ let backward t =
   Array.fill t.req_fall 0 n infinity;
   Array.iter
     (fun o ->
-      t.req_rise.(o) <- min t.req_rise.(o) t.budget;
-      t.req_fall.(o) <- min t.req_fall.(o) t.budget)
+      let rr, rf = output_required t o in
+      t.req_rise.(o) <- min t.req_rise.(o) rr;
+      t.req_fall.(o) <- min t.req_fall.(o) rf)
     (Netlist.outputs t.net);
   for id = n - 1 downto 0 do
     match Netlist.node t.net id with
@@ -147,8 +181,9 @@ let update t =
 let recompute_required t id =
   let rr = ref infinity and rf = ref infinity in
   if t.is_out.(id) then begin
-    rr := t.budget;
-    rf := t.budget
+    let orr, orf = output_required t id in
+    rr := orr;
+    rf := orf
   end;
   Array.iter
     (fun c ->
@@ -228,13 +263,14 @@ let circuit_delay t =
     (fun acc o -> max acc (max t.arr_rise.(o) t.arr_fall.(o)))
     0.0 (Netlist.outputs t.net)
 
-let create lib net =
+let create ?load lib net =
   let n = Netlist.node_count net in
   let base = Array.make n 0.0 in
   let base_slew = Array.make n 0.0 in
   let perm = Array.make n [||] in
+  let load = match load with Some f -> f | None -> Delay_model.node_load net in
   Netlist.iter_gates net (fun id kind fanin ->
-      let fanout = Delay_model.node_load net id in
+      let fanout = load id in
       base.(id) <- Delay_model.base_delay kind ~fanout;
       base_slew.(id) <- Delay_model.base_output_slew kind ~fanout;
       perm.(id) <- identity_perm (Array.length fanin));
@@ -255,6 +291,7 @@ let create lib net =
       budget = 0.0;
       pend_updates = 0;
       pend_pops = 0;
+      boundary = None;
       fheap = Int_heap.create n;
       bheap = Int_heap.create ~descending:true n;
       is_out =
@@ -288,7 +325,51 @@ let set_budget t budget =
 
 let budget t = t.budget
 
-let meets_budget t = circuit_delay t <= t.budget +. epsilon
+let ensure_boundary t =
+  match t.boundary with
+  | Some b -> b
+  | None ->
+    let n = Netlist.node_count t.net in
+    let b =
+      {
+        b_arr_rise = Array.make n 0.0;
+        b_arr_fall = Array.make n 0.0;
+        b_slew_rise = Array.make n Delay_model.primary_input_slew;
+        b_slew_fall = Array.make n Delay_model.primary_input_slew;
+        b_req_rise = Array.make n infinity;
+        b_req_fall = Array.make n infinity;
+      }
+    in
+    t.boundary <- Some b;
+    b
+
+let set_input_boundary t id ~arrival ~slew =
+  if not (Netlist.is_input t.net id) then
+    invalid_arg "Sta.set_input_boundary: not a primary input";
+  let b = ensure_boundary t in
+  let arr_rise, arr_fall = arrival and slew_rise, slew_fall = slew in
+  b.b_arr_rise.(id) <- arr_rise;
+  b.b_arr_fall.(id) <- arr_fall;
+  b.b_slew_rise.(id) <- slew_rise;
+  b.b_slew_fall.(id) <- slew_fall
+
+let set_output_required t id ~rise ~fall =
+  if not t.is_out.(id) then invalid_arg "Sta.set_output_required: not a primary output";
+  let b = ensure_boundary t in
+  b.b_req_rise.(id) <- rise;
+  b.b_req_fall.(id) <- fall
+
+let meets_budget t =
+  match t.boundary with
+  | None -> circuit_delay t <= t.budget +. epsilon
+  | Some _ ->
+    (* With frozen output caps the budget alone is not the constraint:
+       every output must also meet its own required time. *)
+    Array.for_all
+      (fun o ->
+        let rr, rf = output_required t o in
+        t.arr_rise.(o) <= rr +. epsilon && t.arr_fall.(o) <= rf +. epsilon)
+      (Netlist.outputs t.net)
 
 let candidate_feasible t id ~version ~perm =
   match Netlist.node t.net id with

@@ -23,9 +23,13 @@
 type t
 (** Mutable timing workspace bound to one netlist and library. *)
 
-val create : Standby_cells.Library.t -> Standby_netlist.Netlist.t -> t
+val create :
+  ?load:(int -> int) -> Standby_cells.Library.t -> Standby_netlist.Netlist.t -> t
 (** Workspace with every gate on the fast version, budget at the
-    all-fast circuit delay, timing up to date. *)
+    all-fast circuit delay, timing up to date.  [load] overrides the
+    per-gate output load (default: the netlist's own fan-out count) —
+    a partitioned sub-circuit passes the loads of the full circuit so
+    its base delays match the whole-circuit analysis. *)
 
 val netlist : t -> Standby_netlist.Netlist.t
 
@@ -42,6 +46,27 @@ val reset_fast : t -> unit
 
 val set_budget : t -> float -> unit
 (** Set the delay constraint and refresh required times. *)
+
+(** {2 Boundary freezing (partitioned sub-circuits)}
+
+    A region extracted from a larger circuit carries interface
+    contracts: its primary inputs arrive with whatever timing the
+    surrounding logic delivers, and its outputs must meet whatever the
+    downstream logic requires.  The setters below install those frozen
+    values (lazily allocated; whole-circuit workspaces pay nothing);
+    call {!update} (or {!set_budget}) afterwards to refresh timing. *)
+
+val set_input_boundary :
+  t -> int -> arrival:float * float -> slew:float * float -> unit
+(** Freeze a primary input's (rise, fall) arrival times and output
+    slews, replacing the 0-arrival/default-slew assumption.
+    @raise Invalid_argument if the node is not a primary input. *)
+
+val set_output_required : t -> int -> rise:float -> fall:float -> unit
+(** Cap a primary output's required times below the budget — the
+    demand the full circuit's downstream logic places on an exported
+    gate.  @raise Invalid_argument if the node is not marked as an
+    output. *)
 
 val budget : t -> float
 
@@ -67,6 +92,8 @@ val circuit_delay : t -> float
 (** Worst arrival over primary outputs (both transitions). *)
 
 val meets_budget : t -> bool
+(** Every output within its effective required time: the budget, also
+    capped by any {!set_output_required} freeze. *)
 
 val candidate_feasible : t -> int -> version:int -> perm:int array -> bool
 (** Would swapping this single gate keep every path through it within
